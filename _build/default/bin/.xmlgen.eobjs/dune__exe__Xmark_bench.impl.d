@@ -1,0 +1,1 @@
+bin/xmark_bench.ml: Arg Cmd Cmdliner Printf Term Xmark_core

@@ -1,0 +1,1 @@
+bin/xmark_bench.mli:

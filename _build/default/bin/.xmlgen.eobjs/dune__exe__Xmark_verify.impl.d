@@ -1,0 +1,1 @@
+bin/xmark_verify.ml: Arg Cmd Cmdliner Format Fun List Printf Term Xmark_core Xmark_xmlgen

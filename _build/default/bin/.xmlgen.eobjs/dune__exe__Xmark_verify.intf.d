@@ -1,0 +1,1 @@
+bin/xmark_verify.mli:

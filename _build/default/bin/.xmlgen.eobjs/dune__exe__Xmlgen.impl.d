@@ -1,0 +1,1 @@
+bin/xmlgen.ml: Arg Cmd Cmdliner Filename Int64 List Option Printf Sys Term Unix Xmark_xmlgen

@@ -1,0 +1,1 @@
+bin/xquery_run.ml: Arg Cmd Cmdliner Format Fun List Option Printf Term Xmark_core Xmark_store Xmark_xml Xmark_xmlgen Xmark_xquery

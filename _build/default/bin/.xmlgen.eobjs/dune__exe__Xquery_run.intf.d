@@ -1,0 +1,1 @@
+bin/xquery_run.mli:

@@ -1,0 +1,38 @@
+(* xmark_bench — regenerate individual tables/figures of the paper.
+
+   `bench/main.exe` runs everything; this CLI picks one exhibit and a
+   factor, which is convenient while exploring. *)
+
+open Cmdliner
+
+let run exhibit factor =
+  let module E = Xmark_core.Experiments in
+  match exhibit with
+  | "table1" -> ignore (E.table1 ~factor ()); 0
+  | "table2" -> ignore (E.table2 ~factor ()); 0
+  | "table3" -> ignore (E.table3 ~factor ()); 0
+  | "fig3" -> ignore (E.fig3 ()); 0
+  | "fig4" -> ignore (E.fig4 ()); 0
+  | "genperf" -> ignore (E.genperf ()); 0
+  | "scaling" -> ignore (E.scaling ()); 0
+  | "fulltext" -> ignore (E.fulltext ~factor ()); 0
+  | "throughput" -> ignore (E.throughput ~factor ()); 0
+  | "workload" -> ignore (E.update_workload ~factor ()); 0
+  | "all" -> E.run_all ~factor (); 0
+  | other ->
+      Printf.eprintf "unknown exhibit %S (table1|table2|table3|fig3|fig4|genperf|scaling|fulltext|throughput|workload|all)\n" other;
+      2
+
+let exhibit_arg =
+  Arg.(value & pos 0 string "all"
+       & info [] ~docv:"EXHIBIT" ~doc:"table1, table2, table3, fig3, fig4, genperf, scaling, fulltext, throughput, workload or all.")
+
+let factor_arg =
+  Arg.(value & opt float Xmark_core.Experiments.default_factor
+       & info [ "f"; "factor" ] ~docv:"FACTOR" ~doc:"Scaling factor for the table experiments.")
+
+let cmd =
+  let doc = "regenerate the paper's tables and figures" in
+  Cmd.v (Cmd.info "xmark_bench" ~version:"1.0" ~doc) Term.(const run $ exhibit_arg $ factor_arg)
+
+let () = exit (Cmd.eval' cmd)

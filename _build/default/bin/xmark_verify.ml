@@ -1,0 +1,51 @@
+(* xmark_verify — cross-system result verification.
+
+   Runs the benchmark queries on all (or selected) systems over the same
+   document and compares canonical results: the query-processor
+   verification scenario of the paper's introduction. Exit status is 0
+   when every system agrees on every query. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run doc_file factor queries =
+  let doc =
+    match doc_file with
+    | Some path -> read_file path
+    | None ->
+        Printf.eprintf "(generating document at factor %g)\n%!" factor;
+        Xmark_xmlgen.Generator.to_string ~factor ()
+  in
+  let queries = match queries with [] -> None | qs -> Some qs in
+  let reports = Xmark_core.Verification.compare_systems ?queries doc in
+  List.iter (fun r -> Format.printf "%a" Xmark_core.Verification.pp_report r) reports;
+  if Xmark_core.Verification.all_agree reports then begin
+    Format.printf "all systems agree on all %d queries@." (List.length reports);
+    0
+  end
+  else begin
+    Format.printf "DIVERGENCE DETECTED@.";
+    1
+  end
+
+let doc_arg =
+  Arg.(value & opt (some file) None & info [ "doc" ] ~docv:"FILE" ~doc:"Benchmark document file.")
+
+let factor_arg =
+  Arg.(value & opt float 0.004
+       & info [ "f"; "factor" ] ~docv:"FACTOR" ~doc:"Generation factor when no file is given.")
+
+let queries_arg =
+  Arg.(value & pos_all int [] & info [] ~docv:"QUERY" ~doc:"Query numbers (default: all 20).")
+
+let cmd =
+  let doc = "verify that all storage backends agree on the benchmark queries" in
+  Cmd.v (Cmd.info "xmark_verify" ~version:"1.0" ~doc)
+    Term.(const run $ doc_arg $ factor_arg $ queries_arg)
+
+let () = exit (Cmd.eval' cmd)

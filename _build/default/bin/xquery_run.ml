@@ -1,0 +1,147 @@
+(* xquery_run — execute XQuery against an XMark document.
+
+   The document comes from a file or is generated on the fly; the query is
+   a literal expression, a file, or one of the twenty benchmark queries by
+   number.  The backend flag selects the storage architecture (Systems A-G
+   of the paper), so the same query can be timed across physical
+   mappings. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let system_of_string = function
+  | "A" | "a" -> Ok Xmark_core.Runner.A
+  | "B" | "b" -> Ok Xmark_core.Runner.B
+  | "C" | "c" -> Ok Xmark_core.Runner.C
+  | "D" | "d" -> Ok Xmark_core.Runner.D
+  | "E" | "e" -> Ok Xmark_core.Runner.E
+  | "F" | "f" -> Ok Xmark_core.Runner.F
+  | "G" | "g" -> Ok Xmark_core.Runner.G
+  | s -> Error (`Msg (Printf.sprintf "unknown system %S (expected A-G)" s))
+
+let system_conv =
+  Arg.conv
+    ( system_of_string,
+      fun fmt sys -> Format.pp_print_string fmt (Xmark_core.Runner.system_name sys) )
+
+let warn_paths doc qtext =
+  (* Section 7's suggestion: warn when a path step names a tag that does
+     not occur in the database instance. *)
+  match Xmark_xquery.Parser.parse_query qtext with
+  | exception _ -> ()
+  | ast ->
+      let module MM = Xmark_store.Backend_mainmem in
+      let module PC = Xmark_xquery.Pathcheck.Make (MM) in
+      let store = MM.of_string ~level:`Full doc in
+      List.iter
+        (fun w -> Format.eprintf "%a@." Xmark_xquery.Pathcheck.pp_warning w)
+        (PC.check ~vocabulary:Xmark_xmlgen.Dtd.element_names store ast)
+
+let print_summary doc =
+  let module MM = Xmark_store.Backend_mainmem in
+  let store = MM.of_string ~level:`Full doc in
+  Format.printf "%a@?" Xmark_store.Summary.pp
+    (Xmark_store.Summary.build (MM.dom_root store))
+
+let run doc_file factor system query query_file query_number show_timing canonical_out warn summary =
+  let doc =
+    match doc_file with
+    | Some path -> read_file path
+    | None ->
+        Printf.eprintf "(generating document at factor %g)\n%!" factor;
+        Xmark_xmlgen.Generator.to_string ~factor ()
+  in
+  let store, stats = Xmark_core.Runner.bulkload system doc in
+  if show_timing then
+    Printf.eprintf "bulkload: %.1f ms, %d bytes\n%!"
+      stats.Xmark_core.Runner.load.Xmark_core.Timing.wall_ms stats.Xmark_core.Runner.db_bytes;
+  let qtext_for_warning =
+    match (query_number, query, query_file) with
+    | Some n, _, _ -> Some (Xmark_core.Queries.text n)
+    | None, Some q, _ -> Some q
+    | None, None, Some f -> Some (read_file f)
+    | None, None, None -> None
+  in
+  if warn then Option.iter (warn_paths doc) qtext_for_warning;
+  if summary then begin
+    print_summary doc;
+    if qtext_for_warning = None then exit 0
+  end;
+  let outcome =
+    match (query_number, query, query_file) with
+    | Some n, _, _ -> Xmark_core.Runner.run store n
+    | None, Some q, _ -> Xmark_core.Runner.run_text store q
+    | None, None, Some f -> Xmark_core.Runner.run_text store (read_file f)
+    | None, None, None ->
+        prerr_endline "no query given (use -q, --query-file or --benchmark N, or --summary alone)";
+        exit 2
+  in
+  if show_timing then
+    Printf.eprintf "compile: %.2f ms  execute: %.2f ms  items: %d\n%!"
+      outcome.Xmark_core.Runner.compile.Xmark_core.Timing.wall_ms
+      outcome.Xmark_core.Runner.execute.Xmark_core.Timing.wall_ms outcome.Xmark_core.Runner.items;
+  if canonical_out then print_endline (Xmark_core.Runner.canonical outcome)
+  else
+    print_endline (Xmark_xml.Serialize.fragment_to_string outcome.Xmark_core.Runner.result);
+  0
+
+let run_safe a b c d e f g h i j =
+  try run a b c d e f g h i j with
+  | Xmark_xquery.Parser.Error _ as ex ->
+      Printf.eprintf "%s\n" (Xmark_xquery.Parser.describe_error "" ex);
+      1
+  | Invalid_argument m | Failure m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+
+let doc_arg =
+  Arg.(value & opt (some file) None & info [ "doc" ] ~docv:"FILE" ~doc:"Benchmark document file.")
+
+let factor_arg =
+  Arg.(value & opt float 0.005
+       & info [ "f"; "factor" ] ~docv:"FACTOR" ~doc:"Generate the document at this factor when no file is given.")
+
+let system_arg =
+  Arg.(value & opt system_conv Xmark_core.Runner.D
+       & info [ "s"; "system" ] ~docv:"A-G" ~doc:"Storage backend (paper's Systems A through G).")
+
+let query_arg =
+  Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"XQUERY" ~doc:"Query text.")
+
+let query_file_arg =
+  Arg.(value & opt (some file) None & info [ "query-file" ] ~docv:"FILE" ~doc:"Query file.")
+
+let number_arg =
+  Arg.(value & opt (some int) None
+       & info [ "b"; "benchmark" ] ~docv:"N" ~doc:"Run benchmark query N (1-20).")
+
+let timing_arg = Arg.(value & flag & info [ "t"; "timing" ] ~doc:"Print timings to stderr.")
+
+let canonical_arg =
+  Arg.(value & flag & info [ "canonical" ] ~doc:"Print the canonical form used for result comparison.")
+
+let summary_arg =
+  Arg.(value & flag
+       & info [ "summary" ]
+           ~doc:"Print the document's structural summary (DataGuide): every label path with its \
+                 cardinality.")
+
+let warn_arg =
+  Arg.(value & flag
+       & info [ "warn-paths" ]
+           ~doc:"Validate path expressions online: warn about steps naming tags that do not occur \
+                 in the database (the paper's Section 7 suggestion).")
+
+let cmd =
+  let doc = "run XQuery against an XMark document on a chosen storage backend" in
+  Cmd.v (Cmd.info "xquery_run" ~version:"1.0" ~doc)
+    Term.(
+      const run_safe $ doc_arg $ factor_arg $ system_arg $ query_arg $ query_file_arg $ number_arg
+      $ timing_arg $ canonical_arg $ warn_arg $ summary_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/auction_analytics.ml: Hashtbl List Option Printf Xmark_core Xmark_store Xmark_xml Xmark_xmlgen Xmark_xquery

@@ -1,0 +1,1 @@
+examples/explain_plans.ml: List Printf Unix Xmark_store Xmark_xmlgen Xmark_xquery

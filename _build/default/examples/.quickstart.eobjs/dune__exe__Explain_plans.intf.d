@@ -1,0 +1,1 @@
+examples/explain_plans.mli:

@@ -1,0 +1,1 @@
+examples/fulltext_search.ml: Array List Option Printf Sys Unix Xmark_store Xmark_xml Xmark_xmlgen Xmark_xquery

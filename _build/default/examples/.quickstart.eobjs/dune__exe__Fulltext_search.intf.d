@@ -1,0 +1,1 @@
+examples/fulltext_search.mli:

@@ -1,0 +1,1 @@
+examples/live_auction.ml: List Printf Xmark_core Xmark_store Xmark_xmlgen Xmark_xquery

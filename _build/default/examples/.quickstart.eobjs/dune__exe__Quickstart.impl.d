@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf String Xmark_core Xmark_store Xmark_xml Xmark_xmlgen Xmark_xquery

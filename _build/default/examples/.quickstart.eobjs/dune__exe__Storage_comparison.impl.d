@@ -1,0 +1,1 @@
+examples/storage_comparison.ml: List Printf String Xmark_core Xmark_xmlgen

@@ -1,0 +1,77 @@
+(* A live auction day: updates interleaved with queries.
+
+     dune exec examples/live_auction.exe
+
+   The paper defers update specifications to future work (Section 8); this
+   example exercises the update extension: new users register, bids come
+   in, auctions close — and the analytical queries keep answering over the
+   changing database. *)
+
+module MM = Xmark_store.Backend_mainmem
+module Eval = Xmark_xquery.Eval.Make (MM)
+module Updates = Xmark_store.Updates
+
+let query session q = Eval.eval_string (Updates.store session) q
+
+let scalar session q =
+  match query session q with
+  | [ it ] -> Eval.string_of_item (Updates.store session) it
+  | _ -> "?"
+
+let report session moment =
+  Printf.printf "%-22s open %s  closed %s  users %s  turnover %s\n" moment
+    (scalar session "count(/site/open_auctions/open_auction)")
+    (scalar session "count(/site/closed_auctions/closed_auction)")
+    (scalar session "count(/site/people/person)")
+    (scalar session "sum(/site/closed_auctions/closed_auction/price)")
+
+let () =
+  let session = Updates.of_string (Xmark_xmlgen.Generator.to_string ~factor:0.005 ()) in
+  report session "start of day:";
+
+  (* morning: two new users sign up *)
+  let alice = Updates.register_person session ~name:"Alice Rivest" ~email:"mailto:alice@example.org" in
+  let bob = Updates.register_person session ~name:"Bob Shamir" ~email:"mailto:bob@example.org" in
+  Printf.printf "  registered %s and %s\n" alice bob;
+
+  (* they start a bidding war on the cheapest running auction *)
+  let target =
+    match query session
+            {|(for $a in /site/open_auctions/open_auction
+               order by number($a/initial) ascending
+               return $a/@id)[1]|}
+    with
+    | [ Eval.A a ] -> a.Eval.avalue
+    | _ -> failwith "no auctions"
+  in
+  Printf.printf "  bidding war on %s:\n" target;
+  List.iteri
+    (fun i (person, increase) ->
+      Updates.place_bid session ~auction:target ~person ~increase
+        ~date:"06/07/2026"
+        ~time:(Printf.sprintf "%02d:00:00" (9 + i));
+      Printf.printf "    %s raises by %.2f -> current %s\n" person increase
+        (scalar session
+           (Printf.sprintf {|/site/open_auctions/open_auction[@id = "%s"]/current/text()|} target)))
+    [ (alice, 12.0); (bob, 18.0); (alice, 25.5) ];
+
+  report session "midday:";
+
+  (* afternoon: the auction closes; Alice (last bidder) wins *)
+  Updates.close_auction session ~auction:target ~date:"06/07/2026";
+  Printf.printf "  %s closed; buyer %s paid %s\n" target
+    (scalar session "/site/closed_auctions/closed_auction[last()]/buyer/@person")
+    (scalar session "/site/closed_auctions/closed_auction[last()]/price/text()");
+
+  report session "end of day:";
+
+  (* the analytical workload still runs over the mutated database *)
+  let q8 = Xmark_core.Queries.get 8 in
+  let buyers = query session q8.Xmark_core.Queries.text in
+  Printf.printf "\nQ8 over the updated database: %d persons listed; Alice bought %s item(s)\n"
+    (List.length buyers)
+    (scalar session
+       (Printf.sprintf
+          {|count(for $t in /site/closed_auctions/closed_auction
+                  where $t/buyer/@person = "%s" return $t)|}
+          alice))

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Digest Filename Float Fun Gc Hashtbl List Printf Queries Runner String Sys Timing Unix Xmark_store Xmark_xml Xmark_xmlgen Xmark_xquery

@@ -1,0 +1,1 @@
+lib/core/plans_c.ml: Array Float Hashtbl List Option Printf String Xmark_relational Xmark_store Xmark_xml

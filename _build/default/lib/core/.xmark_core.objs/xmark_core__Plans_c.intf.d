@@ -1,0 +1,1 @@
+lib/core/plans_c.mli: Xmark_store Xmark_xml

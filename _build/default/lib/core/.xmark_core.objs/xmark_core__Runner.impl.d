@@ -1,0 +1,1 @@
+lib/core/runner.ml: List Plans_c Queries Timing Xmark_relational Xmark_store Xmark_xml Xmark_xquery

@@ -1,0 +1,1 @@
+lib/core/verification.ml: Digest Format List Queries Runner String

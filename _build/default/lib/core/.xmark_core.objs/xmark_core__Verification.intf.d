@@ -1,0 +1,1 @@
+lib/core/verification.mli: Format Runner

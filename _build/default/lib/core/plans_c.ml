@@ -1,0 +1,533 @@
+(** Hand-prepared relational execution plans for System C.
+
+    The paper's System C derives its schema from the DTD and runs queries
+    that were "translated into a proprietary language"; its plans are
+    simple and efficient for ordered access (best Q2/Q3 of Table 3) while
+    its optimizer "was not able to find a good execution plan in
+    acceptable time" for Q9 and picked sub-optimal nested-loop plans for
+    Q11/Q12 — all of which these plans reproduce: Q2/Q3 read the bidder
+    relation's position column directly, Q9 chases references without an
+    index on the europe slice, and Q11/Q12 run the nested-loop theta join.
+
+    Every plan produces the same canonical result as the XQuery evaluation
+    of the official query on the navigational backends; the cross-backend
+    tests assert this. *)
+
+module R = Xmark_relational
+module Dom = Xmark_xml.Dom
+module Schema = Xmark_store.Backend_schema
+
+type plan = { number : int; exec : unit -> Dom.node list }
+
+let elem ?(attrs = []) name children = Dom.element ~attrs ~children name
+
+let txt s = Dom.text s
+
+let vstr (v : R.Value.t) =
+  match v with
+  | R.Value.Str s -> Some s
+  | R.Value.Int i -> Some (string_of_int i)
+  | R.Value.Num _ -> Some (R.Value.to_string v)
+  | R.Value.Null -> None
+
+let vint = function R.Value.Int i -> i | v -> int_of_float (R.Value.to_float v)
+
+let vfloat = R.Value.to_float  (* runtime string-to-number cast *)
+
+let format_number f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let text_children v = match vstr v with Some s -> [ txt s ] | None -> []
+
+(* Parse an overflow XML column back into a tree (System C's reconstruction
+   of document-centric subtrees). *)
+let parse_overflow v =
+  match vstr v with Some s -> Some (Xmark_xml.Sax.parse_string ~keep_ws:true s) | None -> None
+
+(* Q15/Q16's fixed path below the stored annotation subtree. *)
+let q15_keywords ann_xml =
+  match parse_overflow ann_xml with
+  | None -> []
+  | Some ann ->
+      let step tag nodes =
+        List.concat_map (fun n -> List.filter (fun c -> Dom.name c = tag) (Dom.children n)) nodes
+      in
+      [ ann ] |> step "description" |> step "parlist" |> step "listitem" |> step "parlist"
+      |> step "listitem" |> step "text" |> step "emph" |> step "keyword"
+      |> List.map Dom.string_value
+
+let contains_word hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec at i = if i + ln > lh then false else String.sub hay i ln = needle || at (i + 1) in
+  ln > 0 && at 0
+
+let compile store number =
+  let table = Schema.table store in
+  let index = Schema.index store in
+  let exec =
+    match number with
+    | 1 ->
+        (* index lookup on person.id, then one tuple fetch *)
+        let person = table "person" in
+        let person_id = index ~table:"person" ~column:"id" in
+        let name_col = R.Table.col_index person "name" in
+        fun () ->
+          (match R.Index.unique person_id (R.Value.Str "person0") with
+          | None -> []
+          | Some row -> text_children (R.Table.get person row).(name_col))
+    | 2 ->
+        let oa = table "open_auction" in
+        let bidder = table "bidder" in
+        let by_auction = index ~table:"bidder" ~column:"auction_idx" in
+        let pos_col = R.Table.col_index bidder "pos" in
+        let inc_col = R.Table.col_index bidder "increase" in
+        fun () ->
+          R.Table.fold
+            (fun acc _ row ->
+              let idx = row.(0) in
+              let first =
+                List.find_opt
+                  (fun b -> vint b.(pos_col) = 1)
+                  (R.Index.lookup_rows by_auction bidder idx)
+              in
+              let children =
+                match first with Some b -> text_children b.(inc_col) | None -> []
+              in
+              elem "increase" children :: acc)
+            [] oa
+          |> List.rev
+    | 3 ->
+        let oa = table "open_auction" in
+        let bidder = table "bidder" in
+        let by_auction = index ~table:"bidder" ~column:"auction_idx" in
+        let pos_col = R.Table.col_index bidder "pos" in
+        let inc_col = R.Table.col_index bidder "increase" in
+        fun () ->
+          R.Table.fold
+            (fun acc _ row ->
+              let bs = R.Index.lookup_rows by_auction bidder row.(0) in
+              match bs with
+              | [] -> acc
+              | _ ->
+                  let first =
+                    List.find_opt (fun b -> vint b.(pos_col) = 1) bs
+                  in
+                  let last =
+                    List.fold_left
+                      (fun best b ->
+                        match best with
+                        | None -> Some b
+                        | Some x -> if vint b.(pos_col) > vint x.(pos_col) then Some b else Some x)
+                      None bs
+                  in
+                  (match (first, last) with
+                  | Some f, Some l
+                    when vfloat f.(inc_col) *. 2.0 <= vfloat l.(inc_col) ->
+                      elem
+                        ~attrs:
+                          [
+                            ("first", Option.value ~default:"" (vstr f.(inc_col)));
+                            ("last", Option.value ~default:"" (vstr l.(inc_col)));
+                          ]
+                        "increase" []
+                      :: acc
+                  | _ -> acc))
+            [] oa
+          |> List.rev
+    | 4 ->
+        let oa = table "open_auction" in
+        let bidder = table "bidder" in
+        let by_auction = index ~table:"bidder" ~column:"auction_idx" in
+        let pos_col = R.Table.col_index bidder "pos" in
+        let pref_col = R.Table.col_index bidder "personref" in
+        let reserve_col = R.Table.col_index oa "reserve" in
+        fun () ->
+          R.Table.fold
+            (fun acc _ row ->
+              let bs = R.Index.lookup_rows by_auction bidder row.(0) in
+              let positions who =
+                List.filter_map
+                  (fun b -> if vstr b.(pref_col) = Some who then Some (vint b.(pos_col)) else None)
+                  bs
+              in
+              let p20 = positions "person20" and p51 = positions "person51" in
+              let before =
+                List.exists (fun a -> List.exists (fun b -> a < b) p51) p20
+              in
+              if before then elem "history" (text_children row.(reserve_col)) :: acc else acc)
+            [] oa
+          |> List.rev
+    | 5 -> (
+        match Schema.ordered_index store ~table:"closed_auction" ~column:"price" with
+        | Some prices ->
+            (* range scan on the ordered price index *)
+            fun () ->
+              let hits = R.Btree.range ~lower:(R.Value.Num 40.0, true) prices in
+              [ txt (string_of_int (List.length hits)) ]
+        | None ->
+            let ca = table "closed_auction" in
+            let price_col = R.Table.col_index ca "price" in
+            fun () ->
+              let n =
+                R.Table.fold
+                  (fun acc _ row -> if vfloat row.(price_col) >= 40.0 then acc + 1 else acc)
+                  0 ca
+              in
+              [ txt (string_of_int n) ])
+    | 6 ->
+        let item = table "item" in
+        fun () -> [ txt (string_of_int (R.Table.row_count item)) ]
+    | 7 ->
+        let item = table "item" in
+        let category = table "category" in
+        let person = table "person" in
+        let oa = table "open_auction" in
+        let ca = table "closed_auction" in
+        let count_annotations tbl =
+          let col = R.Table.col_index tbl "ann_xml" in
+          R.Table.fold
+            (fun (anns, descs) _ row ->
+              match vstr row.(col) with
+              | None -> (anns, descs)
+              | Some s ->
+                  (anns + 1, descs + if contains_word s "<description>" then 1 else 0))
+            (0, 0) tbl
+        in
+        fun () ->
+          let oa_anns, oa_descs = count_annotations oa in
+          let ca_anns, ca_descs = count_annotations ca in
+          let descriptions =
+            R.Table.row_count item + R.Table.row_count category + oa_descs + ca_descs
+          in
+          let annotations = oa_anns + ca_anns in
+          let emails = R.Table.row_count person in
+          [ txt (string_of_int (descriptions + annotations + emails)) ]
+    | 8 ->
+        let person = table "person" in
+        let ca = table "closed_auction" in
+        let by_buyer = index ~table:"closed_auction" ~column:"buyer" in
+        let id_col = R.Table.col_index person "id" in
+        let name_col = R.Table.col_index person "name" in
+        fun () ->
+          ignore ca;
+          R.Table.fold
+            (fun acc _ prow ->
+              let bought =
+                match prow.(id_col) with
+                | R.Value.Null -> 0
+                | id -> List.length (R.Index.lookup by_buyer id)
+              in
+              elem
+                ~attrs:[ ("person", Option.value ~default:"" (vstr prow.(name_col))) ]
+                "item"
+                [ txt (string_of_int bought) ]
+              :: acc)
+            [] person
+          |> List.rev
+    | 9 ->
+        (* The paper reports that "for Q9, System C was not able to find a
+           good execution plan in acceptable time": its optimizer misses the
+           index on the inner reference and scans the item relation per
+           bought auction.  Reproduced deliberately. *)
+        let person = table "person" in
+        let ca = table "closed_auction" in
+        let item = table "item" in
+        let by_buyer = index ~table:"closed_auction" ~column:"buyer" in
+        let id_col = R.Table.col_index person "id" in
+        let name_col = R.Table.col_index person "name" in
+        let itemref_col = R.Table.col_index ca "itemref" in
+        let region_col = R.Table.col_index item "region" in
+        let iid_col = R.Table.col_index item "id" in
+        let iname_col = R.Table.col_index item "name" in
+        fun () ->
+          R.Table.fold
+            (fun acc _ prow ->
+              let auctions =
+                match prow.(id_col) with
+                | R.Value.Null -> []
+                | id -> R.Index.lookup_rows by_buyer ca id
+              in
+              let children =
+                List.map
+                  (fun arow ->
+                    let names =
+                      match arow.(itemref_col) with
+                      | R.Value.Null -> []
+                      | key ->
+                          (* full scan of the item relation: the bad plan *)
+                          R.Table.fold
+                            (fun acc _ it ->
+                              if
+                                R.Value.equal it.(iid_col) key
+                                && vstr it.(region_col) = Some "europe"
+                              then acc @ text_children it.(iname_col)
+                              else acc)
+                            [] item
+                    in
+                    elem "item" names)
+                  auctions
+              in
+              elem
+                ~attrs:[ ("name", Option.value ~default:"" (vstr prow.(name_col))) ]
+                "person" children
+              :: acc)
+            [] person
+          |> List.rev
+    | 10 ->
+        let person = table "person" in
+        let interest = table "interest" in
+        let cols =
+          List.map (R.Table.col_index person)
+            [ "gender"; "age"; "education"; "income"; "name"; "street"; "city"; "country";
+              "emailaddress"; "homepage"; "creditcard" ]
+        in
+        fun () ->
+          (* distinct categories in first-occurrence order *)
+          let seen = Hashtbl.create 64 in
+          let categories = ref [] in
+          R.Table.iter
+            (fun _ row ->
+              match vstr row.(1) with
+              | Some c when not (Hashtbl.mem seen c) ->
+                  Hashtbl.add seen c ();
+                  categories := c :: !categories
+              | _ -> ())
+            interest;
+          let categories = List.rev !categories in
+          (* person -> interests index (kept in memory by the plan) *)
+          let by_cat = Hashtbl.create 256 in
+          R.Table.iter
+            (fun _ row ->
+              match (vstr row.(1), row.(0)) with
+              | Some c, R.Value.Int p ->
+                  Hashtbl.replace by_cat c (p :: Option.value ~default:[] (Hashtbl.find_opt by_cat c))
+              | _ -> ())
+            interest;
+          let personne prow =
+            match cols with
+            | [ g; a; e; inc; nm; st; ci; co; em; hp; cc ] ->
+                elem "personne"
+                  [
+                    elem "statistiques"
+                      [
+                        elem "sexe" (text_children prow.(g));
+                        elem "age" (text_children prow.(a));
+                        elem "education" (text_children prow.(e));
+                        elem "revenu" (text_children prow.(inc));
+                      ];
+                    elem "coordonnees"
+                      [
+                        elem "nom" (text_children prow.(nm));
+                        elem "rue" (text_children prow.(st));
+                        elem "ville" (text_children prow.(ci));
+                        elem "pays" (text_children prow.(co));
+                        elem "reseau"
+                          [
+                            elem "courrier" (text_children prow.(em));
+                            elem "pagePerso" (text_children prow.(hp));
+                          ];
+                      ];
+                    elem "cartePaiement" (text_children prow.(cc));
+                  ]
+            | _ -> assert false
+          in
+          List.map
+            (fun c ->
+              let members =
+                List.sort compare (Option.value ~default:[] (Hashtbl.find_opt by_cat c))
+              in
+              (* deduplicate persons with repeated interests in one category *)
+              let members =
+                List.fold_left
+                  (fun acc p -> match acc with x :: _ when x = p -> acc | _ -> p :: acc)
+                  [] members
+                |> List.rev
+              in
+              elem "categorie"
+                (elem "id" [ txt c ] :: List.map (fun p -> personne (R.Table.get person p)) members))
+            categories
+    | (11 | 12) as n ->
+        let person = table "person" in
+        let oa = table "open_auction" in
+        let income_col = R.Table.col_index person "income" in
+        let name_col = R.Table.col_index person "name" in
+        let initial_col = R.Table.col_index oa "initial" in
+        (* Q12 restricts to incomes > 50000: served by the ordered income
+           index; Q11 scans all persons.  The join itself stays the
+           sub-optimal nested loop the paper observed on System C. *)
+        let qualifying =
+          if n = 11 then None
+          else
+            Option.map
+              (fun tree ->
+                List.sort_uniq compare (R.Btree.range ~lower:(R.Value.Num 50000.0, false) tree))
+              (Schema.ordered_index store ~table:"person" ~column:"income")
+        in
+        fun () ->
+          let initials =
+            R.Table.fold (fun acc _ row -> vfloat row.(initial_col) :: acc) [] oa
+          in
+          let fold_persons f acc =
+            match qualifying with
+            | None -> R.Table.fold (fun acc i row -> f acc i row) acc person
+            | Some ids ->
+                List.fold_left (fun acc i -> f acc i (R.Table.get person i)) acc ids
+          in
+          fold_persons
+            (fun acc _ prow ->
+              let income = vfloat prow.(income_col) in
+              let keep = n = 11 || income > 50000.0 in
+              if not keep then acc
+              else begin
+                let count =
+                  if Float.is_nan income then 0
+                  else
+                    List.fold_left
+                      (fun k initial -> if income > 5000.0 *. initial then k + 1 else k)
+                      0 initials
+                in
+                let attrs =
+                  if n = 11 then
+                    [ ("name", Option.value ~default:"" (vstr prow.(name_col))) ]
+                  else [ ("person", Option.value ~default:"" (vstr prow.(income_col))) ]
+                in
+                elem ~attrs "items" [ txt (string_of_int count) ] :: acc
+              end)
+            []
+          |> List.rev
+    | 13 ->
+        let item = table "item" in
+        let region_col = R.Table.col_index item "region" in
+        let name_col = R.Table.col_index item "name" in
+        let desc_col = R.Table.col_index item "desc_xml" in
+        fun () ->
+          R.Table.fold
+            (fun acc _ row ->
+              if vstr row.(region_col) <> Some "australia" then acc
+              else
+                let desc =
+                  match parse_overflow row.(desc_col) with Some d -> [ d ] | None -> []
+                in
+                elem
+                  ~attrs:[ ("name", Option.value ~default:"" (vstr row.(name_col))) ]
+                  "item" desc
+                :: acc)
+            [] item
+          |> List.rev
+    | 14 ->
+        let item = table "item" in
+        let text_col = R.Table.col_index item "desc_text" in
+        let name_col = R.Table.col_index item "name" in
+        fun () ->
+          R.Table.fold
+            (fun acc _ row ->
+              match vstr row.(text_col) with
+              | Some s when contains_word s "gold" -> (
+                  match vstr row.(name_col) with
+                  | Some n -> txt n :: acc
+                  | None -> acc)
+              | _ -> acc)
+            [] item
+          |> List.rev
+    | 15 ->
+        let ca = table "closed_auction" in
+        let ann_col = R.Table.col_index ca "ann_xml" in
+        fun () ->
+          R.Table.fold
+            (fun acc _ row ->
+              List.fold_left
+                (fun acc kw -> elem "text" [ txt kw ] :: acc)
+                acc (q15_keywords row.(ann_col)))
+            [] ca
+          |> List.rev
+    | 16 ->
+        let ca = table "closed_auction" in
+        let ann_col = R.Table.col_index ca "ann_xml" in
+        let seller_col = R.Table.col_index ca "seller" in
+        fun () ->
+          R.Table.fold
+            (fun acc _ row ->
+              if q15_keywords row.(ann_col) <> [] then
+                elem
+                  ~attrs:[ ("id", Option.value ~default:"" (vstr row.(seller_col))) ]
+                  "person" []
+                :: acc
+              else acc)
+            [] ca
+          |> List.rev
+    | 17 ->
+        let person = table "person" in
+        let hp_col = R.Table.col_index person "homepage" in
+        let name_col = R.Table.col_index person "name" in
+        fun () ->
+          R.Table.fold
+            (fun acc _ row ->
+              match vstr row.(hp_col) with
+              | Some _ -> acc
+              | None ->
+                  elem
+                    ~attrs:[ ("name", Option.value ~default:"" (vstr row.(name_col))) ]
+                    "person" []
+                  :: acc)
+            [] person
+          |> List.rev
+    | 18 ->
+        let oa = table "open_auction" in
+        let reserve_col = R.Table.col_index oa "reserve" in
+        fun () ->
+          R.Table.fold
+            (fun acc _ row ->
+              match vstr row.(reserve_col) with
+              | None -> acc
+              | Some _ -> txt (format_number (2.20371 *. vfloat row.(reserve_col))) :: acc)
+            [] oa
+          |> List.rev
+    | 19 ->
+        let item = table "item" in
+        let loc_col = R.Table.col_index item "location" in
+        let name_col = R.Table.col_index item "name" in
+        fun () ->
+          let rel = R.Plan.of_table item in
+          let sorted =
+            R.Plan.sort rel ~cmp:(fun a b ->
+                compare (vstr a.(loc_col)) (vstr b.(loc_col)))
+          in
+          Array.to_list sorted.R.Plan.rows
+          |> List.map (fun row ->
+                 elem
+                   ~attrs:[ ("name", Option.value ~default:"" (vstr row.(name_col))) ]
+                   "item"
+                   (text_children row.(loc_col)))
+    | 20 ->
+        let person = table "person" in
+        let income_col = R.Table.col_index person "income" in
+        fun () ->
+          let pref, std, chal, na =
+            R.Table.fold
+              (fun (p, s, c, n) _ row ->
+                match vstr row.(income_col) with
+                | None -> (p, s, c, n + 1)
+                | Some _ ->
+                    let income = vfloat row.(income_col) in
+                    if income >= 100000.0 then (p + 1, s, c, n)
+                    else if income >= 30000.0 then (p, s + 1, c, n)
+                    else (p, s, c + 1, n))
+              (0, 0, 0, 0) person
+          in
+          [
+            elem "result"
+              [
+                elem "preferred" [ txt (string_of_int pref) ];
+                elem "standard" [ txt (string_of_int std) ];
+                elem "challenge" [ txt (string_of_int chal) ];
+                elem "na" [ txt (string_of_int na) ];
+              ];
+          ]
+    | n -> invalid_arg (Printf.sprintf "Plans_c.compile: no plan for Q%d" n)
+  in
+  { number; exec }
+
+let execute p = p.exec ()
+
+let supported = List.init 20 (fun i -> i + 1)

@@ -1,0 +1,288 @@
+(** The twenty XMark queries (paper, Section 6), in their official XQuery
+    formulations.  Each query challenges one query-processing concept; the
+    [concept] field carries the paper's section heading. *)
+
+type info = {
+  number : int;
+  concept : string;
+  description : string;  (** the paper's natural-language statement *)
+  text : string;  (** XQuery source *)
+}
+
+let doc = {|document("auction.xml")|}
+
+let all : info list =
+  [
+    {
+      number = 1;
+      concept = "Exact match";
+      description = "Return the name of the person with ID 'person0'.";
+      text =
+        "for $b in " ^ doc
+        ^ {|/site/people/person[@id = "person0"] return $b/name/text()|};
+    };
+    {
+      number = 2;
+      concept = "Ordered access";
+      description = "Return the initial increases of all open auctions.";
+      text =
+        "for $b in " ^ doc
+        ^ {|/site/open_auctions/open_auction
+return <increase> {$b/bidder[1]/increase/text()} </increase>|};
+    };
+    {
+      number = 3;
+      concept = "Ordered access";
+      description =
+        "Return the first and current increases of all open auctions whose \
+         current increase is at least twice as high as the initial increase.";
+      text =
+        "for $b in " ^ doc
+        ^ {|/site/open_auctions/open_auction
+where zero-or-one($b/bidder[1]/increase/text()) * 2 <= $b/bidder[last()]/increase/text()
+return <increase first="{$b/bidder[1]/increase/text()}" last="{$b/bidder[last()]/increase/text()}"/>|};
+    };
+    {
+      number = 4;
+      concept = "Ordered access";
+      description =
+        "List the reserves of those open auctions where a certain person \
+         issued a bid before another person.";
+      text =
+        "for $b in " ^ doc
+        ^ {|/site/open_auctions/open_auction
+where some $pr1 in $b/bidder/personref[@person = "person20"],
+           $pr2 in $b/bidder/personref[@person = "person51"]
+      satisfies $pr1 << $pr2
+return <history> {$b/reserve/text()} </history>|};
+    };
+    {
+      number = 5;
+      concept = "Casting";
+      description = "How many sold items cost more than 40?";
+      text =
+        "count(for $i in " ^ doc
+        ^ {|/site/closed_auctions/closed_auction
+where $i/price/text() >= 40
+return $i/price)|};
+    };
+    {
+      number = 6;
+      concept = "Regular path expressions";
+      description = "How many items are listed on all continents?";
+      text = "for $b in " ^ doc ^ {|//site/regions return count($b//item)|};
+    };
+    {
+      number = 7;
+      concept = "Regular path expressions";
+      description = "How many pieces of prose are in our database?";
+      text =
+        "for $p in " ^ doc
+        ^ {|/site
+return count($p//description) + count($p//annotation) + count($p//emailaddress)|};
+    };
+    {
+      number = 8;
+      concept = "Chasing references";
+      description = "List the names of persons and the number of items they bought.";
+      text =
+        "for $p in " ^ doc ^ {|/site/people/person
+let $a := for $t in |} ^ doc
+        ^ {|/site/closed_auctions/closed_auction
+          where $t/buyer/@person = $p/@id
+          return $t
+return <item person="{$p/name/text()}"> {count($a)} </item>|};
+    };
+    {
+      number = 9;
+      concept = "Chasing references";
+      description =
+        "List the names of persons and the names of the items they bought in \
+         Europe.";
+      text =
+        "for $p in " ^ doc ^ {|/site/people/person
+let $a := for $t in |} ^ doc
+        ^ {|/site/closed_auctions/closed_auction
+          where $p/@id = $t/buyer/@person
+          return let $n := for $t2 in |}
+        ^ doc
+        ^ {|/site/regions/europe/item
+                    where $t/itemref/@item = $t2/@id
+                    return $t2
+             return <item> {$n/name/text()} </item>
+return <person name="{$p/name/text()}"> {$a} </person>|};
+    };
+    {
+      number = 10;
+      concept = "Construction of complex results";
+      description =
+        "List all persons according to their interest; use French markup in \
+         the result.";
+      text =
+        "for $i in distinct-values(" ^ doc
+        ^ {|/site/people/person/profile/interest/@category)
+let $p := for $t in |} ^ doc
+        ^ {|/site/people/person
+          where $t/profile/interest/@category = $i
+          return <personne>
+                   <statistiques>
+                     <sexe> {$t/profile/gender/text()} </sexe>
+                     <age> {$t/profile/age/text()} </age>
+                     <education> {$t/profile/education/text()} </education>
+                     <revenu> {fn:data($t/profile/@income)} </revenu>
+                   </statistiques>
+                   <coordonnees>
+                     <nom> {$t/name/text()} </nom>
+                     <rue> {$t/address/street/text()} </rue>
+                     <ville> {$t/address/city/text()} </ville>
+                     <pays> {$t/address/country/text()} </pays>
+                     <reseau>
+                       <courrier> {$t/emailaddress/text()} </courrier>
+                       <pagePerso> {$t/homepage/text()} </pagePerso>
+                     </reseau>
+                   </coordonnees>
+                   <cartePaiement> {$t/creditcard/text()} </cartePaiement>
+                 </personne>
+return <categorie> {<id> {$i} </id>, $p} </categorie>|};
+    };
+    {
+      number = 11;
+      concept = "Joins on values";
+      description =
+        "For each person, list the number of items currently on sale whose \
+         price does not exceed 0.02% of the person's income.";
+      text =
+        "for $p in " ^ doc ^ {|/site/people/person
+let $l := for $i in |} ^ doc
+        ^ {|/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * exactly-one($i/text())
+          return $i
+return <items name="{$p/name/text()}"> {count($l)} </items>|};
+    };
+    {
+      number = 12;
+      concept = "Joins on values";
+      description =
+        "For each person with an income of more than 50000, list the number \
+         of items currently on sale whose price does not exceed 0.02% of the \
+         person's income.";
+      text =
+        "for $p in " ^ doc ^ {|/site/people/person
+let $l := for $i in |} ^ doc
+        ^ {|/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * exactly-one($i/text())
+          return $i
+where $p/profile/@income > 50000
+return <items person="{$p/profile/@income}"> {count($l)} </items>|};
+    };
+    {
+      number = 13;
+      concept = "Reconstruction";
+      description =
+        "List the names of items registered in Australia along with their \
+         descriptions.";
+      text =
+        "for $i in " ^ doc
+        ^ {|/site/regions/australia/item
+return <item name="{$i/name/text()}"> {$i/description} </item>|};
+    };
+    {
+      number = 14;
+      concept = "Full text";
+      description =
+        "Return the names of all items whose description contains the word \
+         'gold'.";
+      text =
+        "for $i in " ^ doc
+        ^ {|/site//item
+where contains(string(exactly-one($i/description)), "gold")
+return $i/name/text()|};
+    };
+    {
+      number = 15;
+      concept = "Path traversals";
+      description = "Print the keywords in emphasis in annotations of closed auctions.";
+      text =
+        "for $a in " ^ doc
+        ^ {|/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()
+return <text> {$a} </text>|};
+    };
+    {
+      number = 16;
+      concept = "Path traversals";
+      description =
+        "Return the IDs of the sellers of those auctions that have one or \
+         more keywords in emphasis.";
+      text =
+        "for $a in " ^ doc
+        ^ {|/site/closed_auctions/closed_auction
+where not(empty($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()))
+return <person id="{$a/seller/@person}"/>|};
+    };
+    {
+      number = 17;
+      concept = "Missing elements";
+      description = "Which persons don't have a homepage?";
+      text =
+        "for $p in " ^ doc
+        ^ {|/site/people/person
+where empty($p/homepage/text())
+return <person name="{$p/name/text()}"/>|};
+    };
+    {
+      number = 18;
+      concept = "Function application";
+      description =
+        "Convert the currency of the reserves of all open auctions to \
+         another currency.";
+      text =
+        {|declare function local:convert($v) { 2.20371 * $v };
+for $i in |}
+        ^ doc
+        ^ {|/site/open_auctions/open_auction
+return local:convert(zero-or-one($i/reserve))|};
+    };
+    {
+      number = 19;
+      concept = "Sorting";
+      description =
+        "Give an alphabetically ordered list of all items along with their \
+         location.";
+      text =
+        "for $b in " ^ doc ^ {|/site/regions//item
+let $k := $b/name/text()
+order by zero-or-one($b/location) ascending
+return <item name="{$k}"> {$b/location/text()} </item>|};
+    };
+    {
+      number = 20;
+      concept = "Aggregation";
+      description =
+        "Group customers by their income and output the cardinality of each \
+         group.";
+      text =
+        {|<result>
+  <preferred> {count(|}
+        ^ doc
+        ^ {|/site/people/person/profile[@income >= 100000])} </preferred>
+  <standard> {count(|}
+        ^ doc
+        ^ {|/site/people/person/profile[@income < 100000 and @income >= 30000])} </standard>
+  <challenge> {count(|}
+        ^ doc
+        ^ {|/site/people/person/profile[@income < 30000])} </challenge>
+  <na> {count(for $p in |}
+        ^ doc
+        ^ {|/site/people/person where empty($p/profile/@income) return $p)} </na>
+</result>|};
+    };
+  ]
+
+let count = List.length all
+
+let get n =
+  match List.find_opt (fun q -> q.number = n) all with
+  | Some q -> q
+  | None -> invalid_arg (Printf.sprintf "Queries.get: no query Q%d" n)
+
+let text n = (get n).text

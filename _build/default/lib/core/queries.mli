@@ -1,0 +1,23 @@
+(** The twenty XMark queries (paper, Section 6), in their official XQuery
+    formulations.  Each query challenges one query-processing concept;
+    [concept] carries the paper's section heading ("Exact match",
+    "Ordered access", ..., "Aggregation"). *)
+
+type info = {
+  number : int;  (** 1 to 20 *)
+  concept : string;
+  description : string;  (** the paper's natural-language statement *)
+  text : string;  (** XQuery source *)
+}
+
+val all : info list
+(** In query order, Q1 first. *)
+
+val count : int
+(** 20. *)
+
+val get : int -> info
+(** @raise Invalid_argument for numbers outside 1-20. *)
+
+val text : int -> string
+(** XQuery source of query [n]. *)

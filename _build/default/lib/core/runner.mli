@@ -1,0 +1,52 @@
+(** Benchmark driver: bulkload any of the seven systems and execute the
+    twenty queries against it, with the compile/execute split of Table 2.
+
+    Systems A-F are the paper's "mass storage" targets (Table 1/3);
+    System G is the embedded query processor of Figure 4, which holds the
+    serialized document and re-parses it on every execution — the source
+    of its large constant overhead. *)
+
+type system = A | B | C | D | E | F | G
+
+val all_systems : system list
+
+val mass_storage : system list
+(** A through F — the systems Tables 1 and 3 cover. *)
+
+val system_name : system -> string
+
+val system_description : system -> string
+
+type store
+
+type load_stats = {
+  load : Timing.span;  (** bulkload time, Table 1 *)
+  db_bytes : int;  (** database size, Table 1 *)
+  nodes : int;
+}
+
+val bulkload : system -> string -> store * load_stats
+(** [bulkload sys doc] loads a serialized benchmark document. *)
+
+val bulkload_dom : system -> Xmark_xml.Dom.node -> store * load_stats
+(** Variant that starts from a parsed document where the backend allows;
+    System G always keeps the serialized form. *)
+
+type outcome = {
+  compile : Timing.span;
+  execute : Timing.span;
+  items : int;  (** result cardinality *)
+  result : Xmark_xml.Dom.node list;
+  metadata_accesses : int;  (** catalog entries touched during compilation *)
+}
+
+val run : store -> int -> outcome
+(** [run store q] executes benchmark query [q] (1-20).
+    @raise Invalid_argument for an unknown query number. *)
+
+val run_text : store -> string -> outcome
+(** Execute an arbitrary XQuery text (not supported on System C, which
+    only executes prepared plans — @raise Invalid_argument). *)
+
+val canonical : outcome -> string
+(** Canonical result form for cross-system comparison. *)

@@ -1,0 +1,31 @@
+(** Wall-clock and CPU timers for the benchmark harness.
+
+    The paper reports both CPU and total (elapsed) fractions in Table 2.
+    Our substrate is entirely in memory, so CPU time tracks wall time
+    closely — EXPERIMENTS.md discusses this deviation; both are still
+    measured and reported. *)
+
+type span = { wall_ms : float; cpu_ms : float }
+
+let zero = { wall_ms = 0.0; cpu_ms = 0.0 }
+
+let add a b = { wall_ms = a.wall_ms +. b.wall_ms; cpu_ms = a.cpu_ms +. b.cpu_ms }
+
+let measure f =
+  let w0 = Unix.gettimeofday () in
+  let c0 = Sys.time () in
+  let result = f () in
+  let c1 = Sys.time () in
+  let w1 = Unix.gettimeofday () in
+  (result, { wall_ms = (w1 -. w0) *. 1000.0; cpu_ms = (c1 -. c0) *. 1000.0 })
+
+let time_only f = snd (measure f)
+
+(** Median-of-runs measurement for stable small timings. *)
+let measure_median ~runs f =
+  assert (runs > 0);
+  let results = List.init runs (fun _ -> measure f) in
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> Float.compare a.wall_ms b.wall_ms) results
+  in
+  List.nth sorted (runs / 2)

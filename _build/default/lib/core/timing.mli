@@ -1,0 +1,20 @@
+(** Wall-clock and CPU timers for the benchmark harness.
+
+    The paper's Table 2 reports both CPU and total (elapsed) time; both
+    are measured here, though on an all-in-memory substrate they track
+    each other closely (EXPERIMENTS.md discusses the deviation). *)
+
+type span = { wall_ms : float; cpu_ms : float }
+
+val zero : span
+
+val add : span -> span -> span
+
+val measure : (unit -> 'a) -> 'a * span
+(** Run the thunk once, returning its result and the elapsed span. *)
+
+val time_only : (unit -> unit) -> span
+
+val measure_median : runs:int -> (unit -> 'a) -> 'a * span
+(** Run the thunk [runs] times and return the run with the median
+    wall-clock time. *)

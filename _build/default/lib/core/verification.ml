@@ -1,0 +1,80 @@
+type divergence = {
+  left : Runner.system;
+  right : Runner.system;
+  position : int;
+  left_excerpt : string;
+  right_excerpt : string;
+}
+
+type report = {
+  query : int;
+  agreed : bool;
+  items : (Runner.system * int) list;
+  digests : (Runner.system * string) list;
+  divergence : divergence option;
+}
+
+let first_difference a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let excerpt s pos =
+  let from = max 0 (pos - 20) in
+  let len = min 60 (String.length s - from) in
+  if len <= 0 then "<end of result>" else String.sub s from len
+
+let compare_systems ?queries ?(systems = Runner.all_systems) doc =
+  let queries =
+    match queries with Some qs -> qs | None -> List.init Queries.count (fun i -> i + 1)
+  in
+  let stores = List.map (fun sys -> (sys, fst (Runner.bulkload sys doc))) systems in
+  List.map
+    (fun query ->
+      let results =
+        List.map
+          (fun (sys, store) ->
+            let o = Runner.run store query in
+            (sys, o.Runner.items, Runner.canonical o))
+          stores
+      in
+      let digests = List.map (fun (sys, _, c) -> (sys, Digest.to_hex (Digest.string c))) results in
+      let items = List.map (fun (sys, n, _) -> (sys, n)) results in
+      let divergence =
+        match results with
+        | [] -> None
+        | (ref_sys, _, ref_canon) :: rest ->
+            List.find_map
+              (fun (sys, _, canon) ->
+                if String.equal canon ref_canon then None
+                else
+                  let position = first_difference ref_canon canon in
+                  Some
+                    {
+                      left = ref_sys;
+                      right = sys;
+                      position;
+                      left_excerpt = excerpt ref_canon position;
+                      right_excerpt = excerpt canon position;
+                    })
+              rest
+      in
+      { query; agreed = divergence = None; items; digests; divergence })
+    queries
+
+let pp_report fmt r =
+  Format.fprintf fmt "Q%-3d %s" r.query (if r.agreed then "agree " else "DIFFER");
+  List.iter
+    (fun (sys, d) ->
+      Format.fprintf fmt "  %s:%s" (Runner.system_name sys) (String.sub d 0 8))
+    r.digests;
+  (match r.divergence with
+  | None -> ()
+  | Some d ->
+      Format.fprintf fmt "@\n     first divergence at byte %d between %s and %s:@\n" d.position
+        (Runner.system_name d.left) (Runner.system_name d.right);
+      Format.fprintf fmt "       %s: ...%s...@\n" (Runner.system_name d.left) d.left_excerpt;
+      Format.fprintf fmt "       %s: ...%s..." (Runner.system_name d.right) d.right_excerpt);
+  Format.fprintf fmt "@\n"
+
+let all_agree reports = List.for_all (fun r -> r.agreed) reports

@@ -1,0 +1,35 @@
+(** Cross-system result verification.
+
+    Section 1 presents result verification as a first-class use of the
+    benchmark: "the benchmark document and the queries can aid in the
+    verification of query processors", while warning that deciding output
+    equivalence is hard (attribute order, whitespace, physical
+    representation).  This module runs the same queries on several systems
+    and compares their canonical forms ({!Xmark_xml.Canonical}), reporting
+    digests and the first divergence when systems disagree. *)
+
+type divergence = {
+  left : Runner.system;
+  right : Runner.system;
+  position : int;  (** first differing byte in the canonical forms *)
+  left_excerpt : string;
+  right_excerpt : string;
+}
+
+type report = {
+  query : int;
+  agreed : bool;
+  items : (Runner.system * int) list;  (** result cardinality per system *)
+  digests : (Runner.system * string) list;  (** md5 of canonical form *)
+  divergence : divergence option;
+}
+
+val compare_systems :
+  ?queries:int list -> ?systems:Runner.system list -> string -> report list
+(** [compare_systems doc] runs the benchmark queries (all twenty by
+    default) on the given systems (all seven by default) over the given
+    serialized document and compares canonical results. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val all_agree : report list -> bool

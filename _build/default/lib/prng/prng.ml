@@ -1,0 +1,154 @@
+(* SplitMix64: a small, fast, high-quality generator with a one-word state.
+   Chosen because copying and splitting the state is trivial, which is what
+   xmlgen's identical-stream trick needs. *)
+
+type t = { mutable state : int64 }
+
+let default_seed = 0x5851F42D4C957F2DL
+
+let create ?(seed = default_seed) () = { state = seed }
+
+let copy g = { state = g.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix s }
+
+(* Non-negative 62-bit value; fits OCaml's native int with the sign bit
+   clear. *)
+let bits g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+let int g n =
+  assert (n > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec draw () =
+    let r = bits g in
+    let v = r mod n in
+    if r - v > max_int - n + 1 then draw () else v
+  in
+  draw ()
+
+let int_in g lo hi =
+  assert (hi >= lo);
+  lo + int g (hi - lo + 1)
+
+let unit_float g =
+  (* 53 random bits scaled to [0,1). *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 11) in
+  float_of_int r *. 0x1p-53
+
+let float g x = unit_float g *. x
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let chance g p = unit_float g < p
+
+let exponential g ~mean =
+  let u = 1.0 -. unit_float g in
+  -.mean *. log u
+
+let gaussian g ~mean ~stdev =
+  let u1 = 1.0 -. unit_float g and u2 = unit_float g in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stdev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let pick g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+module Zipf = struct
+  type prng = t
+
+  type t = { cumulative : float array }
+
+  let create ~n ~s =
+    assert (n > 0);
+    let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let acc = ref 0.0 in
+    let cumulative =
+      Array.map
+        (fun w ->
+          acc := !acc +. (w /. total);
+          !acc)
+        weights
+    in
+    (* Guard against accumulated rounding at the top rank. *)
+    cumulative.(n - 1) <- 1.0;
+    { cumulative }
+
+  let sample z (g : prng) =
+    let u = unit_float g in
+    (* Binary search for the first cumulative weight >= u. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if z.cumulative.(mid) >= u then search lo mid else search (mid + 1) hi
+    in
+    search 0 (Array.length z.cumulative - 1)
+
+  let probability z r =
+    if r = 0 then z.cumulative.(0) else z.cumulative.(r) -. z.cumulative.(r - 1)
+end
+
+module Permutation = struct
+  type prng = t
+
+  type t = { n : int; half_bits : int; mask : int; keys : int array }
+
+  let rounds = 4
+
+  let create (g : prng) n =
+    assert (n > 0);
+    (* Smallest even-bit-width domain covering n. *)
+    let bits = ref 2 in
+    while 1 lsl !bits < n do
+      bits := !bits + 2
+    done;
+    let half_bits = !bits / 2 in
+    let keys = Array.init rounds (fun _ -> Int64.to_int (bits64 g) land max_int) in
+    { n; half_bits; mask = (1 lsl half_bits) - 1; keys }
+
+  let size p = p.n
+
+  let round_fn k x = ((x * 0x9E3779B1) lxor k) * 0x85EBCA77
+
+  let encrypt p v =
+    let l = ref (v lsr p.half_bits) and r = ref (v land p.mask) in
+    for i = 0 to rounds - 1 do
+      let f = round_fn p.keys.(i) !r land p.mask in
+      let l' = !r and r' = !l lxor f in
+      l := l';
+      r := r'
+    done;
+    (!l lsl p.half_bits) lor !r
+
+  let apply p i =
+    assert (i >= 0 && i < p.n);
+    (* Cycle-walk until the image falls back into [0, n). *)
+    let rec walk v =
+      let v' = encrypt p v in
+      if v' < p.n then v' else walk v'
+    in
+    walk i
+end

@@ -1,0 +1,93 @@
+(** Deterministic, platform-independent pseudo-random number generator.
+
+    XMark's [xmlgen] ships its own generator rather than relying on the
+    operating system so that the benchmark document is bit-identical on
+    every platform (paper, Section 4.5).  This module plays that role: a
+    SplitMix64 core with the distributions the generator needs (uniform,
+    exponential, normal) and the stream-splitting facility the paper uses
+    to partition identifier sets between referencing elements without
+    keeping a log of issued identifiers. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ?seed ()] returns a fresh generator.  The default seed is the
+    benchmark's canonical seed; two generators created with the same seed
+    produce identical streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will replay exactly the
+    stream [g] would produce from its current state.  This implements the
+    paper's "several identical streams of random numbers" device. *)
+
+val split : t -> t
+(** [split g] derives a statistically independent generator from [g],
+    advancing [g] by one draw. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit draw. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform on [\[0, n)].  [n] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform on [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform on [\[0, x)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance g p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean. *)
+
+val gaussian : t -> mean:float -> stdev:float -> float
+(** Normally distributed draw (Box-Muller; both transforms consumed so the
+    stream position stays deterministic). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+module Zipf : sig
+  type prng := t
+
+  type t
+  (** Precomputed sampler for a Zipf(s) distribution over ranks
+      [1..n]; XMark's word-frequency model. *)
+
+  val create : n:int -> s:float -> t
+
+  val sample : t -> prng -> int
+  (** [sample z g] draws a rank in [\[0, n)], rank 0 most frequent. *)
+
+  val probability : t -> int -> float
+  (** [probability z r] is the probability of rank [r] (0-based). *)
+end
+
+module Permutation : sig
+  type prng := t
+
+  type t
+  (** Deterministic pseudo-random permutation of [\[0, n)], built from a
+      four-round Feistel network with cycle-walking.  xmlgen uses replayed
+      random streams so that elements scattered across the document can
+      reference a partitioned identifier set without keeping a log of
+      issued identifiers (paper, Section 4.5); a keyed permutation is the
+      same device in a constant-memory form. *)
+
+  val create : prng -> int -> t
+  (** [create g n] keys a permutation of [\[0, n)] from draws on [g]. *)
+
+  val size : t -> int
+
+  val apply : t -> int -> int
+  (** [apply p i] for [i] in [\[0, n)]; bijective on that range. *)
+end

@@ -1,0 +1,1 @@
+lib/relational/catalog.ml: Index List Printf String Table

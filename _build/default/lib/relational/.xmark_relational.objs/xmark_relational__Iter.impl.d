@@ -1,0 +1,1 @@
+lib/relational/iter.ml: Array Hashtbl Lazy List Option Plan Table Value

@@ -1,0 +1,1 @@
+lib/relational/iter.mli: Plan Table Value

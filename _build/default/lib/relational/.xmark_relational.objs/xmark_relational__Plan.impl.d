@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Array Hashtbl List Option Seq Table Value

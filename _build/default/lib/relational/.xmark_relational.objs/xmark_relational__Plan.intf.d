@@ -1,0 +1,1 @@
+lib/relational/plan.mli: Table Value

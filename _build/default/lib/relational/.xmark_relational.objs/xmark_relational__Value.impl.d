@@ -1,0 +1,1 @@
+lib/relational/value.ml: Float Format Hashtbl Printf Stdlib String

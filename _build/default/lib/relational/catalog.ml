@@ -1,0 +1,45 @@
+type t = {
+  mutable entries : (string * Table.t) list;  (* registration order *)
+  mutable indexes : ((string * string) * Index.t) list;
+  mutable accesses : int;
+}
+
+let create () = { entries = []; indexes = []; accesses = 0 }
+
+let register t table =
+  let n = Table.name table in
+  if List.mem_assoc n t.entries then invalid_arg (Printf.sprintf "Catalog.register: duplicate %s" n);
+  t.entries <- t.entries @ [ (n, table) ]
+
+let register_index t ~table ~column index =
+  t.indexes <- ((table, column), index) :: t.indexes
+
+let lookup t name =
+  let rec scan = function
+    | [] -> None
+    | (n, table) :: rest ->
+        t.accesses <- t.accesses + 1;
+        if String.equal n name then Some table else scan rest
+  in
+  scan t.entries
+
+let lookup_index t ~table ~column =
+  let rec scan = function
+    | [] -> None
+    | ((tn, cn), idx) :: rest ->
+        t.accesses <- t.accesses + 1;
+        if String.equal tn table && String.equal cn column then Some idx else scan rest
+  in
+  scan t.indexes
+
+let tables t = List.map snd t.entries
+
+let table_count t = List.length t.entries
+
+let metadata_accesses t = t.accesses
+
+let reset_counters t = t.accesses <- 0
+
+let byte_size t =
+  List.fold_left (fun acc (_, table) -> acc + Table.byte_size table) 0 t.entries
+  + List.fold_left (fun acc (_, idx) -> acc + Index.byte_size idx) 0 t.indexes

@@ -1,0 +1,36 @@
+(** System catalog: the relation registry a query compiler consults.
+
+    Deliberately naive — lookups scan the registry linearly — because the
+    paper's Table 2 attributes compilation-cost differences to metadata
+    volume: "System A has to access fewer metadata to compile a query than
+    System B, thus spending only half as much time on query compilation".
+    A one-relation heap store (System A) pays almost nothing here; a
+    mapping with one relation per element tag (System B) pays per tag, per
+    query.  The access counter feeds the compilation statistics. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> Table.t -> unit
+(** @raise Invalid_argument on duplicate table names. *)
+
+val register_index : t -> table:string -> column:string -> Index.t -> unit
+
+val lookup : t -> string -> Table.t option
+(** Linear scan; counts as one metadata access per registered relation
+    visited. *)
+
+val lookup_index : t -> table:string -> column:string -> Index.t option
+
+val tables : t -> Table.t list
+
+val table_count : t -> int
+
+val metadata_accesses : t -> int
+(** Number of catalog entries visited since creation. *)
+
+val reset_counters : t -> unit
+
+val byte_size : t -> int
+(** Total size of tables plus indexes. *)

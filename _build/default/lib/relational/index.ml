@@ -1,0 +1,28 @@
+type t = { buckets : (Value.t, int list) Hashtbl.t }  (* lists kept reversed *)
+
+let build_keyed table key =
+  let buckets = Hashtbl.create (max 16 (Table.row_count table)) in
+  Table.iter
+    (fun i row ->
+      let k = key row in
+      Hashtbl.replace buckets k (i :: (Option.value ~default:[] (Hashtbl.find_opt buckets k))))
+    table;
+  { buckets }
+
+let build table col =
+  let ci = Table.col_index table col in
+  build_keyed table (fun row -> row.(ci))
+
+let lookup t k = List.rev (Option.value ~default:[] (Hashtbl.find_opt t.buckets k))
+
+let lookup_rows t table k = List.map (Table.get table) (lookup t k)
+
+let unique t k =
+  match Hashtbl.find_opt t.buckets k with
+  | None | Some [] -> None
+  | Some l -> Some (List.nth l (List.length l - 1))
+
+let size t = Hashtbl.length t.buckets
+
+let byte_size t =
+  Hashtbl.fold (fun k v acc -> acc + 24 + (8 * List.length v) + (match k with Value.Str s -> String.length s | _ -> 8)) t.buckets 64

@@ -1,0 +1,25 @@
+(** Hash indexes over a table column (or a computed key).
+
+    Lookups return row identifiers in insertion (= document) order, so the
+    XML backends can rely on index results being ordered. *)
+
+type t
+
+val build : Table.t -> string -> t
+(** Index an existing column. *)
+
+val build_keyed : Table.t -> (Table.row -> Value.t) -> t
+(** Index a computed key. *)
+
+val lookup : t -> Value.t -> int list
+(** Matching row identifiers, ascending. *)
+
+val lookup_rows : t -> Table.t -> Value.t -> Table.row list
+
+val unique : t -> Value.t -> int option
+(** First match, if any. *)
+
+val size : t -> int
+(** Number of distinct keys. *)
+
+val byte_size : t -> int

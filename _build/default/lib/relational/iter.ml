@@ -1,0 +1,118 @@
+type t = { mutable produced : int; gen : unit -> Table.row option }
+
+let make gen = { produced = 0; gen }
+
+let next t =
+  match t.gen () with
+  | Some row ->
+      t.produced <- t.produced + 1;
+      Some row
+  | None -> None
+
+let pulled t = t.produced
+
+let of_rows rows =
+  let i = ref 0 in
+  make (fun () ->
+      if !i >= Array.length rows then None
+      else begin
+        let row = rows.(!i) in
+        incr i;
+        Some row
+      end)
+
+let of_table table = of_rows (Table.rows table)
+
+let of_rel (rel : Plan.rel) = of_rows rel.Plan.rows
+
+let of_list rows =
+  let remaining = ref rows in
+  make (fun () ->
+      match !remaining with
+      | [] -> None
+      | row :: rest ->
+          remaining := rest;
+          Some row)
+
+let filter pred input =
+  make (fun () ->
+      let rec pull () =
+        match next input with
+        | None -> None
+        | Some row -> if pred row then Some row else pull ()
+      in
+      pull ())
+
+let project f input = make (fun () -> Option.map f (next input))
+
+let limit n input =
+  let emitted = ref 0 in
+  make (fun () ->
+      if !emitted >= n then None
+      else
+        match next input with
+        | None -> None
+        | Some row ->
+            incr emitted;
+            Some row)
+
+let concat_map f input =
+  let pending = ref [] in
+  make (fun () ->
+      let rec pull () =
+        match !pending with
+        | row :: rest ->
+            pending := rest;
+            Some row
+        | [] -> (
+            match next input with
+            | None -> None
+            | Some row ->
+                pending := f row;
+                pull ())
+      in
+      pull ())
+
+let hash_join ~build ~probe ~bkey ~pkey =
+  (* build side is materialized lazily on first pull *)
+  let table = lazy (
+    let buckets = Hashtbl.create 64 in
+    let rec consume () =
+      match next build with
+      | None -> ()
+      | Some row ->
+          let k = bkey row in
+          if not (Value.is_null k) then
+            Hashtbl.replace buckets k
+              (row :: Option.value ~default:[] (Hashtbl.find_opt buckets k));
+          consume ()
+    in
+    consume ();
+    (* normalize bucket order to build order *)
+    Hashtbl.filter_map_inplace (fun _ rows -> Some (List.rev rows)) buckets;
+    buckets)
+  in
+  concat_map
+    (fun prow ->
+      let k = pkey prow in
+      if Value.is_null k then []
+      else
+        match Hashtbl.find_opt (Lazy.force table) k with
+        | None -> []
+        | Some brows -> List.map (fun brow -> Array.append prow brow) brows)
+    probe
+
+let index_nested_loop ~outer ~lookup =
+  concat_map (fun orow -> List.map (fun irow -> Array.append orow irow) (lookup orow)) outer
+
+let to_list t =
+  let rec go acc = match next t with None -> List.rev acc | Some row -> go (row :: acc) in
+  go []
+
+let to_rel ~cols t = { Plan.cols; rows = Array.of_list (to_list t) }
+
+let fold f acc t =
+  let rec go acc = match next t with None -> acc | Some row -> go (f acc row) in
+  go acc
+
+let count t = fold (fun n _ -> n + 1) 0 t

@@ -1,0 +1,56 @@
+(** Pull-based (Volcano-style) physical operators.
+
+    {!Plan} materializes every intermediate relation, which is simple and
+    fine for the benchmark's analytical queries, but the paper's concern
+    about "large (intermediate) results" (Section 6.7) is ultimately a
+    pipelining concern.  This module is the pipelined counterpart: each
+    operator pulls rows from its input on demand, so selections, limits
+    and probe sides of joins never materialize.  The [pulled] counter
+    makes the difference observable — a [limit 5] over a million-row scan
+    pulls six rows, not a million.
+
+    The test suite proves each operator equivalent to its materialized
+    {!Plan} counterpart. *)
+
+type t
+(** A row iterator; single-use. *)
+
+val of_table : Table.t -> t
+
+val of_rel : Plan.rel -> t
+
+val of_list : Table.row list -> t
+
+val filter : (Table.row -> bool) -> t -> t
+
+val project : (Table.row -> Table.row) -> t -> t
+
+val limit : int -> t -> t
+(** Stops pulling from the input after emitting the given number of
+    rows. *)
+
+val hash_join :
+  build:t -> probe:t -> bkey:(Table.row -> Value.t) -> pkey:(Table.row -> Value.t) -> t
+(** Materializes the build side on first demand; the probe side streams.
+    Output rows are probe-row fields followed by build-row fields, in
+    probe order (build order within equal keys); null keys never match. *)
+
+val index_nested_loop : outer:t -> lookup:(Table.row -> Table.row list) -> t
+(** For each outer row, emits outer-row fields followed by each looked-up
+    row's fields. *)
+
+val concat_map : (Table.row -> Table.row list) -> t -> t
+
+val next : t -> Table.row option
+
+val to_list : t -> Table.row list
+
+val to_rel : cols:string array -> t -> Plan.rel
+
+val fold : ('a -> Table.row -> 'a) -> 'a -> t -> 'a
+
+val count : t -> int
+
+val pulled : t -> int
+(** Number of rows this iterator has produced so far — instrumentation for
+    observing pipelining. *)

@@ -1,0 +1,106 @@
+type rel = { cols : string array; rows : Table.row array }
+
+let of_table t = { cols = Table.columns t; rows = Table.rows t }
+
+let col r c =
+  let n = Array.length r.cols in
+  let rec find i = if i >= n then raise Not_found else if r.cols.(i) = c then i else find (i + 1) in
+  find 0
+
+let filter pred r = { r with rows = Array.of_seq (Seq.filter pred (Array.to_seq r.rows)) }
+
+let project r specs =
+  let cols = Array.of_list (List.map fst specs) in
+  let funcs = Array.of_list (List.map snd specs) in
+  { cols; rows = Array.map (fun row -> Array.map (fun f -> f row) funcs) r.rows }
+
+let concat_rows a b = Array.append a b
+
+let hash_join ~left ~right ~lkey ~rkey =
+  let buckets = Hashtbl.create (max 16 (Array.length right.rows)) in
+  Array.iter
+    (fun row ->
+      let k = rkey row in
+      if not (Value.is_null k) then
+        Hashtbl.replace buckets k (row :: Option.value ~default:[] (Hashtbl.find_opt buckets k)))
+    right.rows;
+  let out = ref [] in
+  Array.iter
+    (fun lrow ->
+      let k = lkey lrow in
+      if not (Value.is_null k) then
+        match Hashtbl.find_opt buckets k with
+        | None -> ()
+        | Some rrows ->
+            List.iter (fun rrow -> out := concat_rows lrow rrow :: !out) (List.rev rrows))
+    left.rows;
+  { cols = Array.append left.cols right.cols; rows = Array.of_list (List.rev !out) }
+
+let left_outer_hash_join ~left ~right ~lkey ~rkey =
+  let buckets = Hashtbl.create (max 16 (Array.length right.rows)) in
+  Array.iter
+    (fun row ->
+      let k = rkey row in
+      if not (Value.is_null k) then
+        Hashtbl.replace buckets k (row :: Option.value ~default:[] (Hashtbl.find_opt buckets k)))
+    right.rows;
+  let null_right = Array.make (Array.length right.cols) Value.Null in
+  let out = ref [] in
+  Array.iter
+    (fun lrow ->
+      let k = lkey lrow in
+      match (if Value.is_null k then None else Hashtbl.find_opt buckets k) with
+      | None -> out := concat_rows lrow null_right :: !out
+      | Some rrows ->
+          List.iter (fun rrow -> out := concat_rows lrow rrow :: !out) (List.rev rrows))
+    left.rows;
+  { cols = Array.append left.cols right.cols; rows = Array.of_list (List.rev !out) }
+
+let theta_join ~left ~right ~pred =
+  let out = ref [] in
+  Array.iter
+    (fun lrow ->
+      Array.iter (fun rrow -> if pred lrow rrow then out := concat_rows lrow rrow :: !out) right.rows)
+    left.rows;
+  { cols = Array.append left.cols right.cols; rows = Array.of_list (List.rev !out) }
+
+let sort r ~cmp =
+  let rows = Array.copy r.rows in
+  Array.stable_sort cmp rows;
+  { r with rows }
+
+let group r ~key ~init ~step ~finish =
+  let acc : (Value.t, 'a ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun row ->
+      let k = key row in
+      match Hashtbl.find_opt acc k with
+      | Some state -> state := step !state row
+      | None ->
+          Hashtbl.add acc k (ref (step init row));
+          order := k :: !order)
+    r.rows;
+  let rows =
+    List.rev_map (fun k -> finish k !(Hashtbl.find acc k)) !order |> Array.of_list
+  in
+  { cols = [||]; rows }
+
+let distinct r ~key =
+  let seen = Hashtbl.create 64 in
+  let keep row =
+    let k = key row in
+    if Hashtbl.mem seen k then false
+    else begin
+      Hashtbl.add seen k ();
+      true
+    end
+  in
+  { r with rows = Array.of_seq (Seq.filter keep (Array.to_seq r.rows)) }
+
+let difference a b ~key =
+  let present = Hashtbl.create (max 16 (Array.length b.rows)) in
+  Array.iter (fun row -> Hashtbl.replace present (key row) ()) b.rows;
+  { a with rows = Array.of_seq (Seq.filter (fun row -> not (Hashtbl.mem present (key row))) (Array.to_seq a.rows)) }
+
+let count r = Array.length r.rows

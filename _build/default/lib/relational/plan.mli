@@ -1,0 +1,52 @@
+(** Physical operators of the mini relational engine.
+
+    These are the materialized operators the relational backends (the
+    paper's Systems A-C) execute: scans, filters, projections, hash joins,
+    nested-loop theta joins (Q11/Q12's 12-million-tuple join), sorts,
+    grouping and set difference.  A relation in flight is a column-name
+    array plus a row array. *)
+
+type rel = { cols : string array; rows : Table.row array }
+
+val of_table : Table.t -> rel
+
+val col : rel -> string -> int
+(** @raise Not_found for an unknown column. *)
+
+val filter : (Table.row -> bool) -> rel -> rel
+
+val project : rel -> (string * (Table.row -> Value.t)) list -> rel
+
+val hash_join :
+  left:rel -> right:rel -> lkey:(Table.row -> Value.t) -> rkey:(Table.row -> Value.t) -> rel
+(** Equi-join; output rows are left-row fields followed by right-row
+    fields; null join keys never match. *)
+
+val left_outer_hash_join :
+  left:rel -> right:rel -> lkey:(Table.row -> Value.t) -> rkey:(Table.row -> Value.t) -> rel
+(** As {!hash_join} but unmatched left rows survive with nulls on the
+    right. *)
+
+val theta_join : left:rel -> right:rel -> pred:(Table.row -> Table.row -> bool) -> rel
+(** Nested-loop join with an arbitrary predicate. *)
+
+val sort : rel -> cmp:(Table.row -> Table.row -> int) -> rel
+
+val group :
+  rel ->
+  key:(Table.row -> Value.t) ->
+  init:'a ->
+  step:('a -> Table.row -> 'a) ->
+  finish:(Value.t -> 'a -> Table.row) ->
+  rel
+(** Hash aggregation; output column names are not tracked (use [finish] to
+    shape rows and treat the result positionally). Group order follows
+    first occurrence. *)
+
+val distinct : rel -> key:(Table.row -> Value.t) -> rel
+(** First row per key, in input order. *)
+
+val difference : rel -> rel -> key:(Table.row -> Value.t) -> rel
+(** Rows of the first relation whose key does not occur in the second. *)
+
+val count : rel -> int

@@ -1,0 +1,65 @@
+type row = Value.t array
+
+type t = {
+  tname : string;
+  cols : string array;
+  mutable pending : row list;  (* reversed *)
+  mutable sealed : row array;
+  mutable count : int;
+}
+
+let create ~name ~cols =
+  { tname = name; cols = Array.of_list cols; pending = []; sealed = [||]; count = 0 }
+
+let name t = t.tname
+
+let columns t = t.cols
+
+let col_index t c =
+  let n = Array.length t.cols in
+  let rec find i = if i >= n then raise Not_found else if t.cols.(i) = c then i else find (i + 1) in
+  find 0
+
+let append t row =
+  if Array.length row <> Array.length t.cols then
+    invalid_arg
+      (Printf.sprintf "Table.append %s: arity %d, expected %d" t.tname (Array.length row)
+         (Array.length t.cols));
+  t.pending <- row :: t.pending;
+  t.count <- t.count + 1
+
+let seal t =
+  if t.pending <> [] then begin
+    let fresh = Array.of_list (List.rev t.pending) in
+    t.sealed <- Array.append t.sealed fresh;
+    t.pending <- []
+  end
+
+let row_count t = t.count
+
+let rows t =
+  seal t;
+  t.sealed
+
+let get t i =
+  seal t;
+  t.sealed.(i)
+
+let iter f t = Array.iteri f (rows t)
+
+let fold f acc t =
+  let acc = ref acc in
+  Array.iteri (fun i r -> acc := f !acc i r) (rows t);
+  !acc
+
+let value_bytes = function
+  | Value.Null -> 1
+  | Value.Int _ -> 8
+  | Value.Num _ -> 8
+  | Value.Str s -> 16 + String.length s
+
+let byte_size t =
+  fold
+    (fun acc _ r -> Array.fold_left (fun a v -> a + value_bytes v) (acc + 8) r)
+    (64 + Array.fold_left (fun a c -> a + String.length c + 16) 0 t.cols)
+    t

@@ -1,0 +1,38 @@
+(** Append-only in-memory relations.
+
+    Rows are arrays of {!Value.t}; loading appends, querying seals the
+    table into an array (re-appending after sealing is allowed and simply
+    re-seals on next read).  Row identifiers are positions in load order,
+    which for the XML mappings coincides with document order — several
+    backends exploit that. *)
+
+type row = Value.t array
+
+type t
+
+val create : name:string -> cols:string list -> t
+
+val name : t -> string
+
+val columns : t -> string array
+
+val col_index : t -> string -> int
+(** @raise Not_found for an unknown column. *)
+
+val append : t -> row -> unit
+(** @raise Invalid_argument on arity mismatch. *)
+
+val row_count : t -> int
+
+val get : t -> int -> row
+(** Row by identifier. *)
+
+val rows : t -> row array
+(** Sealed row store; do not mutate. *)
+
+val iter : (int -> row -> unit) -> t -> unit
+
+val fold : ('a -> int -> row -> 'a) -> 'a -> t -> 'a
+
+val byte_size : t -> int
+(** Approximate storage footprint (Table 1's database size). *)

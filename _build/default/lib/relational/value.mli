@@ -1,0 +1,25 @@
+(** Scalar values of the mini relational engine.
+
+    Strings are the generic type, mirroring the paper's observation that
+    XML data arrives as strings and is coerced at runtime; [Num] and [Int]
+    exist for counters and cast results. *)
+
+type t = Int of int | Num of float | Str of string | Null
+
+val compare : t -> t -> int
+(** Total order: Null < Int/Num (numerically merged) < Str. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val to_string : t -> string
+
+val to_float : t -> float
+(** Runtime cast; [Str] parses, failures and [Null] give [nan]. *)
+
+val of_float : float -> t
+
+val is_null : t -> bool
+
+val pp : Format.formatter -> t -> unit

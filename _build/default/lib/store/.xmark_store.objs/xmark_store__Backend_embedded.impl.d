@@ -1,0 +1,1 @@
+lib/store/backend_embedded.ml: Backend_mainmem String Xmark_xml

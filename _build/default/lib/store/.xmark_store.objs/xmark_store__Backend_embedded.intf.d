@@ -1,0 +1,1 @@
+lib/store/backend_embedded.mli: Backend_mainmem Xmark_xml

@@ -1,0 +1,1 @@
+lib/store/backend_mainmem.ml: Array Buffer Char Hashtbl List Option String Xmark_xml

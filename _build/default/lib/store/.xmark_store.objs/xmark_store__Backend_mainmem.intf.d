@@ -1,0 +1,1 @@
+lib/store/backend_mainmem.mli: Xmark_xml Xmark_xquery

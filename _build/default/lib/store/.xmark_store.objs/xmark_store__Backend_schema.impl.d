@@ -1,0 +1,1 @@
+lib/store/backend_schema.ml: Array List Option String Xmark_relational Xmark_xml

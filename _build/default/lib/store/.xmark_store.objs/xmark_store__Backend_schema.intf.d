@@ -1,0 +1,1 @@
+lib/store/backend_schema.mli: Xmark_relational Xmark_xml

@@ -1,0 +1,1 @@
+lib/store/backend_shredded.ml: Array Buffer Hashtbl List Option String Xmark_relational Xmark_xml

@@ -1,0 +1,1 @@
+lib/store/backend_shredded.mli: Xmark_relational Xmark_xml Xmark_xquery

@@ -1,0 +1,1 @@
+lib/store/collection.ml: Array Filename List Printf Sys Xmark_xml

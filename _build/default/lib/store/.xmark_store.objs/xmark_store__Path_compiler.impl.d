@@ -1,0 +1,1 @@
+lib/store/path_compiler.ml: Array Backend_heap List Printf String Xmark_relational Xmark_xquery

@@ -1,0 +1,1 @@
+lib/store/path_compiler.mli: Backend_heap Xmark_xquery

@@ -1,0 +1,1 @@
+lib/store/path_compiler_b.ml: Array Backend_shredded List Printf Xmark_relational Xmark_xquery

@@ -1,0 +1,1 @@
+lib/store/path_compiler_b.mli: Backend_shredded Xmark_xquery

@@ -1,0 +1,1 @@
+lib/store/summary.ml: Format Hashtbl List String Xmark_xml

@@ -1,0 +1,1 @@
+lib/store/summary.mli: Format Xmark_xml

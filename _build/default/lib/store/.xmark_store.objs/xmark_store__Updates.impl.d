@@ -1,0 +1,1 @@
+lib/store/updates.ml: Backend_mainmem List Option Printf String Xmark_xml

@@ -1,0 +1,1 @@
+lib/store/updates.mli: Backend_mainmem Xmark_xml

@@ -1,0 +1,13 @@
+type t = { doc : string }
+
+let load doc = { doc }
+
+let load_dom root = { doc = Xmark_xml.Serialize.to_string root }
+
+let document t = t.doc
+
+let bytes t = String.length t.doc
+
+let session t = Backend_mainmem.of_string ~level:`Plain t.doc
+
+let description _ = "embedded query processor, re-parses the document per query (System G)"

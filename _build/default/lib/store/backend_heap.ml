@@ -1,0 +1,181 @@
+module R = Xmark_relational
+module Sax = Xmark_xml.Sax
+
+type node = int  (* row id in the nodes relation = document pre-order *)
+
+type t = {
+  cat : R.Catalog.t;
+  nodes : R.Table.t;  (* parent, kind (0 elem / 1 text), tag, value, pos *)
+  attrs : R.Table.t;  (* owner, name, value *)
+  children_idx : R.Index.t;
+  attr_owner_idx : R.Index.t;
+  id_idx : R.Index.t;  (* value of attributes named "id" -> attr rows *)
+  stats : (string, int) Hashtbl.t;  (* optimizer statistics: tag -> count *)
+}
+
+let col_parent = 0
+and col_kind = 1
+and col_tag = 2
+and col_value = 3
+and _col_pos = 4
+
+let acol_owner = 0
+and acol_name = 1
+and acol_value = 2
+
+(* Streaming bulkload: one pass over SAX events. *)
+let load_events next =
+  let nodes = R.Table.create ~name:"nodes" ~cols:[ "parent"; "kind"; "tag"; "value"; "pos" ] in
+  let attrs = R.Table.create ~name:"attributes" ~cols:[ "owner"; "name"; "value" ] in
+  let stats = Hashtbl.create 128 in
+  let counter = ref 0 in
+  let fresh () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  (* stack of (node id, next child position) *)
+  let stack = ref [] in
+  let parent_and_pos () =
+    match !stack with
+    | [] -> (-1, 0)
+    | (pid, pos) :: rest ->
+        stack := (pid, pos + 1) :: rest;
+        (pid, pos)
+  in
+  let rec loop () =
+    match next () with
+    | Sax.Eof -> ()
+    | Sax.Start_element (tag, alist) ->
+        let pid, pos = parent_and_pos () in
+        let id = fresh () in
+        R.Table.append nodes
+          [| R.Value.Int pid; R.Value.Int 0; R.Value.Str tag; R.Value.Null; R.Value.Int pos |];
+        Hashtbl.replace stats tag (1 + Option.value ~default:0 (Hashtbl.find_opt stats tag));
+        List.iter
+          (fun (k, v) ->
+            R.Table.append attrs [| R.Value.Int id; R.Value.Str k; R.Value.Str v |])
+          alist;
+        stack := (id, 0) :: !stack;
+        loop ()
+    | Sax.End_element _ ->
+        (match !stack with
+        | _ :: rest -> stack := rest
+        | [] -> ());
+        loop ()
+    | Sax.Chars s ->
+        if not (String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s) then begin
+          let pid, pos = parent_and_pos () in
+          let _id = fresh () in
+          R.Table.append nodes
+            [| R.Value.Int pid; R.Value.Int 1; R.Value.Null; R.Value.Str s; R.Value.Int pos |]
+        end;
+        loop ()
+  in
+  loop ();
+  let cat = R.Catalog.create () in
+  R.Catalog.register cat nodes;
+  R.Catalog.register cat attrs;
+  let children_idx = R.Index.build nodes "parent" in
+  let attr_owner_idx = R.Index.build attrs "owner" in
+  let id_idx =
+    R.Index.build_keyed attrs (fun row ->
+        match row.(acol_name) with
+        | R.Value.Str "id" -> row.(acol_value)
+        | _ -> R.Value.Null)
+  in
+  R.Catalog.register_index cat ~table:"nodes" ~column:"parent" children_idx;
+  R.Catalog.register_index cat ~table:"attributes" ~column:"owner" attr_owner_idx;
+  R.Catalog.register_index cat ~table:"attributes" ~column:"id" id_idx;
+  { cat; nodes; attrs; children_idx; attr_owner_idx; id_idx; stats }
+
+let load_string s =
+  let p = Sax.of_string s in
+  load_events (fun () -> Sax.next p)
+
+let load_dom root =
+  (* Serialize through the event stream the DOM implies. *)
+  let events = ref [] in
+  let rec walk (n : Xmark_xml.Dom.node) =
+    match n.Xmark_xml.Dom.desc with
+    | Xmark_xml.Dom.Text s -> events := Sax.Chars s :: !events
+    | Xmark_xml.Dom.Element e ->
+        events := Sax.Start_element (e.Xmark_xml.Dom.name, e.Xmark_xml.Dom.attrs) :: !events;
+        List.iter walk e.Xmark_xml.Dom.children;
+        events := Sax.End_element e.Xmark_xml.Dom.name :: !events
+  in
+  walk root;
+  let remaining = ref (List.rev !events) in
+  load_events (fun () ->
+      match !remaining with
+      | [] -> Sax.Eof
+      | e :: rest ->
+          remaining := rest;
+          e)
+
+let catalog t = t.cat
+
+let root _ = 0
+
+let row t n = R.Table.get t.nodes n
+
+let kind t n = if (row t n).(col_kind) = R.Value.Int 0 then `Element else `Text
+
+let name t n =
+  match (row t n).(col_tag) with R.Value.Str s -> s | _ -> ""
+
+let text t n =
+  match (row t n).(col_value) with R.Value.Str s -> s | _ -> ""
+
+let children t n = R.Index.lookup t.children_idx (R.Value.Int n)
+
+let parent t n =
+  match (row t n).(col_parent) with
+  | R.Value.Int p when p >= 0 -> Some p
+  | _ -> None
+
+let attributes t n =
+  List.filter_map
+    (fun row ->
+      match (row.(acol_name), row.(acol_value)) with
+      | R.Value.Str k, R.Value.Str v -> Some (k, v)
+      | _ -> None)
+    (R.Index.lookup_rows t.attr_owner_idx t.attrs (R.Value.Int n))
+
+let attribute t n key = List.assoc_opt key (attributes t n)
+
+let order _ n = n
+
+let rec string_value_into t buf n =
+  if kind t n = `Text then Buffer.add_string buf (text t n)
+  else List.iter (string_value_into t buf) (children t n)
+
+let string_value t n =
+  let buf = Buffer.create 64 in
+  string_value_into t buf n;
+  Buffer.contents buf
+
+let id_lookup t idval =
+  match R.Index.unique t.id_idx (R.Value.Str idval) with
+  | None -> Some None
+  | Some arow -> (
+      match (R.Table.get t.attrs arow).(acol_owner) with
+      | R.Value.Int owner -> Some (Some owner)
+      | _ -> Some None)
+
+let tag_nodes _ _ = None  (* no path index on the heap *)
+
+let tag_count t tag =
+  (* catalog consultation plus optimizer statistics *)
+  ignore (R.Catalog.lookup t.cat "nodes");
+  Some (Option.value ~default:0 (Hashtbl.find_opt t.stats tag))
+
+let subtree_interval _ _ = None
+
+let keyword_search _ ~tag:_ ~word:_ = None
+
+let size_bytes t = R.Catalog.byte_size t.cat
+
+let node_count t = R.Table.row_count t.nodes
+
+let description _ = "relational, single-heap edge mapping + cost stats (System A)"

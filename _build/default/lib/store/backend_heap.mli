@@ -1,0 +1,24 @@
+(** System A: a relational store with a single-relation "edge model"
+    mapping — "System A basically stores all XML data on one big heap,
+    i.e., only a single relation" (paper, Section 7).
+
+    One [nodes] relation holds every element and text node (row id =
+    node id = document pre-order), one [attributes] relation holds all
+    attribute triples.  Navigation runs through hash indexes on the parent
+    and owner columns; an index over [id] attributes serves Q1-style
+    lookups.  The catalog is tiny, so query compilation touches little
+    metadata (Table 2), but data access pays relational indirection on
+    every step, and reconstruction queries (Q10, Q13) must reassemble
+    subtrees row by row — the behaviour behind A's pathological Q10 time
+    in Table 3. *)
+
+include Xmark_xquery.Store_sig.S with type node = int
+
+val load_string : string -> t
+(** Bulkload from serialized XML (streamed through the SAX parser; index
+    construction included, as in Table 1). *)
+
+val load_dom : Xmark_xml.Dom.node -> t
+
+val catalog : t -> Xmark_relational.Catalog.t
+(** The system catalog, exposing metadata-access counters. *)

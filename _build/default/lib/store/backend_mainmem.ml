@@ -1,0 +1,174 @@
+module Dom = Xmark_xml.Dom
+
+type level = [ `Full | `Id_only | `Plain ]
+
+type node = Dom.node
+
+type t = {
+  root : Dom.node;
+  lvl : level;
+  ids : (string, Dom.node) Hashtbl.t option;
+  tags : (string, Dom.node list) Hashtbl.t option;  (* extents in document order *)
+  subtree_end : int array option;  (* indexed by order: exclusive end of subtree *)
+  bytes : int;
+  nodes : int;
+  keyword_indexes : (string, (string, Dom.node list) Hashtbl.t) Hashtbl.t;
+      (* per-tag inverted index over string values; built lazily (System D's
+         optional full-text access path, paper Section 6.9) *)
+}
+
+let estimate_bytes root =
+  Dom.fold
+    (fun acc n ->
+      match n.Dom.desc with
+      | Dom.Text s -> acc + 24 + String.length s
+      | Dom.Element e ->
+          acc + 64
+          + String.length e.Dom.name
+          + List.fold_left (fun a (k, v) -> a + 32 + String.length k + String.length v) 0 e.Dom.attrs)
+    0 root
+
+let create ~level root =
+  if root.Dom.order < 0 then ignore (Dom.index root);
+  let nodes = Dom.size root in
+  let ids =
+    match level with
+    | `Plain -> None
+    | `Full | `Id_only ->
+        let h = Hashtbl.create 4096 in
+        Dom.iter
+          (fun n -> match Dom.attr n "id" with Some id -> Hashtbl.replace h id n | None -> ())
+          root;
+        Some h
+  in
+  let tags, subtree_end =
+    match level with
+    | `Plain | `Id_only -> (None, None)
+    | `Full ->
+        let h = Hashtbl.create 128 in
+        Dom.iter
+          (fun n ->
+            if Dom.is_element n then
+              let tag = Dom.name n in
+              Hashtbl.replace h tag (n :: (Option.value ~default:[] (Hashtbl.find_opt h tag))))
+          root;
+        let sorted = Hashtbl.create 128 in
+        Hashtbl.iter (fun tag lst -> Hashtbl.replace sorted tag (List.rev lst)) h;
+        (* subtree spans: node with order o covers [o, o + size) *)
+        let ends = Array.make nodes 0 in
+        let rec span n =
+          let last =
+            List.fold_left (fun _ c -> span c) (n.Dom.order + 1) (Dom.children n)
+          in
+          let hi = max last (n.Dom.order + 1) in
+          ends.(n.Dom.order) <- hi;
+          hi
+        in
+        ignore (span root);
+        (Some sorted, Some ends)
+  in
+  { root; lvl = level; ids; tags; subtree_end; bytes = estimate_bytes root; nodes;
+    keyword_indexes = Hashtbl.create 4 }
+
+let of_string ~level s = create ~level (Xmark_xml.Sax.parse_string s)
+
+let level t = t.lvl
+
+let dom_root t = t.root
+
+let root t = t.root
+
+let kind _ n = if Dom.is_element n then `Element else `Text
+
+let name _ n = Dom.name n
+
+let text _ (n : node) = match n.Dom.desc with Dom.Text s -> s | Dom.Element _ -> ""
+
+let children _ n = Dom.children n
+
+let parent _ (n : node) = n.Dom.parent
+
+let attributes _ (n : node) =
+  match n.Dom.desc with Dom.Element e -> e.Dom.attrs | Dom.Text _ -> []
+
+let attribute _ n key = Dom.attr n key
+
+let order _ (n : node) = n.Dom.order
+
+let string_value _ n = Dom.string_value n
+
+let id_lookup t id =
+  match t.ids with None -> None | Some h -> Some (Hashtbl.find_opt h id)
+
+let tag_nodes t tag =
+  match t.tags with
+  | None -> None
+  | Some h -> Some (Option.value ~default:[] (Hashtbl.find_opt h tag))
+
+let tag_count t tag = Option.map List.length (tag_nodes t tag)
+
+let subtree_interval t (n : node) =
+  match t.subtree_end with
+  | None -> None
+  | Some ends -> Some (n.Dom.order, ends.(n.Dom.order))
+
+(* Tokens are maximal alphanumeric runs, lowercased. *)
+let tokens s =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> Buffer.add_char buf c
+      | 'A' .. 'Z' -> Buffer.add_char buf (Char.lowercase_ascii c)
+      | _ -> flush ())
+    s;
+  flush ();
+  !out
+
+let keyword_index t tag =
+  match Hashtbl.find_opt t.keyword_indexes tag with
+  | Some idx -> Some idx
+  | None -> (
+      match tag_nodes t tag with
+      | None -> None
+      | Some extent ->
+          let idx = Hashtbl.create 4096 in
+          List.iter
+            (fun n ->
+              let seen = Hashtbl.create 64 in
+              List.iter
+                (fun w ->
+                  if not (Hashtbl.mem seen w) then begin
+                    Hashtbl.add seen w ();
+                    Hashtbl.replace idx w
+                      (n :: Option.value ~default:[] (Hashtbl.find_opt idx w))
+                  end)
+                (tokens (Dom.string_value n)))
+            extent;
+          (* extents are in document order, so bucket lists reverse to it *)
+          Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) idx;
+          Hashtbl.replace t.keyword_indexes tag idx;
+          Some idx)
+
+let keyword_search t ~tag ~word =
+  match keyword_index t tag with
+  | None -> None
+  | Some idx ->
+      Some (Option.value ~default:[] (Hashtbl.find_opt idx (String.lowercase_ascii word)))
+
+let size_bytes t = t.bytes
+
+let node_count t = t.nodes
+
+let description t =
+  match t.lvl with
+  | `Full -> "main-memory DOM + structural summary + ID index (System D)"
+  | `Id_only -> "main-memory DOM + ID index (System E)"
+  | `Plain -> "main-memory DOM, navigation only (System F)"

@@ -1,0 +1,31 @@
+(** Main-memory DOM backends — the paper's Systems D, E and F.
+
+    The three systems share one physical representation (a pointer-based
+    tree) and differ in their access paths, which is how the paper
+    describes them: "Systems D to F are main-memory based and only come
+    with heuristic optimizers", with System D additionally keeping "a
+    detailed structural summary of the database" that makes the regular
+    path expression queries Q6/Q7 "surprisingly fast".
+
+    - [`Full] (System D): structural summary — per-tag extents with
+      subtree intervals for index-assisted descendant steps — plus an ID
+      index and a lazily-built per-tag keyword index serving
+      [keyword_search] (the full-text access path of Section 6.9).
+    - [`Id_only] (System E): ID index, no structural summary.
+    - [`Plain] (System F): pure navigation. *)
+
+type level = [ `Full | `Id_only | `Plain ]
+
+include Xmark_xquery.Store_sig.S with type node = Xmark_xml.Dom.node
+
+val create : level:level -> Xmark_xml.Dom.node -> t
+(** Load a parsed document.  The DOM must be document-order indexed
+    (which {!Xmark_xml.Sax.parse_dom} guarantees); index construction cost
+    is part of bulkload, as in Table 1. *)
+
+val of_string : level:level -> string -> t
+(** Parse and load. *)
+
+val level : t -> level
+
+val dom_root : t -> Xmark_xml.Dom.node

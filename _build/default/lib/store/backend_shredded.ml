@@ -1,0 +1,253 @@
+module R = Xmark_relational
+module Sax = Xmark_xml.Sax
+
+type node = int  (* global node id = document pre-order *)
+
+type t = {
+  cat : R.Catalog.t;
+  element_tags : string list;  (* registration order *)
+  tag_tables : (string, R.Table.t) Hashtbl.t;  (* tag -> (id, parent, pos) *)
+  text_table : R.Table.t;  (* (id, parent, pos, value) *)
+  child_indexes : (string, R.Index.t) Hashtbl.t;  (* per tag table, on parent *)
+  text_child_index : R.Index.t;
+  attr_tables : (string, R.Table.t) Hashtbl.t;  (* "tag@attr" -> (owner, value) *)
+  attr_names : (string, string list) Hashtbl.t;  (* tag -> its attribute names *)
+  attr_owner_indexes : (string, R.Index.t) Hashtbl.t;
+  id_tables : string list;  (* attr table keys that hold "id" attributes *)
+  id_indexes : (string, R.Index.t) Hashtbl.t;  (* keyed on value *)
+  dir_tag : string array;  (* node id -> tag, "" for text *)
+  dir_row : int array;  (* node id -> row in its relation *)
+}
+
+let load_string s =
+  let p = Sax.of_string s in
+  let tag_tables = Hashtbl.create 97 in
+  let attr_tables = Hashtbl.create 97 in
+  let attr_names = Hashtbl.create 97 in
+  let element_tags = ref [] in
+  let text_table = R.Table.create ~name:"_text" ~cols:[ "id"; "parent"; "pos"; "value" ] in
+  let dir_tag_rev = ref [] and dir_row_rev = ref [] in
+  let counter = ref 0 in
+  let stack = ref [] in
+  let parent_and_pos () =
+    match !stack with
+    | [] -> (-1, 0)
+    | (pid, pos) :: rest ->
+        stack := (pid, pos + 1) :: rest;
+        (pid, pos)
+  in
+  let table_for tag =
+    match Hashtbl.find_opt tag_tables tag with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = R.Table.create ~name:tag ~cols:[ "id"; "parent"; "pos" ] in
+        Hashtbl.replace tag_tables tag tbl;
+        element_tags := tag :: !element_tags;
+        tbl
+  in
+  let attr_table_for tag key =
+    let tname = tag ^ "@" ^ key in
+    match Hashtbl.find_opt attr_tables tname with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = R.Table.create ~name:tname ~cols:[ "owner"; "value" ] in
+        Hashtbl.replace attr_tables tname tbl;
+        Hashtbl.replace attr_names tag
+          (key :: Option.value ~default:[] (Hashtbl.find_opt attr_names tag));
+        tbl
+  in
+  let rec loop () =
+    match Sax.next p with
+    | Sax.Eof -> ()
+    | Sax.Start_element (tag, alist) ->
+        let pid, pos = parent_and_pos () in
+        let id = !counter in
+        incr counter;
+        let tbl = table_for tag in
+        dir_tag_rev := tag :: !dir_tag_rev;
+        dir_row_rev := R.Table.row_count tbl :: !dir_row_rev;
+        R.Table.append tbl [| R.Value.Int id; R.Value.Int pid; R.Value.Int pos |];
+        List.iter
+          (fun (k, v) ->
+            R.Table.append (attr_table_for tag k) [| R.Value.Int id; R.Value.Str v |])
+          alist;
+        stack := (id, 0) :: !stack;
+        loop ()
+    | Sax.End_element _ ->
+        (match !stack with _ :: rest -> stack := rest | [] -> ());
+        loop ()
+    | Sax.Chars s ->
+        if not (String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s) then begin
+          let pid, pos = parent_and_pos () in
+          let id = !counter in
+          incr counter;
+          dir_tag_rev := "" :: !dir_tag_rev;
+          dir_row_rev := R.Table.row_count text_table :: !dir_row_rev;
+          R.Table.append text_table
+            [| R.Value.Int id; R.Value.Int pid; R.Value.Int pos; R.Value.Str s |]
+        end;
+        loop ()
+  in
+  loop ();
+  let cat = R.Catalog.create () in
+  let element_tags = List.rev !element_tags in
+  List.iter (fun tag -> R.Catalog.register cat (Hashtbl.find tag_tables tag)) element_tags;
+  R.Catalog.register cat text_table;
+  Hashtbl.iter (fun _ tbl -> R.Catalog.register cat tbl) attr_tables;
+  let child_indexes = Hashtbl.create 97 in
+  List.iter
+    (fun tag ->
+      let idx = R.Index.build (Hashtbl.find tag_tables tag) "parent" in
+      Hashtbl.replace child_indexes tag idx;
+      R.Catalog.register_index cat ~table:tag ~column:"parent" idx)
+    element_tags;
+  let text_child_index = R.Index.build text_table "parent" in
+  R.Catalog.register_index cat ~table:"_text" ~column:"parent" text_child_index;
+  let attr_owner_indexes = Hashtbl.create 97 in
+  let id_indexes = Hashtbl.create 8 in
+  let id_tables = ref [] in
+  Hashtbl.iter
+    (fun tname tbl ->
+      let idx = R.Index.build tbl "owner" in
+      Hashtbl.replace attr_owner_indexes tname idx;
+      R.Catalog.register_index cat ~table:tname ~column:"owner" idx;
+      if String.length tname > 3 && String.sub tname (String.length tname - 3) 3 = "@id" then begin
+        let vidx = R.Index.build tbl "value" in
+        Hashtbl.replace id_indexes tname vidx;
+        id_tables := tname :: !id_tables;
+        R.Catalog.register_index cat ~table:tname ~column:"value" vidx
+      end)
+    attr_tables;
+  {
+    cat;
+    element_tags;
+    tag_tables;
+    text_table;
+    child_indexes;
+    text_child_index;
+    attr_tables;
+    attr_names;
+    attr_owner_indexes;
+    id_tables = !id_tables;
+    id_indexes;
+    dir_tag = Array.of_list (List.rev !dir_tag_rev);
+    dir_row = Array.of_list (List.rev !dir_row_rev);
+  }
+
+let load_dom root = load_string (Xmark_xml.Serialize.to_string root)
+
+let catalog t = t.cat
+
+let element_tags t = t.element_tags
+
+let root _ = 0
+
+let kind t n = if t.dir_tag.(n) = "" then `Text else `Element
+
+let name t n = t.dir_tag.(n)
+
+let node_row t n =
+  let tag = t.dir_tag.(n) in
+  if tag = "" then R.Table.get t.text_table t.dir_row.(n)
+  else R.Table.get (Hashtbl.find t.tag_tables tag) t.dir_row.(n)
+
+let text t n =
+  if t.dir_tag.(n) <> "" then ""
+  else
+    match (R.Table.get t.text_table t.dir_row.(n)).(3) with
+    | R.Value.Str s -> s
+    | _ -> ""
+
+(* A child step probes the parent index of every relation in the store:
+   the price of fragmentation. *)
+let children t n =
+  let key = R.Value.Int n in
+  let collect tag idx table =
+    List.filter_map
+      (fun row_id ->
+        let row = R.Table.get table row_id in
+        match (row.(0), row.(2)) with
+        | R.Value.Int id, R.Value.Int pos -> Some (pos, id)
+        | _ -> None)
+      (R.Index.lookup idx key)
+    |> fun l -> ignore tag; l
+  in
+  let from_tags =
+    List.concat_map
+      (fun tag -> collect tag (Hashtbl.find t.child_indexes tag) (Hashtbl.find t.tag_tables tag))
+      t.element_tags
+  in
+  let from_text = collect "" t.text_child_index t.text_table in
+  List.sort compare (from_tags @ from_text) |> List.map snd
+
+let parent t n =
+  match (node_row t n).(1) with
+  | R.Value.Int p when p >= 0 -> Some p
+  | _ -> None
+
+let attributes t n =
+  let tag = t.dir_tag.(n) in
+  if tag = "" then []
+  else
+    let names = List.rev (Option.value ~default:[] (Hashtbl.find_opt t.attr_names tag)) in
+    List.filter_map
+      (fun key ->
+        let tname = tag ^ "@" ^ key in
+        let idx = Hashtbl.find t.attr_owner_indexes tname in
+        let tbl = Hashtbl.find t.attr_tables tname in
+        match R.Index.lookup_rows idx tbl (R.Value.Int n) with
+        | [ row ] -> (
+            match row.(1) with R.Value.Str v -> Some (key, v) | _ -> None)
+        | _ -> None)
+      names
+
+let attribute t n key = List.assoc_opt key (attributes t n)
+
+let order _ n = n
+
+let rec string_value_into t buf n =
+  if kind t n = `Text then Buffer.add_string buf (text t n)
+  else List.iter (string_value_into t buf) (children t n)
+
+let string_value t n =
+  let buf = Buffer.create 64 in
+  string_value_into t buf n;
+  Buffer.contents buf
+
+let id_lookup t idval =
+  let rec probe = function
+    | [] -> Some None
+    | tname :: rest -> (
+        let idx = Hashtbl.find t.id_indexes tname in
+        let tbl = Hashtbl.find t.attr_tables tname in
+        match R.Index.lookup_rows idx tbl (R.Value.Str idval) with
+        | row :: _ -> (
+            match row.(0) with R.Value.Int owner -> Some (Some owner) | _ -> Some None)
+        | [] -> probe rest)
+  in
+  probe t.id_tables
+
+let tag_nodes t tag =
+  match R.Catalog.lookup t.cat tag with
+  | None -> Some []
+  | Some tbl ->
+      Some
+        (R.Table.fold
+           (fun acc _ row -> match row.(0) with R.Value.Int id -> id :: acc | _ -> acc)
+           [] tbl
+        |> List.rev)
+
+let tag_count t tag =
+  match R.Catalog.lookup t.cat tag with
+  | None -> Some 0
+  | Some tbl -> Some (R.Table.row_count tbl)
+
+let subtree_interval _ _ = None
+
+let keyword_search _ ~tag:_ ~word:_ = None
+
+let size_bytes t = R.Catalog.byte_size t.cat + (16 * Array.length t.dir_tag)
+
+let node_count t = Array.length t.dir_tag
+
+let description _ = "relational, one relation per tag (fragmenting mapping, System B)"

@@ -1,0 +1,166 @@
+module R = Xmark_relational
+module Ast = Xmark_xquery.Ast
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type test = Tag of string | Any_element
+
+type op =
+  | Document  (* the virtual node above the root *)
+  | Child_join of op * test
+  | Descendant_closure of op * test
+  | Attr_join of op * string * string  (* [@name = "value"] *)
+
+type plan = { store : Backend_heap.t; op : op }
+
+(* --- compilation ------------------------------------------------------------ *)
+
+let compile_test = function
+  | Ast.Name tag -> Tag tag
+  | Ast.Star -> Any_element
+  | Ast.Text_test -> unsupported "text() steps"
+  | Ast.Any_kind -> unsupported "node() steps"
+
+let compile_pred op = function
+  | Ast.Compare
+      ( Ast.Eq,
+        Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]),
+        Ast.Literal v ) ->
+      Attr_join (op, a, v)
+  | Ast.Compare
+      ( Ast.Eq,
+        Ast.Literal v,
+        Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]) )
+      ->
+      Attr_join (op, a, v)
+  | p -> unsupported "predicate %s" (Ast.expr_to_string p)
+
+let compile_step op { Ast.axis; test; preds } =
+  let base =
+    match axis with
+    | Ast.Child -> Child_join (op, compile_test test)
+    | Ast.Descendant -> Descendant_closure (op, compile_test test)
+    | Ast.Attribute -> unsupported "attribute axis as a step"
+    | Ast.Parent -> unsupported "parent axis"
+    | Ast.Self -> unsupported "self axis"
+  in
+  List.fold_left compile_pred base preds
+
+let compile store steps = { store; op = List.fold_left compile_step Document steps }
+
+let compile_expr store = function
+  | Ast.Path (Ast.Root, steps) -> ( try Some (compile store steps) with Unsupported _ -> None)
+  | _ -> None
+
+(* --- execution --------------------------------------------------------------- *)
+
+(* The physical access paths of the heap store, straight from its catalog. *)
+type access = {
+  nodes : R.Table.t;
+  attrs : R.Table.t;
+  children_idx : R.Index.t;
+  attr_owner_idx : R.Index.t;
+  tag_col : int;
+  kind_col : int;
+  aname_col : int;
+  avalue_col : int;
+}
+
+let access store =
+  let cat = Backend_heap.catalog store in
+  let table name =
+    match R.Catalog.lookup cat name with
+    | Some t -> t
+    | None -> unsupported "relation %s missing from catalog" name
+  in
+  let index table column =
+    match R.Catalog.lookup_index cat ~table ~column with
+    | Some i -> i
+    | None -> unsupported "index %s(%s) missing from catalog" table column
+  in
+  let nodes = table "nodes" and attrs = table "attributes" in
+  {
+    nodes;
+    attrs;
+    children_idx = index "nodes" "parent";
+    attr_owner_idx = index "attributes" "owner";
+    tag_col = R.Table.col_index nodes "tag";
+    kind_col = R.Table.col_index nodes "kind";
+    aname_col = R.Table.col_index attrs "name";
+    avalue_col = R.Table.col_index attrs "value";
+  }
+
+let row_matches a test row =
+  row.(a.kind_col) = R.Value.Int 0
+  &&
+  match test with
+  | Any_element -> true
+  | Tag tag -> ( match row.(a.tag_col) with R.Value.Str t -> String.equal t tag | _ -> false)
+
+(* index-nested-loop join on the parent column *)
+let children_of a test ids =
+  List.concat_map
+    (fun id ->
+      List.filter
+        (fun child -> row_matches a test (R.Table.get a.nodes child))
+        (R.Index.lookup a.children_idx (R.Value.Int id)))
+    ids
+  |> List.sort_uniq compare
+
+let rec closure a test frontier acc =
+  match frontier with
+  | [] -> List.sort_uniq compare acc
+  | _ ->
+      let kids = children_of a Any_element frontier in
+      let matching = List.filter (fun id -> row_matches a test (R.Table.get a.nodes id)) kids in
+      closure a test kids (List.rev_append matching acc)
+
+let attr_matches a name value id =
+  List.exists
+    (fun row_id ->
+      let row = R.Table.get a.attrs row_id in
+      row.(a.aname_col) = R.Value.Str name && row.(a.avalue_col) = R.Value.Str value)
+    (R.Index.lookup a.attr_owner_idx (R.Value.Int id))
+
+let rec run a = function
+  | Document -> [ -1 ]  (* sentinel: the document node's only child is node 0 *)
+  | Child_join (op, test) -> (
+      match run a op with
+      | [ -1 ] ->
+          (* children of the document node: the root element *)
+          if row_matches a test (R.Table.get a.nodes 0) then [ 0 ] else []
+      | ids -> children_of a test ids)
+  | Descendant_closure (op, test) -> (
+      match run a op with
+      | [ -1 ] ->
+          let from_root =
+            if row_matches a test (R.Table.get a.nodes 0) then [ 0 ] else []
+          in
+          closure a test [ 0 ] from_root
+      | ids -> closure a test ids [])
+  | Attr_join (op, name, value) -> List.filter (attr_matches a name value) (run a op)
+
+let execute plan = run (access plan.store) plan.op
+
+let rec join_count = function
+  | Document -> 0
+  | Child_join (op, _) -> 1 + join_count op
+  | Descendant_closure (op, _) -> 1 + join_count op
+  | Attr_join (op, _, _) -> 1 + join_count op
+
+let join_count plan = join_count plan.op
+
+let test_to_string = function Tag t -> Printf.sprintf "tag='%s'" t | Any_element -> "kind=elem"
+
+let rec render = function
+  | Document -> "DOC"
+  | Child_join (op, test) ->
+      Printf.sprintf "(%s ⨝[parent=id] σ[%s] nodes)" (render op) (test_to_string test)
+  | Descendant_closure (op, test) ->
+      Printf.sprintf "(%s ⨝*[parent=id closure] σ[%s] nodes)" (render op) (test_to_string test)
+  | Attr_join (op, name, value) ->
+      Printf.sprintf "(%s ⨝[id=owner] σ[name='%s' ∧ value='%s'] attributes)" (render op) name value
+
+let explain plan = render plan.op

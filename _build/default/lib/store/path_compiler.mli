@@ -1,0 +1,41 @@
+(** Path-expression-to-relational-algebra compiler for the edge-model store
+    (System A).
+
+    The paper's Section 2 observes that on relational back-ends, "queries
+    involving hierarchical structures in the form of complicated path
+    expressions ... tend to require expensive join and aggregation
+    operations", and Section 7 adds that translation from XQuery to a
+    low-level algebra loses path information.  This module makes that
+    concrete: an absolute path expression compiles to a left-deep tree of
+    self-joins over System A's single node relation (one join per child
+    step, a transitive closure per descendant step, an attribute-relation
+    join per value predicate), with an EXPLAIN rendering of the resulting
+    plan.
+
+    The compiled plan executes through the store's physical operators and
+    must return exactly the nodes the navigational evaluator returns — a
+    differential test asserts this. *)
+
+exception Unsupported of string
+
+type plan
+
+val compile : Backend_heap.t -> Xmark_xquery.Ast.step list -> plan
+(** Compile an absolute path (steps from the document node).  Supported:
+    child and descendant axes with name or wildcard tests, and predicates
+    of the form [\[@attr = "literal"\]].
+    @raise Unsupported for anything else. *)
+
+val compile_expr : Backend_heap.t -> Xmark_xquery.Ast.expr -> plan option
+(** [Some plan] when the expression is an absolute path in the supported
+    fragment; [None] (rather than an exception) otherwise. *)
+
+val execute : plan -> int list
+(** Matching node identifiers in document order. *)
+
+val join_count : plan -> int
+(** Number of join operators in the plan — the paper's "complexity of the
+    query plan" measure for path expressions. *)
+
+val explain : plan -> string
+(** Algebra rendering, innermost scan first. *)

@@ -1,0 +1,147 @@
+module R = Xmark_relational
+module Ast = Xmark_xquery.Ast
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type test = Tag of string | Any_element
+
+type op =
+  | Document
+  | Child_join of op * test
+  | Descendant_closure of op * test
+  | Attr_join of op * string * string
+
+type plan = { store : Backend_shredded.t; op : op }
+
+let compile_test = function
+  | Ast.Name tag -> Tag tag
+  | Ast.Star -> Any_element
+  | Ast.Text_test -> unsupported "text() steps"
+  | Ast.Any_kind -> unsupported "node() steps"
+
+let compile_pred op = function
+  | Ast.Compare
+      ( Ast.Eq,
+        Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]),
+        Ast.Literal v ) ->
+      Attr_join (op, a, v)
+  | Ast.Compare
+      ( Ast.Eq,
+        Ast.Literal v,
+        Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]) )
+      ->
+      Attr_join (op, a, v)
+  | p -> unsupported "predicate %s" (Ast.expr_to_string p)
+
+let compile_step op { Ast.axis; test; preds } =
+  let base =
+    match axis with
+    | Ast.Child -> Child_join (op, compile_test test)
+    | Ast.Descendant -> Descendant_closure (op, compile_test test)
+    | Ast.Attribute | Ast.Parent | Ast.Self -> unsupported "axis"
+  in
+  List.fold_left compile_pred base preds
+
+let compile store steps = { store; op = List.fold_left compile_step Document steps }
+
+let compile_expr store = function
+  | Ast.Path (Ast.Root, steps) -> ( try Some (compile store steps) with Unsupported _ -> None)
+  | _ -> None
+
+(* --- execution ---------------------------------------------------------------- *)
+
+(* The catalog is the only way in, as in a real system: every relation and
+   index lookup is a metadata access. *)
+let relation store tag =
+  R.Catalog.lookup (Backend_shredded.catalog store) tag
+
+let parent_index store tag =
+  R.Catalog.lookup_index (Backend_shredded.catalog store) ~table:tag ~column:"parent"
+
+(* ids of rows of one tag relation whose parent is in [ids] *)
+let probe_relation store tag ids =
+  match (relation store tag, parent_index store tag) with
+  | Some table, Some idx ->
+      List.concat_map
+        (fun parent ->
+          List.filter_map
+            (fun row_id ->
+              match (R.Table.get table row_id).(0) with
+              | R.Value.Int id -> Some id
+              | _ -> None)
+            (R.Index.lookup idx (R.Value.Int parent)))
+        ids
+  | _ -> []
+
+let children_of store test ids =
+  let tags =
+    match test with
+    | Tag tag -> [ tag ]
+    | Any_element -> Backend_shredded.element_tags store
+  in
+  List.concat_map (fun tag -> probe_relation store tag ids) tags |> List.sort_uniq compare
+
+let rec closure store test frontier acc =
+  match frontier with
+  | [] -> List.sort_uniq compare acc
+  | _ ->
+      let kids = children_of store Any_element frontier in
+      let matching =
+        match test with
+        | Any_element -> kids
+        | Tag tag -> List.filter (fun id -> Backend_shredded.name store id = tag) kids
+      in
+      closure store test kids (List.rev_append matching acc)
+
+let attr_matches store name value id =
+  Backend_shredded.attribute store id name = Some value
+
+let root_matches store test =
+  match test with
+  | Any_element -> true
+  | Tag tag -> Backend_shredded.name store (Backend_shredded.root store) = tag
+
+let rec run store = function
+  | Document -> [ -1 ]
+  | Child_join (op, test) -> (
+      match run store op with
+      | [ -1 ] -> if root_matches store test then [ Backend_shredded.root store ] else []
+      | ids -> children_of store test ids)
+  | Descendant_closure (op, test) -> (
+      match run store op with
+      | [ -1 ] ->
+          let self = if root_matches store test then [ Backend_shredded.root store ] else [] in
+          closure store test [ Backend_shredded.root store ] self
+      | ids -> closure store test ids [])
+  | Attr_join (op, name, value) -> List.filter (attr_matches store name value) (run store op)
+
+let execute plan = run plan.store plan.op
+
+let rec relations_touched store = function
+  | Document -> 0
+  | Child_join (op, test) ->
+      (match test with
+      | Tag _ -> 1
+      | Any_element -> List.length (Backend_shredded.element_tags store))
+      + relations_touched store op
+  | Descendant_closure (op, _) ->
+      List.length (Backend_shredded.element_tags store) + relations_touched store op
+  | Attr_join (op, _, _) -> 1 + relations_touched store op
+
+let relations_touched plan = relations_touched plan.store plan.op
+
+let test_to_string = function Tag t -> Printf.sprintf "%s" t | Any_element -> "<every relation>"
+
+let rec render = function
+  | Document -> "DOC"
+  | Child_join (op, test) ->
+      Printf.sprintf "(%s ⨝[parent=id] %s)" (render op) (test_to_string test)
+  | Descendant_closure (op, test) ->
+      Printf.sprintf "(%s ⨝*[closure over every relation] filter %s)" (render op)
+        (test_to_string test)
+  | Attr_join (op, name, value) ->
+      Printf.sprintf "(%s ⨝[id=owner] σ[value='%s'] @%s)" (render op) value name
+
+let explain plan = render plan.op

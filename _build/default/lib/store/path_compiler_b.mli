@@ -1,0 +1,33 @@
+(** Path-expression compiler for the fragmenting store (System B).
+
+    The mirror image of {!Path_compiler}: on the per-tag mapping, a fully
+    specified child step is a join against exactly one small relation —
+    which is why fragmenting mappings handle precise lookups well — while
+    a descendant step must probe the parent index of *every* relation in
+    the catalog per closure level, and every step's relation lookup goes
+    through the (linearly scanned) catalog, reproducing the
+    metadata-heavy compilation of the paper's Table 2.
+
+    Same contract as {!Path_compiler}: compiled plans return exactly the
+    node identifiers the navigational evaluator returns. *)
+
+exception Unsupported of string
+
+type plan
+
+val compile : Backend_shredded.t -> Xmark_xquery.Ast.step list -> plan
+(** Child/descendant axes with name or wildcard tests; predicates of the
+    form [\[@attr = "literal"\]].
+    @raise Unsupported otherwise. *)
+
+val compile_expr : Backend_shredded.t -> Xmark_xquery.Ast.expr -> plan option
+
+val execute : plan -> int list
+(** Matching node identifiers in document order. *)
+
+val relations_touched : plan -> int
+(** Number of relations the compiled plan reads — the fragmentation-cost
+    measure (one per named step; the whole catalog per descendant
+    step). *)
+
+val explain : plan -> string

@@ -1,0 +1,96 @@
+module Dom = Xmark_xml.Dom
+
+type snode = {
+  tag : string;
+  mutable extent_rev : Dom.node list;
+  mutable count : int;
+  children : (string, snode) Hashtbl.t;
+  mutable child_order : string list;  (* first-encounter order, reversed *)
+}
+
+type t = { root : snode }
+
+let fresh tag =
+  { tag; extent_rev = []; count = 0; children = Hashtbl.create 4; child_order = [] }
+
+let build doc_root =
+  let root = fresh (Dom.name doc_root) in
+  let rec walk snode (n : Dom.node) =
+    snode.extent_rev <- n :: snode.extent_rev;
+    snode.count <- snode.count + 1;
+    List.iter
+      (fun (c : Dom.node) ->
+        if Dom.is_element c then begin
+          let tag = Dom.name c in
+          let child =
+            match Hashtbl.find_opt snode.children tag with
+            | Some s -> s
+            | None ->
+                let s = fresh tag in
+                Hashtbl.replace snode.children tag s;
+                snode.child_order <- tag :: snode.child_order;
+                s
+          in
+          walk child c
+        end)
+      (Dom.children n)
+  in
+  walk root doc_root;
+  { root }
+
+let rec count_nodes s =
+  Hashtbl.fold (fun _ c acc -> acc + count_nodes c) s.children 1
+
+let path_count t = count_nodes t.root
+
+let find t path =
+  match path with
+  | [] -> None
+  | first :: rest ->
+      if not (String.equal first t.root.tag) then None
+      else
+        let rec go s = function
+          | [] -> Some s
+          | tag :: rest -> (
+              match Hashtbl.find_opt s.children tag with
+              | Some c -> go c rest
+              | None -> None)
+        in
+        go t.root rest
+
+let cardinality t path = match find t path with Some s -> s.count | None -> 0
+
+let extent t path =
+  match find t path with
+  | None -> []
+  | Some s ->
+      List.rev s.extent_rev
+      |> List.stable_sort (fun (a : Dom.node) b -> compare a.Dom.order b.Dom.order)
+
+let exists t path = find t path <> None
+
+let paths t =
+  let acc = ref [] in
+  let rec go prefix s =
+    let path = List.rev (s.tag :: prefix) in
+    acc := (path, s.count) :: !acc;
+    List.iter
+      (fun tag -> go (s.tag :: prefix) (Hashtbl.find s.children tag))
+      (List.rev s.child_order)
+  in
+  go [] t.root;
+  List.rev !acc
+
+let descendant_cardinality t tag =
+  let rec go s =
+    let self = if String.equal s.tag tag then s.count else 0 in
+    Hashtbl.fold (fun _ c acc -> acc + go c) s.children self
+  in
+  go t.root
+
+let pp fmt t =
+  let rec go depth s =
+    Format.fprintf fmt "%s%s (%d)@\n" (String.make (2 * depth) ' ') s.tag s.count;
+    List.iter (fun tag -> go (depth + 1) (Hashtbl.find s.children tag)) (List.rev s.child_order)
+  in
+  go 0 t.root

@@ -1,0 +1,41 @@
+(** DataGuide-style structural summary.
+
+    The paper attributes System D's speed on regular path expressions to
+    "a detailed structural summary of the database [that] can exploit it
+    to optimize traversal-intensive queries ... structural summaries ...
+    effectively play the role of an index or schema" (Section 7).  This
+    module is that summary as a first-class value: a trie of label paths
+    from the root, each holding its extent (the nodes reached by that
+    path) — a strong DataGuide, since XML trees yield exactly one summary
+    node per label path.
+
+    Beyond query acceleration, the summary answers the paper's
+    path-validation wish (does a tag sequence occur at all?) and gives a
+    compact schema view of a schemaless document. *)
+
+type t
+
+val build : Xmark_xml.Dom.node -> t
+(** One pass over the document. *)
+
+val path_count : t -> int
+(** Number of distinct label paths (summary nodes). *)
+
+val cardinality : t -> string list -> int
+(** [cardinality s path] is the extent size of the label path (from and
+    including the root element); 0 when the path does not occur. *)
+
+val extent : t -> string list -> Xmark_xml.Dom.node list
+(** Nodes reached by the label path, in document order. *)
+
+val exists : t -> string list -> bool
+
+val paths : t -> (string list * int) list
+(** All label paths with extent sizes, preorder. *)
+
+val descendant_cardinality : t -> string -> int
+(** Total extent of all label paths ending in the given tag — the size of
+    a [//tag] result from the root. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as an indented tree with cardinalities — the "schema view". *)

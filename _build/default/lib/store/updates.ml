@@ -1,0 +1,174 @@
+module Dom = Xmark_xml.Dom
+
+exception Update_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Update_error s)) fmt
+
+type session = {
+  root : Dom.node;
+  level : Backend_mainmem.level;
+  mutable cache : Backend_mainmem.t option;  (* None = mutations pending *)
+  mutable person_counter : int;
+}
+
+let child_el n tag = List.find_opt (fun c -> Dom.name c = tag) (Dom.children n)
+
+let require_section root tag =
+  match child_el root tag with
+  | Some s -> s
+  | None -> err "document has no <%s> section" tag
+
+let max_person_suffix root =
+  let best = ref (-1) in
+  Dom.iter
+    (fun n ->
+      if Dom.name n = "person" then
+        match Dom.attr n "id" with
+        | Some id when String.length id > 6 && String.sub id 0 6 = "person" -> (
+            match int_of_string_opt (String.sub id 6 (String.length id - 6)) with
+            | Some k -> best := max !best k
+            | None -> ())
+        | _ -> ())
+    root;
+  !best
+
+let open_session ?(level = `Full) root =
+  if Dom.name root <> "site" then err "not a benchmark document (root is <%s>)" (Dom.name root);
+  { root; level; cache = None; person_counter = max_person_suffix root }
+
+let of_string ?level s = open_session ?level (Xmark_xml.Sax.parse_string s)
+
+let invalidate t = t.cache <- None
+
+let store t =
+  match t.cache with
+  | Some s -> s
+  | None ->
+      ignore (Dom.index t.root);
+      let s = Backend_mainmem.create ~level:t.level t.root in
+      t.cache <- Some s;
+      s
+
+let pending t = t.cache = None
+
+(* Locate the element carrying a given id.  Uses the current store's ID
+   index when it is clean; falls back to a scan on a dirty tree. *)
+let find_by_id t id =
+  match t.cache with
+  | Some s when Backend_mainmem.id_lookup s id <> None -> (
+      match Backend_mainmem.id_lookup s id with Some hit -> hit | None -> None)
+  | _ ->
+      let found = ref None in
+      Dom.iter (fun n -> if Dom.attr n "id" = Some id then found := Some n) t.root;
+      !found
+
+let register_person t ~name ~email =
+  let people = require_section t.root "people" in
+  t.person_counter <- t.person_counter + 1;
+  let id = Printf.sprintf "person%d" t.person_counter in
+  let person =
+    Dom.element ~attrs:[ ("id", id) ]
+      ~children:[ Dom.element ~children:[ Dom.text name ] "name";
+                  Dom.element ~children:[ Dom.text email ] "emailaddress" ]
+      "person"
+  in
+  Dom.append people person;
+  invalidate t;
+  id
+
+let leaf_value n tag =
+  match child_el n tag with
+  | Some c -> Dom.string_value c
+  | None -> err "<%s> missing inside <%s>" tag (Dom.name n)
+
+let set_leaf n tag value =
+  match child_el n tag with
+  | Some c -> c.Dom.desc <- Dom.Element { name = tag; attrs = []; children = [ Dom.text value ] }
+  | None -> err "<%s> missing inside <%s>" tag (Dom.name n)
+
+let money f = Printf.sprintf "%.2f" f
+
+let find_open_auction t auction =
+  match find_by_id t auction with
+  | Some n when Dom.name n = "open_auction" -> n
+  | Some n -> err "%s is a <%s>, not an open auction" auction (Dom.name n)
+  | None -> err "no such auction %s" auction
+
+let place_bid t ~auction ~person ~increase ~date ~time =
+  if increase <= 0.0 then err "bid increase must be positive";
+  let oa = find_open_auction t auction in
+  (match find_by_id t person with
+  | Some n when Dom.name n = "person" -> ()
+  | Some _ | None -> err "no such person %s" person);
+  let bidder =
+    Dom.element
+      ~children:
+        [
+          Dom.element ~children:[ Dom.text date ] "date";
+          Dom.element ~children:[ Dom.text time ] "time";
+          Dom.element ~attrs:[ ("person", person) ] "personref";
+          Dom.element ~children:[ Dom.text (money increase) ] "increase";
+        ]
+      "bidder"
+  in
+  (* DTD order: bidders sit between initial/reserve and current *)
+  (match oa.Dom.desc with
+  | Dom.Element e ->
+      let before, after =
+        List.partition
+          (fun c -> List.mem (Dom.name c) [ "initial"; "reserve"; "bidder" ])
+          e.Dom.children
+      in
+      e.Dom.children <- before @ [ bidder ] @ after;
+      bidder.Dom.parent <- Some oa
+  | Dom.Text _ -> assert false);
+  let current = float_of_string (leaf_value oa "current") in
+  set_leaf oa "current" (money (current +. increase));
+  invalidate t
+
+let close_auction t ~auction ~date =
+  let oa = find_open_auction t auction in
+  let bidders = List.filter (fun c -> Dom.name c = "bidder") (Dom.children oa) in
+  let last_bidder =
+    match List.rev bidders with
+    | b :: _ -> b
+    | [] -> err "auction %s has no bids; cannot close" auction
+  in
+  let buyer =
+    match child_el last_bidder "personref" with
+    | Some p -> ( match Dom.attr p "person" with Some v -> v | None -> err "bidder without person")
+    | None -> err "bidder without personref"
+  in
+  let ref_attr tag =
+    match child_el oa tag with
+    | Some n -> Dom.attr n (match tag with "itemref" -> "item" | _ -> "person")
+    | None -> None
+  in
+  let get_opt tag = Option.map Dom.string_value (child_el oa tag) in
+  let closed =
+    Dom.element
+      ~children:
+        ([
+           Dom.element ~attrs:[ ("person", Option.value ~default:"" (ref_attr "seller")) ] "seller";
+           Dom.element ~attrs:[ ("person", buyer) ] "buyer";
+           Dom.element ~attrs:[ ("item", Option.value ~default:"" (ref_attr "itemref")) ] "itemref";
+           Dom.element ~children:[ Dom.text (leaf_value oa "current") ] "price";
+           Dom.element ~children:[ Dom.text date ] "date";
+           Dom.element
+             ~children:[ Dom.text (Option.value ~default:"1" (get_opt "quantity")) ]
+             "quantity";
+           Dom.element
+             ~children:[ Dom.text (Option.value ~default:"Regular" (get_opt "type")) ]
+             "type";
+         ]
+        @ (match child_el oa "annotation" with Some a -> [ Dom.deep_copy a ] | None -> []))
+      "closed_auction"
+  in
+  (* unlink from open_auctions, append to closed_auctions *)
+  let opens = require_section t.root "open_auctions" in
+  (match opens.Dom.desc with
+  | Dom.Element e -> e.Dom.children <- List.filter (fun c -> c != oa) e.Dom.children
+  | Dom.Text _ -> assert false);
+  let closeds = require_section t.root "closed_auctions" in
+  Dom.append closeds closed;
+  invalidate t

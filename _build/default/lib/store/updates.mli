@@ -1,0 +1,45 @@
+(** Update operations — the paper's declared future work.
+
+    Section 8: "Important parts of a complete application scenario are
+    still missing: update specifications, for which a W3C standard has
+    yet to be defined, are the most prominent one."  This module supplies
+    the auction site's natural write operations on top of the main-memory
+    backend, using the maintenance discipline the paper's systems actually
+    had (bulkload-style): mutations edit the document tree and invalidate
+    the derived structures; indexes, document order and the structural
+    summary are rebuilt lazily before the next query.
+
+    All operations preserve the benchmark's integrity invariants: typed
+    references keep resolving, identifiers stay unique, and an open
+    auction's [current] price stays equal to [initial] plus the sum of its
+    bid increases. *)
+
+type session
+
+exception Update_error of string
+
+val open_session : ?level:Backend_mainmem.level -> Xmark_xml.Dom.node -> session
+(** Take ownership of a document tree.  [level] defaults to [`Full]. *)
+
+val of_string : ?level:Backend_mainmem.level -> string -> session
+
+val store : session -> Backend_mainmem.t
+(** Current queryable store; rebuilt here if mutations are pending. *)
+
+val pending : session -> bool
+(** Whether mutations have happened since the last rebuild. *)
+
+val register_person : session -> name:string -> email:string -> string
+(** Add a person; returns the fresh identifier (["person<n>"]).
+    @raise Update_error if the people section is missing. *)
+
+val place_bid :
+  session -> auction:string -> person:string -> increase:float -> date:string -> time:string -> unit
+(** Append a bid to an open auction and update its [current] price.
+    @raise Update_error for an unknown auction or person. *)
+
+val close_auction : session -> auction:string -> date:string -> unit
+(** Move an open auction to the closed section: the highest bidder becomes
+    the buyer, [current] becomes [price], bid history is dropped — the
+    document's own schema for closed auctions.
+    @raise Update_error for an unknown auction or one without bids. *)

@@ -1,0 +1,1 @@
+lib/xml/canonical.ml: Buffer Dom List Serialize String

@@ -1,0 +1,1 @@
+lib/xml/serialize.ml: Buffer Dom List String

@@ -1,0 +1,59 @@
+let normalize_ws s =
+  let buf = Buffer.create (String.length s) in
+  let pending = ref false in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then pending := true
+      else begin
+        if !pending && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        pending := false;
+        Buffer.add_char buf c
+      end)
+    s;
+  Buffer.contents buf
+
+let rec emit buf (n : Dom.node) =
+  match n.Dom.desc with
+  | Dom.Text s -> Serialize.(Buffer.add_string buf (escape_text (normalize_ws s)))
+  | Dom.Element e ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.name;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (Serialize.escape_attr v);
+          Buffer.add_char buf '"')
+        (List.sort compare e.attrs);
+      Buffer.add_char buf '>';
+      (* Coalesce adjacent text and drop whitespace-only runs. *)
+      let rec walk = function
+        | [] -> ()
+        | (c : Dom.node) :: rest -> (
+            match c.Dom.desc with
+            | Dom.Text _ ->
+                let texts, rest' = split_texts [] (c :: rest) in
+                let joined = normalize_ws (String.concat "" texts) in
+                if joined <> "" then Buffer.add_string buf (Serialize.escape_text joined);
+                walk rest'
+            | Dom.Element _ ->
+                emit buf c;
+                walk rest)
+      and split_texts acc = function
+        | ({ Dom.desc = Dom.Text s; _ } : Dom.node) :: rest -> split_texts (s :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      walk e.children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.name;
+      Buffer.add_char buf '>'
+
+let of_node n =
+  let buf = Buffer.create 256 in
+  emit buf n;
+  Buffer.contents buf
+
+let of_nodes nodes = String.concat "\n" (List.map of_node nodes)
+
+let equal a b = String.equal (of_nodes a) (of_nodes b)

@@ -1,0 +1,22 @@
+(** Canonical form for comparing query-processor output.
+
+    The paper (Section 1) observes that deciding when two XML query results
+    are equivalent is itself a research problem: physical representation,
+    attribute order and whitespace all vary between engines.  This module
+    implements the pragmatic canonicalization the benchmark needs — in the
+    spirit of Canonical XML — so results from different storage backends
+    can be compared byte-wise:
+
+    - attributes sorted by name, always double-quoted;
+    - empty elements written as a start/end pair;
+    - adjacent text coalesced; whitespace-only text between elements
+      dropped; remaining text whitespace-normalized;
+    - the five predefined entities escaped. *)
+
+val of_node : Dom.node -> string
+
+val of_nodes : Dom.node list -> string
+(** Canonical form of a node sequence: canonical items joined by newlines. *)
+
+val equal : Dom.node list -> Dom.node list -> bool
+(** Equivalence of two results under canonicalization. *)

@@ -1,0 +1,75 @@
+(** In-memory XML tree.
+
+    The node model follows the paper's restrictions (Section 4.4): elements,
+    attributes and character data only — no namespaces, entities, notations
+    or processing instructions.  Attributes are unordered name/value pairs
+    attached to elements; element and text nodes carry a document-order
+    number assigned by {!index}. *)
+
+type node = {
+  mutable desc : desc;
+  mutable parent : node option;
+  mutable order : int;  (** document order; [-1] until {!index} runs *)
+}
+
+and desc =
+  | Element of element
+  | Text of string
+
+and element = {
+  name : string;
+  mutable attrs : (string * string) list;  (** in source order *)
+  mutable children : node list;  (** in document order *)
+}
+
+val element : ?attrs:(string * string) list -> ?children:node list -> string -> node
+(** [element name] builds an element node and sets the [parent] field of
+    the given children. *)
+
+val text : string -> node
+(** Text node. *)
+
+val append : node -> node -> unit
+(** [append parent child] adds [child] as last child of [parent].
+    @raise Invalid_argument if [parent] is a text node. *)
+
+val index : node -> int
+(** [index root] numbers the subtree in document order starting at 0 and
+    returns the number of nodes. *)
+
+val name : node -> string
+(** Element tag, or [""] for a text node. *)
+
+val is_element : node -> bool
+
+val children : node -> node list
+(** Children of an element; [\[\]] for text nodes. *)
+
+val attr : node -> string -> string option
+(** Attribute lookup on an element. *)
+
+val string_value : node -> string
+(** Concatenation of all descendant text, in document order. *)
+
+val iter : (node -> unit) -> node -> unit
+(** Pre-order traversal of the subtree rooted at the argument. *)
+
+val fold : ('a -> node -> 'a) -> 'a -> node -> 'a
+(** Pre-order fold. *)
+
+val size : node -> int
+(** Number of nodes in the subtree. *)
+
+val descendants_named : node -> string -> node list
+(** All descendant elements (excluding self) with the given tag, in
+    document order. *)
+
+val find_element : node -> string -> node option
+(** First descendant-or-self element with the given tag. *)
+
+val deep_copy : node -> node
+(** Structural copy with fresh parent links and unset orders. *)
+
+val equal : node -> node -> bool
+(** Structural equality: same tags, same attribute sets (order
+    insensitive), same child sequences. *)

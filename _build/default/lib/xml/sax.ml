@@ -1,0 +1,322 @@
+exception Parse_error of { line : int; col : int; message : string }
+
+type event =
+  | Start_element of string * (string * string) list
+  | End_element of string
+  | Chars of string
+  | Eof
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+  mutable stack : string list;  (* open elements, innermost first *)
+  mutable pending_end : string option;  (* for <empty/> tags *)
+  mutable done_ : bool;
+}
+
+let of_string src =
+  { src; pos = 0; line = 1; bol = 0; stack = []; pending_end = None; done_ = false }
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let error p message =
+  raise (Parse_error { line = p.line; col = p.pos - p.bol + 1; message })
+
+let eof p = p.pos >= String.length p.src
+
+let peek p = p.src.[p.pos]
+
+let advance p =
+  (if peek p = '\n' then begin
+     p.line <- p.line + 1;
+     p.bol <- p.pos + 1
+   end);
+  p.pos <- p.pos + 1
+
+let expect p c =
+  if eof p || peek p <> c then error p (Printf.sprintf "expected %C" c);
+  advance p
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_ws p =
+  while (not (eof p)) && is_ws (peek p) do
+    advance p
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.' || c = ':'
+
+let read_name p =
+  if eof p || not (is_name_start (peek p)) then error p "expected a name";
+  let start = p.pos in
+  while (not (eof p)) && is_name_char (peek p) do
+    advance p
+  done;
+  String.sub p.src start (p.pos - start)
+
+(* Entity / character reference, cursor just past '&'. *)
+let read_reference p =
+  if eof p then error p "unterminated reference";
+  if peek p = '#' then begin
+    advance p;
+    let hex = (not (eof p)) && peek p = 'x' in
+    if hex then advance p;
+    let start = p.pos in
+    while (not (eof p)) && peek p <> ';' do
+      advance p
+    done;
+    let digits = String.sub p.src start (p.pos - start) in
+    expect p ';';
+    let code =
+      match int_of_string_opt (if hex then "0x" ^ digits else digits) with
+      | Some c when c >= 0 && c < 128 -> c
+      | Some _ -> error p "character reference outside 7-bit ASCII"
+      | None -> error p "malformed character reference"
+    in
+    String.make 1 (Char.chr code)
+  end
+  else
+    let name = read_name p in
+    expect p ';';
+    match name with
+    | "amp" -> "&"
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "apos" -> "'"
+    | "quot" -> "\""
+    | other -> error p (Printf.sprintf "unknown entity &%s;" other)
+
+let read_attr_value p =
+  if eof p then error p "expected quoted attribute value";
+  let quote = peek p in
+  if quote <> '"' && quote <> '\'' then error p "expected quoted attribute value";
+  advance p;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof p then error p "unterminated attribute value";
+    let c = peek p in
+    if c = quote then advance p
+    else if c = '<' then error p "'<' in attribute value"
+    else if c = '&' then begin
+      advance p;
+      Buffer.add_string buf (read_reference p);
+      loop ()
+    end
+    else begin
+      advance p;
+      Buffer.add_char buf c;
+      loop ()
+    end
+  in
+  loop ();
+  Buffer.contents buf
+
+let skip_until p needle =
+  (* Advance past the next occurrence of [needle]. *)
+  let n = String.length needle in
+  let rec loop () =
+    if p.pos + n > String.length p.src then error p (Printf.sprintf "unterminated construct, expected %S" needle)
+    else if String.sub p.src p.pos n = needle then
+      for _ = 1 to n do
+        advance p
+      done
+    else begin
+      advance p;
+      loop ()
+    end
+  in
+  loop ()
+
+(* DOCTYPE may contain an internal subset in [...]. *)
+let skip_doctype p =
+  let depth_sq = ref 0 in
+  let rec loop () =
+    if eof p then error p "unterminated DOCTYPE";
+    (match peek p with
+    | '[' -> incr depth_sq
+    | ']' -> decr depth_sq
+    | '>' when !depth_sq = 0 ->
+        advance p;
+        raise Exit
+    | _ -> ());
+    advance p;
+    loop ()
+  in
+  try loop () with Exit -> ()
+
+let read_cdata p =
+  (* cursor just past "<![CDATA[" *)
+  let start = p.pos in
+  let rec find () =
+    if p.pos + 3 > String.length p.src then error p "unterminated CDATA section"
+    else if String.sub p.src p.pos 3 = "]]>" then begin
+      let s = String.sub p.src start (p.pos - start) in
+      advance p;
+      advance p;
+      advance p;
+      s
+    end
+    else begin
+      advance p;
+      find ()
+    end
+  in
+  find ()
+
+let read_tag p =
+  (* cursor on '<' *)
+  advance p;
+  if eof p then error p "unterminated tag";
+  match peek p with
+  | '/' ->
+      advance p;
+      let name = read_name p in
+      skip_ws p;
+      expect p '>';
+      (match p.stack with
+      | top :: rest when String.equal top name ->
+          p.stack <- rest;
+          End_element name
+      | top :: _ -> error p (Printf.sprintf "mismatched end tag </%s>, expected </%s>" name top)
+      | [] -> error p (Printf.sprintf "unexpected end tag </%s>" name))
+  | '?' ->
+      skip_until p "?>";
+      Chars ""
+  | '!' ->
+      advance p;
+      if p.pos + 7 <= String.length p.src && String.sub p.src p.pos 7 = "[CDATA[" then begin
+        p.pos <- p.pos + 7;
+        Chars (read_cdata p)
+      end
+      else if p.pos + 2 <= String.length p.src && String.sub p.src p.pos 2 = "--" then begin
+        skip_until p "-->";
+        Chars ""
+      end
+      else if p.pos + 7 <= String.length p.src && String.sub p.src p.pos 7 = "DOCTYPE" then begin
+        skip_doctype p;
+        Chars ""
+      end
+      else error p "unsupported markup declaration"
+  | _ ->
+      let name = read_name p in
+      let rec attrs acc =
+        skip_ws p;
+        if eof p then error p "unterminated start tag"
+        else
+          match peek p with
+          | '>' ->
+              advance p;
+              p.stack <- name :: p.stack;
+              Start_element (name, List.rev acc)
+          | '/' ->
+              advance p;
+              expect p '>';
+              p.stack <- name :: p.stack;
+              p.pending_end <- Some name;
+              Start_element (name, List.rev acc)
+          | c when is_name_start c ->
+              let key = read_name p in
+              skip_ws p;
+              expect p '=';
+              skip_ws p;
+              let value = read_attr_value p in
+              if List.mem_assoc key acc then error p (Printf.sprintf "duplicate attribute %s" key);
+              attrs ((key, value) :: acc)
+          | _ -> error p "malformed start tag"
+      in
+      attrs []
+
+let read_chars p =
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    if eof p then ()
+    else
+      match peek p with
+      | '<' -> ()
+      | '&' ->
+          advance p;
+          Buffer.add_string buf (read_reference p);
+          loop ()
+      | c ->
+          advance p;
+          Buffer.add_char buf c;
+          loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let rec next p =
+  match p.pending_end with
+  | Some name ->
+      p.pending_end <- None;
+      (match p.stack with
+      | top :: rest when String.equal top name -> p.stack <- rest
+      | _ -> ());
+      End_element name
+  | None ->
+      if p.done_ then Eof
+      else if eof p then begin
+        if p.stack <> [] then error p (Printf.sprintf "unexpected end of input inside <%s>" (List.hd p.stack));
+        p.done_ <- true;
+        Eof
+      end
+      else if peek p = '<' then begin
+        match read_tag p with
+        | Chars "" -> next p  (* skipped construct *)
+        | Chars s when p.stack = [] && String.for_all is_ws s -> next p
+        | ev -> ev
+      end
+      else
+        let s = read_chars p in
+        if p.stack = [] then
+          if String.for_all is_ws s then next p
+          else error p "character data outside root element"
+        else Chars s
+
+let scan p =
+  let rec loop n =
+    match next p with
+    | Eof -> n
+    | Start_element _ | End_element _ | Chars _ -> loop (n + 1)
+  in
+  loop 0
+
+let parse_dom ?(keep_ws = false) p =
+  let rec build_children acc =
+    match next p with
+    | Eof -> error p "unexpected end of input"
+    | End_element _ -> List.rev acc
+    | Chars s ->
+        if (not keep_ws) && String.for_all is_ws s then build_children acc
+        else build_children (Dom.text s :: acc)
+    | Start_element (name, attrs) ->
+        let children = build_children [] in
+        build_children (Dom.element ~attrs ~children name :: acc)
+  in
+  let rec root () =
+    match next p with
+    | Eof -> error p "no root element"
+    | Chars _ -> root ()
+    | End_element _ -> error p "unexpected end tag"
+    | Start_element (name, attrs) ->
+        let children = build_children [] in
+        Dom.element ~attrs ~children name
+  in
+  let r = root () in
+  (match next p with
+  | Eof -> ()
+  | _ -> error p "content after root element");
+  ignore (Dom.index r);
+  r
+
+let parse_string ?keep_ws s = parse_dom ?keep_ws (of_string s)
+let parse_file ?keep_ws path = parse_dom ?keep_ws (of_file path)

@@ -1,0 +1,43 @@
+(** Streaming pull parser for the XML subset XMark documents use.
+
+    Plays the role the expat scan plays in the paper's Section 7: a pure
+    tokenizer that reports start tags, end tags and character data.  Handles
+    the constructs the benchmark data generator is allowed to emit
+    (Section 4.4): elements, attributes (single- or double-quoted),
+    character references, the five predefined entities, comments, CDATA
+    sections, an XML declaration and a DOCTYPE (both skipped).  Namespaces,
+    user entities and notations are rejected by construction — they never
+    appear in valid benchmark input. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+type event =
+  | Start_element of string * (string * string) list
+  | End_element of string
+  | Chars of string  (** character data; never empty *)
+  | Eof
+
+type t
+
+val of_string : string -> t
+
+val of_file : string -> t
+(** Reads the whole file; raises [Sys_error] on I/O failure. *)
+
+val next : t -> event
+(** Next event; well-formedness (tag balance) is checked incrementally.
+    After [Eof], keeps returning [Eof].
+    @raise Parse_error on malformed input. *)
+
+val scan : t -> int
+(** Drain the stream, returning the number of events — the paper's
+    "tokenization only" expat measurement. *)
+
+val parse_dom : ?keep_ws:bool -> t -> Dom.node
+(** Build a {!Dom} tree from the stream.  Whitespace-only text nodes are
+    dropped unless [keep_ws] is [true].
+    @raise Parse_error if the stream has no root element or trailing
+    content. *)
+
+val parse_string : ?keep_ws:bool -> string -> Dom.node
+val parse_file : ?keep_ws:bool -> string -> Dom.node

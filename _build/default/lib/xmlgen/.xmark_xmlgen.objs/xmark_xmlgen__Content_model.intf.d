@@ -1,0 +1,1 @@
+lib/xmlgen/content_model.mli:

@@ -1,0 +1,1 @@
+lib/xmlgen/dictionary.ml: Array Buffer Char Hashtbl String Xmark_prng

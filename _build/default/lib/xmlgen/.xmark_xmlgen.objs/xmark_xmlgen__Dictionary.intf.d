@@ -1,0 +1,1 @@
+lib/xmlgen/dictionary.mli: Xmark_prng

@@ -1,0 +1,1 @@
+lib/xmlgen/dtd.mli:

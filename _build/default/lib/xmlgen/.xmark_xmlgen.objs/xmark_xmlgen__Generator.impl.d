@@ -1,0 +1,1 @@
+lib/xmlgen/generator.ml: Array Buffer Char Dictionary Dtd Float Fun List Printf Profile Sink String Xmark_prng

@@ -1,0 +1,1 @@
+lib/xmlgen/generator.mli: Sink Xmark_xml

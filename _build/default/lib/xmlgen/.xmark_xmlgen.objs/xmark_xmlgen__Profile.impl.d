@@ -1,0 +1,1 @@
+lib/xmlgen/profile.ml: Float List

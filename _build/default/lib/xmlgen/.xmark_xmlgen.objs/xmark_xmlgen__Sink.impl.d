@@ -1,0 +1,1 @@
+lib/xmlgen/sink.ml: Buffer Filename List Printf String Xmark_xml

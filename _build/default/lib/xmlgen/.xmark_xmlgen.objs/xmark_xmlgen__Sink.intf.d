@@ -1,0 +1,1 @@
+lib/xmlgen/sink.mli: Buffer Xmark_xml

@@ -1,0 +1,1 @@
+lib/xmlgen/validator.ml: Content_model Format Hashtbl List Option Printf String Xmark_xml

@@ -1,0 +1,1 @@
+lib/xmlgen/validator.mli: Format Xmark_xml

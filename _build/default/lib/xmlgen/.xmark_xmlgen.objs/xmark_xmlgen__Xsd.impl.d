@@ -1,0 +1,1 @@
+lib/xmlgen/xsd.ml: Content_model List Option Xmark_xml

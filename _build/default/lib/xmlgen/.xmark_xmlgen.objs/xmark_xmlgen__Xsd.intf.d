@@ -1,0 +1,1 @@
+lib/xmlgen/xsd.mli: Xmark_xml

@@ -1,0 +1,151 @@
+(** Structured form of the benchmark DTD: content models and attribute
+    declarations.  Shared by {!Validator} (checking) and {!Xsd}
+    (XML Schema emission); the textual DTD in {!Dtd} is the same
+    information in DTD syntax. *)
+
+(* --- content models -------------------------------------------------------- *)
+
+type regexp =
+  | El of string
+  | Seq of regexp list
+  | Alt of regexp list
+  | Opt of regexp
+  | Star of regexp
+  | Plus of regexp
+
+type content =
+  | Children of regexp  (* element content: no character data allowed *)
+  | Mixed of string list  (* (#PCDATA | a | b)* *)
+  | Pcdata  (* (#PCDATA) *)
+  | Empty
+
+type attr_decl = { aname : string; required : bool; is_id : bool; is_idref : bool }
+
+let inline = [ "bold"; "keyword"; "emph" ]
+
+let auction_content =
+  (* open_auction and closed_auction differ only around the bid history *)
+  let annotation = El "annotation" in
+  ( Seq
+      [
+        El "initial"; Opt (El "reserve"); Star (El "bidder"); El "current"; Opt (El "privacy");
+        El "itemref"; El "seller"; annotation; El "quantity"; El "type"; El "interval";
+      ],
+    Seq
+      [
+        El "seller"; El "buyer"; El "itemref"; El "price"; El "date"; El "quantity"; El "type";
+        Opt annotation;
+      ] )
+
+(* The DTD of Dtd.declarations, as structured data. *)
+let elements : (string * content) list =
+  let open_model, closed_model = auction_content in
+  [
+    ("site",
+     Children (Seq [ El "regions"; El "categories"; El "catgraph"; El "people";
+                     El "open_auctions"; El "closed_auctions" ]));
+    ("categories", Children (Plus (El "category")));
+    ("category", Children (Seq [ El "name"; El "description" ]));
+    ("name", Pcdata);
+    ("description", Children (Alt [ El "text"; El "parlist" ]));
+    ("text", Mixed inline);
+    ("bold", Mixed inline);
+    ("keyword", Mixed inline);
+    ("emph", Mixed inline);
+    ("parlist", Children (Star (El "listitem")));
+    ("listitem", Children (Star (Alt [ El "text"; El "parlist" ])));
+    ("catgraph", Children (Star (El "edge")));
+    ("edge", Empty);
+    ("regions",
+     Children (Seq [ El "africa"; El "asia"; El "australia"; El "europe"; El "namerica";
+                     El "samerica" ]));
+    ("africa", Children (Star (El "item")));
+    ("asia", Children (Star (El "item")));
+    ("australia", Children (Star (El "item")));
+    ("europe", Children (Star (El "item")));
+    ("namerica", Children (Star (El "item")));
+    ("samerica", Children (Star (El "item")));
+    ("item",
+     Children (Seq [ El "location"; El "quantity"; El "name"; El "payment"; El "description";
+                     El "shipping"; Plus (El "incategory"); El "mailbox" ]));
+    ("location", Pcdata);
+    ("quantity", Pcdata);
+    ("payment", Pcdata);
+    ("shipping", Pcdata);
+    ("reserve", Pcdata);
+    ("incategory", Empty);
+    ("mailbox", Children (Star (El "mail")));
+    ("mail", Children (Seq [ El "from"; El "to"; El "date"; El "text" ]));
+    ("from", Pcdata);
+    ("to", Pcdata);
+    ("date", Pcdata);
+    ("itemref", Empty);
+    ("personref", Empty);
+    ("people", Children (Star (El "person")));
+    ("person",
+     Children (Seq [ El "name"; El "emailaddress"; Opt (El "phone"); Opt (El "address");
+                     Opt (El "homepage"); Opt (El "creditcard"); Opt (El "profile");
+                     Opt (El "watches") ]));
+    ("emailaddress", Pcdata);
+    ("phone", Pcdata);
+    ("address",
+     Children (Seq [ El "street"; El "city"; El "country"; Opt (El "province"); El "zipcode" ]));
+    ("street", Pcdata);
+    ("city", Pcdata);
+    ("province", Pcdata);
+    ("zipcode", Pcdata);
+    ("country", Pcdata);
+    ("homepage", Pcdata);
+    ("creditcard", Pcdata);
+    ("profile",
+     Children (Seq [ Star (El "interest"); Opt (El "education"); Opt (El "gender");
+                     El "business"; Opt (El "age") ]));
+    ("interest", Empty);
+    ("education", Pcdata);
+    ("gender", Pcdata);
+    ("business", Pcdata);
+    ("age", Pcdata);
+    ("watches", Children (Star (El "watch")));
+    ("watch", Empty);
+    ("open_auctions", Children (Star (El "open_auction")));
+    ("open_auction", Children open_model);
+    ("initial", Pcdata);
+    ("bidder", Children (Seq [ El "date"; El "time"; El "personref"; El "increase" ]));
+    ("time", Pcdata);
+    ("increase", Pcdata);
+    ("current", Pcdata);
+    ("privacy", Pcdata);
+    ("seller", Empty);
+    ("annotation", Children (Seq [ El "author"; Opt (El "description"); El "happiness" ]));
+    ("author", Empty);
+    ("happiness", Pcdata);
+    ("type", Pcdata);
+    ("interval", Children (Seq [ El "start"; El "end" ]));
+    ("start", Pcdata);
+    ("end", Pcdata);
+    ("closed_auctions", Children (Star (El "closed_auction")));
+    ("closed_auction", Children closed_model);
+    ("buyer", Empty);
+    ("price", Pcdata);
+  ]
+
+let attributes : (string * attr_decl list) list =
+  let id = { aname = "id"; required = true; is_id = true; is_idref = false } in
+  let idref name = { aname = name; required = true; is_id = false; is_idref = true } in
+  [
+    ("category", [ id ]);
+    ("edge", [ idref "from"; idref "to" ]);
+    ("item", [ id; { aname = "featured"; required = false; is_id = false; is_idref = false } ]);
+    ("incategory", [ idref "category" ]);
+    ("itemref", [ idref "item" ]);
+    ("personref", [ idref "person" ]);
+    ("person", [ id ]);
+    ("profile", [ { aname = "income"; required = false; is_id = false; is_idref = false } ]);
+    ("interest", [ idref "category" ]);
+    ("watch", [ idref "open_auction" ]);
+    ("open_auction", [ id ]);
+    ("seller", [ idref "person" ]);
+    ("author", [ idref "person" ]);
+    ("buyer", [ idref "person" ]);
+  ]
+

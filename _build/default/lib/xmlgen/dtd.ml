@@ -1,0 +1,143 @@
+let declarations ~split =
+  let idref = if split then "CDATA #REQUIRED" else "IDREF #REQUIRED" in
+  let id = if split then "CDATA #REQUIRED" else "ID #REQUIRED" in
+  let site_model =
+    if split then
+      (* a split file holds whatever sections the rotation point left in it *)
+      "(regions?, categories?, catgraph?, people?, open_auctions?, closed_auctions?)"
+    else "(regions, categories, catgraph, people, open_auctions, closed_auctions)"
+  in
+  let regions_model =
+    if split then "(africa?, asia?, australia?, europe?, namerica?, samerica?)"
+    else "(africa, asia, australia, europe, namerica, samerica)"
+  in
+  [
+    "<!ELEMENT site " ^ site_model ^ ">";
+    "<!ELEMENT categories (category+)>";
+    "<!ELEMENT category (name, description)>";
+    "<!ATTLIST category id " ^ id ^ ">";
+    "<!ELEMENT name (#PCDATA)>";
+    "<!ELEMENT description (text | parlist)>";
+    "<!ELEMENT text (#PCDATA | bold | keyword | emph)*>";
+    "<!ELEMENT bold (#PCDATA | bold | keyword | emph)*>";
+    "<!ELEMENT keyword (#PCDATA | bold | keyword | emph)*>";
+    "<!ELEMENT emph (#PCDATA | bold | keyword | emph)*>";
+    "<!ELEMENT parlist (listitem)*>";
+    "<!ELEMENT listitem (text | parlist)*>";
+    "<!ELEMENT catgraph (edge*)>";
+    "<!ELEMENT edge EMPTY>";
+    "<!ATTLIST edge from " ^ idref ^ " to " ^ idref ^ ">";
+    "<!ELEMENT regions " ^ regions_model ^ ">";
+    "<!ELEMENT africa (item*)>";
+    "<!ELEMENT asia (item*)>";
+    "<!ELEMENT australia (item*)>";
+    "<!ELEMENT europe (item*)>";
+    "<!ELEMENT namerica (item*)>";
+    "<!ELEMENT samerica (item*)>";
+    "<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox)>";
+    "<!ATTLIST item id " ^ id ^ " featured CDATA #IMPLIED>";
+    "<!ELEMENT location (#PCDATA)>";
+    "<!ELEMENT quantity (#PCDATA)>";
+    "<!ELEMENT payment (#PCDATA)>";
+    "<!ELEMENT shipping (#PCDATA)>";
+    "<!ELEMENT reserve (#PCDATA)>";
+    "<!ELEMENT incategory EMPTY>";
+    "<!ATTLIST incategory category " ^ idref ^ ">";
+    "<!ELEMENT mailbox (mail*)>";
+    "<!ELEMENT mail (from, to, date, text)>";
+    "<!ELEMENT from (#PCDATA)>";
+    "<!ELEMENT to (#PCDATA)>";
+    "<!ELEMENT date (#PCDATA)>";
+    "<!ELEMENT itemref EMPTY>";
+    "<!ATTLIST itemref item " ^ idref ^ ">";
+    "<!ELEMENT personref EMPTY>";
+    "<!ATTLIST personref person " ^ idref ^ ">";
+    "<!ELEMENT people (person*)>";
+    "<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>";
+    "<!ATTLIST person id " ^ id ^ ">";
+    "<!ELEMENT emailaddress (#PCDATA)>";
+    "<!ELEMENT phone (#PCDATA)>";
+    "<!ELEMENT address (street, city, country, province?, zipcode)>";
+    "<!ELEMENT street (#PCDATA)>";
+    "<!ELEMENT city (#PCDATA)>";
+    "<!ELEMENT province (#PCDATA)>";
+    "<!ELEMENT zipcode (#PCDATA)>";
+    "<!ELEMENT country (#PCDATA)>";
+    "<!ELEMENT homepage (#PCDATA)>";
+    "<!ELEMENT creditcard (#PCDATA)>";
+    "<!ELEMENT profile (interest*, education?, gender?, business, age?)>";
+    "<!ATTLIST profile income CDATA #IMPLIED>";
+    "<!ELEMENT interest EMPTY>";
+    "<!ATTLIST interest category " ^ idref ^ ">";
+    "<!ELEMENT education (#PCDATA)>";
+    "<!ELEMENT gender (#PCDATA)>";
+    "<!ELEMENT business (#PCDATA)>";
+    "<!ELEMENT age (#PCDATA)>";
+    "<!ELEMENT watches (watch*)>";
+    "<!ELEMENT watch EMPTY>";
+    "<!ATTLIST watch open_auction " ^ idref ^ ">";
+    "<!ELEMENT open_auctions (open_auction*)>";
+    "<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>";
+    "<!ATTLIST open_auction id " ^ id ^ ">";
+    "<!ELEMENT initial (#PCDATA)>";
+    "<!ELEMENT bidder (date, time, personref, increase)>";
+    "<!ELEMENT time (#PCDATA)>";
+    "<!ELEMENT increase (#PCDATA)>";
+    "<!ELEMENT current (#PCDATA)>";
+    "<!ELEMENT privacy (#PCDATA)>";
+    "<!ELEMENT seller EMPTY>";
+    "<!ATTLIST seller person " ^ idref ^ ">";
+    "<!ELEMENT annotation (author, description?, happiness)>";
+    "<!ELEMENT author EMPTY>";
+    "<!ATTLIST author person " ^ idref ^ ">";
+    "<!ELEMENT happiness (#PCDATA)>";
+    "<!ELEMENT type (#PCDATA)>";
+    "<!ELEMENT interval (start, end)>";
+    "<!ELEMENT start (#PCDATA)>";
+    "<!ELEMENT end (#PCDATA)>";
+    "<!ELEMENT closed_auctions (closed_auction*)>";
+    "<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation?)>";
+    "<!ELEMENT buyer EMPTY>";
+    "<!ATTLIST buyer person " ^ idref ^ ">";
+    "<!ELEMENT price (#PCDATA)>";
+  ]
+
+let wrap decls = "<!DOCTYPE site [\n" ^ String.concat "\n" decls ^ "\n]>\n"
+
+let text = wrap (declarations ~split:false)
+
+let text_split = wrap (declarations ~split:true)
+
+let element_names =
+  [
+    "site"; "categories"; "category"; "name"; "description"; "text"; "bold";
+    "keyword"; "emph"; "parlist"; "listitem"; "catgraph"; "edge"; "regions";
+    "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica"; "item";
+    "location"; "quantity"; "payment"; "shipping"; "reserve"; "incategory";
+    "mailbox"; "mail"; "from"; "to"; "date"; "itemref"; "personref";
+    "people"; "person"; "emailaddress"; "phone"; "address"; "street";
+    "city"; "province"; "zipcode"; "country"; "homepage"; "creditcard";
+    "profile"; "interest"; "education"; "gender"; "business"; "age";
+    "watches"; "watch"; "open_auctions"; "open_auction"; "initial";
+    "bidder"; "time"; "increase"; "current"; "privacy"; "seller";
+    "annotation"; "author"; "happiness"; "type"; "interval"; "start";
+    "end"; "closed_auctions"; "closed_auction"; "buyer"; "price";
+  ]
+
+let attribute_names =
+  [
+    ("category", [ "id" ]);
+    ("edge", [ "from"; "to" ]);
+    ("item", [ "id"; "featured" ]);
+    ("incategory", [ "category" ]);
+    ("itemref", [ "item" ]);
+    ("personref", [ "person" ]);
+    ("person", [ "id" ]);
+    ("profile", [ "income" ]);
+    ("interest", [ "category" ]);
+    ("watch", [ "open_auction" ]);
+    ("open_auction", [ "id" ]);
+    ("seller", [ "person" ]);
+    ("author", [ "person" ]);
+    ("buyer", [ "person" ]);
+  ]

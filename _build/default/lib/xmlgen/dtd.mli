@@ -1,0 +1,17 @@
+(** The benchmark DTD (paper, Section 4.4: "A DTD and schema information
+    are provided to allow for more efficient mappings").
+
+    [text] is the single-document DTD with parser-controlled references
+    (ID / IDREF); [text_split] is the split-files variant of Section 5
+    where ID / IDREF declarations are downgraded to REQUIRED CDATA so a
+    validating parser does not enforce cross-file uniqueness/existence. *)
+
+val text : string
+
+val text_split : string
+
+val element_names : string list
+(** All element tags the DTD declares; useful for shredding mappings. *)
+
+val attribute_names : (string * string list) list
+(** [(element, attributes)] pairs for every element with attributes. *)

@@ -1,0 +1,434 @@
+module Prng = Xmark_prng.Prng
+
+let default_seed = 0xA5C7_42D1_9E3F_0B67L
+
+(* Structural probabilities and size knobs.  Calibrated so factor 1.0
+   extrapolates to slightly more than 100 MB (Figure 3); the calibration
+   test in test/test_xmlgen.ml pins the tolerance. *)
+module Tuning = struct
+  let p_item_featured = 0.10
+  let p_person_phone = 0.50
+  let p_person_address = 0.40
+  let p_person_homepage = 0.50
+  let p_person_creditcard = 0.35
+  let p_person_profile = 0.75
+  let p_profile_income = 0.80
+  let p_profile_education = 0.50
+  let p_profile_gender = 0.50
+  let p_profile_age = 0.50
+  let p_person_watches = 0.60
+  let p_address_province = 0.40
+  let p_auction_reserve = 0.45
+  let p_auction_privacy = 0.50
+  let p_closed_annotation = 0.90
+  let p_annotation_description = 0.85
+
+  (* Document-centric text. *)
+  let p_parlist = 0.35  (* description is a parlist rather than a text *)
+  let max_parlist_depth = 2
+  let p_chunk_markup = 0.18  (* a chunk of words gets inline markup *)
+  let p_markup_nested = 0.30  (* inline markup contains nested markup *)
+  let mean_interests = 1.6
+  let mean_watches = 2.0
+  let mean_bidders = 2.2
+  let max_bidders = 12
+  let mean_mails = 1.8
+  let max_mails = 6
+
+  (* Mean word counts per prose body. *)
+  let words_category_description = 100
+  let words_item_description = 110
+  let words_annotation_description = 80
+  let words_mail = 130
+  let words_listitem = 50
+end
+
+type gen = {
+  g : Prng.t;
+  dict : Dictionary.t;
+  counts : Profile.counts;
+  sink : Sink.t;
+  item_perm : Prng.Permutation.t;
+      (* auction -> item: open auction i gets image of i, closed auction j
+         gets image of open_auctions + j, so the item id space is
+         partitioned between the two auction sets (Section 4.5). *)
+  category_zipf : Prng.Zipf.t;
+}
+
+(* --- small emission helpers ------------------------------------------- *)
+
+let el t tag f =
+  t.sink.Sink.open_tag tag [];
+  f ();
+  t.sink.Sink.close_tag ()
+
+let el_attrs t tag attrs f =
+  t.sink.Sink.open_tag tag attrs;
+  f ();
+  t.sink.Sink.close_tag ()
+
+let leaf t tag value =
+  t.sink.Sink.open_tag tag [];
+  t.sink.Sink.text value;
+  t.sink.Sink.close_tag ()
+
+let empty_el t tag attrs =
+  t.sink.Sink.open_tag tag attrs;
+  t.sink.Sink.close_tag ()
+
+(* --- scalar value generators ------------------------------------------ *)
+
+let money t ~mean = Printf.sprintf "%.2f" (Prng.exponential t.g ~mean)
+
+let date t =
+  Printf.sprintf "%02d/%02d/%04d" (Prng.int_in t.g 1 28) (Prng.int_in t.g 1 12)
+    (Prng.int_in t.g 1998 2001)
+
+let time_of_day t =
+  Printf.sprintf "%02d:%02d:%02d" (Prng.int t.g 24) (Prng.int t.g 60) (Prng.int t.g 60)
+
+let person_id i = Printf.sprintf "person%d" i
+let item_id i = Printf.sprintf "item%d" i
+let category_id i = Printf.sprintf "category%d" i
+let open_auction_id i = Printf.sprintf "open_auction%d" i
+
+(* Reference draws with the diverse distributions of Section 4.2. *)
+let uniform_person t = Prng.int t.g t.counts.Profile.persons
+
+let exponential_person t =
+  let n = t.counts.Profile.persons in
+  let i = int_of_float (Prng.exponential t.g ~mean:(float_of_int n /. 5.0)) in
+  i mod n
+
+let normal_person t =
+  let n = float_of_int t.counts.Profile.persons in
+  let i = int_of_float (Prng.gaussian t.g ~mean:(n /. 2.0) ~stdev:(n /. 6.0)) in
+  min (t.counts.Profile.persons - 1) (max 0 i)
+
+let zipf_category t = Prng.Zipf.sample t.category_zipf t.g
+
+let uniform_category t = Prng.int t.g t.counts.Profile.categories
+
+let uniform_open_auction t = Prng.int t.g t.counts.Profile.open_auctions
+
+(* --- document-centric prose (Section 4.3) ------------------------------ *)
+
+let markup_tags = [| "bold"; "keyword"; "emph" |]
+
+(* Mixed content: runs of Zipf-sampled words with occasional inline markup,
+   possibly nested one level (Q15/Q16 look for keyword inside emph). *)
+let rec emit_word_run t ~words ~depth =
+  let remaining = ref words in
+  let first = ref true in
+  while !remaining > 0 do
+    let chunk = min !remaining (1 + Prng.int t.g 8) in
+    remaining := !remaining - chunk;
+    let body = Dictionary.sample_sentence t.dict t.g chunk in
+    let sep = if !first then "" else " " in
+    first := false;
+    if depth < 2 && Prng.chance t.g Tuning.p_chunk_markup then begin
+      if sep <> "" then t.sink.Sink.text sep;
+      let tag = Prng.pick t.g markup_tags in
+      el t tag (fun () ->
+          if Prng.chance t.g Tuning.p_markup_nested && chunk > 2 then begin
+            (* Split the chunk: plain head, nested-markup tail. *)
+            let head = chunk / 2 in
+            t.sink.Sink.text (Dictionary.sample_sentence t.dict t.g head ^ " ");
+            let nested =
+              if tag = "emph" then "keyword" else Prng.pick t.g markup_tags
+            in
+            el t nested (fun () -> emit_word_run t ~words:(chunk - head) ~depth:(depth + 2))
+          end
+          else t.sink.Sink.text body)
+    end
+    else t.sink.Sink.text (sep ^ body)
+  done
+
+let word_count t ~mean =
+  max 3 (int_of_float (Prng.exponential t.g ~mean:(float_of_int mean)))
+
+let emit_text_element t ~mean_words =
+  el t "text" (fun () -> emit_word_run t ~words:(word_count t ~mean:mean_words) ~depth:0)
+
+let rec emit_parlist t depth =
+  el t "parlist" (fun () ->
+      let items = 1 + Prng.int t.g 4 in
+      for _ = 1 to items do
+        el t "listitem" (fun () ->
+            if depth + 1 < Tuning.max_parlist_depth && Prng.chance t.g Tuning.p_parlist then
+              emit_parlist t (depth + 1)
+            else emit_text_element t ~mean_words:Tuning.words_listitem)
+      done)
+
+let emit_description t ~mean_words =
+  el t "description" (fun () ->
+      if Prng.chance t.g Tuning.p_parlist then emit_parlist t 0
+      else emit_text_element t ~mean_words)
+
+(* --- data-centric entity fields ---------------------------------------- *)
+
+let capitalized_words t n =
+  let parts =
+    List.init n (fun _ ->
+        let w = Dictionary.sample_word t.dict t.g in
+        String.mapi (fun i c -> if i = 0 then Char.uppercase_ascii c else c) w)
+  in
+  String.concat " " parts
+
+let payment_options = [| "Creditcard"; "Money order"; "Personal Check"; "Cash" |]
+
+let shipping_options =
+  [|
+    "Will ship only within country"; "Will ship internationally";
+    "Buyer pays fixed shipping charges"; "See description for charges";
+  |]
+
+let pick_options t options =
+  let chosen =
+    Array.to_list options |> List.filter (fun _ -> Prng.bool t.g)
+  in
+  match chosen with
+  | [] -> options.(0)
+  | parts -> String.concat ", " parts
+
+let education_options = [| "High School"; "College"; "Graduate School"; "Other" |]
+
+let auction_types = [| "Regular"; "Featured"; "Dutch" |]
+
+let emit_mailbox t =
+  el t "mailbox" (fun () ->
+      let mails =
+        min Tuning.max_mails (int_of_float (Prng.exponential t.g ~mean:Tuning.mean_mails))
+      in
+      for _ = 1 to mails do
+        el t "mail" (fun () ->
+            leaf t "from"
+              (Printf.sprintf "%s %s" (Dictionary.first_name t.dict t.g)
+                 (Dictionary.last_name t.dict t.g));
+            leaf t "to"
+              (Printf.sprintf "%s %s" (Dictionary.first_name t.dict t.g)
+                 (Dictionary.last_name t.dict t.g));
+            leaf t "date" (date t);
+            emit_text_element t ~mean_words:Tuning.words_mail)
+      done)
+
+let emit_item t idx =
+  let attrs =
+    (("id", item_id idx)
+     :: (if Prng.chance t.g Tuning.p_item_featured then [ ("featured", "yes") ] else []))
+  in
+  el_attrs t "item" attrs (fun () ->
+      leaf t "location" (Dictionary.country t.dict t.g);
+      leaf t "quantity"
+        (string_of_int (if Prng.chance t.g 0.8 then 1 else 1 + Prng.int t.g 4));
+      leaf t "name" (capitalized_words t (2 + Prng.int t.g 3));
+      leaf t "payment" (pick_options t payment_options);
+      emit_description t ~mean_words:Tuning.words_item_description;
+      leaf t "shipping" (pick_options t shipping_options);
+      let cats = 1 + Prng.int t.g 3 in
+      for _ = 1 to cats do
+        empty_el t "incategory" [ ("category", category_id (zipf_category t)) ]
+      done;
+      emit_mailbox t)
+
+let emit_address t =
+  el t "address" (fun () ->
+      leaf t "street"
+        (Printf.sprintf "%d %s St" (Prng.int_in t.g 1 99) (Dictionary.street_word t.dict t.g));
+      leaf t "city" (Dictionary.city t.dict t.g);
+      leaf t "country" (Dictionary.country t.dict t.g);
+      if Prng.chance t.g Tuning.p_address_province then
+        leaf t "province" (Dictionary.province t.dict t.g);
+      leaf t "zipcode" (string_of_int (Prng.int_in t.g 10000 99999)))
+
+let emit_profile t =
+  let attrs =
+    if Prng.chance t.g Tuning.p_profile_income then
+      let income =
+        Float.max 9876.0 (Prng.gaussian t.g ~mean:45000.0 ~stdev:30000.0)
+      in
+      [ ("income", Printf.sprintf "%.2f" income) ]
+    else []
+  in
+  el_attrs t "profile" attrs (fun () ->
+      let interests = int_of_float (Prng.exponential t.g ~mean:Tuning.mean_interests) in
+      for _ = 1 to min 25 interests do
+        empty_el t "interest" [ ("category", category_id (zipf_category t)) ]
+      done;
+      if Prng.chance t.g Tuning.p_profile_education then
+        leaf t "education" (Prng.pick t.g education_options);
+      if Prng.chance t.g Tuning.p_profile_gender then
+        leaf t "gender" (if Prng.bool t.g then "male" else "female");
+      leaf t "business" (if Prng.bool t.g then "Yes" else "No");
+      if Prng.chance t.g Tuning.p_profile_age then
+        let age =
+          min 90 (max 18 (int_of_float (Prng.gaussian t.g ~mean:32.0 ~stdev:10.0)))
+        in
+        leaf t "age" (string_of_int age))
+
+let emit_person t idx =
+  el_attrs t "person" [ ("id", person_id idx) ] (fun () ->
+      let first = Dictionary.first_name t.dict t.g in
+      let last = Dictionary.last_name t.dict t.g in
+      let host = Dictionary.mail_host t.dict t.g in
+      leaf t "name" (Printf.sprintf "%s %s" first last);
+      leaf t "emailaddress" (Printf.sprintf "mailto:%s@%s" (String.lowercase_ascii last) host);
+      if Prng.chance t.g Tuning.p_person_phone then
+        leaf t "phone"
+          (Printf.sprintf "+%d (%d) %d" (Prng.int_in t.g 1 99) (Prng.int_in t.g 100 999)
+             (Prng.int_in t.g 1000000 9999999));
+      if Prng.chance t.g Tuning.p_person_address then emit_address t;
+      if Prng.chance t.g Tuning.p_person_homepage then
+        leaf t "homepage"
+          (Printf.sprintf "http://www.%s/~%s" host (String.lowercase_ascii last));
+      if Prng.chance t.g Tuning.p_person_creditcard then
+        leaf t "creditcard"
+          (Printf.sprintf "%d %d %d %d" (Prng.int_in t.g 1000 9999) (Prng.int_in t.g 1000 9999)
+             (Prng.int_in t.g 1000 9999) (Prng.int_in t.g 1000 9999));
+      if Prng.chance t.g Tuning.p_person_profile then emit_profile t;
+      if Prng.chance t.g Tuning.p_person_watches then
+        el t "watches" (fun () ->
+            let watches = int_of_float (Prng.exponential t.g ~mean:Tuning.mean_watches) in
+            for _ = 1 to min 20 watches do
+              empty_el t "watch" [ ("open_auction", open_auction_id (uniform_open_auction t)) ]
+            done))
+
+let emit_annotation t =
+  el t "annotation" (fun () ->
+      empty_el t "author" [ ("person", person_id (uniform_person t)) ];
+      if Prng.chance t.g Tuning.p_annotation_description then
+        emit_description t ~mean_words:Tuning.words_annotation_description;
+      leaf t "happiness" (string_of_int (Prng.int_in t.g 1 10)))
+
+let increase_amount t = 1.5 *. float_of_int (1 + Prng.int t.g 10)
+
+let emit_open_auction t idx =
+  el_attrs t "open_auction" [ ("id", open_auction_id idx) ] (fun () ->
+      let initial = Prng.exponential t.g ~mean:30.0 in
+      leaf t "initial" (Printf.sprintf "%.2f" initial);
+      if Prng.chance t.g Tuning.p_auction_reserve then
+        leaf t "reserve" (Printf.sprintf "%.2f" (initial *. (1.2 +. Prng.float t.g 1.5)));
+      let bidders =
+        min Tuning.max_bidders (int_of_float (Prng.exponential t.g ~mean:Tuning.mean_bidders))
+      in
+      let total = ref initial in
+      for _ = 1 to bidders do
+        el t "bidder" (fun () ->
+            leaf t "date" (date t);
+            leaf t "time" (time_of_day t);
+            empty_el t "personref" [ ("person", person_id (uniform_person t)) ];
+            let inc = increase_amount t in
+            total := !total +. inc;
+            leaf t "increase" (Printf.sprintf "%.2f" inc))
+      done;
+      leaf t "current" (Printf.sprintf "%.2f" !total);
+      if Prng.chance t.g Tuning.p_auction_privacy then
+        leaf t "privacy" (if Prng.bool t.g then "Yes" else "No");
+      empty_el t "itemref" [ ("item", item_id (Prng.Permutation.apply t.item_perm idx)) ];
+      empty_el t "seller" [ ("person", person_id (exponential_person t)) ];
+      emit_annotation t;
+      leaf t "quantity" (string_of_int (1 + Prng.int t.g 4));
+      leaf t "type" (Prng.pick t.g auction_types);
+      el t "interval" (fun () ->
+          leaf t "start" (date t);
+          leaf t "end" (date t)))
+
+let emit_closed_auction t idx =
+  el t "closed_auction" (fun () ->
+      empty_el t "seller" [ ("person", person_id (exponential_person t)) ];
+      empty_el t "buyer" [ ("person", person_id (normal_person t)) ];
+      let item =
+        Prng.Permutation.apply t.item_perm (t.counts.Profile.open_auctions + idx)
+      in
+      empty_el t "itemref" [ ("item", item_id item) ];
+      leaf t "price" (money t ~mean:60.0);
+      leaf t "date" (date t);
+      leaf t "quantity" (string_of_int (1 + Prng.int t.g 4));
+      leaf t "type" (Prng.pick t.g auction_types);
+      if Prng.chance t.g Tuning.p_closed_annotation then emit_annotation t)
+
+let emit_category t idx =
+  el_attrs t "category" [ ("id", category_id idx) ] (fun () ->
+      leaf t "name" (capitalized_words t (1 + Prng.int t.g 3));
+      emit_description t ~mean_words:Tuning.words_category_description)
+
+let emit_catgraph t =
+  el t "catgraph" (fun () ->
+      for _ = 1 to t.counts.Profile.edges do
+        empty_el t "edge"
+          [
+            ("from", category_id (uniform_category t));
+            ("to", category_id (uniform_category t));
+          ]
+      done)
+
+(* --- whole document ----------------------------------------------------- *)
+
+let generate ?(seed = default_seed) ~factor sink =
+  let g = Prng.create ~seed () in
+  let counts = Profile.counts factor in
+  let t =
+    {
+      g;
+      dict = Dictionary.create ();
+      counts;
+      sink;
+      item_perm = Prng.Permutation.create (Prng.split g) counts.Profile.items;
+      category_zipf = Prng.Zipf.create ~n:counts.Profile.categories ~s:0.9;
+    }
+  in
+  el t "site" (fun () ->
+      el t "regions" (fun () ->
+          List.iter
+            (fun region ->
+              let first, count = Profile.region_item_range counts region in
+              el t (Profile.region_tag region) (fun () ->
+                  for i = first to first + count - 1 do
+                    emit_item t i
+                  done))
+            Profile.regions);
+      el t "categories" (fun () ->
+          for i = 0 to counts.Profile.categories - 1 do
+            emit_category t i
+          done);
+      emit_catgraph t;
+      el t "people" (fun () ->
+          for i = 0 to counts.Profile.persons - 1 do
+            emit_person t i
+          done);
+      el t "open_auctions" (fun () ->
+          for i = 0 to counts.Profile.open_auctions - 1 do
+            emit_open_auction t i
+          done);
+      el t "closed_auctions" (fun () ->
+          for i = 0 to counts.Profile.closed_auctions - 1 do
+            emit_closed_auction t i
+          done))
+
+let to_string ?seed ~factor () =
+  let buf = Buffer.create (1 lsl 20) in
+  generate ?seed ~factor (Sink.of_buffer buf);
+  Buffer.contents buf
+
+let to_file ?seed ?(dtd = false) ~factor path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      if dtd then output_string oc Dtd.text;
+      generate ?seed ~factor (Sink.of_channel oc))
+
+let to_dom ?seed ~factor () =
+  let sink, finish = Sink.dom () in
+  generate ?seed ~factor sink;
+  finish ()
+
+let measure ?seed ~factor () =
+  let sink, read = Sink.counting () in
+  generate ?seed ~factor sink;
+  read ()
+
+let to_split_files ?seed ~factor ~dir ~per_file () =
+  let sink, finish = Sink.split ~dir ~basename:"auction" ~per_file () in
+  generate ?seed ~factor sink;
+  finish ()

@@ -1,0 +1,87 @@
+type region = Africa | Asia | Australia | Europe | Namerica | Samerica
+
+let regions = [ Africa; Asia; Australia; Europe; Namerica; Samerica ]
+
+let region_tag = function
+  | Africa -> "africa"
+  | Asia -> "asia"
+  | Australia -> "australia"
+  | Europe -> "europe"
+  | Namerica -> "namerica"
+  | Samerica -> "samerica"
+
+type counts = {
+  categories : int;
+  persons : int;
+  open_auctions : int;
+  closed_auctions : int;
+  items : int;
+  items_per_region : (region * int) list;
+  edges : int;
+}
+
+(* Base populations at factor 1.0 (original xmlgen). *)
+let base_categories = 1_000
+let base_persons = 25_500
+let base_open = 12_000
+let base_closed = 9_750
+let base_edges = 3_800
+
+(* Share of the item population per region, at factor 1.0:
+   550 / 2000 / 2200 / 6000 / 10000 / 1000 out of 21750. *)
+let region_share = function
+  | Africa -> 550
+  | Asia -> 2_000
+  | Australia -> 2_200
+  | Europe -> 6_000
+  | Namerica -> 10_000
+  | Samerica -> 1_000
+
+let scaled factor base = max 1 (int_of_float (Float.round (float_of_int base *. factor)))
+
+let counts factor =
+  if factor <= 0.0 then invalid_arg "Profile.counts: factor must be positive";
+  let open_auctions = scaled factor base_open in
+  let closed_auctions = scaled factor base_closed in
+  let items = open_auctions + closed_auctions in
+  (* Largest-remainder apportionment of [items] over the region shares, so
+     regional counts track the paper's proportions at any factor. *)
+  let total_share = List.fold_left (fun acc r -> acc + region_share r) 0 regions in
+  let quota r = float_of_int (items * region_share r) /. float_of_int total_share in
+  let floors = List.map (fun r -> (r, int_of_float (quota r))) regions in
+  let assigned = List.fold_left (fun acc (_, k) -> acc + k) 0 floors in
+  let by_remainder =
+    List.sort
+      (fun (r1, k1) (r2, k2) ->
+        compare (quota r2 -. float_of_int k2) (quota r1 -. float_of_int k1))
+      floors
+    |> List.map fst
+  in
+  let leftover = items - assigned in
+  let bump = List.filteri (fun i _ -> i < leftover) by_remainder in
+  let items_per_region =
+    List.map (fun r -> (r, List.assoc r floors + if List.mem r bump then 1 else 0)) regions
+  in
+  {
+    categories = scaled factor base_categories;
+    persons = scaled factor base_persons;
+    open_auctions;
+    closed_auctions;
+    items;
+    items_per_region;
+    edges = scaled factor base_edges;
+  }
+
+let region_item_range c region =
+  let rec scan offset = function
+    | [] -> invalid_arg "Profile.region_item_range"
+    | (r, k) :: rest -> if r = region then (offset, k) else scan (offset + k) rest
+  in
+  scan 0 c.items_per_region
+
+let region_of_item c idx =
+  let rec scan offset = function
+    | [] -> invalid_arg "Profile.region_of_item: index out of range"
+    | (r, k) :: rest -> if idx < offset + k then r else scan (offset + k) rest
+  in
+  scan 0 c.items_per_region

@@ -1,0 +1,41 @@
+(** Entity cardinalities and their scaling law.
+
+    The paper scales "selected sets like the number of items and persons"
+    linearly with the user factor and calibrates factor 1.0 to slightly
+    more than 100 MB (Section 4.5, Figure 3).  The base cardinalities here
+    are those of the original tool: 25,500 persons, 12,000 open and 9,750
+    closed auctions, 1,000 categories at factor 1.0; the item population
+    equals open + closed auctions (= 21,750) so that every item is
+    referenced by exactly one auction — the referential-consistency
+    invariant of Section 4.5 — and is distributed over the six world
+    regions with North America and Europe dominating. *)
+
+type region = Africa | Asia | Australia | Europe | Namerica | Samerica
+
+val regions : region list
+(** In document order: africa, asia, australia, europe, namerica,
+    samerica. *)
+
+val region_tag : region -> string
+
+type counts = {
+  categories : int;
+  persons : int;
+  open_auctions : int;
+  closed_auctions : int;
+  items : int;  (** = open_auctions + closed_auctions *)
+  items_per_region : (region * int) list;  (** sums to [items] *)
+  edges : int;  (** category-graph edges *)
+}
+
+val counts : float -> counts
+(** [counts factor]; every set has at least one member, so even factor
+    0.0001 yields a well-formed document.
+    @raise Invalid_argument on a non-positive factor. *)
+
+val region_of_item : counts -> int -> region
+(** Region that hosts the item with the given index (items are numbered
+    globally, region by region, in document order). *)
+
+val region_item_range : counts -> region -> int * int
+(** [(first, count)] of the item-index range a region hosts. *)

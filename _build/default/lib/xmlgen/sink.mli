@@ -1,0 +1,38 @@
+(** Output targets for the document generator.
+
+    The generator streams markup events into a sink, which is what keeps
+    its memory footprint constant regardless of document size (Section 4.5
+    lists "resource efficient" as a design requirement).  Sinks cover the
+    benchmark's delivery modes: a file/buffer writer, an in-memory DOM
+    builder (bulkload without a parsing round-trip), a byte/element counter
+    (Figure 3's size measurements without materializing anything) and the
+    split-files mode of Section 5 ("n entities per file"). *)
+
+type t = {
+  open_tag : string -> (string * string) list -> unit;
+  close_tag : unit -> unit;
+  text : string -> unit;  (** character data; escaped by the sink *)
+}
+
+val of_buffer : Buffer.t -> t
+
+val of_channel : out_channel -> t
+
+val counting : unit -> t * (unit -> int * int)
+(** [counting ()] is a sink plus a reader returning
+    [(bytes, element_count)] — the serialized size the buffer sink would
+    have produced, without storing it. *)
+
+val dom : unit -> t * (unit -> Xmark_xml.Dom.node)
+(** DOM builder; the reader returns the root once the document is done.
+    @raise Invalid_argument if the document is unfinished or empty. *)
+
+type split_info = { files : string list; entities : int }
+
+val split :
+  dir:string -> basename:string -> per_file:int -> unit -> t * (unit -> split_info)
+(** Split mode: every [per_file] second-level entities (persons, items,
+    auctions, categories, …) start a new numbered file in [dir]; each file
+    is closed under a copy of the document's top-level element structure so
+    it parses standalone.  The reader closes the current file and returns
+    the file list. *)

@@ -1,0 +1,127 @@
+module Dom = Xmark_xml.Dom
+open Content_model
+
+type error = { path : string; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "%s: %s" e.path e.message
+
+(* --- regular expression matching over child tag sequences -------------------- *)
+
+(* Backtracking matcher; child lists are short (< a few dozen) and the
+   models are nearly deterministic, so this is plenty. *)
+let matches model tags =
+  let rec go re tags k =
+    match re with
+    | El t -> ( match tags with x :: rest when String.equal x t -> k rest | _ -> false)
+    | Seq res ->
+        let rec seq res tags k =
+          match res with
+          | [] -> k tags
+          | r :: rest -> go r tags (fun tags' -> seq rest tags' k)
+        in
+        seq res tags k
+    | Alt res -> List.exists (fun r -> go r tags k) res
+    | Opt r -> go r tags k || k tags
+    | Star r ->
+        let rec star tags =
+          go r tags (fun tags' -> tags' != tags && star tags') || k tags
+        in
+        star tags
+    | Plus r -> go (Seq [ r; Star r ]) tags k
+  in
+  go model tags (fun rest -> rest = [])
+
+(* --- validation --------------------------------------------------------------- *)
+
+let is_ws s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+(* Split mode also relaxes the site/regions sequences: a split file holds
+   whatever sections the rotation point left in it. *)
+let model_for mode tag content =
+  match (mode, tag) with
+  | `Split, "site" ->
+      Children
+        (Seq [ Opt (El "regions"); Opt (El "categories"); Opt (El "catgraph");
+               Opt (El "people"); Opt (El "open_auctions"); Opt (El "closed_auctions") ])
+  | `Split, "regions" ->
+      Children
+        (Seq [ Opt (El "africa"); Opt (El "asia"); Opt (El "australia"); Opt (El "europe");
+               Opt (El "namerica"); Opt (El "samerica") ])
+  | _ -> content
+
+let validate ?(mode = `Single) root =
+  let errors = ref [] in
+  let add path fmt = Printf.ksprintf (fun message -> errors := { path; message } :: !errors) fmt in
+  let ids = Hashtbl.create 1024 in
+  let idrefs = ref [] in
+  (* pass 1: structure, attributes, ID collection *)
+  let rec walk path (n : Dom.node) =
+    match n.Dom.desc with
+    | Dom.Text _ -> ()
+    | Dom.Element e ->
+        let path = if path = "" then e.Dom.name else path ^ "/" ^ e.Dom.name in
+        (match List.assoc_opt e.Dom.name elements with
+        | None -> add path "undeclared element <%s>" e.Dom.name
+        | Some model -> (
+            let model = model_for mode e.Dom.name model in
+            let child_tags =
+              List.filter_map
+                (fun (c : Dom.node) ->
+                  match c.Dom.desc with
+                  | Dom.Element ce -> Some ce.Dom.name
+                  | Dom.Text _ -> None)
+                e.Dom.children
+            in
+            let has_text =
+              List.exists
+                (fun (c : Dom.node) ->
+                  match c.Dom.desc with Dom.Text s -> not (is_ws s) | Dom.Element _ -> false)
+                e.Dom.children
+            in
+            match model with
+            | Empty ->
+                if e.Dom.children <> [] then add path "EMPTY element has content"
+            | Pcdata ->
+                if child_tags <> [] then add path "element declared (#PCDATA) has child elements"
+            | Mixed allowed ->
+                List.iter
+                  (fun t ->
+                    if not (List.mem t allowed) then
+                      add path "element <%s> not allowed in mixed content" t)
+                  child_tags
+            | Children model ->
+                if has_text then add path "character data in element content";
+                if not (matches model child_tags) then
+                  add path "children (%s) violate the content model"
+                    (String.concat ", " child_tags)));
+        let decls = Option.value ~default:[] (List.assoc_opt e.Dom.name attributes) in
+        List.iter
+          (fun (k, v) ->
+            match List.find_opt (fun d -> d.aname = k) decls with
+            | None -> add path "undeclared attribute %s" k
+            | Some d ->
+                if mode = `Single then begin
+                  if d.is_id then
+                    if Hashtbl.mem ids v then add path "duplicate ID %S" v
+                    else Hashtbl.add ids v ();
+                  if d.is_idref then idrefs := (path, k, v) :: !idrefs
+                end)
+          e.Dom.attrs;
+        List.iter
+          (fun d ->
+            if d.required && not (List.mem_assoc d.aname e.Dom.attrs) then
+              add path "missing REQUIRED attribute %s" d.aname)
+          decls;
+        List.iter (walk path) e.Dom.children
+  in
+  if Dom.name root <> "site" then add (Dom.name root) "root element must be <site>"
+  else walk "" root;
+  (* pass 2: IDREF resolution *)
+  if mode = `Single then
+    List.iter
+      (fun (path, k, v) ->
+        if not (Hashtbl.mem ids v) then add path "IDREF %s=%S resolves to no ID" k v)
+      (List.rev !idrefs);
+  List.rev !errors
+
+let is_valid ?mode root = validate ?mode root = []

@@ -1,0 +1,27 @@
+(** Validating-parser semantics for the benchmark DTD.
+
+    Section 5 notes that "a validating parser tries to check for
+    uniqueness and existence of IDs and IDREFs" and that split documents
+    therefore need a relaxed DTD.  This module is that validating parser's
+    checking half: it verifies a document tree against the auction DTD —
+    content models (child sequences against the declared regular
+    expressions), attribute declarations (REQUIRED present, no undeclared
+    attributes), ID uniqueness and IDREF resolution.
+
+    Used by the test suite to prove every generated document valid, and by
+    [validate ~mode:`Split] to show split files pass exactly when the
+    relaxed DTD's semantics are applied. *)
+
+type error = {
+  path : string;  (** element path from the root, e.g. [site/people/person] *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate : ?mode:[ `Single | `Split ] -> Xmark_xml.Dom.node -> error list
+(** All violations, in document order ([] = valid).  [`Single] (default)
+    enforces ID/IDREF integrity; [`Split] treats them as plain CDATA, as
+    the split-mode DTD declares. *)
+
+val is_valid : ?mode:[ `Single | `Split ] -> Xmark_xml.Dom.node -> bool

@@ -1,0 +1,87 @@
+module Dom = Xmark_xml.Dom
+open Content_model
+
+let el ?(attrs = []) name children = Dom.element ~attrs ~children name
+
+(* occurrence attributes for a wrapped particle *)
+let with_occurs ~min ~max node =
+  (match node.Dom.desc with
+  | Dom.Element e ->
+      let extra =
+        (if min <> 1 then [ ("minOccurs", string_of_int min) ] else [])
+        @ if max <> Some 1 then [ ("maxOccurs", match max with Some k -> string_of_int k | None -> "unbounded") ]
+          else []
+      in
+      e.Dom.attrs <- e.Dom.attrs @ extra
+  | Dom.Text _ -> ());
+  node
+
+let rec particle = function
+  | El tag -> el ~attrs:[ ("ref", tag) ] "xs:element" []
+  | Seq parts -> el "xs:sequence" (List.map particle parts)
+  | Alt parts -> el "xs:choice" (List.map particle parts)
+  | Opt r -> with_occurs ~min:0 ~max:(Some 1) (particle r)
+  | Star r -> with_occurs ~min:0 ~max:None (particle r)
+  | Plus r -> with_occurs ~min:1 ~max:None (particle r)
+
+let attribute_decl (d : attr_decl) =
+  let ty = if d.is_id then "xs:ID" else if d.is_idref then "xs:IDREF" else "xs:string" in
+  el
+    ~attrs:
+      [ ("name", d.aname); ("type", ty); ("use", if d.required then "required" else "optional") ]
+    "xs:attribute" []
+
+let element_decl (name, content) =
+  let attrs = Option.value ~default:[] (List.assoc_opt name attributes) in
+  let attr_nodes = List.map attribute_decl attrs in
+  match content with
+  | Pcdata when attrs = [] ->
+      el ~attrs:[ ("name", name); ("type", "xs:string") ] "xs:element" []
+  | Pcdata ->
+      (* string content plus attributes: simpleContent extension *)
+      el ~attrs:[ ("name", name) ] "xs:element"
+        [
+          el "xs:complexType"
+            [
+              el "xs:simpleContent"
+                [ el ~attrs:[ ("base", "xs:string") ] "xs:extension" attr_nodes ];
+            ];
+        ]
+  | Empty ->
+      el ~attrs:[ ("name", name) ] "xs:element" [ el "xs:complexType" attr_nodes ]
+  | Mixed inline_tags ->
+      el ~attrs:[ ("name", name) ] "xs:element"
+        [
+          el ~attrs:[ ("mixed", "true") ] "xs:complexType"
+            (el "xs:choice"
+               ~attrs:[ ("minOccurs", "0"); ("maxOccurs", "unbounded") ]
+               (List.map (fun t -> el ~attrs:[ ("ref", t) ] "xs:element" []) inline_tags)
+            :: attr_nodes);
+        ]
+  | Children model ->
+      let body =
+        (* the top-level particle must be a model group *)
+        match particle model with
+        | { Dom.desc = Dom.Element e; _ } as p
+          when e.Dom.name = "xs:sequence" || e.Dom.name = "xs:choice" ->
+            p
+        | p -> el "xs:sequence" [ p ]
+      in
+      el ~attrs:[ ("name", name) ] "xs:element"
+        [ el "xs:complexType" (body :: attr_nodes) ]
+
+let document () =
+  let root =
+    el
+      ~attrs:
+        [
+          ("xmlns:xs", "http://www.w3.org/2001/XMLSchema");
+          ("elementFormDefault", "qualified");
+        ]
+      "xs:schema"
+      (List.map element_decl elements)
+  in
+  ignore (Dom.index root);
+  root
+
+let text () = Xmark_xml.Serialize.to_string ~indent:true (document ())

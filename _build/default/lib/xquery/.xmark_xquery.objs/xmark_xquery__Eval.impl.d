@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Array Ast Buffer Float Fun Hashtbl List Option Parser Printf Store_sig String Xmark_xml

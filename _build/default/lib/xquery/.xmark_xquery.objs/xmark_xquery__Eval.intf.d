@@ -1,0 +1,1 @@
+lib/xquery/eval.mli: Ast Store_sig Xmark_xml

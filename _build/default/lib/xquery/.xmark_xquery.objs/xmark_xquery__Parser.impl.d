@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Ast Buffer List Option Printexc Printf String

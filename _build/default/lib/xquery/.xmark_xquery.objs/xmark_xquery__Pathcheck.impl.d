@@ -1,0 +1,1 @@
+lib/xquery/pathcheck.ml: Array Ast Format Fun Hashtbl List Option Printf Store_sig String

@@ -1,0 +1,1 @@
+lib/xquery/pathcheck.mli: Ast Format Store_sig

@@ -1,0 +1,1 @@
+lib/xquery/store_sig.ml:

@@ -1,0 +1,156 @@
+(** Abstract syntax of the XQuery subset the benchmark queries need.
+
+    The paper formulates Q1-Q20 in the February-2001 XQuery draft; this AST
+    covers that fragment: FLWOR, quantified expressions, path expressions
+    with abbreviated axes, direct element constructors with enclosed
+    expressions, node-order comparison, and function declarations. *)
+
+type axis =
+  | Child
+  | Descendant  (** desugared [//] *)
+  | Attribute
+  | Parent
+  | Self
+
+type test =
+  | Name of string
+  | Star
+  | Text_test  (** [text()] *)
+  | Any_kind  (** [node()] *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type arith = Add | Sub | Mul | Div | Mod
+
+type quant = Some_ | Every
+
+type expr =
+  | Number of float
+  | Literal of string
+  | Var of string
+  | Sequence of expr list  (** comma operator; [Sequence []] is [()] *)
+  | Root  (** [document(...)] or a leading [/] *)
+  | Context  (** the context item; origin of name-initial relative paths *)
+  | Path of expr * step list
+  | Filter of expr * expr list  (** primary expression with predicates *)
+  | Flwor of flwor
+  | Quantified of quant * (string * expr) list * expr
+  | If of expr * expr * expr
+  | Or of expr * expr
+  | And of expr * expr
+  | Compare of cmp * expr * expr
+  | Arith of arith * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+  | Elem_ctor of string * (string * attr_value) list * content list
+  | Node_before of expr * expr  (** [<<] *)
+  | Node_after of expr * expr  (** [>>] *)
+
+and step = { axis : axis; test : test; preds : expr list }
+
+and flwor = {
+  clauses : clause list;
+  where : expr option;
+  order : order_spec list;
+  ret : expr;
+}
+
+and clause = For of string * expr | Let of string * expr
+
+and order_spec = { key : expr; descending : bool }
+
+and attr_value = attr_piece list
+
+and attr_piece = A_text of string | A_expr of expr
+
+and content = C_text of string | C_expr of expr
+
+type func = { fname : string; params : string list; body : expr }
+
+type query = { functions : func list; main : expr }
+
+(* A compact printer, mainly for parser tests and error messages. *)
+let rec pp_expr fmt e =
+  let open Format in
+  match e with
+  | Number f -> fprintf fmt "%g" f
+  | Literal s -> fprintf fmt "%S" s
+  | Var v -> fprintf fmt "$%s" v
+  | Sequence es ->
+      fprintf fmt "(%a)" (pp_print_list ~pp_sep:(fun f () -> pp_print_string f ", ") pp_expr) es
+  | Root -> pp_print_string fmt "document(.)"
+  | Context -> pp_print_string fmt "."
+  | Path (origin, steps) ->
+      pp_expr fmt origin;
+      List.iter (pp_step fmt) steps
+  | Filter (e, preds) ->
+      pp_expr fmt e;
+      List.iter (fun p -> fprintf fmt "[%a]" pp_expr p) preds
+  | Flwor f ->
+      List.iter
+        (function
+          | For (v, e) -> fprintf fmt "for $%s in %a " v pp_expr e
+          | Let (v, e) -> fprintf fmt "let $%s := %a " v pp_expr e)
+        f.clauses;
+      Option.iter (fun w -> fprintf fmt "where %a " pp_expr w) f.where;
+      if f.order <> [] then begin
+        fprintf fmt "order by ";
+        List.iteri
+          (fun i { key; descending } ->
+            if i > 0 then fprintf fmt ", ";
+            fprintf fmt "%a%s" pp_expr key (if descending then " descending" else ""))
+          f.order;
+        fprintf fmt " "
+      end;
+      fprintf fmt "return %a" pp_expr f.ret
+  | Quantified (q, binds, sat) ->
+      fprintf fmt "%s " (match q with Some_ -> "some" | Every -> "every");
+      List.iteri
+        (fun i (v, e) ->
+          if i > 0 then fprintf fmt ", ";
+          fprintf fmt "$%s in %a" v pp_expr e)
+        binds;
+      fprintf fmt " satisfies %a" pp_expr sat
+  | If (c, t, e) -> fprintf fmt "if (%a) then %a else %a" pp_expr c pp_expr t pp_expr e
+  | Or (a, b) -> fprintf fmt "(%a or %a)" pp_expr a pp_expr b
+  | And (a, b) -> fprintf fmt "(%a and %a)" pp_expr a pp_expr b
+  | Compare (op, a, b) ->
+      let s = match op with Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" in
+      fprintf fmt "(%a %s %a)" pp_expr a s pp_expr b
+  | Arith (op, a, b) ->
+      let s = match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "div" | Mod -> "mod" in
+      fprintf fmt "(%a %s %a)" pp_expr a s pp_expr b
+  | Neg a -> fprintf fmt "(-%a)" pp_expr a
+  | Call (f, args) ->
+      fprintf fmt "%s(%a)" f
+        (pp_print_list ~pp_sep:(fun f () -> pp_print_string f ", ") pp_expr)
+        args
+  | Elem_ctor (tag, attrs, content) ->
+      fprintf fmt "<%s" tag;
+      List.iter (fun (k, _) -> fprintf fmt " %s=\"...\"" k) attrs;
+      fprintf fmt ">";
+      List.iter
+        (function
+          | C_text s -> pp_print_string fmt s
+          | C_expr e -> fprintf fmt "{%a}" pp_expr e)
+        content;
+      fprintf fmt "</%s>" tag
+  | Node_before (a, b) -> fprintf fmt "(%a << %a)" pp_expr a pp_expr b
+  | Node_after (a, b) -> fprintf fmt "(%a >> %a)" pp_expr a pp_expr b
+
+and pp_step fmt { axis; test; preds } =
+  let open Format in
+  (match axis with
+  | Child -> fprintf fmt "/"
+  | Descendant -> fprintf fmt "//"
+  | Attribute -> fprintf fmt "/@"
+  | Parent -> fprintf fmt "/.."
+  | Self -> fprintf fmt "/.");
+  (match test with
+  | Name n -> (match axis with Parent | Self -> () | _ -> pp_print_string fmt n)
+  | Star -> pp_print_string fmt "*"
+  | Text_test -> pp_print_string fmt "text()"
+  | Any_kind -> pp_print_string fmt "node()");
+  List.iter (fun p -> fprintf fmt "[%a]" pp_expr p) preds
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e

@@ -1,0 +1,1334 @@
+module Dom = Xmark_xml.Dom
+
+module Make (S : Store_sig.S) = struct
+  type attr = { aowner_order : int; aname : string; avalue : string }
+
+  type item =
+    | D  (* the (virtual) document node above the document element *)
+    | N of S.node
+    | C of Dom.node
+    | A of attr
+    | Num of float
+    | Str of string
+    | Bool of bool
+
+  type value = item list
+
+  exception Runtime_error of string
+
+  let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+  (* --- compiled queries ------------------------------------------------ *)
+
+  type join_side = { source : Ast.expr; key : Ast.expr }
+
+  type join_table = Unusable | Built of item array * (string, int list) Hashtbl.t
+
+  type compiled = {
+    store : S.t;
+    query : Ast.query;
+    funcs : (string, string list * Ast.expr) Hashtbl.t;
+    tag_arrays : (string, S.node array option) Hashtbl.t;
+        (* doc-order extent per tag, when the backend offers one *)
+    optimize : bool;
+        (* heuristic rewrites: equi-joins in FLWOR bodies become hash joins
+           (the hand-optimized plans the paper applied to Systems D-F) *)
+    join_tables : (join_side, join_table) Hashtbl.t;
+    ineq_tables : (join_side, (float array * float array) option) Hashtbl.t;
+        (* per-item (min,max) key values, each sorted ascending; None when
+           the keys are not usable numerically *)
+  }
+
+  type ctx = {
+    c : compiled;
+    vars : (string * value) list;
+    citem : item option;  (* context item inside predicates *)
+    cpos : int;
+    csize : int;
+  }
+
+  (* Touch the store's metadata for every name in the query: the catalog
+     lookups that dominate compilation for fragmenting mappings (Table 2). *)
+  let static_check c =
+    let rec walk_expr (e : Ast.expr) =
+      match e with
+      | Ast.Number _ | Ast.Literal _ | Ast.Var _ | Ast.Root | Ast.Context -> ()
+      | Ast.Sequence es -> List.iter walk_expr es
+      | Ast.Path (o, steps) ->
+          walk_expr o;
+          List.iter
+            (fun { Ast.test; preds; _ } ->
+              (match test with
+              | Ast.Name n -> ignore (S.tag_count c.store n)
+              | Ast.Star | Ast.Text_test | Ast.Any_kind -> ());
+              List.iter walk_expr preds)
+            steps
+      | Ast.Filter (e, preds) ->
+          walk_expr e;
+          List.iter walk_expr preds
+      | Ast.Flwor f ->
+          List.iter
+            (function Ast.For (_, e) | Ast.Let (_, e) -> walk_expr e)
+            f.clauses;
+          Option.iter walk_expr f.where;
+          List.iter (fun { Ast.key; _ } -> walk_expr key) f.order;
+          walk_expr f.ret
+      | Ast.Quantified (_, binds, sat) ->
+          List.iter (fun (_, e) -> walk_expr e) binds;
+          walk_expr sat
+      | Ast.If (a, b, c') ->
+          walk_expr a;
+          walk_expr b;
+          walk_expr c'
+      | Ast.Or (a, b)
+      | Ast.And (a, b)
+      | Ast.Compare (_, a, b)
+      | Ast.Arith (_, a, b)
+      | Ast.Node_before (a, b)
+      | Ast.Node_after (a, b) ->
+          walk_expr a;
+          walk_expr b
+      | Ast.Neg a -> walk_expr a
+      | Ast.Call (_, args) -> List.iter walk_expr args
+      | Ast.Elem_ctor (_, attrs, content) ->
+          List.iter
+            (fun (_, pieces) ->
+              List.iter (function Ast.A_expr e -> walk_expr e | Ast.A_text _ -> ()) pieces)
+            attrs;
+          List.iter (function Ast.C_expr e -> walk_expr e | Ast.C_text _ -> ()) content
+    in
+    List.iter (fun { Ast.body; _ } -> walk_expr body) c.query.Ast.functions;
+    walk_expr c.query.Ast.main
+
+  (* Rewrite (optimize only):  let $v := FLWOR ... count($v)  where every
+     use of $v is count($v) becomes a direct count(FLWOR), enabling the
+     count-fusion join below (Q11/Q12's shape). *)
+  let rec occurrences v (e : Ast.expr) =
+    (* (all uses, uses as count($v)) *)
+    let sum f xs = List.fold_left (fun (a, b) x -> let a', b' = f x in (a + a', b + b')) (0, 0) xs in
+    match e with
+    | Ast.Var x -> ((if String.equal x v then 1 else 0), 0)
+    | Ast.Call (("count" | "fn:count"), [ Ast.Var x ]) when String.equal x v -> (1, 1)
+    | Ast.Number _ | Ast.Literal _ | Ast.Root | Ast.Context -> (0, 0)
+    | Ast.Sequence es -> sum (occurrences v) es
+    | Ast.Path (o, steps) ->
+        let a = occurrences v o in
+        let b = sum (fun { Ast.preds; _ } -> sum (occurrences v) preds) steps in
+        (fst a + fst b, snd a + snd b)
+    | Ast.Filter (e', preds) ->
+        let a = occurrences v e' and b = sum (occurrences v) preds in
+        (fst a + fst b, snd a + snd b)
+    | Ast.Flwor f ->
+        sum Fun.id
+          [
+            sum (function Ast.For (_, e') | Ast.Let (_, e') -> occurrences v e') f.Ast.clauses;
+            (match f.Ast.where with Some w -> occurrences v w | None -> (0, 0));
+            sum (fun { Ast.key; _ } -> occurrences v key) f.Ast.order;
+            occurrences v f.Ast.ret;
+          ]
+    | Ast.Quantified (_, binds, sat) ->
+        let a = sum (fun (_, e') -> occurrences v e') binds and b = occurrences v sat in
+        (fst a + fst b, snd a + snd b)
+    | Ast.If (a, b, c) -> sum (occurrences v) [ a; b; c ]
+    | Ast.Or (a, b) | Ast.And (a, b) | Ast.Compare (_, a, b) | Ast.Arith (_, a, b)
+    | Ast.Node_before (a, b) | Ast.Node_after (a, b) ->
+        sum (occurrences v) [ a; b ]
+    | Ast.Neg a -> occurrences v a
+    | Ast.Call (_, args) -> sum (occurrences v) args
+    | Ast.Elem_ctor (_, attrs, content) ->
+        let a =
+          sum
+            (fun (_, pieces) ->
+              sum (function Ast.A_expr e' -> occurrences v e' | Ast.A_text _ -> (0, 0)) pieces)
+            attrs
+        in
+        let b =
+          sum (function Ast.C_expr e' -> occurrences v e' | Ast.C_text _ -> (0, 0)) content
+        in
+        (fst a + fst b, snd a + snd b)
+
+  let rec substitute_count v inner (e : Ast.expr) : Ast.expr =
+    let go = substitute_count v inner in
+    match e with
+    | Ast.Call (("count" | "fn:count"), [ Ast.Var x ]) when String.equal x v ->
+        Ast.Call ("count", [ inner ])
+    | Ast.Number _ | Ast.Literal _ | Ast.Var _ | Ast.Root | Ast.Context -> e
+    | Ast.Sequence es -> Ast.Sequence (List.map go es)
+    | Ast.Path (o, steps) ->
+        Ast.Path (go o, List.map (fun st -> { st with Ast.preds = List.map go st.Ast.preds }) steps)
+    | Ast.Filter (e', preds) -> Ast.Filter (go e', List.map go preds)
+    | Ast.Flwor f ->
+        Ast.Flwor
+          {
+            clauses =
+              List.map
+                (function Ast.For (x, e') -> Ast.For (x, go e') | Ast.Let (x, e') -> Ast.Let (x, go e'))
+                f.Ast.clauses;
+            where = Option.map go f.Ast.where;
+            order = List.map (fun o -> { o with Ast.key = go o.Ast.key }) f.Ast.order;
+            ret = go f.Ast.ret;
+          }
+    | Ast.Quantified (q, binds, sat) ->
+        Ast.Quantified (q, List.map (fun (x, e') -> (x, go e')) binds, go sat)
+    | Ast.If (a, b, c) -> Ast.If (go a, go b, go c)
+    | Ast.Or (a, b) -> Ast.Or (go a, go b)
+    | Ast.And (a, b) -> Ast.And (go a, go b)
+    | Ast.Compare (op, a, b) -> Ast.Compare (op, go a, go b)
+    | Ast.Arith (op, a, b) -> Ast.Arith (op, go a, go b)
+    | Ast.Neg a -> Ast.Neg (go a)
+    | Ast.Node_before (a, b) -> Ast.Node_before (go a, go b)
+    | Ast.Node_after (a, b) -> Ast.Node_after (go a, go b)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map go args)
+    | Ast.Elem_ctor (tag, attrs, content) ->
+        Ast.Elem_ctor
+          ( tag,
+            List.map
+              (fun (k, pieces) ->
+                ( k,
+                  List.map
+                    (function Ast.A_expr e' -> Ast.A_expr (go e') | Ast.A_text t -> Ast.A_text t)
+                    pieces ))
+              attrs,
+            List.map
+              (function Ast.C_expr e' -> Ast.C_expr (go e') | Ast.C_text t -> Ast.C_text t)
+              content )
+
+  let binds_name v clause =
+    match clause with Ast.For (x, _) | Ast.Let (x, _) -> String.equal x v
+
+  let rec inline_counted_lets (e : Ast.expr) : Ast.expr =
+    match e with
+    | Ast.Flwor f ->
+        let rec rewrite_clauses = function
+          | [] -> ([], Fun.id)
+          | (Ast.Let (v, (Ast.Flwor _ as inner)) as clause) :: rest ->
+              let rest', wrap_rest = rewrite_clauses rest in
+              if List.exists (binds_name v) rest' then (clause :: rest', wrap_rest)
+              else
+                let rest_f =
+                  {
+                    Ast.clauses = rest';
+                    where = f.Ast.where;
+                    order = f.Ast.order;
+                    ret = f.Ast.ret;
+                  }
+                in
+                let total, counted = occurrences v (Ast.Flwor rest_f) in
+                if total > 0 && total = counted then
+                  (rest', fun body -> wrap_rest (substitute_count v inner body))
+                else (clause :: rest', wrap_rest)
+          | clause :: rest ->
+              let rest', wrap_rest = rewrite_clauses rest in
+              (clause :: rest', wrap_rest)
+        in
+        let clauses, wrap = rewrite_clauses f.Ast.clauses in
+        let f = { f with Ast.clauses } in
+        let f =
+          match wrap (Ast.Flwor f) with
+          | Ast.Flwor f' -> f'
+          | _ -> f
+        in
+        Ast.Flwor
+          {
+            clauses =
+              List.map
+                (function
+                  | Ast.For (x, e') -> Ast.For (x, inline_counted_lets e')
+                  | Ast.Let (x, e') -> Ast.Let (x, inline_counted_lets e'))
+                f.Ast.clauses;
+            where = Option.map inline_counted_lets f.Ast.where;
+            order = List.map (fun o -> { o with Ast.key = inline_counted_lets o.Ast.key }) f.Ast.order;
+            ret = inline_counted_lets f.Ast.ret;
+          }
+    | Ast.Number _ | Ast.Literal _ | Ast.Var _ | Ast.Root | Ast.Context -> e
+    | Ast.Sequence es -> Ast.Sequence (List.map inline_counted_lets es)
+    | Ast.Path (o, steps) ->
+        Ast.Path
+          ( inline_counted_lets o,
+            List.map
+              (fun st -> { st with Ast.preds = List.map inline_counted_lets st.Ast.preds })
+              steps )
+    | Ast.Filter (e', preds) ->
+        Ast.Filter (inline_counted_lets e', List.map inline_counted_lets preds)
+    | Ast.Quantified (q, binds, sat) ->
+        Ast.Quantified
+          (q, List.map (fun (x, e') -> (x, inline_counted_lets e')) binds, inline_counted_lets sat)
+    | Ast.If (a, b, c) ->
+        Ast.If (inline_counted_lets a, inline_counted_lets b, inline_counted_lets c)
+    | Ast.Or (a, b) -> Ast.Or (inline_counted_lets a, inline_counted_lets b)
+    | Ast.And (a, b) -> Ast.And (inline_counted_lets a, inline_counted_lets b)
+    | Ast.Compare (op, a, b) -> Ast.Compare (op, inline_counted_lets a, inline_counted_lets b)
+    | Ast.Arith (op, a, b) -> Ast.Arith (op, inline_counted_lets a, inline_counted_lets b)
+    | Ast.Neg a -> Ast.Neg (inline_counted_lets a)
+    | Ast.Node_before (a, b) -> Ast.Node_before (inline_counted_lets a, inline_counted_lets b)
+    | Ast.Node_after (a, b) -> Ast.Node_after (inline_counted_lets a, inline_counted_lets b)
+    | Ast.Call (fname, args) -> Ast.Call (fname, List.map inline_counted_lets args)
+    | Ast.Elem_ctor (tag, attrs, content) ->
+        Ast.Elem_ctor
+          ( tag,
+            List.map
+              (fun (k, pieces) ->
+                ( k,
+                  List.map
+                    (function
+                      | Ast.A_expr e' -> Ast.A_expr (inline_counted_lets e')
+                      | Ast.A_text t -> Ast.A_text t)
+                    pieces ))
+              attrs,
+            List.map
+              (function
+                | Ast.C_expr e' -> Ast.C_expr (inline_counted_lets e')
+                | Ast.C_text t -> Ast.C_text t)
+              content )
+
+  let compile ?(optimize = false) store query =
+    let query =
+      if optimize then
+        {
+          Ast.functions =
+            List.map
+              (fun f -> { f with Ast.body = inline_counted_lets f.Ast.body })
+              query.Ast.functions;
+          main = inline_counted_lets query.Ast.main;
+        }
+      else query
+    in
+    let funcs = Hashtbl.create 8 in
+    List.iter
+      (fun { Ast.fname; params; body } -> Hashtbl.replace funcs fname (params, body))
+      query.Ast.functions;
+    let c =
+      { store; query; funcs; tag_arrays = Hashtbl.create 16; optimize;
+        join_tables = Hashtbl.create 8; ineq_tables = Hashtbl.create 8 }
+    in
+    static_check c;
+    c
+
+  let tag_array c tag =
+    match Hashtbl.find_opt c.tag_arrays tag with
+    | Some a -> a
+    | None ->
+        let a = Option.map Array.of_list (S.tag_nodes c.store tag) in
+        Hashtbl.replace c.tag_arrays tag a;
+        a
+
+  (* --- item utilities --------------------------------------------------- *)
+
+  let is_node = function
+    | D | N _ | C _ | A _ -> true
+    | Num _ | Str _ | Bool _ -> false
+
+  let node_order c = function
+    | D -> -1
+    | N n -> S.order c.store n
+    | C d -> d.Dom.order
+    | A a -> a.aowner_order
+    | Num _ | Str _ | Bool _ -> err "document order of an atomic value"
+
+  let item_equal a b =
+    match (a, b) with
+    | D, D -> true
+    | N x, N y -> x == y || compare x y = 0
+    | C x, C y -> x == y
+    | A x, A y -> x == y || x = y
+    | _ -> false
+
+  (* Sort stored nodes by document order and remove duplicates; constructed
+     nodes keep sequence order (cross-tree document order is undefined). *)
+  let doc_order_dedup c items =
+    let all_stored = List.for_all (function N _ -> true | _ -> false) items in
+    if all_stored then begin
+      let arr = Array.of_list items in
+      Array.sort (fun a b -> compare (node_order c a) (node_order c b)) arr;
+      let out = ref [] in
+      Array.iter
+        (fun it ->
+          match !out with
+          | prev :: _ when node_order c prev = node_order c it -> ()
+          | _ -> out := it :: !out)
+        arr;
+      List.rev !out
+    end
+    else
+      let seen = ref [] in
+      List.filter
+        (fun it ->
+          if List.exists (item_equal it) !seen then false
+          else begin
+            seen := it :: !seen;
+            true
+          end)
+        items
+
+  let string_value_of ctx = function
+    | D -> S.string_value ctx.c.store (S.root ctx.c.store)
+    | N n -> S.string_value ctx.c.store n
+    | C d -> Dom.string_value d
+    | A a -> a.avalue
+    | Str s -> s
+    | Bool b -> if b then "true" else "false"
+    | Num f ->
+        if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+        else Printf.sprintf "%.12g" f
+
+  let atomize_item ctx = function
+    | (D | N _ | C _ | A _) as n -> Str (string_value_of ctx n)
+    | atom -> atom
+
+  let atomize ctx v = List.map (atomize_item ctx) v
+
+  let to_number_opt = function
+    | Num f -> Some f
+    | Str s -> float_of_string_opt (String.trim s)
+    | Bool b -> Some (if b then 1.0 else 0.0)
+    | D | N _ | C _ | A _ -> None
+
+  (* Effective boolean value. *)
+  let ebv = function
+    | [] -> false
+    | [ Bool b ] -> b
+    | [ Num f ] -> f <> 0.0 && not (Float.is_nan f)
+    | [ Str s ] -> s <> ""
+    | (D | N _ | C _ | A _) :: _ -> true
+    | _ :: _ :: _ -> true
+
+  (* --- navigation over both stored and constructed nodes ---------------- *)
+
+  let child_items ctx = function
+    | D -> [ N (S.root ctx.c.store) ]
+    | N n -> List.map (fun x -> N x) (S.children ctx.c.store n)
+    | C d -> List.map (fun x -> C x) (Dom.children d)
+    | A _ | Num _ | Str _ | Bool _ -> err "child step on a non-element item"
+
+  let item_kind ctx = function
+    | D -> `Element
+    | N n -> S.kind ctx.c.store n
+    | C d -> if Dom.is_element d then `Element else `Text
+    | A _ | Num _ | Str _ | Bool _ -> err "node kind of an atomic value"
+
+  let item_name ctx = function
+    | D -> ""
+    | N n -> S.name ctx.c.store n
+    | C d -> Dom.name d
+    | A a -> a.aname
+    | Num _ | Str _ | Bool _ -> err "node name of an atomic value"
+
+  let matches_test ctx test it =
+    match test with
+    | Ast.Name tag -> item_kind ctx it = `Element && String.equal (item_name ctx it) tag
+    | Ast.Star -> item_kind ctx it = `Element
+    | Ast.Text_test -> item_kind ctx it = `Text
+    | Ast.Any_kind -> true
+
+  let rec collect_descendants ctx acc it =
+    let kids = child_items ctx it in
+    List.fold_left
+      (fun acc k ->
+        let acc = k :: acc in
+        match item_kind ctx k with
+        | `Element -> collect_descendants ctx acc k
+        | `Text -> acc)
+      acc kids
+
+  (* Descendants with a given tag, using extent + interval indexes when the
+     backend provides them — the structural-summary fast path. *)
+  let descendants_named ctx it tag =
+    match it with
+    | D -> Option.map (fun a -> Array.to_list (Array.map (fun n -> N n) a)) (tag_array ctx.c tag)
+    | N n -> (
+        match (tag_array ctx.c tag, S.subtree_interval ctx.c.store n) with
+        | Some extent, Some (lo, hi) ->
+            (* binary search the first extent member with order >= lo *)
+            let len = Array.length extent in
+            let rec lower l r =
+              if l >= r then l
+              else
+                let m = (l + r) / 2 in
+                if S.order ctx.c.store extent.(m) >= lo then lower l m else lower (m + 1) r
+            in
+            let start = lower 0 len in
+            let rec take i acc =
+              if i >= len then List.rev acc
+              else
+                let x = extent.(i) in
+                let o = S.order ctx.c.store x in
+                if o >= hi then List.rev acc
+                else take (i + 1) (if o = lo then acc else N x :: acc)
+            in
+            Some (take start [])
+        | _ -> None)
+    | C _ | A _ | Num _ | Str _ | Bool _ -> None
+
+  let attribute_items ctx it =
+    let order = match it with N _ | C _ -> node_order ctx.c it | _ -> 0 in
+    match it with
+    | D -> []
+    | N n ->
+        List.map (fun (k, v) -> A { aowner_order = order; aname = k; avalue = v })
+          (S.attributes ctx.c.store n)
+    | C d ->
+        List.map (fun (k, v) -> A { aowner_order = order; aname = k; avalue = v })
+          (match d.Dom.desc with Dom.Element e -> e.Dom.attrs | Dom.Text _ -> [])
+    | A _ | Num _ | Str _ | Bool _ -> err "attribute step on a non-element item"
+
+  let parent_item ctx = function
+    | D -> None
+    | N n -> (
+        match S.parent ctx.c.store n with
+        | Some p -> Some (N p)
+        | None -> Some D)
+    | C d -> Option.map (fun p -> C p) d.Dom.parent
+    | A _ | Num _ | Str _ | Bool _ -> err "parent step on a non-element item"
+
+  (* --- conversion to DOM (construction and result materialization) ------ *)
+
+  let rec store_to_dom store n =
+    match S.kind store n with
+    | `Text -> Dom.text (S.text store n)
+    | `Element ->
+        Dom.element
+          ~attrs:(S.attributes store n)
+          ~children:(List.map (store_to_dom store) (S.children store n))
+          (S.name store n)
+
+  let item_to_dom ctx = function
+    | D -> store_to_dom ctx.c.store (S.root ctx.c.store)
+    | N n -> store_to_dom ctx.c.store n
+    | C d -> Dom.deep_copy d
+    | A a -> Dom.text a.avalue
+    | atom -> Dom.text (string_value_of ctx atom)
+
+  (* --- evaluation -------------------------------------------------------- *)
+
+  let lookup_var ctx v =
+    match List.assoc_opt v ctx.vars with
+    | Some value -> value
+    | None -> err "undefined variable $%s" v
+
+  (* Detect the [@id = "literal"] predicate shape the ID index serves. *)
+  let id_predicate_literal preds =
+    match preds with
+    | Ast.Compare
+        ( Ast.Eq,
+          Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name "id"; preds = [] } ]),
+          Ast.Literal s )
+      :: rest ->
+        Some (s, rest)
+    | Ast.Compare
+        ( Ast.Eq,
+          Ast.Literal s,
+          Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name "id"; preds = [] } ]) )
+      :: rest ->
+        Some (s, rest)
+    | _ -> None
+
+  let rec eval ctx (e : Ast.expr) : value =
+    match e with
+    | Ast.Number f -> [ Num f ]
+    | Ast.Literal s -> [ Str s ]
+    | Ast.Var v -> lookup_var ctx v
+    | Ast.Sequence es -> List.concat_map (eval ctx) es
+    | Ast.Root -> [ D ]
+    | Ast.Context -> (
+        match ctx.citem with
+        | Some it -> [ it ]
+        | None -> err "no context item")
+    | Ast.Path (origin, steps) ->
+        let start = eval ctx origin in
+        List.fold_left (eval_step ctx) start steps
+    | Ast.Filter (e, preds) ->
+        let v = eval ctx e in
+        List.fold_left (filter_sequence ctx) v preds
+    | Ast.Flwor f -> eval_flwor ctx f
+    | Ast.Quantified (q, binds, sat) -> [ Bool (eval_quantified ctx q binds sat) ]
+    | Ast.If (c, t, e) -> if ebv (eval ctx c) then eval ctx t else eval ctx e
+    | Ast.Or (a, b) -> [ Bool (ebv (eval ctx a) || ebv (eval ctx b)) ]
+    | Ast.And (a, b) -> [ Bool (ebv (eval ctx a) && ebv (eval ctx b)) ]
+    | Ast.Compare (op, a, b) -> [ Bool (general_compare ctx op (eval ctx a) (eval ctx b)) ]
+    | Ast.Arith (op, a, b) -> eval_arith ctx op a b
+    | Ast.Neg a -> (
+        match atomize ctx (eval ctx a) with
+        | [] -> []
+        | it :: _ -> [ Num (-.Option.value ~default:Float.nan (to_number_opt it)) ])
+    | Ast.Call (f, args) -> eval_call ctx f args
+    | Ast.Elem_ctor (tag, attrs, content) -> [ eval_ctor ctx tag attrs content ]
+    | Ast.Node_before (a, b) -> [ Bool (node_order_compare ctx a b ( < )) ]
+    | Ast.Node_after (a, b) -> [ Bool (node_order_compare ctx a b ( > )) ]
+
+  and node_order_compare ctx a b rel =
+    match (eval ctx a, eval ctx b) with
+    | [ x ], [ y ] when is_node x && is_node y -> rel (node_order ctx.c x) (node_order ctx.c y)
+    | [], _ | _, [] -> false
+    | _ -> err "node comparison requires single nodes"
+
+  (* One path step applied to a whole node sequence. *)
+  and eval_step ctx input { Ast.axis; test; preds } =
+    let per_node it =
+      match axis with
+      | Ast.Child -> (
+          (* ID-index shortcut for  tag[@id = "..."]  child steps. *)
+          match (test, id_predicate_literal preds) with
+          | Ast.Name tag, Some (idval, rest_preds) -> (
+              match S.id_lookup ctx.c.store idval with
+              | Some candidate -> (
+                  match candidate with
+                  | Some n
+                    when String.equal (S.name ctx.c.store n) tag
+                         && (match S.parent ctx.c.store n with
+                            | Some p -> item_equal (N p) it
+                            | None -> false) ->
+                      apply_predicates ctx [ N n ] rest_preds
+                  | Some _ | None -> [])
+              | None ->
+                  let selected = List.filter (matches_test ctx test) (child_items ctx it) in
+                  apply_predicates ctx selected preds)
+          | _ ->
+              let selected = List.filter (matches_test ctx test) (child_items ctx it) in
+              apply_predicates ctx selected preds)
+      | Ast.Descendant ->
+          let selected =
+            match test with
+            | Ast.Name tag -> (
+                match descendants_named ctx it tag with
+                | Some nodes -> nodes
+                | None ->
+                    List.filter (matches_test ctx test)
+                      (List.rev (collect_descendants ctx [] it)))
+            | _ -> List.filter (matches_test ctx test) (List.rev (collect_descendants ctx [] it))
+          in
+          apply_predicates ctx selected preds
+      | Ast.Attribute ->
+          let selected =
+            match test with
+            | Ast.Name a -> List.filter (fun x -> item_name ctx x = a) (attribute_items ctx it)
+            | Ast.Star -> attribute_items ctx it
+            | Ast.Text_test | Ast.Any_kind -> []
+          in
+          apply_predicates ctx selected preds
+      | Ast.Parent ->
+          let selected =
+            match parent_item ctx it with
+            | Some p when matches_test ctx test p -> [ p ]
+            | Some _ | None -> []
+          in
+          apply_predicates ctx selected preds
+      | Ast.Self ->
+          let selected = if matches_test ctx test it then [ it ] else [] in
+          apply_predicates ctx selected preds
+    in
+    doc_order_dedup ctx.c (List.concat_map per_node input)
+
+  (* Predicates relative to the node list selected for one context node. *)
+  and apply_predicates ctx selected preds = List.fold_left (filter_sequence ctx) selected preds
+
+  and filter_sequence ctx selected pred =
+    let size = List.length selected in
+    let keep i it =
+      let ctx' = { ctx with citem = Some it; cpos = i + 1; csize = size } in
+      match eval ctx' pred with
+      | [ Num f ] -> f = float_of_int (i + 1)
+      | v -> ebv v
+    in
+    List.filteri keep selected
+
+  and general_compare ctx op left right =
+    let left = atomize ctx left and right = atomize ctx right in
+    let cmp_pair a b =
+      let numeric =
+        match (a, b) with
+        | Num _, _ | _, Num _ | Bool _, _ | _, Bool _ -> true
+        | _ -> false
+      in
+      if numeric then
+        let x = Option.value ~default:Float.nan (to_number_opt a) in
+        let y = Option.value ~default:Float.nan (to_number_opt b) in
+        if Float.is_nan x || Float.is_nan y then false
+        else
+          match op with
+          | Ast.Eq -> x = y
+          | Ast.Ne -> x <> y
+          | Ast.Lt -> x < y
+          | Ast.Le -> x <= y
+          | Ast.Gt -> x > y
+          | Ast.Ge -> x >= y
+      else
+        let x = string_value_of ctx a and y = string_value_of ctx b in
+        let c = String.compare x y in
+        match op with
+        | Ast.Eq -> c = 0
+        | Ast.Ne -> c <> 0
+        | Ast.Lt -> c < 0
+        | Ast.Le -> c <= 0
+        | Ast.Gt -> c > 0
+        | Ast.Ge -> c >= 0
+    in
+    List.exists (fun a -> List.exists (fun b -> cmp_pair a b) right) left
+
+  and eval_arith ctx op a b =
+    let va = atomize ctx (eval ctx a) and vb = atomize ctx (eval ctx b) in
+    match (va, vb) with
+    | [], _ | _, [] -> []
+    | x :: _, y :: _ ->
+        let x = Option.value ~default:Float.nan (to_number_opt x) in
+        let y = Option.value ~default:Float.nan (to_number_opt y) in
+        let r =
+          match op with
+          | Ast.Add -> x +. y
+          | Ast.Sub -> x -. y
+          | Ast.Mul -> x *. y
+          | Ast.Div -> x /. y
+          | Ast.Mod -> Float.rem x y
+        in
+        [ Num r ]
+
+  (* Variables an expression references (a conservative dependence test). *)
+  and expr_vars acc (e : Ast.expr) =
+    match e with
+    | Ast.Var v -> v :: acc
+    | Ast.Number _ | Ast.Literal _ | Ast.Root | Ast.Context -> acc
+    | Ast.Sequence es -> List.fold_left expr_vars acc es
+    | Ast.Path (o, steps) ->
+        List.fold_left
+          (fun acc { Ast.preds; _ } -> List.fold_left expr_vars acc preds)
+          (expr_vars acc o) steps
+    | Ast.Filter (e', preds) -> List.fold_left expr_vars (expr_vars acc e') preds
+    | Ast.Flwor fl ->
+        let acc =
+          List.fold_left
+            (fun acc -> function Ast.For (_, e') | Ast.Let (_, e') -> expr_vars acc e')
+            acc fl.Ast.clauses
+        in
+        let acc = Option.fold ~none:acc ~some:(expr_vars acc) fl.Ast.where in
+        let acc = List.fold_left (fun acc { Ast.key; _ } -> expr_vars acc key) acc fl.Ast.order in
+        expr_vars acc fl.Ast.ret
+    | Ast.Quantified (_, binds, sat) ->
+        expr_vars (List.fold_left (fun acc (_, e') -> expr_vars acc e') acc binds) sat
+    | Ast.If (a, b, c) -> expr_vars (expr_vars (expr_vars acc a) b) c
+    | Ast.Or (a, b) | Ast.And (a, b) | Ast.Compare (_, a, b) | Ast.Arith (_, a, b)
+    | Ast.Node_before (a, b) | Ast.Node_after (a, b) ->
+        expr_vars (expr_vars acc a) b
+    | Ast.Neg a -> expr_vars acc a
+    | Ast.Call (_, args) -> List.fold_left expr_vars acc args
+    | Ast.Elem_ctor (_, attrs, content) ->
+        let acc =
+          List.fold_left
+            (fun acc (_, pieces) ->
+              List.fold_left
+                (fun acc -> function Ast.A_expr e' -> expr_vars acc e' | Ast.A_text _ -> acc)
+                acc pieces)
+            acc attrs
+        in
+        List.fold_left
+          (fun acc -> function Ast.C_expr e' -> expr_vars acc e' | Ast.C_text _ -> acc)
+          acc content
+
+  and uses_var v e = List.mem v (expr_vars [] e)
+
+  and uses_any_var e = expr_vars [] e <> []
+
+  (* Hash-join rewrite:  for $v in SRC where KEY($v) = PROBE(outer) ...
+     with a variable-free SRC becomes a build-once / probe-per-tuple hash
+     join — the hand-optimized plan shape the paper applied to the
+     main-memory systems.  Valid only when every key atomizes to an
+     untyped string (general '=' on two untyped values is string
+     equality); anything else falls back to the nested loop. *)
+  and join_pattern f =
+    match f.Ast.clauses with
+    | [ Ast.For (v, src) ] when not (uses_any_var src) -> (
+        match f.Ast.where with
+        | Some (Ast.Compare (Ast.Eq, lhs, rhs)) ->
+            (* the build key may depend only on $v (it is cached across
+               probes); the probe side must not depend on $v at all *)
+            let only_v e = List.for_all (String.equal v) (expr_vars [] e) in
+            if uses_var v lhs && only_v lhs && not (uses_var v rhs) then Some (v, src, lhs, rhs)
+            else if uses_var v rhs && only_v rhs && not (uses_var v lhs) then
+              Some (v, src, rhs, lhs)
+            else None
+        | _ -> None)
+    | _ -> None
+
+  and build_join_table ctx v src key =
+    let side = { source = src; key } in
+    match Hashtbl.find_opt ctx.c.join_tables side with
+    | Some t -> t
+    | None ->
+        let items = Array.of_list (eval { ctx with vars = [] } src) in
+        let table = Hashtbl.create (2 * (Array.length items + 1)) in
+        let usable = ref true in
+        Array.iteri
+          (fun i it ->
+            let keys = atomize ctx (eval { ctx with vars = [ (v, [ it ]) ] } key) in
+            List.iter
+              (fun k ->
+                match k with
+                | Str ks ->
+                    Hashtbl.replace table ks
+                      (i :: Option.value ~default:[] (Hashtbl.find_opt table ks))
+                | D | N _ | C _ | A _ | Num _ | Bool _ -> usable := false)
+              keys)
+          items;
+        let t = if !usable then Built (items, table) else Unusable in
+        Hashtbl.replace ctx.c.join_tables side t;
+        t
+
+  (* Tuple stream for an optimizable FLWOR; None = fall back to the
+     nested-loop pipeline. *)
+  and try_hash_join ctx f =
+    if not ctx.c.optimize then None
+    else
+      match join_pattern f with
+      | None -> None
+      | Some (v, src, key, probe) -> (
+          match build_join_table ctx v src key with
+          | Unusable -> None
+          | Built (items, table) ->
+              let probe_keys = atomize ctx (eval ctx probe) in
+              if
+                List.exists
+                  (function Str _ -> false | D | N _ | C _ | A _ | Num _ | Bool _ -> true)
+                  probe_keys
+              then None
+              else begin
+                let matched = Hashtbl.create 16 in
+                List.iter
+                  (function
+                    | Str ks ->
+                        List.iter
+                          (fun i -> Hashtbl.replace matched i ())
+                          (Option.value ~default:[] (Hashtbl.find_opt table ks))
+                    | D | N _ | C _ | A _ | Num _ | Bool _ -> ())
+                  probe_keys;
+                let indices =
+                  List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) matched [])
+                in
+                Some
+                  (List.map
+                     (fun i -> { ctx with vars = (v, [ items.(i) ]) :: ctx.vars })
+                     indices)
+              end)
+
+  (* count(for $v in SRC where A op B return $v) with a numeric inequality
+     between a $v-only side and an outer side: answered with binary search
+     over pre-sorted key arrays instead of a nested loop — the plan shape
+     behind the paper's System D numbers for Q11/Q12. *)
+  (* Statically numeric: every item the expression yields is a number, so
+     the general comparison is guaranteed to be numeric (untyped-vs-untyped
+     would be a string comparison, which the fusion must not change). *)
+  and always_numeric (e : Ast.expr) =
+    match e with
+    | Ast.Number _ -> true
+    | Ast.Arith _ | Ast.Neg _ -> true
+    | Ast.Call (("count" | "sum" | "avg" | "number" | "round" | "floor" | "ceiling" | "abs"
+                | "string-length" | "last" | "position"), _) ->
+        true
+    | Ast.If (_, t, e') -> always_numeric t && always_numeric e'
+    | Ast.Sequence es -> es <> [] && List.for_all always_numeric es
+    | _ -> false
+
+  and ineq_pattern f =
+    match f.Ast.clauses with
+    | [ Ast.For (v, src) ] when not (uses_any_var src) -> (
+        match (f.Ast.where, f.Ast.order, f.Ast.ret) with
+        | Some (Ast.Compare (op, lhs, rhs)), [], Ast.Var rv
+          when String.equal rv v
+               && (op = Ast.Gt || op = Ast.Lt || op = Ast.Ge || op = Ast.Le)
+               && (always_numeric lhs || always_numeric rhs) ->
+            let only_v e = List.for_all (String.equal v) (expr_vars [] e) in
+            if uses_var v lhs && only_v lhs && not (uses_var v rhs) then
+              (* KEY($v) op PROBE  — flip to PROBE op' KEY *)
+              let flip = function
+                | Ast.Gt -> Ast.Lt | Ast.Lt -> Ast.Gt | Ast.Ge -> Ast.Le | Ast.Le -> Ast.Ge
+                | o -> o
+              in
+              Some (v, src, lhs, flip op, rhs)
+            else if uses_var v rhs && only_v rhs && not (uses_var v lhs) then
+              Some (v, src, rhs, op, lhs)
+            else None
+        | _ -> None)
+    | _ -> None
+
+  and build_ineq_table ctx v src key =
+    let side = { source = src; key } in
+    match Hashtbl.find_opt ctx.c.ineq_tables side with
+    | Some t -> t
+    | None ->
+        let items = eval { ctx with vars = [] } src in
+        let minmax =
+          List.filter_map
+            (fun it ->
+              let keys =
+                atomize ctx (eval { ctx with vars = [ (v, [ it ]) ] } key)
+                |> List.filter_map to_number_opt
+                |> List.filter (fun f -> not (Float.is_nan f))
+              in
+              match keys with
+              | [] -> None
+              | k :: rest ->
+                  Some
+                    (List.fold_left Float.min k rest, List.fold_left Float.max k rest))
+            items
+        in
+        let mins = Array.of_list (List.map fst minmax) in
+        let maxs = Array.of_list (List.map snd minmax) in
+        Array.sort Float.compare mins;
+        Array.sort Float.compare maxs;
+        let t = Some (mins, maxs) in
+        Hashtbl.replace ctx.c.ineq_tables side t;
+        t
+
+  (* number of elements of a sorted array strictly less than x *)
+  and count_lt sorted x =
+    let n = Array.length sorted in
+    let rec lower l r = if l >= r then l else
+      let m = (l + r) / 2 in
+      if sorted.(m) < x then lower (m + 1) r else lower l m
+    in
+    lower 0 n
+
+  and count_le sorted x =
+    let n = Array.length sorted in
+    let rec lower l r = if l >= r then l else
+      let m = (l + r) / 2 in
+      if sorted.(m) <= x then lower (m + 1) r else lower l m
+    in
+    lower 0 n
+
+  and try_inequality_count ctx e =
+    match e with
+    | Ast.Flwor f -> (
+        match ineq_pattern f with
+        | None -> None
+        | Some (v, src, key, op, probe) -> (
+            match build_ineq_table ctx v src key with
+            | None -> None
+            | Some (mins, maxs) ->
+                let probe_vals =
+                  atomize ctx (eval ctx probe)
+                  |> List.filter_map to_number_opt
+                  |> List.filter (fun f -> not (Float.is_nan f))
+                in
+                if probe_vals = [] then Some 0
+                else
+                  (* existential semantics: an item passes PROBE op KEY if
+                     some probe value does; the extreme probe value decides *)
+                  let pmax = List.fold_left Float.max (List.hd probe_vals) probe_vals in
+                  let pmin = List.fold_left Float.min (List.hd probe_vals) probe_vals in
+                  (* an item with several keys passes via its own extreme *)
+                  Some
+                    (match op with
+                    | Ast.Gt -> count_lt mins pmax  (* p > some key: key_min < p *)
+                    | Ast.Ge -> count_le mins pmax
+                    | Ast.Lt -> Array.length maxs - count_le maxs pmin
+                    | Ast.Le -> Array.length maxs - count_lt maxs pmin
+                    | Ast.Eq | Ast.Ne -> assert false)))
+    | _ -> None
+
+  and eval_flwor ctx f =
+    let tuples =
+      match try_hash_join ctx f with
+      | Some tuples -> tuples
+      | None ->
+          let bind_clause ctxs = function
+            | Ast.For (v, e) ->
+                List.concat_map
+                  (fun ctx' ->
+                    List.map
+                      (fun it -> { ctx' with vars = (v, [ it ]) :: ctx'.vars })
+                      (eval ctx' e))
+                  ctxs
+            | Ast.Let (v, e) ->
+                List.map (fun ctx' -> { ctx' with vars = (v, eval ctx' e) :: ctx'.vars }) ctxs
+          in
+          let tuples = List.fold_left bind_clause [ ctx ] f.Ast.clauses in
+          (match f.Ast.where with
+          | None -> tuples
+          | Some w -> List.filter (fun ctx' -> ebv (eval ctx' w)) tuples)
+    in
+    let tuples =
+      if f.Ast.order = [] then tuples
+      else begin
+        let keyed =
+          List.map
+            (fun ctx' ->
+              let keys =
+                List.map
+                  (fun { Ast.key; descending } ->
+                    let v = atomize ctx' (eval ctx' key) in
+                    (v, descending))
+                  f.Ast.order
+              in
+              (keys, ctx'))
+            tuples
+        in
+        let compare_key (a, desc) (b, _) =
+          let c =
+            match (a, b) with
+            | [], [] -> 0
+            | [], _ -> -1  (* empty least *)
+            | _, [] -> 1
+            | x :: _, y :: _ -> (
+                match (x, y) with
+                | Num f1, Num f2 -> compare f1 f2
+                | _ ->
+                    (* untyped data compares as strings *)
+                    String.compare (string_value_of ctx x) (string_value_of ctx y))
+          in
+          if desc then -c else c
+        in
+        let rec compare_keys ka kb =
+          match (ka, kb) with
+          | [], [] -> 0
+          | a :: ra, b :: rb ->
+              let c = compare_key a b in
+              if c <> 0 then c else compare_keys ra rb
+          | _ -> 0
+        in
+        List.stable_sort (fun (ka, _) (kb, _) -> compare_keys ka kb) keyed |> List.map snd
+      end
+    in
+    List.concat_map (fun ctx' -> eval ctx' f.Ast.ret) tuples
+
+  and eval_quantified ctx q binds sat =
+    let rec go ctx' = function
+      | [] -> ebv (eval ctx' sat)
+      | (v, e) :: rest ->
+          let items = eval ctx' e in
+          let test it = go { ctx' with vars = (v, [ it ]) :: ctx'.vars } rest in
+          (match q with
+          | Ast.Some_ -> List.exists test items
+          | Ast.Every -> List.for_all test items)
+    in
+    go ctx binds
+
+  (* --- element construction --------------------------------------------- *)
+
+  and eval_ctor ctx tag attr_specs content =
+    let attr_value pieces =
+      String.concat ""
+        (List.map
+           (function
+             | Ast.A_text s -> s
+             | Ast.A_expr e ->
+                 let v = atomize ctx (eval ctx e) in
+                 String.concat " " (List.map (string_value_of ctx) v))
+           pieces)
+    in
+    let attrs = ref (List.map (fun (k, pieces) -> (k, attr_value pieces)) attr_specs) in
+    let children = ref [] in
+    let add_text s = children := Dom.text s :: !children in
+    let add_items v =
+      (* Adjacent atomics merge into one text node, space separated. *)
+      let flush_atoms atoms =
+        if atoms <> [] then
+          add_text (String.concat " " (List.rev_map (string_value_of ctx) atoms))
+      in
+      let rec go atoms = function
+        | [] -> flush_atoms atoms
+        | (Num _ | Str _ | Bool _) as a :: rest -> go (a :: atoms) rest
+        | A a :: rest when !children = [] && atoms = [] ->
+            (* attribute nodes ahead of any content attach as attributes *)
+            attrs := !attrs @ [ (a.aname, a.avalue) ];
+            go [] rest
+        | (D | N _ | C _ | A _) as n :: rest ->
+            flush_atoms atoms;
+            children := item_to_dom ctx n :: !children;
+            go [] rest
+      in
+      go [] v
+    in
+    List.iter
+      (function
+        | Ast.C_text s -> add_text s
+        | Ast.C_expr e -> add_items (eval ctx e))
+      content;
+    let node = Dom.element ~attrs:!attrs ~children:(List.rev !children) tag in
+    ignore (Dom.index node);
+    C node
+
+  (* --- function calls ---------------------------------------------------- *)
+
+  and eval_call ctx f args =
+    match (f, args) with
+    | ("count" | "fn:count"), [ e ] -> (
+        match (if ctx.c.optimize then try_inequality_count ctx e else None) with
+        | Some n -> [ Num (float_of_int n) ]
+        | None -> [ Num (float_of_int (List.length (eval ctx e))) ])
+    | "empty", [ e ] -> [ Bool (eval ctx e = []) ]
+    | "exists", [ e ] -> [ Bool (eval ctx e <> []) ]
+    | "not", [ e ] -> [ Bool (not (ebv (eval ctx e))) ]
+    | "boolean", [ e ] -> [ Bool (ebv (eval ctx e)) ]
+    | "true", [] -> [ Bool true ]
+    | "false", [] -> [ Bool false ]
+    | "string", [] -> (
+        match ctx.citem with
+        | Some it -> [ Str (string_value_of ctx it) ]
+        | None -> err "string() with no context item")
+    | "string", [ e ] -> (
+        match eval ctx e with
+        | [] -> [ Str "" ]
+        | it :: _ -> [ Str (string_value_of ctx it) ])
+    | "data", [ e ] -> atomize ctx (eval ctx e)
+    | "number", [ e ] -> (
+        match atomize ctx (eval ctx e) with
+        | [] -> [ Num Float.nan ]
+        | it :: _ -> [ Num (Option.value ~default:Float.nan (to_number_opt it)) ])
+    | "contains", [ a; b ] ->
+        let s = string_arg ctx a and sub = string_arg ctx b in
+        [ Bool (contains_substring s sub) ]
+    | "starts-with", [ a; b ] ->
+        let s = string_arg ctx a and prefix = string_arg ctx b in
+        [
+          Bool
+            (String.length s >= String.length prefix
+            && String.sub s 0 (String.length prefix) = prefix);
+        ]
+    | "ends-with", [ a; b ] ->
+        let s = string_arg ctx a and suffix = string_arg ctx b in
+        let ls = String.length s and lx = String.length suffix in
+        [ Bool (ls >= lx && String.sub s (ls - lx) lx = suffix) ]
+    | "string-length", [ e ] -> [ Num (float_of_int (String.length (string_arg ctx e))) ]
+    | "substring", [ e; start ] ->
+        let s = string_arg ctx e and st = number_arg ctx start in
+        let from = max 0 (int_of_float st - 1) in
+        [ Str (if from >= String.length s then "" else String.sub s from (String.length s - from)) ]
+    | "substring", [ e; start; len ] ->
+        let s = string_arg ctx e in
+        let st = int_of_float (number_arg ctx start) - 1 in
+        let ln = int_of_float (number_arg ctx len) in
+        let from = max 0 st in
+        let upto = min (String.length s) (st + ln) in
+        [ Str (if upto <= from then "" else String.sub s from (upto - from)) ]
+    | "concat", args -> [ Str (String.concat "" (List.map (string_arg ctx) args)) ]
+    | "string-join", [ e; sep ] ->
+        let sep = string_arg ctx sep in
+        let parts = List.map (string_value_of ctx) (atomize ctx (eval ctx e)) in
+        [ Str (String.concat sep parts) ]
+    | "substring-before", [ a; b ] ->
+        let s = string_arg ctx a and sep = string_arg ctx b in
+        let ls = String.length s and lx = String.length sep in
+        let rec at i =
+          if lx = 0 || i + lx > ls then None
+          else if String.sub s i lx = sep then Some i
+          else at (i + 1)
+        in
+        [ Str (match at 0 with Some i -> String.sub s 0 i | None -> "") ]
+    | "substring-after", [ a; b ] ->
+        let s = string_arg ctx a and sep = string_arg ctx b in
+        let ls = String.length s and lx = String.length sep in
+        let rec at i =
+          if lx = 0 || i + lx > ls then None
+          else if String.sub s i lx = sep then Some (i + lx)
+          else at (i + 1)
+        in
+        [ Str (match at 0 with Some i -> String.sub s i (ls - i) | None -> "") ]
+    | "reverse", [ e ] -> List.rev (eval ctx e)
+    | "subsequence", [ e; start ] ->
+        let v = eval ctx e in
+        let from = int_of_float (Float.round (number_arg ctx start)) in
+        List.filteri (fun i _ -> i + 1 >= from) v
+    | "subsequence", [ e; start; len ] ->
+        let v = eval ctx e in
+        let from = int_of_float (Float.round (number_arg ctx start)) in
+        let len = int_of_float (Float.round (number_arg ctx len)) in
+        List.filteri (fun i _ -> i + 1 >= from && i + 1 < from + len) v
+    | "normalize-space", [ e ] ->
+        let s = string_arg ctx e in
+        let parts = String.split_on_char ' ' (String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s) in
+        [ Str (String.concat " " (List.filter (( <> ) "") parts)) ]
+    | "upper-case", [ e ] -> [ Str (String.uppercase_ascii (string_arg ctx e)) ]
+    | "lower-case", [ e ] -> [ Str (String.lowercase_ascii (string_arg ctx e)) ]
+    | "translate", [ e; from_; to_ ] ->
+        let s = string_arg ctx e and f = string_arg ctx from_ and t = string_arg ctx to_ in
+        let buf = Buffer.create (String.length s) in
+        String.iter
+          (fun ch ->
+            match String.index_opt f ch with
+            | None -> Buffer.add_char buf ch
+            | Some i -> if i < String.length t then Buffer.add_char buf t.[i])
+          s;
+        [ Str (Buffer.contents buf) ]
+    | "sum", [ e ] ->
+        let nums = List.map (fun it -> Option.value ~default:0.0 (to_number_opt it)) (atomize ctx (eval ctx e)) in
+        [ Num (List.fold_left ( +. ) 0.0 nums) ]
+    | "avg", [ e ] -> (
+        match atomize ctx (eval ctx e) with
+        | [] -> []
+        | v ->
+            let nums = List.map (fun it -> Option.value ~default:Float.nan (to_number_opt it)) v in
+            [ Num (List.fold_left ( +. ) 0.0 nums /. float_of_int (List.length nums)) ])
+    | "min", [ e ] -> fold_minmax ctx e `Min
+    | "max", [ e ] -> fold_minmax ctx e `Max
+    | "round", [ e ] -> [ Num (Float.round (number_arg ctx e)) ]
+    | "floor", [ e ] -> [ Num (Float.floor (number_arg ctx e)) ]
+    | "ceiling", [ e ] -> [ Num (Float.ceil (number_arg ctx e)) ]
+    | "abs", [ e ] -> [ Num (Float.abs (number_arg ctx e)) ]
+    | "zero-or-one", [ e ] -> (
+        match eval ctx e with
+        | [] -> []
+        | [ it ] -> [ it ]
+        | _ -> err "zero-or-one: more than one item")
+    | "exactly-one", [ e ] -> (
+        match eval ctx e with
+        | [ it ] -> [ it ]
+        | v -> err "exactly-one: %d items" (List.length v))
+    | "one-or-more", [ e ] -> (
+        match eval ctx e with
+        | [] -> err "one-or-more: empty sequence"
+        | v -> v)
+    | "distinct-values", [ e ] ->
+        let v = atomize ctx (eval ctx e) in
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun it ->
+            let k = string_value_of ctx it in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          v
+    | "ft-search", [ tag_e; word_e ] -> (
+        (* Full-text keyword lookup: elements with the given tag whose
+           string value contains the word as a token.  Served by the
+           backend's inverted index when it has one (System D), by an
+           extent or tree scan otherwise — the isolation study of the
+           paper's Section 6.9. *)
+        let tag = string_arg ctx tag_e and word = string_arg ctx word_e in
+        match S.keyword_search ctx.c.store ~tag ~word with
+        | Some nodes -> List.map (fun n -> N n) nodes
+        | None ->
+            let extent =
+              match tag_array ctx.c tag with
+              | Some a -> Array.to_list (Array.map (fun n -> N n) a)
+              | None ->
+                  List.filter (matches_test ctx (Ast.Name tag))
+                    (List.rev (collect_descendants ctx [] D))
+            in
+            let needle = String.lowercase_ascii word in
+            List.filter (fun it -> contains_token (string_value_of ctx it) needle) extent)
+    | "position", [] -> [ Num (float_of_int ctx.cpos) ]
+    | "last", [] -> [ Num (float_of_int ctx.csize) ]
+    | "name", [ e ] -> (
+        match eval ctx e with
+        | [] -> [ Str "" ]
+        | it :: _ -> [ Str (item_name ctx it) ])
+    | "name", [] -> (
+        match ctx.citem with
+        | Some it -> [ Str (item_name ctx it) ]
+        | None -> err "name() with no context item")
+    | "id", [ e ] -> (
+        let idval = string_arg ctx e in
+        match S.id_lookup ctx.c.store idval with
+        | Some (Some n) -> [ N n ]
+        | Some None -> []
+        | None ->
+            (* no index: scan *)
+            let rec scan acc it =
+              let acc =
+                if
+                  item_kind ctx it = `Element
+                  && (match it with
+                     | N n -> S.attribute ctx.c.store n "id" = Some idval
+                     | _ -> false)
+                then it :: acc
+                else acc
+              in
+              List.fold_left scan acc
+                (List.filter (fun k -> item_kind ctx k = `Element) (child_items ctx it))
+            in
+            List.rev (scan [] (N (S.root ctx.c.store))))
+    | _ -> (
+        match Hashtbl.find_opt ctx.c.funcs f with
+        | Some (params, body) ->
+            if List.length params <> List.length args then
+              err "function %s expects %d arguments" f (List.length params);
+            let bindings = List.map2 (fun p a -> (p, eval ctx a)) params args in
+            eval { ctx with vars = bindings @ ctx.vars } body
+        | None -> err "unknown function %s/%d" f (List.length args))
+
+  and string_arg ctx e =
+    match atomize ctx (eval ctx e) with
+    | [] -> ""
+    | it :: _ -> string_value_of ctx it
+
+  and number_arg ctx e =
+    match atomize ctx (eval ctx e) with
+    | [] -> Float.nan
+    | it :: _ -> Option.value ~default:Float.nan (to_number_opt it)
+
+  and fold_minmax ctx e which =
+    match atomize ctx (eval ctx e) with
+    | [] -> []
+    | v -> (
+        let nums = List.filter_map to_number_opt v in
+        match (nums, which) with
+        | _ when List.length nums = List.length v ->
+            let pick : float -> float -> float =
+              match which with `Min -> Float.min | `Max -> Float.max
+            in
+            [ Num (List.fold_left pick (List.hd nums) (List.tl nums)) ]
+        | _ ->
+            let strs = List.map (string_value_of ctx) v in
+            let pick a b =
+              match which with
+              | `Min -> if String.compare a b <= 0 then a else b
+              | `Max -> if String.compare a b >= 0 then a else b
+            in
+            [ Str (List.fold_left pick (List.hd strs) (List.tl strs)) ])
+
+  and contains_token s needle =
+    (* token = maximal alphanumeric run, compared lowercase *)
+    let n = String.length s and ln = String.length needle in
+    let is_alnum c =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    in
+    let rec scan i =
+      if i >= n then false
+      else if not (is_alnum s.[i]) then scan (i + 1)
+      else begin
+        let j = ref i in
+        while !j < n && is_alnum s.[!j] do
+          incr j
+        done;
+        if !j - i = ln && String.lowercase_ascii (String.sub s i ln) = needle then true
+        else scan !j
+      end
+    in
+    ln > 0 && scan 0
+
+  and contains_substring s sub =
+    let ls = String.length s and lx = String.length sub in
+    if lx = 0 then true
+    else if lx > ls then false
+    else
+      let rec at i = if i + lx > ls then false else String.sub s i lx = sub || at (i + 1) in
+      at 0
+
+  (* --- entry points ------------------------------------------------------ *)
+
+  let run c =
+    let ctx = { c; vars = []; citem = None; cpos = 0; csize = 0 } in
+    eval ctx c.query.Ast.main
+
+  let eval_string ?optimize store src =
+    run (compile ?optimize store (Parser.parse_query src))
+
+  let string_of_item store it =
+    let c =
+      { store; query = { Ast.functions = []; main = Ast.Root }; funcs = Hashtbl.create 1;
+        tag_arrays = Hashtbl.create 1; optimize = false; join_tables = Hashtbl.create 1;
+        ineq_tables = Hashtbl.create 1 }
+    in
+    string_value_of { c; vars = []; citem = None; cpos = 0; csize = 0 } it
+
+  let result_to_dom store v =
+    let c =
+      { store; query = { Ast.functions = []; main = Ast.Root }; funcs = Hashtbl.create 1;
+        tag_arrays = Hashtbl.create 1; optimize = false; join_tables = Hashtbl.create 1;
+        ineq_tables = Hashtbl.create 1 }
+    in
+    let ctx = { c; vars = []; citem = None; cpos = 0; csize = 0 } in
+    List.map (item_to_dom ctx) v
+
+  let result_size v = List.length v
+end

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the benchmark's XQuery subset.
+
+    Accepts the official XMark query formulations: an optional prolog of
+    [declare function local:name($p, ...) { expr };] declarations followed
+    by one expression.  XQuery comments [(: ... :)] may appear anywhere
+    whitespace may.  Known deviations from full XQuery, acceptable for the
+    benchmark corpus: the [-] character is treated as part of a name when
+    it glues two name characters together (so [zero-or-one] lexes as one
+    name; write subtraction with spaces), and namespace prefixes other
+    than the transparent [fn:] / [local:] / [xs:] are not supported. *)
+
+exception Error of { pos : int; message : string }
+
+val parse_query : string -> Ast.query
+(** @raise Error on syntax errors, with a character offset. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (no prolog). *)
+
+val describe_error : string -> exn -> string
+(** Human-readable message with line/column context. *)

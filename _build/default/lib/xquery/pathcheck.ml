@@ -1,0 +1,100 @@
+type warning = { tag : string; context : string; suggestion : string option }
+
+let pp_warning fmt w =
+  Format.fprintf fmt "warning: path step %S matches no element in the database (in %s)%s" w.tag
+    w.context
+    (match w.suggestion with Some s -> Printf.sprintf " — did you mean %S?" s | None -> "")
+
+(* Standard dynamic-programming edit distance, for "did you mean". *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+module Make (S : Store_sig.S) = struct
+  let check ?(vocabulary = []) store (q : Ast.query) =
+    let seen = Hashtbl.create 8 in
+    let warnings = ref [] in
+    (* candidate vocabulary: the tags the document actually uses *)
+    let suggest tag =
+      let best = ref None in
+      List.iter
+        (fun candidate ->
+          match S.tag_count store candidate with
+          | Some n when n > 0 ->
+              let d = edit_distance tag candidate in
+              if d <= 2 && (match !best with None -> true | Some (bd, _) -> d < bd) then
+                best := Some (d, candidate)
+          | Some _ | None -> ())
+        vocabulary;
+      Option.map snd !best
+    in
+    let note context tag =
+      if not (Hashtbl.mem seen tag) then
+        match S.tag_count store tag with
+        | Some 0 ->
+            Hashtbl.add seen tag ();
+            warnings := { tag; context; suggestion = suggest tag } :: !warnings
+        | Some _ | None -> ()
+    in
+    let rec walk (e : Ast.expr) =
+      match e with
+      | Ast.Number _ | Ast.Literal _ | Ast.Var _ | Ast.Root | Ast.Context -> ()
+      | Ast.Sequence es -> List.iter walk es
+      | Ast.Path (o, steps) ->
+          walk o;
+          let context = Ast.expr_to_string e in
+          List.iter
+            (fun { Ast.axis; test; preds } ->
+              (match (axis, test) with
+              (* attribute names are not element tags; skip them *)
+              | Ast.Attribute, _ -> ()
+              | _, Ast.Name tag -> note context tag
+              | _, (Ast.Star | Ast.Text_test | Ast.Any_kind) -> ());
+              List.iter walk preds)
+            steps
+      | Ast.Filter (e', preds) ->
+          walk e';
+          List.iter walk preds
+      | Ast.Flwor f ->
+          List.iter (function Ast.For (_, e') | Ast.Let (_, e') -> walk e') f.clauses;
+          Option.iter walk f.where;
+          List.iter (fun { Ast.key; _ } -> walk key) f.order;
+          walk f.ret
+      | Ast.Quantified (_, binds, sat) ->
+          List.iter (fun (_, e') -> walk e') binds;
+          walk sat
+      | Ast.If (a, b, c) ->
+          walk a;
+          walk b;
+          walk c
+      | Ast.Or (a, b)
+      | Ast.And (a, b)
+      | Ast.Compare (_, a, b)
+      | Ast.Arith (_, a, b)
+      | Ast.Node_before (a, b)
+      | Ast.Node_after (a, b) ->
+          walk a;
+          walk b
+      | Ast.Neg a -> walk a
+      | Ast.Call (_, args) -> List.iter walk args
+      | Ast.Elem_ctor (_, attrs, content) ->
+          List.iter
+            (fun (_, pieces) ->
+              List.iter (function Ast.A_expr e' -> walk e' | Ast.A_text _ -> ()) pieces)
+            attrs;
+          List.iter (function Ast.C_expr e' -> walk e' | Ast.C_text _ -> ()) content
+    in
+    List.iter (fun { Ast.body; _ } -> walk body) q.Ast.functions;
+    walk q.Ast.main;
+    List.rev !warnings
+end

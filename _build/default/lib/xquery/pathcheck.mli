@@ -1,0 +1,30 @@
+(** Online path validation — the feature the paper's Section 7 asks for:
+
+    "If a query processor was able to validate path expressions online,
+    i.e., tell the user whether a given sequence of tags actually exists
+    in the database instance, it would often be of great help to users as
+    quite regularly, simple typos in path names often evaluate to empty
+    results. ... it could well issue a warning if a path expression
+    contains non-existing tags."
+
+    [Make (S)] checks every name test in a query against the store's tag
+    statistics and reports the ones with an empty extent.  Only possible
+    on backends that expose [tag_count]; others yield no warnings. *)
+
+type warning = {
+  tag : string;  (** the name test with an empty extent *)
+  context : string;  (** rendering of the path expression it appears in *)
+  suggestion : string option;
+      (** nearest tag (edit distance <= 2) that does occur — the paper's
+          Query-By-Example hint in miniature *)
+}
+
+val pp_warning : Format.formatter -> warning -> unit
+
+module Make (S : Store_sig.S) : sig
+  val check : ?vocabulary:string list -> S.t -> Ast.query -> warning list
+  (** Warnings in source order, de-duplicated by tag.  [vocabulary] are
+      candidate tags for the did-you-mean suggestion (e.g. the DTD's
+      element names); only candidates that actually occur in the store are
+      suggested. *)
+end

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Float Fun Lazy List Printf QCheck QCheck_alcotest String Xmark_store Xmark_xml Xmark_xmlgen Xmark_xquery

@@ -1,0 +1,1 @@
+test/test_path_compiler.ml: Alcotest Lazy List String Xmark_store Xmark_xmlgen Xmark_xquery

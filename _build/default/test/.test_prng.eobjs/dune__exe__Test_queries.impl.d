@@ -1,0 +1,1 @@
+test/test_queries.ml: Alcotest Float Lazy List Printf String Xmark_core Xmark_xml Xmark_xmlgen

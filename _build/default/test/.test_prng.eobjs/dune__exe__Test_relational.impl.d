@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Btree Catalog Float Gen Index Iter List Plan QCheck QCheck_alcotest Table Value Xmark_relational

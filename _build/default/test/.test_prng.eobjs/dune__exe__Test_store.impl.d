@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Lazy List Printf Xmark_relational Xmark_store Xmark_xml Xmark_xmlgen Xmark_xquery

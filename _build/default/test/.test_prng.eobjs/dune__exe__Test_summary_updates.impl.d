@@ -1,0 +1,1 @@
+test/test_summary_updates.ml: Alcotest Float Format Lazy List Printf String Xmark_core Xmark_store Xmark_xml Xmark_xmlgen Xmark_xquery

@@ -1,0 +1,1 @@
+test/test_summary_updates.mli:

@@ -1,0 +1,1 @@
+test/test_xmlgen.ml: Alcotest Char Filename Float Format Hashtbl Lazy List Option Printf String Sys Unix Xmark_core Xmark_prng Xmark_store Xmark_xml Xmark_xmlgen Xmark_xquery

@@ -1,0 +1,1 @@
+test/test_xquery_eval.ml: Alcotest List Printf Xmark_core Xmark_store Xmark_xml Xmark_xmlgen Xmark_xquery

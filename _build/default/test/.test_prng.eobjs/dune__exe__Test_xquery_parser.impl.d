@@ -1,0 +1,1 @@
+test/test_xquery_parser.ml: Alcotest List String Xmark_core Xmark_xquery

@@ -1,0 +1,182 @@
+(* Differential testing: random queries in the benchmark dialect are run
+   against three different physical mappings (heap, shredded, main-memory)
+   and must produce canonically identical results.  This is the paper's
+   verification use case ("the benchmark document and the queries can aid
+   in the verification of query processors") driven by generated
+   queries. *)
+
+module MM = Xmark_store.Backend_mainmem
+module HA = Xmark_store.Backend_heap
+module SB = Xmark_store.Backend_shredded
+module EvM = Xmark_xquery.Eval.Make (MM)
+module EvA = Xmark_xquery.Eval.Make (HA)
+module EvB = Xmark_xquery.Eval.Make (SB)
+module Canonical = Xmark_xml.Canonical
+
+let doc = lazy (Xmark_xmlgen.Generator.to_string ~factor:0.002 ())
+
+let store_m = lazy (MM.of_string ~level:`Full (Lazy.force doc))
+let store_m_plain = lazy (MM.of_string ~level:`Plain (Lazy.force doc))
+let store_a = lazy (HA.load_string (Lazy.force doc))
+let store_b = lazy (SB.load_string (Lazy.force doc))
+
+(* --- random query generation ------------------------------------------------ *)
+
+let tags =
+  [ "site"; "regions"; "europe"; "namerica"; "item"; "name"; "description"; "text";
+    "keyword"; "people"; "person"; "emailaddress"; "homepage"; "profile"; "interest";
+    "open_auctions"; "open_auction"; "bidder"; "increase"; "itemref"; "seller";
+    "closed_auctions"; "closed_auction"; "price"; "buyer"; "annotation"; "category";
+    "quantity"; "location"; "nonexistent_tag" ]
+
+let attrs = [ "id"; "person"; "item"; "category"; "income"; "open_auction"; "featured" ]
+
+let gen_step =
+  QCheck.Gen.(
+    let* sep = oneofl [ "/"; "//" ] in
+    let* kind = int_bound 9 in
+    if kind = 0 then
+      let* a = oneofl attrs in
+      return ("/@" ^ a)
+    else if kind = 1 then return (sep ^ "*")
+    else if kind = 2 then return "/text()"
+    else
+      let* tag = oneofl tags in
+      let* pred = int_bound 9 in
+      let p =
+        if pred = 0 then "[1]"
+        else if pred = 1 then "[last()]"
+        else if pred = 2 then "[@id]"
+        else ""
+      in
+      return (sep ^ tag ^ p))
+
+let gen_path =
+  QCheck.Gen.(
+    let* n = int_range 1 5 in
+    let* steps = list_size (return n) gen_step in
+    (* attribute and text() steps terminate a path: drop anything after *)
+    let rec clean acc = function
+      | [] -> List.rev acc
+      | s :: rest ->
+          if String.length s > 1 && (s.[1] = '@' || s = "/text()") then List.rev (s :: acc)
+          else clean (s :: acc) rest
+    in
+    return (String.concat "" (clean [] steps)))
+
+let gen_query =
+  QCheck.Gen.(
+    let* path = gen_path in
+    let* wrapper = int_bound 4 in
+    return
+      (match wrapper with
+      | 0 -> Printf.sprintf "count(%s)" path
+      | 1 -> Printf.sprintf "for $x in %s return <r>{$x}</r>" path
+      | 2 -> Printf.sprintf "%s" path
+      | 3 -> Printf.sprintf "sum(%s)" path
+      | _ -> Printf.sprintf "if (empty(%s)) then \"none\" else count(%s)" path path))
+
+let arb_query = QCheck.make ~print:Fun.id gen_query
+
+(* --- the property ------------------------------------------------------------- *)
+
+let canon_m q =
+  let s = Lazy.force store_m in
+  Canonical.of_nodes (EvM.result_to_dom s (EvM.eval_string s q))
+
+let canon_m_plain q =
+  let s = Lazy.force store_m_plain in
+  Canonical.of_nodes (EvM.result_to_dom s (EvM.eval_string s q))
+
+let canon_a q =
+  let s = Lazy.force store_a in
+  Canonical.of_nodes (EvA.result_to_dom s (EvA.eval_string s q))
+
+let canon_b q =
+  let s = Lazy.force store_b in
+  Canonical.of_nodes (EvB.result_to_dom s (EvB.eval_string s q))
+
+let prop_backends_agree =
+  QCheck.Test.make ~name:"random queries agree across physical mappings" ~count:150 arb_query
+    (fun q ->
+      let reference = canon_m q in
+      let ok which got =
+        if String.equal got reference then true
+        else
+          QCheck.Test.fail_reportf "%s differs on %s:\nmainmem: %s\n%s: %s" which q
+            (if String.length reference > 300 then String.sub reference 0 300 else reference)
+            which
+            (if String.length got > 300 then String.sub got 0 300 else got)
+      in
+      ok "heap" (canon_a q) && ok "shredded" (canon_b q) && ok "mainmem-plain" (canon_m_plain q))
+
+let prop_count_nonnegative =
+  QCheck.Test.make ~name:"count() of random paths is a natural number" ~count:100
+    (QCheck.make ~print:Fun.id gen_path) (fun path ->
+      let s = Lazy.force store_m in
+      match EvM.eval_string s (Printf.sprintf "count(%s)" path) with
+      | [ EvM.Num f ] -> Float.is_integer f && f >= 0.0
+      | _ -> false)
+
+let prop_idempotent_canonicalization =
+  QCheck.Test.make ~name:"canonical result is stable across repeat evaluation" ~count:50 arb_query
+    (fun q -> String.equal (canon_m q) (canon_m q))
+
+(* --- optimizer differential: random join-shaped FLWORs ----------------------- *)
+
+let gen_join_query =
+  QCheck.Gen.(
+    let* src = oneofl [ "/site/people/person"; "/site/closed_auctions/closed_auction";
+                        "/site/open_auctions/open_auction"; "/site//item" ] in
+    let* key = oneofl [ "@id"; "seller/@person"; "buyer/@person"; "itemref/@item"; "@featured" ] in
+    let* probe_src = oneofl [ "/site/people/person"; "/site/closed_auctions/closed_auction" ] in
+    let* probe_key = oneofl [ "@id"; "buyer/@person"; "seller/@person" ] in
+    let* shape = int_bound 2 in
+    return
+      (match shape with
+      | 0 ->
+          Printf.sprintf
+            "for $o in %s return <r>{count(for $x in %s where $x/%s = $o/%s return $x)}</r>"
+            probe_src src key probe_key
+      | 1 ->
+          Printf.sprintf
+            "for $o in %s return <r>{for $x in %s where $o/%s = $x/%s return $x/%s}</r>"
+            probe_src src probe_key key key
+      | _ ->
+          Printf.sprintf
+            "for $o in %s let $l := for $x in %s where $x/%s = $o/%s return $x return <r>{count($l)}</r>"
+            probe_src src key probe_key))
+
+let gen_ineq_query =
+  QCheck.Gen.(
+    let* op = oneofl [ ">"; "<"; ">="; "<=" ] in
+    let* scale = oneofl [ "2"; "0.5"; "100" ] in
+    return
+      (Printf.sprintf
+         "for $p in /site/people/person let $l := for $i in \
+          /site/open_auctions/open_auction/initial where $p/profile/@income %s %s * \
+          exactly-one($i/text()) return $i return <r>{count($l)}</r>"
+         op scale))
+
+let canon_opt ~optimize q =
+  let s = Lazy.force store_m in
+  Canonical.of_nodes (EvM.result_to_dom s (EvM.eval_string ~optimize s q))
+
+let prop_optimizer_equijoins =
+  QCheck.Test.make ~name:"optimizer preserves random equi-join queries" ~count:80
+    (QCheck.make ~print:Fun.id gen_join_query)
+    (fun q -> String.equal (canon_opt ~optimize:false q) (canon_opt ~optimize:true q))
+
+let prop_optimizer_ineq =
+  QCheck.Test.make ~name:"optimizer preserves random inequality counts" ~count:40
+    (QCheck.make ~print:Fun.id gen_ineq_query)
+    (fun q -> String.equal (canon_opt ~optimize:false q) (canon_opt ~optimize:true q))
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_backends_agree; prop_count_nonnegative; prop_idempotent_canonicalization;
+            prop_optimizer_equijoins; prop_optimizer_ineq ] );
+    ]

@@ -1,0 +1,151 @@
+(* The relational path compiler must return exactly the nodes the
+   navigational evaluator returns — a second differential check, this time
+   between System A's two execution strategies (algebraic plan vs
+   navigation). *)
+
+module HA = Xmark_store.Backend_heap
+module PC = Xmark_store.Path_compiler
+module EvA = Xmark_xquery.Eval.Make (HA)
+module Parser = Xmark_xquery.Parser
+module Ast = Xmark_xquery.Ast
+
+let doc = lazy (Xmark_xmlgen.Generator.to_string ~factor:0.003 ())
+
+let store = lazy (HA.load_string (Lazy.force doc))
+
+let steps_of src =
+  match Parser.parse_expr src with
+  | Ast.Path (Ast.Root, steps) -> steps
+  | _ -> Alcotest.failf "%s is not an absolute path" src
+
+let navigational src =
+  let s = Lazy.force store in
+  EvA.eval_string s src
+  |> List.filter_map (function EvA.N id -> Some id | _ -> None)
+
+let compiled src =
+  let s = Lazy.force store in
+  PC.execute (PC.compile s (steps_of src))
+
+let paths_under_test =
+  [
+    "/site";
+    "/site/people/person";
+    "/site/regions/europe/item";
+    "/site//item";
+    "/site//keyword";
+    "//person";
+    "/site/open_auctions/open_auction/bidder/increase";
+    {|/site/people/person[@id = "person0"]|};
+    {|/site//item[@featured = "yes"]|};
+    "/site/*";
+    "/site/regions/*/item";
+    "/nothing/here";
+  ]
+
+let test_matches_navigation () =
+  List.iter
+    (fun src ->
+      Alcotest.(check (list int)) src (navigational src) (compiled src))
+    paths_under_test
+
+let test_join_count () =
+  let s = Lazy.force store in
+  let plan = PC.compile s (steps_of "/site/people/person") in
+  (* one join per step: the paper's point about path expressions on
+     relational back-ends *)
+  Alcotest.(check int) "three joins for three steps" 3 (PC.join_count plan);
+  let plan2 = PC.compile s (steps_of {|/site/people/person[@id = "person0"]|}) in
+  Alcotest.(check int) "predicate adds a join" 4 (PC.join_count plan2)
+
+let test_explain () =
+  let s = Lazy.force store in
+  let text = PC.explain (PC.compile s (steps_of {|/site/people/person[@id = "person0"]|})) in
+  List.iter
+    (fun needle ->
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) ("explain mentions " ^ needle) true (contains text needle))
+    [ "DOC"; "tag='site'"; "tag='people'"; "tag='person'"; "attributes"; "value='person0'" ]
+
+let test_unsupported () =
+  let s = Lazy.force store in
+  let expect_unsupported src =
+    match PC.compile s (steps_of src) with
+    | exception PC.Unsupported _ -> ()
+    | _ -> Alcotest.failf "%s should be unsupported" src
+  in
+  expect_unsupported "/site/people/person/name/text()";
+  expect_unsupported "/site/people/person[1]";
+  expect_unsupported "/site/people/person[homepage]";
+  Alcotest.(check bool) "compile_expr returns None for FLWOR" true
+    (PC.compile_expr s (Parser.parse_expr "for $x in /site return $x") = None);
+  Alcotest.(check bool) "compile_expr handles supported path" true
+    (PC.compile_expr s (Parser.parse_expr "/site//item") <> None)
+
+let test_document_order () =
+  List.iter
+    (fun src ->
+      let ids = compiled src in
+      Alcotest.(check bool) (src ^ " sorted") true (List.sort compare ids = ids))
+    paths_under_test
+
+(* --- System B compiler: same contract over the fragmenting mapping ----------- *)
+
+module SB = Xmark_store.Backend_shredded
+module PB = Xmark_store.Path_compiler_b
+module EvB = Xmark_xquery.Eval.Make (SB)
+
+let store_b = lazy (SB.load_string (Lazy.force doc))
+
+let navigational_b src =
+  let s = Lazy.force store_b in
+  EvB.eval_string s src |> List.filter_map (function EvB.N id -> Some id | _ -> None)
+
+let compiled_b src =
+  let s = Lazy.force store_b in
+  PB.execute (PB.compile s (steps_of src))
+
+let test_b_matches_navigation () =
+  List.iter
+    (fun src -> Alcotest.(check (list int)) src (navigational_b src) (compiled_b src))
+    paths_under_test
+
+let test_b_relations_touched () =
+  let s = Lazy.force store_b in
+  (* a fully specified path touches one relation per step... *)
+  let precise = PB.compile s (steps_of "/site/people/person") in
+  Alcotest.(check int) "one relation per named step" 3 (PB.relations_touched precise);
+  (* ...while a descendant step pays for the whole catalog *)
+  let fuzzy = PB.compile s (steps_of "/site//item") in
+  Alcotest.(check bool) "descendant step touches many relations" true
+    (PB.relations_touched fuzzy > 20)
+
+let test_b_same_ids_as_a () =
+  (* both relational mappings number nodes in document pre-order, so the
+     two compilers must return identical id lists *)
+  List.iter
+    (fun src -> Alcotest.(check (list int)) src (compiled src) (compiled_b src))
+    paths_under_test
+
+let () =
+  Alcotest.run "path-compiler"
+    [
+      ( "compiler",
+        [
+          Alcotest.test_case "matches navigation" `Quick test_matches_navigation;
+          Alcotest.test_case "join count" `Quick test_join_count;
+          Alcotest.test_case "explain" `Quick test_explain;
+          Alcotest.test_case "unsupported fragments" `Quick test_unsupported;
+          Alcotest.test_case "document order" `Quick test_document_order;
+        ] );
+      ( "system-b",
+        [
+          Alcotest.test_case "matches navigation" `Quick test_b_matches_navigation;
+          Alcotest.test_case "relations touched" `Quick test_b_relations_touched;
+          Alcotest.test_case "agrees with system A compiler" `Quick test_b_same_ids_as_a;
+        ] );
+    ]

@@ -1,0 +1,426 @@
+module R = Xmark_relational
+open R
+
+let v_i i = Value.Int i
+let v_s s = Value.Str s
+let v_f f = Value.Num f
+
+let mk_table name cols rows =
+  let t = Table.create ~name ~cols in
+  List.iter (fun r -> Table.append t (Array.of_list r)) rows;
+  t
+
+(* --- values ---------------------------------------------------------------- *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int vs num merge" true (Value.compare (v_i 2) (v_f 2.0) = 0);
+  Alcotest.(check bool) "num order" true (Value.compare (v_f 1.0) (v_f 2.0) < 0);
+  Alcotest.(check bool) "null smallest" true (Value.compare Value.Null (v_i 0) < 0);
+  Alcotest.(check bool) "str after num" true (Value.compare (v_i 5) (v_s "a") < 0);
+  Alcotest.(check bool) "str order" true (Value.compare (v_s "a") (v_s "b") < 0)
+
+let test_value_cast () =
+  Alcotest.(check (float 0.001)) "str cast" 42.5 (Value.to_float (v_s " 42.5 "));
+  Alcotest.(check bool) "bad cast is nan" true (Float.is_nan (Value.to_float (v_s "oops")));
+  Alcotest.(check bool) "null is nan" true (Float.is_nan (Value.to_float Value.Null))
+
+let test_value_to_string () =
+  Alcotest.(check string) "int" "7" (Value.to_string (v_i 7));
+  Alcotest.(check string) "whole float" "40" (Value.to_string (v_f 40.0));
+  Alcotest.(check string) "null empty" "" (Value.to_string Value.Null)
+
+(* --- tables ---------------------------------------------------------------- *)
+
+let test_table_basics () =
+  let t = mk_table "t" [ "a"; "b" ] [ [ v_i 1; v_s "x" ]; [ v_i 2; v_s "y" ] ] in
+  Alcotest.(check int) "count" 2 (Table.row_count t);
+  Alcotest.(check int) "col index" 1 (Table.col_index t "b");
+  Alcotest.(check bool) "get" true ((Table.get t 1).(1) = v_s "y");
+  (match Table.col_index t "zz" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown column");
+  match Table.append t [| v_i 1 |] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "arity mismatch"
+
+let test_table_append_after_seal () =
+  let t = mk_table "t" [ "a" ] [ [ v_i 1 ] ] in
+  ignore (Table.rows t);
+  Table.append t [| v_i 2 |];
+  Alcotest.(check int) "reseal" 2 (Array.length (Table.rows t));
+  Alcotest.(check bool) "order kept" true ((Table.get t 1).(0) = v_i 2)
+
+let test_table_fold_order () =
+  let t = mk_table "t" [ "a" ] [ [ v_i 3 ]; [ v_i 1 ]; [ v_i 2 ] ] in
+  let order = Table.fold (fun acc _ r -> r.(0) :: acc) [] t in
+  Alcotest.(check bool) "load order" true (List.rev order = [ v_i 3; v_i 1; v_i 2 ])
+
+(* --- indexes ---------------------------------------------------------------- *)
+
+let test_index_lookup () =
+  let t =
+    mk_table "t" [ "k"; "v" ]
+      [ [ v_s "a"; v_i 1 ]; [ v_s "b"; v_i 2 ]; [ v_s "a"; v_i 3 ] ]
+  in
+  let idx = Index.build t "k" in
+  Alcotest.(check (list int)) "rows for a" [ 0; 2 ] (Index.lookup idx (v_s "a"));
+  Alcotest.(check (list int)) "rows for b" [ 1 ] (Index.lookup idx (v_s "b"));
+  Alcotest.(check (list int)) "missing" [] (Index.lookup idx (v_s "zz"));
+  Alcotest.(check (option int)) "unique" (Some 0) (Index.unique idx (v_s "a"));
+  Alcotest.(check int) "distinct keys" 2 (Index.size idx)
+
+let test_index_keyed () =
+  let t = mk_table "t" [ "x" ] [ [ v_i 10 ]; [ v_i 11 ]; [ v_i 12 ] ] in
+  let idx = Index.build_keyed t (fun r -> v_i (Value.to_float r.(0) |> int_of_float |> fun x -> x mod 2)) in
+  Alcotest.(check (list int)) "evens" [ 0; 2 ] (Index.lookup idx (v_i 0))
+
+(* --- plans ---------------------------------------------------------------- *)
+
+let people =
+  mk_table "people" [ "id"; "name"; "age" ]
+    [
+      [ v_i 1; v_s "ann"; v_i 30 ];
+      [ v_i 2; v_s "bob"; v_i 20 ];
+      [ v_i 3; v_s "cat"; v_i 40 ];
+      [ v_i 4; v_s "dan"; v_i 20 ];
+    ]
+
+let orders =
+  mk_table "orders" [ "person"; "amount" ]
+    [
+      [ v_i 1; v_f 10.0 ];
+      [ v_i 1; v_f 20.0 ];
+      [ v_i 3; v_f 5.0 ];
+      [ v_i 9; v_f 99.0 ];
+    ]
+
+let test_filter_project () =
+  let r = Plan.of_table people in
+  let adults = Plan.filter (fun row -> Value.to_float row.(2) >= 30.0) r in
+  Alcotest.(check int) "two adults" 2 (Plan.count adults);
+  let names = Plan.project adults [ ("name", fun row -> row.(1)) ] in
+  Alcotest.(check bool) "projected" true
+    (Array.to_list names.Plan.rows = [ [| v_s "ann" |]; [| v_s "cat" |] ])
+
+let test_hash_join () =
+  let j =
+    Plan.hash_join ~left:(Plan.of_table people) ~right:(Plan.of_table orders)
+      ~lkey:(fun r -> r.(0))
+      ~rkey:(fun r -> r.(0))
+  in
+  Alcotest.(check int) "3 matches" 3 (Plan.count j);
+  (* left order preserved, right order within key preserved *)
+  let amounts = Array.to_list (Array.map (fun r -> r.(4)) j.Plan.rows) in
+  Alcotest.(check bool) "amounts" true (amounts = [ v_f 10.0; v_f 20.0; v_f 5.0 ])
+
+let test_hash_join_null_keys () =
+  let l = mk_table "l" [ "k" ] [ [ Value.Null ]; [ v_i 1 ] ] in
+  let r = mk_table "r" [ "k" ] [ [ Value.Null ]; [ v_i 1 ] ] in
+  let j =
+    Plan.hash_join ~left:(Plan.of_table l) ~right:(Plan.of_table r)
+      ~lkey:(fun x -> x.(0))
+      ~rkey:(fun x -> x.(0))
+  in
+  Alcotest.(check int) "nulls never join" 1 (Plan.count j)
+
+let test_left_outer_join () =
+  let j =
+    Plan.left_outer_hash_join ~left:(Plan.of_table people) ~right:(Plan.of_table orders)
+      ~lkey:(fun r -> r.(0))
+      ~rkey:(fun r -> r.(0))
+  in
+  (* ann x2, bob null, cat x1, dan null *)
+  Alcotest.(check int) "5 rows" 5 (Plan.count j);
+  let bob = j.Plan.rows.(2) in
+  Alcotest.(check bool) "bob padded with nulls" true (bob.(3) = Value.Null && bob.(4) = Value.Null)
+
+let test_theta_join () =
+  let j =
+    Plan.theta_join ~left:(Plan.of_table people) ~right:(Plan.of_table orders)
+      ~pred:(fun l r -> Value.to_float l.(2) > 2.0 *. Value.to_float r.(1))
+  in
+  (* age > 2*amount: ann(30): 10 yes, 20 no, 5 yes, 99 no = 2; bob(20): 10? 20>20 no, 5 yes, = 1;
+     cat(40): 10 yes, 20 no wait 40>40 no, 5 yes = 2; dan(20): same as bob = 1 *)
+  Alcotest.(check int) "theta matches" 6 (Plan.count j)
+
+let test_sort_stable () =
+  let r = Plan.of_table people in
+  let sorted = Plan.sort r ~cmp:(fun a b -> Value.compare a.(2) b.(2)) in
+  let names = Array.to_list (Array.map (fun row -> Value.to_string row.(1)) sorted.Plan.rows) in
+  Alcotest.(check (list string)) "stable by age" [ "bob"; "dan"; "ann"; "cat" ] names
+
+let test_group () =
+  let g =
+    Plan.group (Plan.of_table orders)
+      ~key:(fun r -> r.(0))
+      ~init:0
+      ~step:(fun acc _ -> acc + 1)
+      ~finish:(fun k n -> [| k; v_i n |])
+  in
+  Alcotest.(check int) "three groups" 3 (Plan.count g);
+  (* first-occurrence order *)
+  let keys = Array.to_list (Array.map (fun r -> r.(0)) g.Plan.rows) in
+  Alcotest.(check bool) "group order" true (keys = [ v_i 1; v_i 3; v_i 9 ]);
+  Alcotest.(check bool) "counts" true (g.Plan.rows.(0).(1) = v_i 2)
+
+let test_distinct () =
+  let d = Plan.distinct (Plan.of_table orders) ~key:(fun r -> r.(0)) in
+  Alcotest.(check int) "three distinct persons" 3 (Plan.count d)
+
+let test_difference () =
+  let d =
+    Plan.difference (Plan.of_table people) (Plan.of_table orders) ~key:(fun r -> r.(0))
+  in
+  (* people with no orders: bob(2), dan(4) *)
+  Alcotest.(check int) "two" 2 (Plan.count d);
+  Alcotest.(check bool) "names" true
+    (Array.to_list (Array.map (fun r -> r.(1)) d.Plan.rows) = [ v_s "bob"; v_s "dan" ])
+
+(* --- catalog ---------------------------------------------------------------- *)
+
+let test_catalog () =
+  let cat = Catalog.create () in
+  Catalog.register cat people;
+  Catalog.register cat orders;
+  Alcotest.(check int) "two tables" 2 (Catalog.table_count cat);
+  (match Catalog.register cat people with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate registration");
+  Catalog.reset_counters cat;
+  Alcotest.(check bool) "lookup hit" true (Catalog.lookup cat "orders" <> None);
+  Alcotest.(check int) "accesses = entries scanned" 2 (Catalog.metadata_accesses cat);
+  Alcotest.(check bool) "lookup miss" true (Catalog.lookup cat "zz" = None);
+  Alcotest.(check int) "miss scans all" 4 (Catalog.metadata_accesses cat);
+  Alcotest.(check bool) "byte size positive" true (Catalog.byte_size cat > 0)
+
+(* --- property: hash join agrees with nested loop --------------------------- *)
+
+let arb_pairs =
+  QCheck.(list_of_size Gen.(int_range 0 30) (pair (int_bound 10) (int_bound 100)))
+
+let prop_join_equiv_nested_loop =
+  QCheck.Test.make ~name:"hash join = nested loop equi-join" ~count:200
+    (QCheck.pair arb_pairs arb_pairs)
+    (fun (ls, rs) ->
+      let tbl name rows =
+        mk_table name [ "k"; "v" ] (List.map (fun (k, v) -> [ v_i k; v_i v ]) rows)
+      in
+      let l = Plan.of_table (tbl "l" ls) and r = Plan.of_table (tbl "r" rs) in
+      let viahash =
+        Plan.hash_join ~left:l ~right:r ~lkey:(fun x -> x.(0)) ~rkey:(fun x -> x.(0))
+      in
+      let vianested =
+        Plan.theta_join ~left:l ~right:r ~pred:(fun a b -> Value.equal a.(0) b.(0))
+      in
+      let norm rel =
+        Array.to_list rel.Plan.rows |> List.map Array.to_list |> List.sort compare
+      in
+      norm viahash = norm vianested)
+
+let prop_distinct_count =
+  QCheck.Test.make ~name:"distinct count = number of distinct keys" ~count:200 arb_pairs
+    (fun rows ->
+      let t = mk_table "t" [ "k"; "v" ] (List.map (fun (k, v) -> [ v_i k; v_i v ]) rows) in
+      let d = Plan.distinct (Plan.of_table t) ~key:(fun r -> r.(0)) in
+      Plan.count d = List.length (List.sort_uniq compare (List.map fst rows)))
+
+(* --- B+-tree ordered index ---------------------------------------------------- *)
+
+let test_btree_basics () =
+  let t = Btree.create ~branching:4 () in
+  List.iteri (fun i k -> Btree.insert t (v_i k) i) [ 5; 3; 9; 1; 7; 3 ];
+  Alcotest.(check int) "cardinality" 6 (Btree.cardinality t);
+  Alcotest.(check (list int)) "lookup dup key keeps order" [ 1; 5 ] (Btree.lookup t (v_i 3));
+  Alcotest.(check (list int)) "lookup miss" [] (Btree.lookup t (v_i 4));
+  Alcotest.(check bool) "min" true (Btree.min_key t = Some (v_i 1));
+  Alcotest.(check bool) "max" true (Btree.max_key t = Some (v_i 9))
+
+let test_btree_range () =
+  let t = Btree.create ~branching:4 () in
+  List.iteri (fun i k -> Btree.insert t (v_i k) i) [ 10; 20; 30; 40; 50 ];
+  Alcotest.(check (list int)) "closed range" [ 1; 2; 3 ]
+    (Btree.range ~lower:(v_i 20, true) ~upper:(v_i 40, true) t);
+  Alcotest.(check (list int)) "open range" [ 2 ]
+    (Btree.range ~lower:(v_i 20, false) ~upper:(v_i 40, false) t);
+  Alcotest.(check (list int)) "no lower" [ 0; 1 ] (Btree.range ~upper:(v_i 20, true) t);
+  Alcotest.(check (list int)) "no upper" [ 3; 4 ] (Btree.range ~lower:(v_i 40, true) t);
+  Alcotest.(check (list int)) "unbounded = all" [ 0; 1; 2; 3; 4 ] (Btree.range t)
+
+let test_btree_build_and_iter () =
+  let t = Btree.build ~branching:4 people "age" in
+  let collected = ref [] in
+  Btree.iter (fun k v -> collected := (Value.to_float k, v) :: !collected) t;
+  let collected = List.rev !collected in
+  Alcotest.(check int) "all rows" 4 (List.length collected);
+  let keys = List.map fst collected in
+  Alcotest.(check bool) "key order" true (List.sort compare keys = keys)
+
+let arb_entries =
+  QCheck.(list_of_size Gen.(int_range 0 300) (int_bound 60))
+
+let prop_btree_matches_model =
+  QCheck.Test.make ~name:"btree lookup/range agree with a sorted-list model" ~count:150
+    arb_entries
+    (fun keys ->
+      let t = Btree.create ~branching:4 () in
+      List.iteri (fun i k -> Btree.insert t (v_i k) i) keys;
+      let model = List.mapi (fun i k -> (k, i)) keys in
+      (* lookups *)
+      List.for_all
+        (fun probe ->
+          let expected = List.filter_map (fun (k, i) -> if k = probe then Some i else None) model in
+          Btree.lookup t (v_i probe) = expected)
+        [ 0; 7; 30; 60 ]
+      && (* range [10, 40) in key order, stable within keys *)
+      (let expected =
+         List.stable_sort
+           (fun (k1, _) (k2, _) -> compare k1 k2)
+           (List.filter (fun (k, _) -> k >= 10 && k < 40) model)
+         |> List.map snd
+       in
+       Btree.range ~lower:(v_i 10, true) ~upper:(v_i 40, false) t = expected)
+      && Btree.cardinality t = List.length keys)
+
+let prop_btree_depth_logarithmic =
+  QCheck.Test.make ~name:"btree depth stays logarithmic" ~count:20
+    QCheck.(int_range 100 2000)
+    (fun n ->
+      let t = Btree.create ~branching:8 () in
+      for i = 0 to n - 1 do
+        Btree.insert t (v_i i) i
+      done;
+      (* height of an 8-way tree over n distinct keys *)
+      Btree.depth t <= 2 + int_of_float (log (float_of_int n) /. log 4.0))
+
+(* --- volcano iterators ---------------------------------------------------------- *)
+
+let test_iter_basic_pipeline () =
+  let it =
+    Iter.of_table people
+    |> Iter.filter (fun r -> Value.to_float r.(2) >= 20.0)
+    |> Iter.project (fun r -> [| r.(1) |])
+  in
+  Alcotest.(check int) "all pass" 4 (Iter.count it)
+
+let test_iter_limit_pipelines () =
+  (* limit must stop pulling from the scan: observable via the counter *)
+  let scan = Iter.of_table people in
+  let limited = Iter.limit 2 (Iter.filter (fun _ -> true) scan) in
+  Alcotest.(check int) "two rows out" 2 (List.length (Iter.to_list limited));
+  Alcotest.(check bool) "scan pulled at most 3" true (Iter.pulled scan <= 3)
+
+let test_iter_hash_join_matches_plan () =
+  let via_plan =
+    Plan.hash_join ~left:(Plan.of_table orders) ~right:(Plan.of_table people)
+      ~lkey:(fun r -> r.(0))
+      ~rkey:(fun r -> r.(0))
+  in
+  let via_iter =
+    Iter.hash_join ~build:(Iter.of_table people) ~probe:(Iter.of_table orders)
+      ~bkey:(fun r -> r.(0))
+      ~pkey:(fun r -> r.(0))
+  in
+  Alcotest.(check bool) "same rows" true
+    (Array.to_list via_plan.Plan.rows = Iter.to_list via_iter)
+
+let test_iter_join_is_lazy_on_probe () =
+  let probe = Iter.of_table orders in
+  let joined =
+    Iter.hash_join ~build:(Iter.of_table people) ~probe
+      ~bkey:(fun r -> r.(0))
+      ~pkey:(fun r -> r.(0))
+  in
+  ignore (Iter.next joined);
+  Alcotest.(check bool) "probe side streamed" true (Iter.pulled probe <= 2)
+
+let test_iter_index_nested_loop () =
+  let idx = Index.build orders "person" in
+  let it =
+    Iter.index_nested_loop ~outer:(Iter.of_table people)
+      ~lookup:(fun prow -> Index.lookup_rows idx orders prow.(0))
+  in
+  Alcotest.(check int) "three matches" 3 (Iter.count it)
+
+let test_iter_of_list_and_to_rel () =
+  let it = Iter.of_list [ [| v_i 1 |]; [| v_i 2 |] ] in
+  let rel = Iter.to_rel ~cols:[| "x" |] it in
+  Alcotest.(check int) "two rows" 2 (Plan.count rel)
+
+let prop_iter_filter_equals_plan_filter =
+  QCheck.Test.make ~name:"iter filter = plan filter" ~count:150 arb_entries (fun rows ->
+      let t = mk_table "t" [ "k"; "v" ] (List.mapi (fun i k -> [ v_i k; v_i i ]) rows) in
+      let pred r = Value.to_float r.(0) >= 30.0 in
+      let via_plan = Array.to_list (Plan.filter pred (Plan.of_table t)).Plan.rows in
+      let via_iter = Iter.to_list (Iter.filter pred (Iter.of_table t)) in
+      via_plan = via_iter)
+
+let prop_iter_join_equals_plan_join =
+  QCheck.Test.make ~name:"iter hash join = plan hash join" ~count:100
+    (QCheck.pair arb_entries arb_entries)
+    (fun (ls, rs) ->
+      let lt = mk_table "l" [ "k" ] (List.map (fun k -> [ v_i (k mod 10) ]) ls) in
+      let rt = mk_table "r" [ "k" ] (List.map (fun k -> [ v_i (k mod 10) ]) rs) in
+      let via_plan =
+        Plan.hash_join ~left:(Plan.of_table lt) ~right:(Plan.of_table rt)
+          ~lkey:(fun r -> r.(0)) ~rkey:(fun r -> r.(0))
+      in
+      let via_iter =
+        Iter.hash_join ~build:(Iter.of_table rt) ~probe:(Iter.of_table lt)
+          ~bkey:(fun r -> r.(0)) ~pkey:(fun r -> r.(0))
+      in
+      Array.to_list via_plan.Plan.rows = Iter.to_list via_iter)
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "cast" `Quick test_value_cast;
+          Alcotest.test_case "to_string" `Quick test_value_to_string;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "basics" `Quick test_table_basics;
+          Alcotest.test_case "append after seal" `Quick test_table_append_after_seal;
+          Alcotest.test_case "fold order" `Quick test_table_fold_order;
+        ] );
+      ( "indexes",
+        [
+          Alcotest.test_case "lookup" `Quick test_index_lookup;
+          Alcotest.test_case "keyed" `Quick test_index_keyed;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "filter/project" `Quick test_filter_project;
+          Alcotest.test_case "hash join" `Quick test_hash_join;
+          Alcotest.test_case "null keys" `Quick test_hash_join_null_keys;
+          Alcotest.test_case "left outer join" `Quick test_left_outer_join;
+          Alcotest.test_case "theta join" `Quick test_theta_join;
+          Alcotest.test_case "sort stable" `Quick test_sort_stable;
+          Alcotest.test_case "group" `Quick test_group;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "difference" `Quick test_difference;
+        ] );
+      ("catalog", [ Alcotest.test_case "catalog" `Quick test_catalog ]);
+      ( "iterators",
+        [
+          Alcotest.test_case "basic pipeline" `Quick test_iter_basic_pipeline;
+          Alcotest.test_case "limit pipelines" `Quick test_iter_limit_pipelines;
+          Alcotest.test_case "hash join = plan" `Quick test_iter_hash_join_matches_plan;
+          Alcotest.test_case "lazy probe" `Quick test_iter_join_is_lazy_on_probe;
+          Alcotest.test_case "index nested loop" `Quick test_iter_index_nested_loop;
+          Alcotest.test_case "of_list / to_rel" `Quick test_iter_of_list_and_to_rel;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basics" `Quick test_btree_basics;
+          Alcotest.test_case "range" `Quick test_btree_range;
+          Alcotest.test_case "build and iter" `Quick test_btree_build_and_iter;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_join_equiv_nested_loop; prop_distinct_count; prop_btree_matches_model;
+            prop_btree_depth_logarithmic; prop_iter_filter_equals_plan_filter;
+            prop_iter_join_equals_plan_join ] );
+    ]

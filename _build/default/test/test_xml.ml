@@ -1,0 +1,299 @@
+module Dom = Xmark_xml.Dom
+module Sax = Xmark_xml.Sax
+module Serialize = Xmark_xml.Serialize
+module Canonical = Xmark_xml.Canonical
+
+let parse = Sax.parse_string
+
+(* --- SAX --------------------------------------------------------------- *)
+
+let test_basic_events () =
+  let p = Sax.of_string "<a x=\"1\"><b>hi</b></a>" in
+  let expect e = Alcotest.(check bool) "event" true (Sax.next p = e) in
+  expect (Sax.Start_element ("a", [ ("x", "1") ]));
+  expect (Sax.Start_element ("b", []));
+  expect (Sax.Chars "hi");
+  expect (Sax.End_element "b");
+  expect (Sax.End_element "a");
+  expect Sax.Eof;
+  expect Sax.Eof
+
+let test_self_closing () =
+  let p = Sax.of_string "<a><b/></a>" in
+  ignore (Sax.next p);
+  Alcotest.(check bool) "start b" true (Sax.next p = Sax.Start_element ("b", []));
+  Alcotest.(check bool) "end b" true (Sax.next p = Sax.End_element "b");
+  Alcotest.(check bool) "end a" true (Sax.next p = Sax.End_element "a")
+
+let test_entities () =
+  let d = parse "<a>x &amp; y &lt; z &gt; w &quot;q&quot; &apos;a&apos;</a>" in
+  Alcotest.(check string) "decoded" "x & y < z > w \"q\" 'a'" (Dom.string_value d)
+
+let test_char_refs () =
+  let d = parse "<a>&#65;&#x42;</a>" in
+  Alcotest.(check string) "char refs" "AB" (Dom.string_value d)
+
+let test_cdata () =
+  let d = parse "<a><![CDATA[<not> & markup]]></a>" in
+  Alcotest.(check string) "cdata" "<not> & markup" (Dom.string_value d)
+
+let test_comments_skipped () =
+  let d = parse "<a><!-- nope --><b/><!-- -- also --></a>" in
+  Alcotest.(check int) "one child" 1 (List.length (Dom.children d))
+
+let test_doctype_skipped () =
+  let d = parse "<!DOCTYPE site [ <!ELEMENT a (b)> ]><a><b/></a>" in
+  Alcotest.(check string) "root" "a" (Dom.name d)
+
+let test_xml_decl_skipped () =
+  let d = parse "<?xml version=\"1.0\"?><a/>" in
+  Alcotest.(check string) "root" "a" (Dom.name d)
+
+let test_attr_quotes () =
+  let d = parse "<a x='single' y=\"double\"/>" in
+  Alcotest.(check (option string)) "single" (Some "single") (Dom.attr d "x");
+  Alcotest.(check (option string)) "double" (Some "double") (Dom.attr d "y")
+
+let expect_error src =
+  match parse src with
+  | exception Sax.Parse_error _ -> ()
+  | _ -> Alcotest.failf "expected parse error for %S" src
+
+let test_errors () =
+  expect_error "<a><b></a>";
+  expect_error "<a>";
+  expect_error "<a></a><b></b>";
+  expect_error "<a x=1/>";
+  expect_error "<a>&unknown;</a>";
+  expect_error "text only";
+  expect_error "<a x=\"1\" x=\"2\"/>";
+  expect_error "<a><b></b>"
+
+let test_whitespace_dropped () =
+  let d = parse "<a>\n  <b/>\n  <c/>\n</a>" in
+  Alcotest.(check int) "ws dropped" 2 (List.length (Dom.children d))
+
+let test_whitespace_kept () =
+  let d = Sax.parse_string ~keep_ws:true "<a> <b/> </a>" in
+  Alcotest.(check int) "ws kept" 3 (List.length (Dom.children d))
+
+let test_mixed_content () =
+  let d = parse "<t>one <b>two</b> three</t>" in
+  Alcotest.(check int) "three children" 3 (List.length (Dom.children d));
+  Alcotest.(check string) "string value" "one two three" (Dom.string_value d)
+
+let test_scan_counts () =
+  let p = Sax.of_string "<a><b>x</b><c/></a>" in
+  (* events: a, b, "x", /b, c, /c, /a = 7 *)
+  Alcotest.(check int) "event count" 7 (Sax.scan p)
+
+(* --- DOM --------------------------------------------------------------- *)
+
+let sample () = parse "<a i=\"1\"><b>x</b><c><b>y</b></c></a>"
+
+let test_dom_navigation () =
+  let d = sample () in
+  Alcotest.(check string) "root name" "a" (Dom.name d);
+  Alcotest.(check int) "children" 2 (List.length (Dom.children d));
+  Alcotest.(check int) "size" 6 (Dom.size d);
+  let bs = Dom.descendants_named d "b" in
+  Alcotest.(check int) "two bs" 2 (List.length bs);
+  Alcotest.(check bool) "doc order" true
+    (match bs with [ x; y ] -> x.Dom.order < y.Dom.order | _ -> false)
+
+let test_dom_orders_unique () =
+  let d = sample () in
+  let orders = Dom.fold (fun acc n -> n.Dom.order :: acc) [] d in
+  Alcotest.(check int) "all distinct" (List.length orders)
+    (List.length (List.sort_uniq compare orders))
+
+let test_dom_parents () =
+  let d = sample () in
+  Dom.iter
+    (fun n ->
+      if n != d then
+        Alcotest.(check bool) "has parent" true (n.Dom.parent <> None))
+    d
+
+let test_deep_copy () =
+  let d = sample () in
+  let d' = Dom.deep_copy d in
+  Alcotest.(check bool) "equal" true (Dom.equal d d');
+  Alcotest.(check bool) "distinct" true (d != d')
+
+let test_find_element () =
+  let d = sample () in
+  Alcotest.(check bool) "find c" true (Dom.find_element d "c" <> None);
+  Alcotest.(check bool) "missing" true (Dom.find_element d "zz" = None)
+
+let test_append () =
+  let d = Dom.element "root" in
+  Dom.append d (Dom.text "hello");
+  Alcotest.(check string) "appended" "hello" (Dom.string_value d);
+  match Dom.append (Dom.text "x") (Dom.text "y") with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "append to text should fail"
+
+(* --- serialization ------------------------------------------------------ *)
+
+let test_escape () =
+  Alcotest.(check string) "text" "a&amp;b&lt;c&gt;d" (Serialize.escape_text "a&b<c>d");
+  Alcotest.(check string) "attr" "a&amp;b&lt;c&quot;d" (Serialize.escape_attr "a&b<c\"d")
+
+let test_roundtrip () =
+  let src = "<a i=\"1\"><b>x &amp; y</b><c><b>y</b></c></a>" in
+  let d = parse src in
+  let out = Serialize.to_string d in
+  Alcotest.(check bool) "roundtrip equal" true (Dom.equal d (parse out))
+
+let test_empty_element_form () =
+  let d = parse "<a><b></b></a>" in
+  Alcotest.(check string) "self-closing" "<a><b/></a>" (Serialize.to_string d)
+
+let test_fragment () =
+  let nodes = [ Dom.element "x"; Dom.text "t" ] in
+  Alcotest.(check string) "fragment" "<x/>\nt" (Serialize.fragment_to_string nodes)
+
+(* --- canonical ----------------------------------------------------------- *)
+
+let test_canonical_attr_order () =
+  let a = parse "<a y=\"2\" x=\"1\"/>" and b = parse "<a x=\"1\" y=\"2\"/>" in
+  Alcotest.(check bool) "attr order irrelevant" true (Canonical.equal [ a ] [ b ])
+
+let test_canonical_ws () =
+  let a = parse "<a><b>x   y</b></a>" and b = parse "<a> <b>x y</b> </a>" in
+  Alcotest.(check bool) "whitespace normalized" true (Canonical.equal [ a ] [ b ])
+
+let test_canonical_distinguishes () =
+  let a = parse "<a><b>x</b></a>" and b = parse "<a><b>y</b></a>" in
+  Alcotest.(check bool) "different text differs" false (Canonical.equal [ a ] [ b ])
+
+let test_canonical_empty_forms () =
+  let a = parse "<a><b/></a>" and b = parse "<a><b></b></a>" in
+  Alcotest.(check bool) "empty forms equal" true (Canonical.equal [ a ] [ b ])
+
+(* --- property: random trees round-trip ----------------------------------- *)
+
+let gen_tree =
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c"; "item"; "name" ] in
+  let text_str = map (String.concat "") (list_size (int_range 1 4) (oneofl [ "x"; "&"; "<"; " "; "z\"" ])) in
+  fix
+    (fun self depth ->
+      if depth = 0 then map Dom.text text_str
+      else
+        frequency
+          [
+            (2, map Dom.text (map (fun s -> "t" ^ s) text_str));
+            ( 3,
+              map3
+                (fun name attrs children -> Dom.element ~attrs ~children name)
+                tag
+                (oneofl [ []; [ ("k", "v") ]; [ ("k", "a&b\"c") ] ])
+                (list_size (int_range 0 3) (self (depth - 1))) );
+          ])
+    3
+
+let arb_root =
+  QCheck.make
+    ~print:(fun n -> Serialize.to_string n)
+    QCheck.Gen.(
+      map2
+        (fun name children -> Dom.element ~children name)
+        (oneofl [ "root"; "site" ])
+        (list_size (int_range 0 4) gen_tree))
+
+let prop_serialize_parse_roundtrip =
+  QCheck.Test.make ~name:"serialize ∘ parse = id (modulo ws text nodes)" ~count:200 arb_root
+    (fun root ->
+      let out = Serialize.to_string root in
+      let back = Sax.parse_string ~keep_ws:true out in
+      Canonical.equal [ root ] [ back ])
+
+let prop_canonical_stable =
+  QCheck.Test.make ~name:"canonicalization is idempotent" ~count:200 arb_root (fun root ->
+      let c1 = Canonical.of_node root in
+      let back = Sax.parse_string ~keep_ws:true c1 in
+      String.equal c1 (Canonical.of_node back))
+
+(* --- fuzzing: the parser must terminate with a value or Parse_error ---------- *)
+
+let arb_bytes =
+  QCheck.make ~print:String.escaped
+    QCheck.Gen.(map (String.concat "") (list_size (int_range 0 40)
+      (oneofl [ "<"; ">"; "/"; "a"; "b"; "="; "\""; "'"; "&"; "amp;"; " "; "<!"; "<?";
+                "]]>"; "<![CDATA["; "-->"; "<!--"; "x"; "1"; ";"; "#" ])))
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser terminates with value or Parse_error on any input" ~count:500
+    arb_bytes
+    (fun s ->
+      match Sax.parse_string s with
+      | _ -> true
+      | exception Sax.Parse_error _ -> true)
+
+let prop_scan_total =
+  QCheck.Test.make ~name:"scan terminates on any input" ~count:500 arb_bytes (fun s ->
+      match Sax.scan (Sax.of_string s) with
+      | n -> n >= 0
+      | exception Sax.Parse_error _ -> true)
+
+let prop_truncation_fails_cleanly =
+  QCheck.Test.make ~name:"truncated well-formed documents raise Parse_error" ~count:100
+    QCheck.(pair arb_root (float_range 0.0 1.0))
+    (fun (root, frac) ->
+      let full = Serialize.to_string root in
+      let cut = int_of_float (frac *. float_of_int (String.length full)) in
+      let truncated = String.sub full 0 (min cut (String.length full - 1)) in
+      match Sax.parse_string truncated with
+      | _ -> true  (* a prefix can coincidentally be well-formed only if whole *)
+      | exception Sax.Parse_error _ -> true)
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "sax",
+        [
+          Alcotest.test_case "basic events" `Quick test_basic_events;
+          Alcotest.test_case "self-closing" `Quick test_self_closing;
+          Alcotest.test_case "entities" `Quick test_entities;
+          Alcotest.test_case "char refs" `Quick test_char_refs;
+          Alcotest.test_case "cdata" `Quick test_cdata;
+          Alcotest.test_case "comments skipped" `Quick test_comments_skipped;
+          Alcotest.test_case "doctype skipped" `Quick test_doctype_skipped;
+          Alcotest.test_case "xml decl skipped" `Quick test_xml_decl_skipped;
+          Alcotest.test_case "attr quotes" `Quick test_attr_quotes;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "whitespace dropped" `Quick test_whitespace_dropped;
+          Alcotest.test_case "whitespace kept" `Quick test_whitespace_kept;
+          Alcotest.test_case "mixed content" `Quick test_mixed_content;
+          Alcotest.test_case "scan counts" `Quick test_scan_counts;
+        ] );
+      ( "dom",
+        [
+          Alcotest.test_case "navigation" `Quick test_dom_navigation;
+          Alcotest.test_case "orders unique" `Quick test_dom_orders_unique;
+          Alcotest.test_case "parents" `Quick test_dom_parents;
+          Alcotest.test_case "deep copy" `Quick test_deep_copy;
+          Alcotest.test_case "find element" `Quick test_find_element;
+          Alcotest.test_case "append" `Quick test_append;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "escape" `Quick test_escape;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "empty element form" `Quick test_empty_element_form;
+          Alcotest.test_case "fragment" `Quick test_fragment;
+        ] );
+      ( "canonical",
+        [
+          Alcotest.test_case "attr order" `Quick test_canonical_attr_order;
+          Alcotest.test_case "whitespace" `Quick test_canonical_ws;
+          Alcotest.test_case "distinguishes" `Quick test_canonical_distinguishes;
+          Alcotest.test_case "empty forms" `Quick test_canonical_empty_forms;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_serialize_parse_roundtrip; prop_canonical_stable; prop_parser_total;
+            prop_scan_total; prop_truncation_fails_cleanly ] );
+    ]
