@@ -5,8 +5,61 @@
 
 open Cmdliner
 
-let run exhibit factor =
+(* "B,G" -> [Runner.B; Runner.G] *)
+let parse_systems s =
+  String.split_on_char ',' s
+  |> List.map (fun tok ->
+         match String.trim tok with
+         | "A" | "a" -> Xmark_core.Runner.A
+         | "B" | "b" -> Xmark_core.Runner.B
+         | "C" | "c" -> Xmark_core.Runner.C
+         | "D" | "d" -> Xmark_core.Runner.D
+         | "E" | "e" -> Xmark_core.Runner.E
+         | "F" | "f" -> Xmark_core.Runner.F
+         | "G" | "g" -> Xmark_core.Runner.G
+         | other -> failwith (Printf.sprintf "unknown system %S (expected A-G)" other))
+
+(* "1,8,20" or "1-5,8" -> [1; 8; 20] etc. *)
+let parse_queries s =
+  String.split_on_char ',' s
+  |> List.concat_map (fun tok ->
+         let tok = String.trim tok in
+         let parse_one t =
+           match int_of_string_opt t with
+           | Some n when n >= 1 && n <= 20 -> n
+           | _ -> failwith (Printf.sprintf "bad query %S (expected 1-20)" t)
+         in
+         match String.index_opt tok '-' with
+         | Some i when i > 0 ->
+             let lo = parse_one (String.sub tok 0 i) in
+             let hi = parse_one (String.sub tok (i + 1) (String.length tok - i - 1)) in
+             if lo > hi then failwith (Printf.sprintf "empty query range %S" tok);
+             List.init (hi - lo + 1) (fun k -> lo + k)
+         | _ -> [ parse_one tok ])
+
+let run_stats_json file factor systems queries =
   let module E = Xmark_core.Experiments in
+  let systems = parse_systems systems and queries = parse_queries queries in
+  (* open before the (possibly long) matrix run, so a bad path fails fast *)
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let cells = E.stats_matrix ~factor ~systems ~queries () in
+      output_string oc (E.stats_json ~factor cells));
+  Printf.eprintf "wrote %s (%d systems x %d queries at factor %g)\n%!" file
+    (List.length systems) (List.length queries) factor;
+  0
+
+let run exhibit factor stats_json systems queries =
+  let module E = Xmark_core.Experiments in
+  match stats_json with
+  | Some file -> (
+      try run_stats_json file factor systems queries
+      with Failure m | Sys_error m ->
+        Printf.eprintf "%s\n" m;
+        2)
+  | None ->
   match exhibit with
   | "table1" -> ignore (E.table1 ~factor ()); 0
   | "table2" -> ignore (E.table2 ~factor ()); 0
@@ -31,8 +84,24 @@ let factor_arg =
   Arg.(value & opt float Xmark_core.Experiments.default_factor
        & info [ "f"; "factor" ] ~docv:"FACTOR" ~doc:"Scaling factor for the table experiments.")
 
+let stats_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Instead of an exhibit, run the selected systems and queries with execution \
+                 statistics enabled and write per-system/per-query counters as JSON to $(docv).")
+
+let systems_arg =
+  Arg.(value & opt string "A,B,C,D,E,F,G"
+       & info [ "systems" ] ~docv:"LIST" ~doc:"Comma-separated systems for --stats-json (e.g. B,G).")
+
+let queries_arg =
+  Arg.(value & opt string "1-20"
+       & info [ "queries" ] ~docv:"LIST"
+           ~doc:"Comma-separated query numbers or ranges for --stats-json (e.g. 1,8,20 or 1-5).")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
-  Cmd.v (Cmd.info "xmark_bench" ~version:"1.0" ~doc) Term.(const run $ exhibit_arg $ factor_arg)
+  Cmd.v (Cmd.info "xmark_bench" ~version:"1.0" ~doc)
+    Term.(const run $ exhibit_arg $ factor_arg $ stats_json_arg $ systems_arg $ queries_arg)
 
 let () = exit (Cmd.eval' cmd)

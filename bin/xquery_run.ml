@@ -48,7 +48,9 @@ let print_summary doc =
   Format.printf "%a@?" Xmark_store.Summary.pp
     (Xmark_store.Summary.build (MM.dom_root store))
 
-let run doc_file factor system query query_file query_number show_timing canonical_out warn summary =
+let run doc_file factor system query query_file query_number show_timing canonical_out warn summary
+    explain =
+  if explain then Xmark_core.Stats.enable ();
   let doc =
     match doc_file with
     | Some path -> read_file path
@@ -88,10 +90,13 @@ let run doc_file factor system query query_file query_number show_timing canonic
   if canonical_out then print_endline (Xmark_core.Runner.canonical outcome)
   else
     print_endline (Xmark_xml.Serialize.fragment_to_string outcome.Xmark_core.Runner.result);
+  (* stats go to stderr so the result on stdout stays byte-identical with
+     and without --explain *)
+  if explain then Format.eprintf "%a@?" Xmark_core.Stats.pp ();
   0
 
-let run_safe a b c d e f g h i j =
-  try run a b c d e f g h i j with
+let run_safe a b c d e f g h i j k =
+  try run a b c d e f g h i j k with
   | Xmark_xquery.Parser.Error _ as ex ->
       Printf.eprintf "%s\n" (Xmark_xquery.Parser.describe_error "" ex);
       1
@@ -131,6 +136,12 @@ let summary_arg =
            ~doc:"Print the document's structural summary (DataGuide): every label path with its \
                  cardinality.")
 
+let explain_arg =
+  Arg.(value & flag
+       & info [ "explain" ]
+           ~doc:"EXPLAIN ANALYZE: enable execution-statistics collection and print a per-scope \
+                 counter table (nodes scanned, index probes, join builds, ...) to stderr.")
+
 let warn_arg =
   Arg.(value & flag
        & info [ "warn-paths" ]
@@ -142,6 +153,6 @@ let cmd =
   Cmd.v (Cmd.info "xquery_run" ~version:"1.0" ~doc)
     Term.(
       const run_safe $ doc_arg $ factor_arg $ system_arg $ query_arg $ query_file_arg $ number_arg
-      $ timing_arg $ canonical_arg $ warn_arg $ summary_arg)
+      $ timing_arg $ canonical_arg $ warn_arg $ summary_arg $ explain_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -482,6 +482,71 @@ let update_workload ?(factor = default_factor) ?(rounds = 5) () =
   pr "\n";
   rows
 
+(* --- per-system / per-query execution statistics (EXPLAIN ANALYZE) -------- *)
+
+type stats_cell = {
+  sc_system : Runner.system;
+  sc_query : int;
+  sc_items : int;
+  sc_compile_ms : float;
+  sc_execute_ms : float;
+  sc_counters : (string * int) list;
+}
+
+let stats_matrix ?(factor = default_factor) ?(systems = Runner.all_systems)
+    ?(queries = List.init 20 (fun i -> i + 1)) () =
+  let doc = document factor in
+  let was = Stats.enabled () in
+  Stats.enable ();
+  Fun.protect
+    ~finally:(fun () -> Stats.set_enabled was)
+    (fun () ->
+      List.concat_map
+        (fun sys ->
+          let store, _ = Runner.bulkload sys doc in
+          List.map
+            (fun q ->
+              let o = Runner.run store q in
+              {
+                sc_system = sys;
+                sc_query = q;
+                sc_items = o.Runner.items;
+                sc_compile_ms = o.Runner.compile.Timing.wall_ms;
+                sc_execute_ms = o.Runner.execute.Timing.wall_ms;
+                sc_counters = o.Runner.run_stats;
+              })
+            queries)
+        systems)
+
+let stats_json ~factor cells =
+  (* group per system, preserving the order cells arrived in *)
+  let systems = ref [] in
+  List.iter
+    (fun c ->
+      if not (List.memq c.sc_system !systems) then systems := c.sc_system :: !systems)
+    cells;
+  let sys_obj sys =
+    let letter =
+      match Runner.system_name sys with
+      | name -> String.sub name (String.length name - 1) 1
+    in
+    let cell_obj c =
+      Printf.sprintf
+        "{\"query\": %d, \"items\": %d, \"compile_ms\": %.3f, \"execute_ms\": %.3f, \"counters\": %s}"
+        c.sc_query c.sc_items c.sc_compile_ms c.sc_execute_ms
+        (Stats.json_of_counters c.sc_counters)
+    in
+    Printf.sprintf "{\"system\": \"%s\", \"description\": \"%s\", \"queries\": [%s]}"
+      letter
+      (Runner.system_description sys)
+      (String.concat ", "
+         (List.filter_map
+            (fun c -> if c.sc_system == sys then Some (cell_obj c) else None)
+            cells))
+  in
+  Printf.sprintf "{\"factor\": %g, \"systems\": [%s]}\n" factor
+    (String.concat ", " (List.map sys_obj (List.rev !systems)))
+
 (* --- CSV export (for external plotting of the figures) ----------------------- *)
 
 let csv_escape s =

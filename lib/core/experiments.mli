@@ -107,6 +107,33 @@ val update_workload :
   ?factor:float -> ?rounds:int -> unit -> (int * float * float * float) list
 (** Per round: (round, write ms, index-rebuild ms, query ms). *)
 
+(* --- execution statistics (EXPLAIN ANALYZE) ---------------------------------- *)
+
+type stats_cell = {
+  sc_system : Runner.system;
+  sc_query : int;
+  sc_items : int;
+  sc_compile_ms : float;
+  sc_execute_ms : float;
+  sc_counters : (string * int) list;  (** per-run {!Stats} counter deltas *)
+}
+
+val stats_matrix :
+  ?factor:float ->
+  ?systems:Runner.system list ->
+  ?queries:int list ->
+  unit ->
+  stats_cell list
+(** Bulkload each system and run each query with {!Stats} enabled,
+    collecting the per-run counter deltas — the machine-readable form of
+    the Section 7 discussion ("System G pays a constant re-parse cost",
+    "Q8/Q9 hinge on the join table").  The previous enabled/disabled
+    state of {!Stats} is restored on return. *)
+
+val stats_json : factor:float -> stats_cell list -> string
+(** Render a matrix as JSON: per-system, per-query counter objects with
+    a stable key set ({!Stats.counter_inventory}). *)
+
 (* --- CSV export ---------------------------------------------------------------- *)
 
 val fig3_to_csv : fig3_row list -> string

@@ -39,10 +39,37 @@ type store =
 
 type load_stats = { load : Timing.span; db_bytes : int; nodes : int }
 
+(* Phase scopes: counters recorded while loading / compiling / executing
+   land in "bulkload" / "compile" / "execute", so an --explain dump can
+   attribute e.g. System G's sax_events to execution while A-F pay them
+   at bulkload.  Execution additionally samples the GC (allocation is a
+   real cost of materializing mappings). *)
+let measure_load f = Stats.with_scope "bulkload" (fun () -> Timing.measure f)
+
+let measure_compile f = Stats.with_scope "compile" (fun () -> Timing.measure f)
+
+let measure_execute f =
+  Stats.with_scope "execute" (fun () ->
+      if not (Stats.enabled ()) then Timing.measure f
+      else begin
+        (* Gc.minor_words, not quick_stat.minor_words: the latter omits
+           young-generation allocation since the last minor collection. *)
+        let m0 = Gc.minor_words () in
+        let g0 = Gc.quick_stat () in
+        let r = Timing.measure f in
+        let g1 = Gc.quick_stat () in
+        let m1 = Gc.minor_words () in
+        Stats.incr ~by:(int_of_float (m1 -. m0)) "gc_minor_words";
+        Stats.incr
+          ~by:(g1.Gc.major_collections - g0.Gc.major_collections)
+          "gc_major_collections";
+        r
+      end)
+
 let bulkload sys doc =
   match sys with
   | A ->
-      let s, load = Timing.measure (fun () -> Store.Backend_heap.load_string doc) in
+      let s, load = measure_load (fun () -> Store.Backend_heap.load_string doc) in
       ( SA s,
         {
           load;
@@ -50,7 +77,7 @@ let bulkload sys doc =
           nodes = Store.Backend_heap.node_count s;
         } )
   | B ->
-      let s, load = Timing.measure (fun () -> Store.Backend_shredded.load_string doc) in
+      let s, load = measure_load (fun () -> Store.Backend_shredded.load_string doc) in
       ( SB s,
         {
           load;
@@ -58,7 +85,7 @@ let bulkload sys doc =
           nodes = Store.Backend_shredded.node_count s;
         } )
   | C ->
-      let s, load = Timing.measure (fun () -> Store.Backend_schema.load_string doc) in
+      let s, load = measure_load (fun () -> Store.Backend_schema.load_string doc) in
       ( SC s,
         {
           load;
@@ -67,7 +94,7 @@ let bulkload sys doc =
         } )
   | D | E | F ->
       let level = match sys with D -> `Full | E -> `Id_only | _ -> `Plain in
-      let s, load = Timing.measure (fun () -> Store.Backend_mainmem.of_string ~level doc) in
+      let s, load = measure_load (fun () -> Store.Backend_mainmem.of_string ~level doc) in
       ( SM s,
         {
           load;
@@ -77,13 +104,13 @@ let bulkload sys doc =
   | G ->
       (* An embedded processor has no database: "bulkload" just keeps the
          document around. *)
-      let s, load = Timing.measure (fun () -> Store.Backend_embedded.load doc) in
+      let s, load = measure_load (fun () -> Store.Backend_embedded.load doc) in
       (SG s, { load; db_bytes = Store.Backend_embedded.bytes s; nodes = 0 })
 
 let bulkload_dom sys dom =
   match sys with
   | A ->
-      let s, load = Timing.measure (fun () -> Store.Backend_heap.load_dom dom) in
+      let s, load = measure_load (fun () -> Store.Backend_heap.load_dom dom) in
       ( SA s,
         {
           load;
@@ -91,7 +118,7 @@ let bulkload_dom sys dom =
           nodes = Store.Backend_heap.node_count s;
         } )
   | B ->
-      let s, load = Timing.measure (fun () -> Store.Backend_shredded.load_dom dom) in
+      let s, load = measure_load (fun () -> Store.Backend_shredded.load_dom dom) in
       ( SB s,
         {
           load;
@@ -99,7 +126,7 @@ let bulkload_dom sys dom =
           nodes = Store.Backend_shredded.node_count s;
         } )
   | C ->
-      let s, load = Timing.measure (fun () -> Store.Backend_schema.load_dom dom) in
+      let s, load = measure_load (fun () -> Store.Backend_schema.load_dom dom) in
       ( SC s,
         {
           load;
@@ -108,7 +135,7 @@ let bulkload_dom sys dom =
         } )
   | D | E | F ->
       let level = match sys with D -> `Full | E -> `Id_only | _ -> `Plain in
-      let s, load = Timing.measure (fun () -> Store.Backend_mainmem.create ~level dom) in
+      let s, load = measure_load (fun () -> Store.Backend_mainmem.create ~level dom) in
       ( SM s,
         {
           load;
@@ -123,39 +150,44 @@ type outcome = {
   items : int;
   result : Xml.Dom.node list;
   metadata_accesses : int;
+  run_stats : (string * int) list;
+      (* per-counter deltas accumulated by this run; [] when Stats is off *)
 }
 
 let run_text store qtext =
+  let snap = Stats.snapshot () in
   match store with
   | SA s ->
       let cat = Store.Backend_heap.catalog s in
       R.Catalog.reset_counters cat;
       let compiled, compile =
-        Timing.measure (fun () -> EvA.compile s (Xmark_xquery.Parser.parse_query qtext))
+        measure_compile (fun () -> EvA.compile s (Xmark_xquery.Parser.parse_query qtext))
       in
       let metadata_accesses = R.Catalog.metadata_accesses cat in
-      let v, execute = Timing.measure (fun () -> EvA.run compiled) in
+      let v, execute = measure_execute (fun () -> EvA.run compiled) in
       {
         compile;
         execute;
         items = List.length v;
         result = EvA.result_to_dom s v;
         metadata_accesses;
+        run_stats = Stats.since snap;
       }
   | SB s ->
       let cat = Store.Backend_shredded.catalog s in
       R.Catalog.reset_counters cat;
       let compiled, compile =
-        Timing.measure (fun () -> EvB.compile s (Xmark_xquery.Parser.parse_query qtext))
+        measure_compile (fun () -> EvB.compile s (Xmark_xquery.Parser.parse_query qtext))
       in
       let metadata_accesses = R.Catalog.metadata_accesses cat in
-      let v, execute = Timing.measure (fun () -> EvB.run compiled) in
+      let v, execute = measure_execute (fun () -> EvB.run compiled) in
       {
         compile;
         execute;
         items = List.length v;
         result = EvB.result_to_dom s v;
         metadata_accesses;
+        run_stats = Stats.since snap;
       }
   | SM s ->
       (* System D's heuristic optimizer applies the hash-join rewrite; the
@@ -163,40 +195,42 @@ let run_text store qtext =
          plans per system). *)
       let optimize = Store.Backend_mainmem.level s = `Full in
       let compiled, compile =
-        Timing.measure (fun () ->
+        measure_compile (fun () ->
             EvM.compile ~optimize s (Xmark_xquery.Parser.parse_query qtext))
       in
-      let v, execute = Timing.measure (fun () -> EvM.run compiled) in
+      let v, execute = measure_execute (fun () -> EvM.run compiled) in
       { compile; execute; items = List.length v; result = EvM.result_to_dom s v;
-        metadata_accesses = 0 }
+        metadata_accesses = 0; run_stats = Stats.since snap }
   | SG g ->
       (* compile = query parse; execution = document parse + evaluation *)
-      let ast, compile = Timing.measure (fun () -> Xmark_xquery.Parser.parse_query qtext) in
+      let ast, compile = measure_compile (fun () -> Xmark_xquery.Parser.parse_query qtext) in
       let (v, s), execute =
-        Timing.measure (fun () ->
+        measure_execute (fun () ->
             let s = Store.Backend_embedded.session g in
             (EvM.run (EvM.compile s ast), s))
       in
       { compile; execute; items = List.length v; result = EvM.result_to_dom s v;
-        metadata_accesses = 0 }
+        metadata_accesses = 0; run_stats = Stats.since snap }
   | SC _ ->
       invalid_arg "Runner.run_text: System C executes prepared plans only"
 
 let run store n =
   match store with
   | SC s ->
+      let snap = Stats.snapshot () in
       let cat = Store.Backend_schema.catalog s in
       R.Catalog.reset_counters cat;
       let plan, compile =
-        Timing.measure (fun () ->
+        measure_compile (fun () ->
             (* System C still parses the query text before mapping it to its
                prepared plan, as the original translated each query. *)
             ignore (Xmark_xquery.Parser.parse_query (Queries.text n));
             Plans_c.compile s n)
       in
       let metadata_accesses = R.Catalog.metadata_accesses cat in
-      let result, execute = Timing.measure (fun () -> Plans_c.execute plan) in
-      { compile; execute; items = List.length result; result; metadata_accesses }
+      let result, execute = measure_execute (fun () -> Plans_c.execute plan) in
+      { compile; execute; items = List.length result; result; metadata_accesses;
+        run_stats = Stats.since snap }
   | SA _ | SB _ | SM _ | SG _ -> run_text store (Queries.text n)
 
 let canonical outcome = Xml.Canonical.of_nodes outcome.result

@@ -38,6 +38,10 @@ type outcome = {
   items : int;  (** result cardinality *)
   result : Xmark_xml.Dom.node list;
   metadata_accesses : int;  (** catalog entries touched during compilation *)
+  run_stats : (string * int) list;
+      (** execution-statistics deltas (counter, value) accumulated by this
+          run across compile and execute — see {!Stats}; [[]] unless
+          [Stats.enable] was called *)
 }
 
 val run : store -> int -> outcome

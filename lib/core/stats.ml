@@ -1,0 +1,6 @@
+(* The statistics registry lives in its own bottom-layer library
+   (xmark_stats) so that every engine layer — SAX parser, storage
+   backends, relational operators, evaluator — can record into it
+   without a dependency cycle; this module is its harness-facing name. *)
+
+include Xmark_stats

@@ -1,0 +1,12 @@
+(** Execution statistics (EXPLAIN ANALYZE) for the benchmark harness.
+
+    A harness-facing alias of {!Xmark_stats}, the engine-wide counter
+    registry: named monotonic counters grouped into scopes ("bulkload",
+    "compile", "execute"), an enabled/disabled toggle that makes the
+    instrumented paths ~free when off, and table/JSON renderings.  See
+    DESIGN.md's "Observability" section for the counter inventory and
+    how the numbers map onto the paper's Table 2/3 discussion. *)
+
+include module type of struct
+  include Xmark_stats
+end

@@ -21,11 +21,18 @@ let measure f =
 
 let time_only f = snd (measure f)
 
+(* The upper median: rank [runs / 2] (0-based) of the sorted runs, so
+   [runs = 1] picks the only run and even [runs] pick the later of the two
+   middle elements rather than interpolating (the result must be one of
+   the actual measured runs, since its payload is returned too). *)
+let median_rank runs = runs / 2
+
 (** Median-of-runs measurement for stable small timings. *)
 let measure_median ~runs f =
-  assert (runs > 0);
+  if runs <= 0 then
+    invalid_arg (Printf.sprintf "Timing.measure_median: runs must be positive, got %d" runs);
   let results = List.init runs (fun _ -> measure f) in
   let sorted =
     List.sort (fun (_, a) (_, b) -> Float.compare a.wall_ms b.wall_ms) results
   in
-  List.nth sorted (runs / 2)
+  List.nth sorted (median_rank runs)

@@ -15,6 +15,13 @@ val measure : (unit -> 'a) -> 'a * span
 
 val time_only : (unit -> unit) -> span
 
+val median_rank : int -> int
+(** 0-based rank of the run {!measure_median} selects after sorting by
+    wall-clock time: the upper median, [runs / 2].  [median_rank 1 = 0];
+    for even [runs] the later of the two middle runs is chosen (the
+    result must be one of the actual runs, so no interpolation). *)
+
 val measure_median : runs:int -> (unit -> 'a) -> 'a * span
 (** Run the thunk [runs] times and return the run with the median
-    wall-clock time. *)
+    wall-clock time (see {!median_rank}).  Raises [Invalid_argument] if
+    [runs <= 0]. *)

@@ -122,6 +122,7 @@ let rec find_leaf node key =
   | Internal inner -> find_leaf inner.children.(child_slot inner.seps key) key
 
 let lookup t key =
+  Xmark_stats.incr "index_lookups";
   let l = find_leaf t.root key in
   let i = leaf_slot l.keys key in
   if i < Array.length l.keys && Value.compare l.keys.(i) key = 0 then List.rev l.vals.(i) else []
@@ -131,6 +132,7 @@ let rec leftmost = function
   | Internal inner -> leftmost inner.children.(0)
 
 let range ?lower ?upper t =
+  Xmark_stats.incr "index_lookups";
   let start =
     match lower with
     | None -> leftmost t.root

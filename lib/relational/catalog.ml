@@ -15,6 +15,7 @@ let register_index t ~table ~column index =
   t.indexes <- ((table, column), index) :: t.indexes
 
 let lookup t name =
+  Xmark_stats.incr "metadata_lookups";
   let rec scan = function
     | [] -> None
     | (n, table) :: rest ->
@@ -24,6 +25,7 @@ let lookup t name =
   scan t.entries
 
 let lookup_index t ~table ~column =
+  Xmark_stats.incr "metadata_lookups";
   let rec scan = function
     | [] -> None
     | ((tn, cn), idx) :: rest ->

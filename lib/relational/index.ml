@@ -13,14 +13,23 @@ let build table col =
   let ci = Table.col_index table col in
   build_keyed table (fun row -> row.(ci))
 
-let lookup t k = List.rev (Option.value ~default:[] (Hashtbl.find_opt t.buckets k))
+let lookup t k =
+  Xmark_stats.incr "index_lookups";
+  match Hashtbl.find_opt t.buckets k with
+  | None | Some [] -> []
+  | Some l ->
+      Xmark_stats.incr "index_hits";
+      List.rev l
 
 let lookup_rows t table k = List.map (Table.get table) (lookup t k)
 
 let unique t k =
+  Xmark_stats.incr "index_lookups";
   match Hashtbl.find_opt t.buckets k with
   | None | Some [] -> None
-  | Some l -> Some (List.nth l (List.length l - 1))
+  | Some l ->
+      Xmark_stats.incr "index_hits";
+      Some (List.nth l (List.length l - 1))
 
 let size t = Hashtbl.length t.buckets
 

@@ -6,6 +6,7 @@ let next t =
   match t.gen () with
   | Some row ->
       t.produced <- t.produced + 1;
+      Xmark_stats.incr "operator_rows";
       Some row
   | None -> None
 
@@ -76,6 +77,7 @@ let concat_map f input =
 let hash_join ~build ~probe ~bkey ~pkey =
   (* build side is materialized lazily on first pull *)
   let table = lazy (
+    Xmark_stats.incr "join_tables_built";
     let buckets = Hashtbl.create 64 in
     let rec consume () =
       match next build with
@@ -94,6 +96,7 @@ let hash_join ~build ~probe ~bkey ~pkey =
   in
   concat_map
     (fun prow ->
+      Xmark_stats.incr "join_probes";
       let k = pkey prow in
       if Value.is_null k then []
       else

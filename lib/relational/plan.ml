@@ -1,5 +1,11 @@
 type rel = { cols : string array; rows : Table.row array }
 
+(* Observation hooks: every materialized operator reports the rows it
+   consumed and produced, so a plan's shape is visible per query. *)
+let rows_in n = if Xmark_stats.enabled () then Xmark_stats.incr ~by:n "plan_rows_in"
+
+let rows_out n = if Xmark_stats.enabled () then Xmark_stats.incr ~by:n "plan_rows_out"
+
 let of_table t = { cols = Table.columns t; rows = Table.rows t }
 
 let col r c =
@@ -7,9 +13,15 @@ let col r c =
   let rec find i = if i >= n then raise Not_found else if r.cols.(i) = c then i else find (i + 1) in
   find 0
 
-let filter pred r = { r with rows = Array.of_seq (Seq.filter pred (Array.to_seq r.rows)) }
+let filter pred r =
+  rows_in (Array.length r.rows);
+  let rows = Array.of_seq (Seq.filter pred (Array.to_seq r.rows)) in
+  rows_out (Array.length rows);
+  { r with rows }
 
 let project r specs =
+  rows_in (Array.length r.rows);
+  rows_out (Array.length r.rows);
   let cols = Array.of_list (List.map fst specs) in
   let funcs = Array.of_list (List.map snd specs) in
   { cols; rows = Array.map (fun row -> Array.map (fun f -> f row) funcs) r.rows }
@@ -17,6 +29,9 @@ let project r specs =
 let concat_rows a b = Array.append a b
 
 let hash_join ~left ~right ~lkey ~rkey =
+  Xmark_stats.incr "join_tables_built";
+  rows_in (Array.length left.rows + Array.length right.rows);
+  if Xmark_stats.enabled () then Xmark_stats.incr ~by:(Array.length left.rows) "join_probes";
   let buckets = Hashtbl.create (max 16 (Array.length right.rows)) in
   Array.iter
     (fun row ->
@@ -34,9 +49,14 @@ let hash_join ~left ~right ~lkey ~rkey =
         | Some rrows ->
             List.iter (fun rrow -> out := concat_rows lrow rrow :: !out) (List.rev rrows))
     left.rows;
-  { cols = Array.append left.cols right.cols; rows = Array.of_list (List.rev !out) }
+  let rows = Array.of_list (List.rev !out) in
+  rows_out (Array.length rows);
+  { cols = Array.append left.cols right.cols; rows }
 
 let left_outer_hash_join ~left ~right ~lkey ~rkey =
+  Xmark_stats.incr "join_tables_built";
+  rows_in (Array.length left.rows + Array.length right.rows);
+  if Xmark_stats.enabled () then Xmark_stats.incr ~by:(Array.length left.rows) "join_probes";
   let buckets = Hashtbl.create (max 16 (Array.length right.rows)) in
   Array.iter
     (fun row ->
@@ -54,15 +74,21 @@ let left_outer_hash_join ~left ~right ~lkey ~rkey =
       | Some rrows ->
           List.iter (fun rrow -> out := concat_rows lrow rrow :: !out) (List.rev rrows))
     left.rows;
-  { cols = Array.append left.cols right.cols; rows = Array.of_list (List.rev !out) }
+  let rows = Array.of_list (List.rev !out) in
+  rows_out (Array.length rows);
+  { cols = Array.append left.cols right.cols; rows }
 
 let theta_join ~left ~right ~pred =
+  rows_in (Array.length left.rows + Array.length right.rows);
+  if Xmark_stats.enabled () then Xmark_stats.incr ~by:(Array.length left.rows) "join_probes";
   let out = ref [] in
   Array.iter
     (fun lrow ->
       Array.iter (fun rrow -> if pred lrow rrow then out := concat_rows lrow rrow :: !out) right.rows)
     left.rows;
-  { cols = Array.append left.cols right.cols; rows = Array.of_list (List.rev !out) }
+  let rows = Array.of_list (List.rev !out) in
+  rows_out (Array.length rows);
+  { cols = Array.append left.cols right.cols; rows }
 
 let sort r ~cmp =
   let rows = Array.copy r.rows in
@@ -70,6 +96,7 @@ let sort r ~cmp =
   { r with rows }
 
 let group r ~key ~init ~step ~finish =
+  rows_in (Array.length r.rows);
   let acc : (Value.t, 'a ref) Hashtbl.t = Hashtbl.create 64 in
   let order = ref [] in
   Array.iter
@@ -84,9 +111,11 @@ let group r ~key ~init ~step ~finish =
   let rows =
     List.rev_map (fun k -> finish k !(Hashtbl.find acc k)) !order |> Array.of_list
   in
+  rows_out (Array.length rows);
   { cols = [||]; rows }
 
 let distinct r ~key =
+  rows_in (Array.length r.rows);
   let seen = Hashtbl.create 64 in
   let keep row =
     let k = key row in
@@ -96,7 +125,9 @@ let distinct r ~key =
       true
     end
   in
-  { r with rows = Array.of_seq (Seq.filter keep (Array.to_seq r.rows)) }
+  let rows = Array.of_seq (Seq.filter keep (Array.to_seq r.rows)) in
+  rows_out (Array.length rows);
+  { r with rows }
 
 let difference a b ~key =
   let present = Hashtbl.create (max 16 (Array.length b.rows)) in

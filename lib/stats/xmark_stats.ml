@@ -1,0 +1,191 @@
+(* Global execution-statistics registry.
+
+   One mutable singleton: scope path -> (counter -> value).  The hot
+   path (incr while disabled) is a single flag test; while enabled it is
+   two hashtable probes, the first of which is cached per scope. *)
+
+type counters = (string, int ref) Hashtbl.t
+
+type state = {
+  mutable on : bool;
+  scopes : (string, counters) Hashtbl.t;
+  mutable path : string;  (* current scope path, "" at top level *)
+  mutable current : counters;  (* cache: scopes[path] *)
+}
+
+let scope_table scopes path =
+  match Hashtbl.find_opt scopes path with
+  | Some t -> t
+  | None ->
+      let t = Hashtbl.create 32 in
+      Hashtbl.replace scopes path t;
+      t
+
+let st =
+  let scopes = Hashtbl.create 16 in
+  { on = false; scopes; path = ""; current = scope_table scopes "" }
+
+let enabled () = st.on
+
+let enable () = st.on <- true
+
+let disable () = st.on <- false
+
+let set_enabled b = st.on <- b
+
+let reset () =
+  Hashtbl.reset st.scopes;
+  st.current <- scope_table st.scopes st.path
+
+let current_scope () = st.path
+
+let with_scope name f =
+  if not st.on then f ()
+  else begin
+    let saved_path = st.path and saved_current = st.current in
+    let path = if st.path = "" then name else st.path ^ "/" ^ name in
+    st.path <- path;
+    st.current <- scope_table st.scopes path;
+    Fun.protect
+      ~finally:(fun () ->
+        st.path <- saved_path;
+        st.current <- saved_current)
+      f
+  end
+
+let incr ?(by = 1) name =
+  if st.on then
+    match Hashtbl.find_opt st.current name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace st.current name (ref by)
+
+let time name f =
+  if not st.on then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Unix.gettimeofday () -. t0 in
+        incr ~by:(int_of_float (dt *. 1e6)) (name ^ "_us"))
+      f
+  end
+
+let get ~scope name =
+  match Hashtbl.find_opt st.scopes scope with
+  | None -> 0
+  | Some t -> ( match Hashtbl.find_opt t name with Some r -> !r | None -> 0)
+
+let totals_tbl () =
+  let acc = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ t ->
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt acc name with
+          | Some a -> a := !a + !r
+          | None -> Hashtbl.replace acc name (ref !r))
+        t)
+    st.scopes;
+  acc
+
+let total name =
+  match Hashtbl.find_opt (totals_tbl ()) name with Some r -> !r | None -> 0
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+type snapshot = (string * int) list
+
+let sorted_assoc tbl =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () = sorted_assoc (totals_tbl ())
+
+let since snap =
+  let now = totals_tbl () in
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt now name with
+      | Some r -> r := !r - v
+      | None -> Hashtbl.replace now name (ref (-v)))
+    snap;
+  List.filter (fun (_, v) -> v <> 0) (sorted_assoc now)
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let counter_inventory =
+  [
+    "nodes_scanned"; "elements_materialized"; "index_lookups"; "index_hits";
+    "join_tables_built"; "join_probes"; "tag_array_cache_hits";
+    "tag_array_cache_misses"; "sax_events"; "tuples_emitted";
+    "gc_minor_words"; "gc_major_collections";
+  ]
+
+let to_assoc () =
+  Hashtbl.fold
+    (fun scope t acc ->
+      match sorted_assoc t with [] -> acc | cs -> (scope, cs) :: acc)
+    st.scopes []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let totals () = sorted_assoc (totals_tbl ())
+
+let pp fmt () =
+  let groups = to_assoc () in
+  if groups = [] then Format.fprintf fmt "(no statistics recorded)@."
+  else begin
+    Format.fprintf fmt "%-24s %-28s %12s@." "scope" "counter" "value";
+    Format.fprintf fmt "%s@." (String.make 66 '-');
+    List.iter
+      (fun (scope, cs) ->
+        let label = if scope = "" then "(top)" else scope in
+        List.iter
+          (fun (name, v) -> Format.fprintf fmt "%-24s %-28s %12d@." label name v)
+          cs)
+      groups
+  end
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_counters counters =
+  (* stable schema: the canonical inventory first (0 when absent), then
+     any further counters the run touched, in name order *)
+  let extras =
+    List.filter (fun (name, _) -> not (List.mem name counter_inventory)) counters
+  in
+  let fields =
+    List.map
+      (fun name -> (name, Option.value ~default:0 (List.assoc_opt name counters)))
+      counter_inventory
+    @ extras
+  in
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (name, v) -> Printf.sprintf "\"%s\": %d" (json_escape name) v) fields)
+  ^ "}"
+
+let to_json () =
+  let scope_obj (scope, cs) =
+    Printf.sprintf "\"%s\": %s"
+      (json_escape (if scope = "" then "(top)" else scope))
+      ("{"
+      ^ String.concat ", "
+          (List.map (fun (n, v) -> Printf.sprintf "\"%s\": %d" (json_escape n) v) cs)
+      ^ "}")
+  in
+  Printf.sprintf "{\"scopes\": {%s}, \"totals\": %s}"
+    (String.concat ", " (List.map scope_obj (to_assoc ())))
+    (json_of_counters (totals ()))

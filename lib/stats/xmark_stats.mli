@@ -1,0 +1,86 @@
+(** Execution-statistics layer: named monotonic counters and timers,
+    grouped into scopes.
+
+    The benchmark's whole point is attributing cost to query-processing
+    primitives; end-to-end timings alone cannot do that.  Every engine
+    layer (SAX parser, storage backends, relational operators, the
+    XQuery evaluator) increments counters here, and the harness reads
+    them back per bulkload / compile / execute phase — an EXPLAIN
+    ANALYZE for the paper's Section 7 narrative.
+
+    The layer is global and observation-only.  When disabled (the
+    default) every entry point is a single flag test, so instrumented
+    hot paths cost ~nothing; instrumentation must never change query
+    results (enforced by [test_stats_differential]). *)
+
+(* --- enabling ----------------------------------------------------------- *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all recorded counters; the enabled flag and any active scope
+    are unaffected. *)
+
+(* --- scopes ------------------------------------------------------------- *)
+
+val with_scope : string -> (unit -> 'a) -> 'a
+(** [with_scope name f] runs [f] with counters attributed to [name];
+    nested scopes join with ['/'] ("execute/join_build").  Exception
+    safe.  When disabled this is just [f ()]. *)
+
+val current_scope : unit -> string
+(** The active scope path; [""] at top level. *)
+
+(* --- counters ----------------------------------------------------------- *)
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to a counter in the current scope.  No-op when
+    disabled. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f] and adds its wall-clock duration in
+    microseconds to counter [name ^ "_us"].  When disabled, just
+    [f ()]. *)
+
+val get : scope:string -> string -> int
+(** Counter value within one scope (0 if never touched). *)
+
+val total : string -> int
+(** Counter value summed across all scopes. *)
+
+(* --- snapshots (deltas around a region of interest) ---------------------- *)
+
+type snapshot
+
+val snapshot : unit -> snapshot
+
+val since : snapshot -> (string * int) list
+(** Per-counter totals accumulated after the snapshot was taken, sorted
+    by counter name; only counters with a nonzero delta appear. *)
+
+(* --- rendering ----------------------------------------------------------- *)
+
+val counter_inventory : string list
+(** The canonical counter names every stats report carries (missing ones
+    render as 0), so downstream JSON consumers see a stable schema. *)
+
+val to_assoc : unit -> (string * (string * int) list) list
+(** [(scope, [(counter, value); ...]); ...], both levels sorted. *)
+
+val totals : unit -> (string * int) list
+
+val pp : Format.formatter -> unit -> unit
+(** Human-readable per-scope counter table. *)
+
+val json_of_counters : (string * int) list -> string
+(** A JSON object [{"counter": value, ...}]; counters from
+    {!counter_inventory} are always present. *)
+
+val to_json : unit -> string
+(** Full dump: [{"scopes": {scope: {counter: value}}, "totals": {...}}]. *)

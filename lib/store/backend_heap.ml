@@ -117,7 +117,9 @@ let catalog t = t.cat
 
 let root _ = 0
 
-let row t n = R.Table.get t.nodes n
+let row t n =
+  Xmark_stats.incr "nodes_scanned";
+  R.Table.get t.nodes n
 
 let kind t n = if (row t n).(col_kind) = R.Value.Int 0 then `Element else `Text
 
@@ -167,6 +169,7 @@ let tag_nodes _ _ = None  (* no path index on the heap *)
 
 let tag_count t tag =
   (* catalog consultation plus optimizer statistics *)
+  Xmark_stats.incr "summary_consultations";
   ignore (R.Catalog.lookup t.cat "nodes");
   Some (Option.value ~default:0 (Hashtbl.find_opt t.stats tag))
 

@@ -1,4 +1,5 @@
 module Dom = Xmark_xml.Dom
+module Stats = Xmark_stats
 
 type level = [ `Full | `Id_only | `Plain ]
 
@@ -84,7 +85,10 @@ let name _ n = Dom.name n
 
 let text _ (n : node) = match n.Dom.desc with Dom.Text s -> s | Dom.Element _ -> ""
 
-let children _ n = Dom.children n
+let children _ n =
+  let cs = Dom.children n in
+  if Stats.enabled () then Stats.incr ~by:(List.length cs) "nodes_scanned";
+  cs
 
 let parent _ (n : node) = n.Dom.parent
 
@@ -98,19 +102,29 @@ let order _ (n : node) = n.Dom.order
 let string_value _ n = Dom.string_value n
 
 let id_lookup t id =
-  match t.ids with None -> None | Some h -> Some (Hashtbl.find_opt h id)
+  match t.ids with
+  | None -> None
+  | Some h ->
+      Stats.incr "index_lookups";
+      let hit = Hashtbl.find_opt h id in
+      if hit <> None then Stats.incr "index_hits";
+      Some hit
 
 let tag_nodes t tag =
   match t.tags with
   | None -> None
-  | Some h -> Some (Option.value ~default:[] (Hashtbl.find_opt h tag))
+  | Some h ->
+      Stats.incr "summary_consultations";
+      Some (Option.value ~default:[] (Hashtbl.find_opt h tag))
 
 let tag_count t tag = Option.map List.length (tag_nodes t tag)
 
 let subtree_interval t (n : node) =
   match t.subtree_end with
   | None -> None
-  | Some ends -> Some (n.Dom.order, ends.(n.Dom.order))
+  | Some ends ->
+      Stats.incr "summary_consultations";
+      Some (n.Dom.order, ends.(n.Dom.order))
 
 (* Tokens are maximal alphanumeric runs, lowercased. *)
 let tokens s =
@@ -161,7 +175,10 @@ let keyword_search t ~tag ~word =
   match keyword_index t tag with
   | None -> None
   | Some idx ->
-      Some (Option.value ~default:[] (Hashtbl.find_opt idx (String.lowercase_ascii word)))
+      Stats.incr "index_lookups";
+      let hits = Option.value ~default:[] (Hashtbl.find_opt idx (String.lowercase_ascii word)) in
+      if hits <> [] then Stats.incr "index_hits";
+      Some hits
 
 let size_bytes t = t.bytes
 

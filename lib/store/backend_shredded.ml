@@ -147,6 +147,7 @@ let kind t n = if t.dir_tag.(n) = "" then `Text else `Element
 let name t n = t.dir_tag.(n)
 
 let node_row t n =
+  Xmark_stats.incr "nodes_scanned";
   let tag = t.dir_tag.(n) in
   if tag = "" then R.Table.get t.text_table t.dir_row.(n)
   else R.Table.get (Hashtbl.find t.tag_tables tag) t.dir_row.(n)
@@ -178,7 +179,9 @@ let children t n =
       t.element_tags
   in
   let from_text = collect "" t.text_child_index t.text_table in
-  List.sort compare (from_tags @ from_text) |> List.map snd
+  let out = List.sort compare (from_tags @ from_text) |> List.map snd in
+  if Xmark_stats.enabled () then Xmark_stats.incr ~by:(List.length out) "nodes_scanned";
+  out
 
 let parent t n =
   match (node_row t n).(1) with
@@ -231,6 +234,8 @@ let tag_nodes t tag =
   match R.Catalog.lookup t.cat tag with
   | None -> Some []
   | Some tbl ->
+      if Xmark_stats.enabled () then
+        Xmark_stats.incr ~by:(R.Table.row_count tbl) "nodes_scanned";
       Some
         (R.Table.fold
            (fun acc _ row -> match row.(0) with R.Value.Int id -> id :: acc | _ -> acc)
@@ -238,6 +243,7 @@ let tag_nodes t tag =
         |> List.rev)
 
 let tag_count t tag =
+  Xmark_stats.incr "summary_consultations";
   match R.Catalog.lookup t.cat tag with
   | None -> Some 0
   | Some tbl -> Some (R.Table.row_count tbl)

@@ -1,4 +1,5 @@
 module Dom = Xmark_xml.Dom
+module Stats = Xmark_stats
 
 module Make (S : Store_sig.S) = struct
   type attr = { aowner_order : int; aname : string; avalue : string }
@@ -306,8 +307,11 @@ module Make (S : Store_sig.S) = struct
 
   let tag_array c tag =
     match Hashtbl.find_opt c.tag_arrays tag with
-    | Some a -> a
+    | Some a ->
+        Stats.incr "tag_array_cache_hits";
+        a
     | None ->
+        Stats.incr "tag_array_cache_misses";
         let a = Option.map Array.of_list (S.tag_nodes c.store tag) in
         Hashtbl.replace c.tag_arrays tag a;
         a
@@ -486,6 +490,7 @@ module Make (S : Store_sig.S) = struct
     match S.kind store n with
     | `Text -> Dom.text (S.text store n)
     | `Element ->
+        Stats.incr "elements_materialized";
         Dom.element
           ~attrs:(S.attributes store n)
           ~children:(List.map (store_to_dom store) (S.children store n))
@@ -563,6 +568,7 @@ module Make (S : Store_sig.S) = struct
 
   (* One path step applied to a whole node sequence. *)
   and eval_step ctx input { Ast.axis; test; preds } =
+    Stats.incr "path_steps";
     let per_node it =
       match axis with
       | Ast.Child -> (
@@ -752,6 +758,7 @@ module Make (S : Store_sig.S) = struct
     match Hashtbl.find_opt ctx.c.join_tables side with
     | Some t -> t
     | None ->
+        Stats.incr "join_tables_built";
         let items = Array.of_list (eval { ctx with vars = [] } src) in
         let table = Hashtbl.create (2 * (Array.length items + 1)) in
         let usable = ref true in
@@ -783,6 +790,8 @@ module Make (S : Store_sig.S) = struct
           | Unusable -> None
           | Built (items, table) ->
               let probe_keys = atomize ctx (eval ctx probe) in
+              if Stats.enabled () then
+                Stats.incr ~by:(List.length probe_keys) "join_probes";
               if
                 List.exists
                   (function Str _ -> false | D | N _ | C _ | A _ | Num _ | Bool _ -> true)
@@ -852,6 +861,7 @@ module Make (S : Store_sig.S) = struct
     match Hashtbl.find_opt ctx.c.ineq_tables side with
     | Some t -> t
     | None ->
+        Stats.incr "join_tables_built";
         let items = eval { ctx with vars = [] } src in
         let minmax =
           List.filter_map
@@ -907,6 +917,8 @@ module Make (S : Store_sig.S) = struct
                   |> List.filter_map to_number_opt
                   |> List.filter (fun f -> not (Float.is_nan f))
                 in
+                if Stats.enabled () then
+                  Stats.incr ~by:(List.length probe_vals) "join_probes";
                 if probe_vals = [] then Some 0
                 else
                   (* existential semantics: an item passes PROBE op KEY if
@@ -986,6 +998,7 @@ module Make (S : Store_sig.S) = struct
         List.stable_sort (fun (ka, _) (kb, _) -> compare_keys ka kb) keyed |> List.map snd
       end
     in
+    if Stats.enabled () then Stats.incr ~by:(List.length tuples) "tuples_emitted";
     List.concat_map (fun ctx' -> eval ctx' f.Ast.ret) tuples
 
   and eval_quantified ctx q binds sat =
@@ -1048,6 +1061,7 @@ module Make (S : Store_sig.S) = struct
   (* --- function calls ---------------------------------------------------- *)
 
   and eval_call ctx f args =
+    Stats.incr "function_calls";
     match (f, args) with
     | ("count" | "fn:count"), [ e ] -> (
         match (if ctx.c.optimize then try_inequality_count ctx e else None) with

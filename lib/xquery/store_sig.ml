@@ -14,7 +14,15 @@
     traversal-intensive queries"), and subtree intervals that let
     descendant steps avoid full traversals.  A backend returns [None] when
     it has no such access path, and the evaluator falls back to plain
-    navigation. *)
+    navigation.
+
+    Observability convention: implementations record what they did into
+    {!Xmark_stats} — [nodes_scanned] for every node materialized or
+    touched by navigation, [index_lookups]/[index_hits] for each probe of
+    an ID / extent / keyword index, and [summary_consultations] when a
+    structural summary or optimizer statistic answers a question without
+    touching data.  Counters are observation-only: enabling them must
+    never change results (see [test_stats_differential]). *)
 
 module type S = sig
   type t

@@ -1,0 +1,194 @@
+(* Validator behind the @stats-smoke alias: xmark_bench --stats-json has
+   just produced a dump for systems B and G on Q1/Q8/Q20 at factor 0.001;
+   check that the file is well-formed JSON and that every per-query
+   counter object carries the full canonical counter inventory.  A
+   schema regression here breaks downstream consumers of the dump, so
+   the alias (and through it `dune runtest`) must fail loudly. *)
+
+(* --- a minimal JSON reader, sufficient for the stats dump ----------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let next () =
+    if !pos >= len then fail "unexpected end of input";
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let skip_ws () =
+    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if next () <> c then fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          (match next () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              let hex = String.init 4 (fun _ -> next ()) in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> Buffer.add_char buf '?'
+              | None -> fail "bad \\u escape")
+          | c -> fail (Printf.sprintf "bad escape \\%C" c));
+          loop ())
+      | c -> Buffer.add_char buf c; loop ()
+    in
+    loop ()
+  in
+  let number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < len && numchar s.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (string_lit ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then (incr pos; Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then (incr pos; Arr [])
+        else
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match next () with
+            | ',' -> elements (v :: acc)
+            | ']' -> Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (number ())
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing content";
+  v
+
+(* --- schema checks -------------------------------------------------------- *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("stats_smoke_check: " ^ m); exit 1) fmt
+
+let field name = function
+  | Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> die "missing field %S" name)
+  | _ -> die "expected an object holding %S" name
+
+let () =
+  let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else die "usage: stats_smoke_check FILE" in
+  let ic = open_in_bin file in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let root = try parse src with Bad m -> die "%s: invalid JSON: %s" file m in
+  (match field "factor" root with
+  | Num f when f > 0.0 -> ()
+  | _ -> die "factor must be a positive number");
+  let systems = match field "systems" root with Arr l -> l | _ -> die "systems must be an array" in
+  if systems = [] then die "no systems in dump";
+  let queries_seen = ref 0 in
+  List.iter
+    (fun sys_obj ->
+      let sys_name = match field "system" sys_obj with Str s -> s | _ -> die "system must be a string" in
+      let queries = match field "queries" sys_obj with Arr l -> l | _ -> die "queries must be an array" in
+      if queries = [] then die "system %s has no queries" sys_name;
+      List.iter
+        (fun q_obj ->
+          incr queries_seen;
+          let qn =
+            match field "query" q_obj with
+            | Num f -> int_of_float f
+            | _ -> die "query must be a number"
+          in
+          (match field "items" q_obj with Num _ -> () | _ -> die "items must be a number");
+          (match field "execute_ms" q_obj with Num _ -> () | _ -> die "execute_ms must be a number");
+          let counters =
+            match field "counters" q_obj with Obj kvs -> kvs | _ -> die "counters must be an object"
+          in
+          List.iter
+            (fun required ->
+              match List.assoc_opt required counters with
+              | Some (Num _) -> ()
+              | Some _ -> die "%s Q%d: counter %S is not a number" sys_name qn required
+              | None -> die "%s Q%d: counter %S missing from dump" sys_name qn required)
+            Xmark_stats.counter_inventory;
+          (* the dump must show real observation, not an all-zero husk *)
+          if
+            List.for_all
+              (function _, Num f -> f = 0.0 | _ -> false)
+              counters
+          then die "%s Q%d: all counters are zero — stats were not enabled" sys_name qn)
+        queries)
+    systems;
+  Printf.printf "stats_smoke_check: %s ok (%d query cells, %d required counters each)\n" file
+    !queries_seen
+    (List.length Xmark_stats.counter_inventory)

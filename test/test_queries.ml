@@ -35,6 +35,40 @@ let test_equivalence q () =
         reference (canonical sys q))
     Runner.all_systems
 
+(* --- conformance sweep: 7 systems x 20 queries --------------------------- *)
+
+(* Pairs expected to diverge from the System D reference.  An entry here
+   is a visible, auditable exception — never a silent skip — and the
+   sweep fails in the OTHER direction if an entry goes stale (the pair
+   now agrees), so the list cannot rot. *)
+let known_divergent : (Runner.system * int) list = []
+
+let test_conformance_sweep () =
+  let mismatches = ref [] and stale = ref [] in
+  List.iter
+    (fun q ->
+      let reference = canonical Runner.D q in
+      List.iter
+        (fun sys ->
+          let agrees = String.equal reference (canonical sys q) in
+          let expected_divergent =
+            List.exists (fun (s, q') -> s == sys && q' = q) known_divergent
+          in
+          match (agrees, expected_divergent) with
+          | false, false -> mismatches := (sys, q) :: !mismatches
+          | true, true -> stale := (sys, q) :: !stale
+          | false, true | true, false -> ())
+        Runner.all_systems)
+    (List.init 20 (fun i -> i + 1));
+  let show l =
+    String.concat ", "
+      (List.rev_map (fun (s, q) -> Printf.sprintf "%s/Q%d" (Runner.system_name s) q) l)
+  in
+  if !mismatches <> [] then
+    Alcotest.failf "unexpected divergence from System D: %s" (show !mismatches);
+  if !stale <> [] then
+    Alcotest.failf "stale known_divergent entries (these pairs now agree): %s" (show !stale)
+
 (* --- ground truths from direct DOM traversal ------------------------------ *)
 
 let truth = Lazy.force dom
@@ -234,6 +268,8 @@ let () =
   Alcotest.run "queries"
     [
       ("equivalence", equivalence);
+      ( "conformance",
+        [ Alcotest.test_case "7 systems x 20 queries sweep" `Slow test_conformance_sweep ] );
       ( "ground truth",
         [
           Alcotest.test_case "Q1 name" `Quick test_q1_name;
