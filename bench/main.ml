@@ -23,7 +23,8 @@ let micro_factor = 0.002
 
 let doc = lazy (Xmark_xmlgen.Generator.to_string ~factor:micro_factor ())
 
-let store_of sys = lazy (fst (Runner.bulkload sys (Lazy.force doc)))
+let store_of sys =
+  lazy (Runner.load ~source:(`Text (Lazy.force doc)) sys).Runner.store
 
 let store_a = store_of Runner.A
 let store_b = store_of Runner.B
@@ -98,7 +99,7 @@ let micro_tests () =
       (* Figure 4 kernel: the embedded processor's per-query overhead *)
       Test.make ~name:"fig4-G-Q1"
         (Staged.stage
-           (let g = fst (Runner.bulkload Runner.G (Lazy.force doc)) in
+           (let g = (Runner.load ~source:(`Text (Lazy.force doc)) Runner.G).Runner.store in
             fun () -> ignore (Runner.run g 1)));
     ]
 

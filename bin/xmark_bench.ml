@@ -1,61 +1,33 @@
 (* xmark_bench — regenerate individual tables/figures of the paper.
 
    `bench/main.exe` runs everything; this CLI picks one exhibit and a
-   factor, which is convenient while exploring. *)
+   factor, which is convenient while exploring.  The matrix exhibit and
+   --stats-json run the full (system, query) grid, optionally fanned out
+   over a domain pool with --jobs; results are identical for any pool
+   size. *)
 
 open Cmdliner
+module Cli = Xmark_core.Cli
 
-(* "B,G" -> [Runner.B; Runner.G] *)
-let parse_systems s =
-  String.split_on_char ',' s
-  |> List.map (fun tok ->
-         match String.trim tok with
-         | "A" | "a" -> Xmark_core.Runner.A
-         | "B" | "b" -> Xmark_core.Runner.B
-         | "C" | "c" -> Xmark_core.Runner.C
-         | "D" | "d" -> Xmark_core.Runner.D
-         | "E" | "e" -> Xmark_core.Runner.E
-         | "F" | "f" -> Xmark_core.Runner.F
-         | "G" | "g" -> Xmark_core.Runner.G
-         | other -> failwith (Printf.sprintf "unknown system %S (expected A-G)" other))
-
-(* "1,8,20" or "1-5,8" -> [1; 8; 20] etc. *)
-let parse_queries s =
-  String.split_on_char ',' s
-  |> List.concat_map (fun tok ->
-         let tok = String.trim tok in
-         let parse_one t =
-           match int_of_string_opt t with
-           | Some n when n >= 1 && n <= 20 -> n
-           | _ -> failwith (Printf.sprintf "bad query %S (expected 1-20)" t)
-         in
-         match String.index_opt tok '-' with
-         | Some i when i > 0 ->
-             let lo = parse_one (String.sub tok 0 i) in
-             let hi = parse_one (String.sub tok (i + 1) (String.length tok - i - 1)) in
-             if lo > hi then failwith (Printf.sprintf "empty query range %S" tok);
-             List.init (hi - lo + 1) (fun k -> lo + k)
-         | _ -> [ parse_one tok ])
-
-let run_stats_json file factor systems queries =
+let run_stats_json file factor pool systems queries =
   let module E = Xmark_core.Experiments in
-  let systems = parse_systems systems and queries = parse_queries queries in
   (* open before the (possibly long) matrix run, so a bad path fails fast *)
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      let cells = E.stats_matrix ~factor ~systems ~queries () in
+      let cells = E.stats_matrix ~factor ?pool ~systems ~queries () in
       output_string oc (E.stats_json ~factor cells));
   Printf.eprintf "wrote %s (%d systems x %d queries at factor %g)\n%!" file
     (List.length systems) (List.length queries) factor;
   0
 
-let run exhibit factor stats_json systems queries =
+let run exhibit factor jobs stats_json systems queries =
   let module E = Xmark_core.Experiments in
+  let pool = Cli.install_jobs jobs in
   match stats_json with
   | Some file -> (
-      try run_stats_json file factor systems queries
+      try run_stats_json file factor pool systems queries
       with Failure m | Sys_error m ->
         Printf.eprintf "%s\n" m;
         2)
@@ -71,37 +43,31 @@ let run exhibit factor stats_json systems queries =
   | "fulltext" -> ignore (E.fulltext ~factor ()); 0
   | "throughput" -> ignore (E.throughput ~factor ()); 0
   | "workload" -> ignore (E.update_workload ~factor ()); 0
+  | "matrix" ->
+      (* the deterministic digest goes to stdout: diffing a --jobs N run
+         against a --jobs 1 run is the parallel determinism check *)
+      let result, span = Xmark_core.Timing.measure (fun () -> E.matrix ~factor ?pool ~systems ~queries ()) in
+      print_string (E.matrix_digest ~factor result);
+      Printf.eprintf "matrix: %d cells with %d job(s) in %.1f ms\n%!"
+        (List.length (fst result)) (max 1 jobs) span.Xmark_core.Timing.wall_ms;
+      0
   | "all" -> E.run_all ~factor (); 0
   | other ->
-      Printf.eprintf "unknown exhibit %S (table1|table2|table3|fig3|fig4|genperf|scaling|fulltext|throughput|workload|all)\n" other;
+      Printf.eprintf "unknown exhibit %S (table1|table2|table3|fig3|fig4|genperf|scaling|fulltext|throughput|workload|matrix|all)\n" other;
       2
 
 let exhibit_arg =
   Arg.(value & pos 0 string "all"
-       & info [] ~docv:"EXHIBIT" ~doc:"table1, table2, table3, fig3, fig4, genperf, scaling, fulltext, throughput, workload or all.")
-
-let factor_arg =
-  Arg.(value & opt float Xmark_core.Experiments.default_factor
-       & info [ "f"; "factor" ] ~docv:"FACTOR" ~doc:"Scaling factor for the table experiments.")
-
-let stats_json_arg =
-  Arg.(value & opt (some string) None
-       & info [ "stats-json" ] ~docv:"FILE"
-           ~doc:"Instead of an exhibit, run the selected systems and queries with execution \
-                 statistics enabled and write per-system/per-query counters as JSON to $(docv).")
-
-let systems_arg =
-  Arg.(value & opt string "A,B,C,D,E,F,G"
-       & info [ "systems" ] ~docv:"LIST" ~doc:"Comma-separated systems for --stats-json (e.g. B,G).")
-
-let queries_arg =
-  Arg.(value & opt string "1-20"
-       & info [ "queries" ] ~docv:"LIST"
-           ~doc:"Comma-separated query numbers or ranges for --stats-json (e.g. 1,8,20 or 1-5).")
+       & info [] ~docv:"EXHIBIT"
+           ~doc:"table1, table2, table3, fig3, fig4, genperf, scaling, fulltext, throughput, \
+                 workload, matrix or all.")
 
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v (Cmd.info "xmark_bench" ~version:"1.0" ~doc)
-    Term.(const run $ exhibit_arg $ factor_arg $ stats_json_arg $ systems_arg $ queries_arg)
+    Term.(
+      const run $ exhibit_arg
+      $ Cli.factor ~default:Xmark_core.Experiments.default_factor ()
+      $ Cli.jobs $ Cli.stats_json $ Cli.systems $ Cli.queries)
 
 let () = exit (Cmd.eval' cmd)

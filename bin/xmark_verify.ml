@@ -6,17 +6,12 @@
    when every system agrees on every query. *)
 
 open Cmdliner
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+module Cli = Xmark_core.Cli
 
 let run doc_file factor queries =
   let doc =
     match doc_file with
-    | Some path -> read_file path
+    | Some path -> Cli.read_file path
     | None ->
         Printf.eprintf "(generating document at factor %g)\n%!" factor;
         Xmark_xmlgen.Generator.to_string ~factor ()
@@ -33,19 +28,12 @@ let run doc_file factor queries =
     1
   end
 
-let doc_arg =
-  Arg.(value & opt (some file) None & info [ "doc" ] ~docv:"FILE" ~doc:"Benchmark document file.")
-
-let factor_arg =
-  Arg.(value & opt float 0.004
-       & info [ "f"; "factor" ] ~docv:"FACTOR" ~doc:"Generation factor when no file is given.")
-
 let queries_arg =
   Arg.(value & pos_all int [] & info [] ~docv:"QUERY" ~doc:"Query numbers (default: all 20).")
 
 let cmd =
   let doc = "verify that all storage backends agree on the benchmark queries" in
   Cmd.v (Cmd.info "xmark_verify" ~version:"1.0" ~doc)
-    Term.(const run $ doc_arg $ factor_arg $ queries_arg)
+    Term.(const run $ Cli.doc_file $ Cli.factor ~default:0.004 () $ queries_arg)
 
 let () = exit (Cmd.eval' cmd)

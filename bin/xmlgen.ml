@@ -58,10 +58,6 @@ let generate factor output dtd xsd split_per_file stats seed =
             print_string (Xmark_xmlgen.Generator.to_string ?seed ~factor ());
             0)
 
-let factor_arg =
-  let doc = "Scaling factor; 1.0 produces roughly 100 MB (Figure 3)." in
-  Arg.(value & opt float 0.01 & info [ "f"; "factor" ] ~docv:"FACTOR" ~doc)
-
 let output_arg =
   let doc = "Output file (or directory in split mode); stdout by default." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc)
@@ -85,14 +81,13 @@ let stats_arg =
   let doc = "Print document statistics without writing any output." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let seed_arg =
-  let doc = "Random seed; the default reproduces the canonical benchmark document." in
-  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
-
 let cmd =
   let doc = "generate the scalable XMark auction document" in
   let info = Cmd.info "xmlgen" ~version:"1.0" ~doc in
   Cmd.v info
-    Term.(const generate $ factor_arg $ output_arg $ dtd_arg $ xsd_arg $ split_arg $ stats_arg $ seed_arg)
+    Term.(
+      const generate
+      $ Xmark_core.Cli.factor ~default:0.01 ()
+      $ output_arg $ dtd_arg $ xsd_arg $ split_arg $ stats_arg $ Xmark_core.Cli.seed)
 
 let () = exit (Cmd.eval' cmd)

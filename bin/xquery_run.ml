@@ -7,27 +7,9 @@
    mappings. *)
 
 open Cmdliner
+module Cli = Xmark_core.Cli
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let system_of_string = function
-  | "A" | "a" -> Ok Xmark_core.Runner.A
-  | "B" | "b" -> Ok Xmark_core.Runner.B
-  | "C" | "c" -> Ok Xmark_core.Runner.C
-  | "D" | "d" -> Ok Xmark_core.Runner.D
-  | "E" | "e" -> Ok Xmark_core.Runner.E
-  | "F" | "f" -> Ok Xmark_core.Runner.F
-  | "G" | "g" -> Ok Xmark_core.Runner.G
-  | s -> Error (`Msg (Printf.sprintf "unknown system %S (expected A-G)" s))
-
-let system_conv =
-  Arg.conv
-    ( system_of_string,
-      fun fmt sys -> Format.pp_print_string fmt (Xmark_core.Runner.system_name sys) )
+let read_file = Cli.read_file
 
 let warn_paths doc qtext =
   (* Section 7's suggestion: warn when a path step names a tag that does
@@ -49,16 +31,22 @@ let print_summary doc =
     (Xmark_store.Summary.build (MM.dom_root store))
 
 let run doc_file factor system query query_file query_number show_timing canonical_out warn summary
-    explain =
+    explain jobs =
   if explain then Xmark_core.Stats.enable ();
-  let doc =
+  let pool = Cli.install_jobs jobs in
+  let source, doc =
     match doc_file with
-    | Some path -> read_file path
+    | Some path ->
+        let doc = read_file path in
+        (`Text doc, doc)
     | None ->
         Printf.eprintf "(generating document at factor %g)\n%!" factor;
-        Xmark_xmlgen.Generator.to_string ~factor ()
+        let doc = Xmark_xmlgen.Generator.to_string ~factor () in
+        (`Text doc, doc)
   in
-  let store, stats = Xmark_core.Runner.bulkload system doc in
+  let session = Xmark_core.Runner.load ?pool ~source system in
+  let store = session.Xmark_core.Runner.store in
+  let stats = session.Xmark_core.Runner.load_stats in
   if show_timing then
     Printf.eprintf "bulkload: %.1f ms, %d bytes\n%!"
       stats.Xmark_core.Runner.load.Xmark_core.Timing.wall_ms stats.Xmark_core.Runner.db_bytes;
@@ -95,25 +83,17 @@ let run doc_file factor system query query_file query_number show_timing canonic
   if explain then Format.eprintf "%a@?" Xmark_core.Stats.pp ();
   0
 
-let run_safe a b c d e f g h i j k =
-  try run a b c d e f g h i j k with
+let run_safe a b c d e f g h i j k l =
+  try run a b c d e f g h i j k l with
   | Xmark_xquery.Parser.Error _ as ex ->
       Printf.eprintf "%s\n" (Xmark_xquery.Parser.describe_error "" ex);
+      1
+  | Xmark_core.Runner.Unsupported m ->
+      Printf.eprintf "unsupported: %s\n" m;
       1
   | Invalid_argument m | Failure m ->
       Printf.eprintf "error: %s\n" m;
       1
-
-let doc_arg =
-  Arg.(value & opt (some file) None & info [ "doc" ] ~docv:"FILE" ~doc:"Benchmark document file.")
-
-let factor_arg =
-  Arg.(value & opt float 0.005
-       & info [ "f"; "factor" ] ~docv:"FACTOR" ~doc:"Generate the document at this factor when no file is given.")
-
-let system_arg =
-  Arg.(value & opt system_conv Xmark_core.Runner.D
-       & info [ "s"; "system" ] ~docv:"A-G" ~doc:"Storage backend (paper's Systems A through G).")
 
 let query_arg =
   Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"XQUERY" ~doc:"Query text.")
@@ -136,12 +116,6 @@ let summary_arg =
            ~doc:"Print the document's structural summary (DataGuide): every label path with its \
                  cardinality.")
 
-let explain_arg =
-  Arg.(value & flag
-       & info [ "explain" ]
-           ~doc:"EXPLAIN ANALYZE: enable execution-statistics collection and print a per-scope \
-                 counter table (nodes scanned, index probes, join builds, ...) to stderr.")
-
 let warn_arg =
   Arg.(value & flag
        & info [ "warn-paths" ]
@@ -152,7 +126,10 @@ let cmd =
   let doc = "run XQuery against an XMark document on a chosen storage backend" in
   Cmd.v (Cmd.info "xquery_run" ~version:"1.0" ~doc)
     Term.(
-      const run_safe $ doc_arg $ factor_arg $ system_arg $ query_arg $ query_file_arg $ number_arg
-      $ timing_arg $ canonical_arg $ warn_arg $ summary_arg $ explain_arg)
+      const run_safe $ Cli.doc_file
+      $ Cli.factor ~default:0.005 ()
+      $ Cli.system ~default:Xmark_core.Runner.D ()
+      $ query_arg $ query_file_arg $ number_arg $ timing_arg $ canonical_arg $ warn_arg
+      $ summary_arg $ Cli.explain $ Cli.jobs)
 
 let () = exit (Cmd.eval' cmd)

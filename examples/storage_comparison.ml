@@ -24,7 +24,8 @@ let () =
   let stores =
     List.map
       (fun sys ->
-        let store, stats = Runner.bulkload sys doc in
+        let session = Runner.load ~source:(`Text doc) sys in
+        let store = session.Runner.store and stats = session.Runner.load_stats in
         Printf.printf "%-9s %10.2f %12.1f   %s\n" (Runner.system_name sys)
           (float_of_int stats.Runner.db_bytes /. 1048576.0)
           stats.Runner.load.Timing.wall_ms

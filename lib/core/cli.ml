@@ -1,0 +1,138 @@
+(* Shared command-line vocabulary, so every executable spells the
+   common flags the same way. *)
+
+open Cmdliner
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let system_of_string = function
+  | "A" | "a" -> Ok Runner.A
+  | "B" | "b" -> Ok Runner.B
+  | "C" | "c" -> Ok Runner.C
+  | "D" | "d" -> Ok Runner.D
+  | "E" | "e" -> Ok Runner.E
+  | "F" | "f" -> Ok Runner.F
+  | "G" | "g" -> Ok Runner.G
+  | s -> Error (`Msg (Printf.sprintf "unknown system %S (expected A-G)" s))
+
+let parse_systems s =
+  String.split_on_char ',' s
+  |> List.map (fun tok ->
+         match system_of_string (String.trim tok) with
+         | Ok sys -> sys
+         | Error (`Msg m) -> failwith m)
+
+let parse_queries s =
+  String.split_on_char ',' s
+  |> List.concat_map (fun tok ->
+         let tok = String.trim tok in
+         let parse_one t =
+           match int_of_string_opt t with
+           | Some n when n >= 1 && n <= 20 -> n
+           | _ -> failwith (Printf.sprintf "bad query %S (expected 1-20)" t)
+         in
+         match String.index_opt tok '-' with
+         | Some i when i > 0 ->
+             let lo = parse_one (String.sub tok 0 i) in
+             let hi = parse_one (String.sub tok (i + 1) (String.length tok - i - 1)) in
+             if lo > hi then failwith (Printf.sprintf "empty query range %S" tok);
+             List.init (hi - lo + 1) (fun k -> lo + k)
+         | _ -> [ parse_one tok ])
+
+let system_conv =
+  Arg.conv
+    (system_of_string, fun fmt sys -> Format.pp_print_string fmt (Runner.system_name sys))
+
+let systems_conv =
+  Arg.conv
+    ( (fun s ->
+        match parse_systems s with
+        | systems -> Ok systems
+        | exception Failure m -> Error (`Msg m)),
+      fun fmt systems ->
+        Format.pp_print_string fmt
+          (String.concat ","
+             (List.map
+                (fun sys ->
+                  let name = Runner.system_name sys in
+                  String.sub name (String.length name - 1) 1)
+                systems)) )
+
+let queries_conv =
+  Arg.conv
+    ( (fun s ->
+        match parse_queries s with
+        | queries -> Ok queries
+        | exception Failure m -> Error (`Msg m)),
+      fun fmt queries ->
+        Format.pp_print_string fmt (String.concat "," (List.map string_of_int queries)) )
+
+let factor ?(default = 0.01) () =
+  Arg.(
+    value
+    & opt float default
+    & info [ "f"; "factor"; "scale" ] ~docv:"FACTOR"
+        ~doc:"Scaling factor of the benchmark document; 1.0 is roughly 100 MB (Figure 3).")
+
+let seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Random seed; the default reproduces the canonical benchmark document.")
+
+let jobs =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Size of the domain pool for parallel execution; 1 (the default) runs everything \
+           sequentially.  Results are identical for any value.")
+
+let stats_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Run the selected systems and queries with execution statistics enabled and write \
+           per-system/per-query counters as JSON to $(docv).")
+
+let explain =
+  Arg.(
+    value
+    & flag
+    & info [ "explain" ]
+        ~doc:
+          "EXPLAIN ANALYZE: enable execution-statistics collection and print a per-scope \
+           counter table (nodes scanned, index probes, join builds, ...) to stderr.")
+
+let doc_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "doc" ] ~docv:"FILE" ~doc:"Benchmark document file.")
+
+let system ?(default = Runner.D) () =
+  Arg.(
+    value
+    & opt system_conv default
+    & info [ "s"; "system" ] ~docv:"A-G" ~doc:"Storage backend (paper's Systems A through G).")
+
+let systems =
+  Arg.(
+    value
+    & opt systems_conv Runner.all_systems
+    & info [ "systems" ] ~docv:"LIST" ~doc:"Comma-separated systems (e.g. B,G).")
+
+let queries =
+  Arg.(
+    value
+    & opt queries_conv (List.init 20 (fun i -> i + 1))
+    & info [ "queries" ] ~docv:"LIST"
+        ~doc:"Comma-separated query numbers or ranges (e.g. 1,8,20 or 1-5).")
+
+let install_jobs n =
+  Xmark_parallel.set_default_jobs n;
+  Xmark_parallel.default ()

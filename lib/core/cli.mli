@@ -1,0 +1,56 @@
+(** Shared command-line vocabulary for the xmark executables.
+
+    Every binary (xmlgen, xquery_run, xmark_bench, xmark_verify) takes
+    its common flags from here so they are spelled — and documented —
+    identically: [--factor]/[--scale], [--seed], [--jobs], [--stats-json],
+    [--explain], [--doc], [--system]/[--systems], [--queries]. *)
+
+val read_file : string -> string
+
+(* --- parsers -------------------------------------------------------------- *)
+
+val system_of_string : string -> (Runner.system, [ `Msg of string ]) result
+
+val parse_systems : string -> Runner.system list
+(** ["B,G"] -> [[Runner.B; Runner.G]].
+    @raise Failure on an unknown system letter. *)
+
+val parse_queries : string -> int list
+(** ["1,8,20"] or ["1-5,8"] -> query numbers.
+    @raise Failure on a malformed entry. *)
+
+(* --- terms ---------------------------------------------------------------- *)
+
+val factor : ?default:float -> unit -> float Cmdliner.Term.t
+(** [-f] / [--factor] / [--scale]. *)
+
+val seed : int option Cmdliner.Term.t
+(** [--seed]. *)
+
+val jobs : int Cmdliner.Term.t
+(** [-j] / [--jobs]; domain-pool size, default 1 (sequential). *)
+
+val stats_json : string option Cmdliner.Term.t
+(** [--stats-json FILE]. *)
+
+val explain : bool Cmdliner.Term.t
+(** [--explain]. *)
+
+val doc_file : string option Cmdliner.Term.t
+(** [--doc FILE]. *)
+
+val system : ?default:Runner.system -> unit -> Runner.system Cmdliner.Term.t
+(** [-s] / [--system], a single backend. *)
+
+val systems : Runner.system list Cmdliner.Term.t
+(** [--systems LIST], default all seven. *)
+
+val queries : int list Cmdliner.Term.t
+(** [--queries LIST], default 1-20. *)
+
+(* --- wiring --------------------------------------------------------------- *)
+
+val install_jobs : int -> Xmark_parallel.pool option
+(** Install the process-wide default pool for [--jobs n] (see
+    {!Xmark_parallel.set_default_jobs}) and return it; [None] when [n <=
+    1], meaning sequential execution everywhere. *)

@@ -28,6 +28,8 @@ let document factor =
 
 let mb bytes = float_of_int bytes /. 1048576.0
 
+let load_store sys doc = (Runner.load ~source:(`Text doc) sys).Runner.store
+
 (* --- Table 1: database sizes and bulkload times --------------------------- *)
 
 let paper_table1 =
@@ -56,7 +58,7 @@ let table1 ?(factor = default_factor) () =
   let rows =
     List.map
       (fun sys ->
-        let _store, stats = Runner.bulkload sys doc in
+        let stats = (Runner.load ~source:(`Text doc) sys).Runner.load_stats in
         let pmb, ps = List.assoc sys paper_table1 in
         pr "%-9s %12.2f %14.1f %10d %15d / %3d\n" (Runner.system_name sys)
           (mb stats.Runner.db_bytes) stats.Runner.load.Timing.wall_ms stats.Runner.nodes pmb ps;
@@ -102,7 +104,7 @@ let table2 ?(factor = default_factor) ?(runs = 5) () =
     (fun q ->
       List.iter
         (fun sys ->
-          let store, _ = Runner.bulkload sys doc in
+          let store = load_store sys doc in
           (* median of [runs] executions for a stable split *)
           let outcomes = List.init runs (fun _ -> Runner.run store q) in
           let sorted =
@@ -162,7 +164,7 @@ let table3 ?(factor = default_factor) ?(queries = table3_queries) () =
   let doc = document factor in
   pr "== Table 3: query runtimes in ms on Systems A-F (factor %g) ==\n" factor;
   pr "   (second line per query: the paper's numbers at factor 1.0 on 550 MHz PIII)\n\n";
-  let stores = List.map (fun sys -> (sys, fst (Runner.bulkload sys doc))) Runner.mass_storage in
+  let stores = List.map (fun sys -> (sys, load_store sys doc)) Runner.mass_storage in
   pr "%-6s" "Query";
   List.iter (fun sys -> pr "%12s" (Runner.system_name sys)) Runner.mass_storage;
   pr "%8s\n" "agree";
@@ -234,8 +236,8 @@ let fig4 ?(small = 0.001) ?(large = 0.01) () =
     (float_of_int (String.length doc_small) /. 1024.) small
     (mb (String.length doc_large)) large;
   pr "    the paper used 100 kB and 1 MB; execution includes re-parsing the document)\n\n";
-  let store_small, _ = Runner.bulkload Runner.G doc_small in
-  let store_large, _ = Runner.bulkload Runner.G doc_large in
+  let store_small = load_store Runner.G doc_small in
+  let store_large = load_store Runner.G doc_large in
   pr "%-6s %18s %18s\n" "Query" "small doc (ms)" "large doc (ms)";
   hr ();
   let rows =
@@ -331,7 +333,7 @@ let scaling ?(factors = [ 0.005; 0.01; 0.02; 0.04 ]) () =
         let points =
           List.map
             (fun f ->
-              let store, _ = Runner.bulkload sys (document f) in
+              let store = load_store sys (document f) in
               let times =
                 List.init 3 (fun _ -> (Runner.run store query).Runner.execute.Timing.wall_ms)
               in
@@ -357,8 +359,8 @@ let fulltext ?(factor = default_factor) ?(words = [ "gold"; "silver"; "king" ]) 
   pr "    System F answers the same call by scanning; Q14's contains() is the\n";
   pr "    substring variant the benchmark itself uses)\n\n";
   let doc = document factor in
-  let store_d, _ = Runner.bulkload Runner.D doc in
-  let store_f, _ = Runner.bulkload Runner.F doc in
+  let store_d = load_store Runner.D doc in
+  let store_f = load_store Runner.F doc in
   let time store q =
     let o = Runner.run_text store q in
     (o.Runner.execute.Timing.wall_ms, o.Runner.items)
@@ -409,7 +411,7 @@ let throughput ?(factor = default_factor) ?(budget_s = 1.0)
   let rows =
     List.map
       (fun sys ->
-        let store, _ = Runner.bulkload sys doc in
+        let store = load_store sys doc in
         let t0 = Unix.gettimeofday () in
         let deadline = t0 +. budget_s in
         let completed = ref 0 in
@@ -491,9 +493,16 @@ type stats_cell = {
   sc_compile_ms : float;
   sc_execute_ms : float;
   sc_counters : (string * int) list;
+  sc_canonical : string;
 }
 
-let stats_matrix ?(factor = default_factor) ?(systems = Runner.all_systems)
+(* Run the full (system, query) matrix, one freshly loaded store per
+   cell so cells are independent of execution order, optionally fanning
+   cells out over a domain pool.  Cells come back in (system, query)
+   order together with the merged counter totals for the whole matrix
+   (loads included); results, per-cell counters and totals are identical
+   for any pool size — only the wall-clock timings differ. *)
+let matrix ?(factor = default_factor) ?pool ?(systems = Runner.all_systems)
     ?(queries = List.init 20 (fun i -> i + 1)) () =
   let doc = document factor in
   let was = Stats.enabled () in
@@ -501,22 +510,59 @@ let stats_matrix ?(factor = default_factor) ?(systems = Runner.all_systems)
   Fun.protect
     ~finally:(fun () -> Stats.set_enabled was)
     (fun () ->
-      List.concat_map
-        (fun sys ->
-          let store, _ = Runner.bulkload sys doc in
-          List.map
-            (fun q ->
-              let o = Runner.run store q in
-              {
-                sc_system = sys;
-                sc_query = q;
-                sc_items = o.Runner.items;
-                sc_compile_ms = o.Runner.compile.Timing.wall_ms;
-                sc_execute_ms = o.Runner.execute.Timing.wall_ms;
-                sc_counters = o.Runner.run_stats;
-              })
-            queries)
-        systems)
+      let snap = Stats.snapshot () in
+      let cells =
+        List.concat_map (fun sys -> List.map (fun q -> (sys, q)) queries) systems
+      in
+      let run_cell (sys, q) =
+        let session = Runner.load ~source:(`Text doc) sys in
+        let o = Runner.run_session session q in
+        {
+          sc_system = sys;
+          sc_query = q;
+          sc_items = o.Runner.items;
+          sc_compile_ms = o.Runner.compile.Timing.wall_ms;
+          sc_execute_ms = o.Runner.execute.Timing.wall_ms;
+          sc_counters = o.Runner.run_stats;
+          sc_canonical = Runner.canonical o;
+        }
+      in
+      let results =
+        match pool with
+        | Some p when Xmark_parallel.jobs p > 1 -> Xmark_parallel.map p run_cell cells
+        | _ -> List.map run_cell cells
+      in
+      (results, Stats.since snap))
+
+let stats_matrix ?factor ?pool ?systems ?queries () =
+  fst (matrix ?factor ?pool ?systems ?queries ())
+
+(* GC and timer counters measure the environment (collector scheduling,
+   wall clocks), not the computation, so they are the one part of a
+   stats dump that legitimately differs between sequential and parallel
+   runs of the same matrix. *)
+let environmental (name, _) =
+  (String.length name >= 3 && String.sub name 0 3 = "gc_")
+  || (String.length name >= 3 && String.sub name (String.length name - 3) 3 = "_us")
+
+let matrix_digest ~factor (cells, totals) =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "matrix factor=%g cells=%d\n" factor (List.length cells);
+  let pp_counters cs =
+    String.concat " "
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+         (List.filter (fun c -> not (environmental c)) cs))
+  in
+  List.iter
+    (fun c ->
+      Printf.bprintf buf "%s Q%d items=%d md5=%s %s\n"
+        (Runner.system_name c.sc_system)
+        c.sc_query c.sc_items
+        (Digest.to_hex (Digest.string c.sc_canonical))
+        (pp_counters c.sc_counters))
+    cells;
+  Printf.bprintf buf "totals %s\n" (pp_counters totals);
+  Buffer.contents buf
 
 let stats_json ~factor cells =
   (* group per system, preserving the order cells arrived in *)

@@ -116,19 +116,42 @@ type stats_cell = {
   sc_compile_ms : float;
   sc_execute_ms : float;
   sc_counters : (string * int) list;  (** per-run {!Stats} counter deltas *)
+  sc_canonical : string;  (** canonical result, for cross-run comparison *)
 }
+
+val matrix :
+  ?factor:float ->
+  ?pool:Xmark_parallel.pool ->
+  ?systems:Runner.system list ->
+  ?queries:int list ->
+  unit ->
+  stats_cell list * (string * int) list
+(** Run every (system, query) cell with {!Stats} enabled, each cell on a
+    freshly loaded store so cells are independent of execution order.
+    With a multi-domain [pool] the cells fan out over its domains.
+    Returns the cells in (system, query) order plus the merged counter
+    totals of the whole matrix (bulkloads included).  Everything except
+    wall-clock timings and GC counters is byte-identical for any pool
+    size — {!matrix_digest} is that determinism contract made
+    checkable.  The previous enabled/disabled state of {!Stats} is
+    restored on return. *)
+
+val matrix_digest : factor:float -> stats_cell list * (string * int) list -> string
+(** Deterministic text form of a {!matrix} result: per-cell result
+    digests, item counts and counters, plus merged totals — excluding
+    timings and environmental (GC, timer) counters, so sequential and
+    parallel runs of the same matrix render byte-identical digests. *)
 
 val stats_matrix :
   ?factor:float ->
+  ?pool:Xmark_parallel.pool ->
   ?systems:Runner.system list ->
   ?queries:int list ->
   unit ->
   stats_cell list
-(** Bulkload each system and run each query with {!Stats} enabled,
-    collecting the per-run counter deltas — the machine-readable form of
-    the Section 7 discussion ("System G pays a constant re-parse cost",
-    "Q8/Q9 hinge on the join table").  The previous enabled/disabled
-    state of {!Stats} is restored on return. *)
+(** The cells of {!matrix} — the machine-readable form of the Section 7
+    discussion ("System G pays a constant re-parse cost", "Q8/Q9 hinge
+    on the join table"). *)
 
 val stats_json : factor:float -> stats_cell list -> string
 (** Render a matrix as JSON: per-system, per-query counter objects with

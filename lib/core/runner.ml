@@ -66,83 +66,87 @@ let measure_execute f =
         r
       end)
 
+type source = [ `File of string | `Text of string | `Dom of Xml.Dom.node ]
+
+type session = { system : system; store : store; load_stats : load_stats }
+
+let load ?pool ~(source : source) sys =
+  let text () =
+    match source with
+    | `Text s -> s
+    | `File path -> In_channel.with_open_bin path In_channel.input_all
+    | `Dom d -> Xml.Serialize.to_string d
+  in
+  let store, load_stats =
+    match sys with
+    | A ->
+        let s, load =
+          measure_load (fun () ->
+              match source with
+              | `Dom d -> Store.Backend_heap.load_dom d
+              | `Text _ | `File _ -> Store.Backend_heap.load_string (text ()))
+        in
+        ( SA s,
+          {
+            load;
+            db_bytes = Store.Backend_heap.size_bytes s;
+            nodes = Store.Backend_heap.node_count s;
+          } )
+    | B ->
+        let s, load =
+          measure_load (fun () ->
+              match source with
+              | `Dom d -> Store.Backend_shredded.load_dom ?pool d
+              | `Text _ | `File _ -> Store.Backend_shredded.load_string ?pool (text ()))
+        in
+        ( SB s,
+          {
+            load;
+            db_bytes = Store.Backend_shredded.size_bytes s;
+            nodes = Store.Backend_shredded.node_count s;
+          } )
+    | C ->
+        let s, load =
+          measure_load (fun () ->
+              match source with
+              | `Dom d -> Store.Backend_schema.load_dom ?pool d
+              | `Text _ | `File _ -> Store.Backend_schema.load_string ?pool (text ()))
+        in
+        ( SC s,
+          {
+            load;
+            db_bytes = Store.Backend_schema.size_bytes s;
+            nodes = Store.Backend_schema.row_total s;
+          } )
+    | D | E | F ->
+        let level = match sys with D -> `Full | E -> `Id_only | _ -> `Plain in
+        let s, load =
+          measure_load (fun () ->
+              match source with
+              | `Dom d -> Store.Backend_mainmem.create ~level d
+              | `Text _ | `File _ -> Store.Backend_mainmem.of_string ~level (text ()))
+        in
+        ( SM s,
+          {
+            load;
+            db_bytes = Store.Backend_mainmem.size_bytes s;
+            nodes = Store.Backend_mainmem.node_count s;
+          } )
+    | G ->
+        (* An embedded processor has no database: "bulkload" just keeps
+           the serialized document around, whatever the source form. *)
+        let s, load = measure_load (fun () -> Store.Backend_embedded.load (text ())) in
+        (SG s, { load; db_bytes = Store.Backend_embedded.bytes s; nodes = 0 })
+  in
+  { system = sys; store; load_stats }
+
 let bulkload sys doc =
-  match sys with
-  | A ->
-      let s, load = measure_load (fun () -> Store.Backend_heap.load_string doc) in
-      ( SA s,
-        {
-          load;
-          db_bytes = Store.Backend_heap.size_bytes s;
-          nodes = Store.Backend_heap.node_count s;
-        } )
-  | B ->
-      let s, load = measure_load (fun () -> Store.Backend_shredded.load_string doc) in
-      ( SB s,
-        {
-          load;
-          db_bytes = Store.Backend_shredded.size_bytes s;
-          nodes = Store.Backend_shredded.node_count s;
-        } )
-  | C ->
-      let s, load = measure_load (fun () -> Store.Backend_schema.load_string doc) in
-      ( SC s,
-        {
-          load;
-          db_bytes = Store.Backend_schema.size_bytes s;
-          nodes = Store.Backend_schema.row_total s;
-        } )
-  | D | E | F ->
-      let level = match sys with D -> `Full | E -> `Id_only | _ -> `Plain in
-      let s, load = measure_load (fun () -> Store.Backend_mainmem.of_string ~level doc) in
-      ( SM s,
-        {
-          load;
-          db_bytes = Store.Backend_mainmem.size_bytes s;
-          nodes = Store.Backend_mainmem.node_count s;
-        } )
-  | G ->
-      (* An embedded processor has no database: "bulkload" just keeps the
-         document around. *)
-      let s, load = measure_load (fun () -> Store.Backend_embedded.load doc) in
-      (SG s, { load; db_bytes = Store.Backend_embedded.bytes s; nodes = 0 })
+  let s = load ~source:(`Text doc) sys in
+  (s.store, s.load_stats)
 
 let bulkload_dom sys dom =
-  match sys with
-  | A ->
-      let s, load = measure_load (fun () -> Store.Backend_heap.load_dom dom) in
-      ( SA s,
-        {
-          load;
-          db_bytes = Store.Backend_heap.size_bytes s;
-          nodes = Store.Backend_heap.node_count s;
-        } )
-  | B ->
-      let s, load = measure_load (fun () -> Store.Backend_shredded.load_dom dom) in
-      ( SB s,
-        {
-          load;
-          db_bytes = Store.Backend_shredded.size_bytes s;
-          nodes = Store.Backend_shredded.node_count s;
-        } )
-  | C ->
-      let s, load = measure_load (fun () -> Store.Backend_schema.load_dom dom) in
-      ( SC s,
-        {
-          load;
-          db_bytes = Store.Backend_schema.size_bytes s;
-          nodes = Store.Backend_schema.row_total s;
-        } )
-  | D | E | F ->
-      let level = match sys with D -> `Full | E -> `Id_only | _ -> `Plain in
-      let s, load = measure_load (fun () -> Store.Backend_mainmem.create ~level dom) in
-      ( SM s,
-        {
-          load;
-          db_bytes = Store.Backend_mainmem.size_bytes s;
-          nodes = Store.Backend_mainmem.node_count s;
-        } )
-  | G -> bulkload G (Xml.Serialize.to_string dom)
+  let s = load ~source:(`Dom dom) sys in
+  (s.store, s.load_stats)
 
 type outcome = {
   compile : Timing.span;
@@ -153,6 +157,8 @@ type outcome = {
   run_stats : (string * int) list;
       (* per-counter deltas accumulated by this run; [] when Stats is off *)
 }
+
+exception Unsupported of string
 
 let run_text store qtext =
   let snap = Stats.snapshot () in
@@ -212,7 +218,14 @@ let run_text store qtext =
       { compile; execute; items = List.length v; result = EvM.result_to_dom s v;
         metadata_accesses = 0; run_stats = Stats.since snap }
   | SC _ ->
-      invalid_arg "Runner.run_text: System C executes prepared plans only"
+      raise
+        (Unsupported
+           "System C executes prepared plans only; use Runner.run with a query number")
+
+let try_run_text store qtext =
+  match run_text store qtext with
+  | outcome -> Ok outcome
+  | exception Unsupported msg -> Error (`Unsupported msg)
 
 let run store n =
   match store with
@@ -232,5 +245,9 @@ let run store n =
       { compile; execute; items = List.length result; result; metadata_accesses;
         run_stats = Stats.since snap }
   | SA _ | SB _ | SM _ | SG _ -> run_text store (Queries.text n)
+
+let run_session session n = run session.store n
+
+let run_text_session session qtext = run_text session.store qtext
 
 let canonical outcome = Xml.Canonical.of_nodes outcome.result

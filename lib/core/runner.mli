@@ -25,12 +25,36 @@ type load_stats = {
   nodes : int;
 }
 
+type source = [ `File of string | `Text of string | `Dom of Xmark_xml.Dom.node ]
+(** Where a benchmark document comes from: a file on disk, its serialized
+    contents, or an already-parsed DOM. *)
+
+type session = {
+  system : system;
+  store : store;
+  load_stats : load_stats;
+}
+(** A loaded system: the store together with how it was built. *)
+
+val load : ?pool:Xmark_parallel.pool -> source:source -> system -> session
+(** [load ~source sys] bulkloads [sys] from [source].  Backends that
+    can't start from the given form convert first (System G always keeps
+    the serialized document; relational systems parse a [`File]/[`Text]
+    source).  With a multi-domain [pool], Systems B and C bulkload in
+    parallel (see {!Xmark_store.Backend_shredded.load_string} and
+    {!Xmark_store.Backend_schema.load_dom}); the resulting store is
+    identical to a sequential load's. *)
+
 val bulkload : system -> string -> store * load_stats
-(** [bulkload sys doc] loads a serialized benchmark document. *)
+  [@@ocaml.deprecated "use Runner.load ~source:(`Text doc)"]
+(** [bulkload sys doc] loads a serialized benchmark document.
+    @deprecated use {!load}. *)
 
 val bulkload_dom : system -> Xmark_xml.Dom.node -> store * load_stats
+  [@@ocaml.deprecated "use Runner.load ~source:(`Dom dom)"]
 (** Variant that starts from a parsed document where the backend allows;
-    System G always keeps the serialized form. *)
+    System G always keeps the serialized form.
+    @deprecated use {!load}. *)
 
 type outcome = {
   compile : Timing.span;
@@ -44,13 +68,31 @@ type outcome = {
           [Stats.enable] was called *)
 }
 
+exception Unsupported of string
+(** A store was asked for an execution mode it does not implement (for
+    now: ad-hoc query text on System C). *)
+
 val run : store -> int -> outcome
 (** [run store q] executes benchmark query [q] (1-20).
     @raise Invalid_argument for an unknown query number. *)
 
 val run_text : store -> string -> outcome
-(** Execute an arbitrary XQuery text (not supported on System C, which
-    only executes prepared plans — @raise Invalid_argument). *)
+(** Execute an arbitrary XQuery text.
+    @raise Unsupported on System C, which only executes prepared plans. *)
+
+val try_run_text : store -> string -> (outcome, [ `Unsupported of string ]) result
+(** Like {!run_text} but returns the unsupported case as a value, for
+    callers (CLIs) that want a clean one-line error instead of an
+    exception. *)
+
+val run_session : session -> int -> outcome
+(** [run_session s q] executes benchmark query [q] (1-20) on the
+    session's store.
+    @raise Invalid_argument for an unknown query number. *)
+
+val run_text_session : session -> string -> outcome
+(** Execute arbitrary XQuery text on the session's store.
+    @raise Unsupported on System C, which executes prepared plans only. *)
 
 val canonical : outcome -> string
 (** Canonical result form for cross-system comparison. *)

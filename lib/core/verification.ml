@@ -28,7 +28,9 @@ let compare_systems ?queries ?(systems = Runner.all_systems) doc =
   let queries =
     match queries with Some qs -> qs | None -> List.init Queries.count (fun i -> i + 1)
   in
-  let stores = List.map (fun sys -> (sys, fst (Runner.bulkload sys doc))) systems in
+  let stores =
+    List.map (fun sys -> (sys, (Runner.load ~source:(`Text doc) sys).Runner.store)) systems
+  in
   List.map
     (fun query ->
       let results =

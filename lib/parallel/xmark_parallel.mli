@@ -1,0 +1,67 @@
+(** Fixed-size domain pool with deterministic fork/join.
+
+    The multicore execution layer of the harness: the benchmark matrix,
+    chunked table scans and the partitioned parts of bulkload all
+    schedule through this one primitive, so they inherit the same
+    determinism contract — for any pool size, a parallel run returns the
+    same values, raises the same exception, and leaves the same
+    {!Xmark_stats} totals as a sequential run of the same chunks.
+
+    A pool of [jobs] delivers [jobs]-way parallelism: [jobs - 1] worker
+    domains plus the submitting domain, which executes tasks alongside
+    them during a join.  With [jobs = 1] no domains are spawned and
+    every operation runs inline, which is the reference behaviour the
+    differential suite compares against.
+
+    Nested use is safe: a task that itself calls into a pool runs that
+    region inline on its own domain, so composition (a parallel matrix
+    cell whose bulkload is itself parallelizable) cannot deadlock.
+
+    Submissions must come from one domain at a time — the harness
+    drives a single fork/join batch per pool; tasks themselves never
+    block on the pool. *)
+
+type pool
+
+val create : jobs:int -> pool
+(** Spawn a pool of [max 1 jobs] slots ([jobs - 1] domains). *)
+
+val jobs : pool -> int
+
+val shutdown : pool -> unit
+(** Stop and join the worker domains; idempotent. *)
+
+val with_pool : jobs:int -> (pool -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)
+
+(** {2 Process-wide default}
+
+    The CLIs' [--jobs N] installs a default pool that deep layers (the
+    relational scan operators) consult without threading a pool through
+    every call site. *)
+
+val set_default_jobs : int -> unit
+(** Install a default pool of [n] slots ([n <= 1] removes it, after
+    shutting the previous one down). *)
+
+val default : unit -> pool option
+
+(** {2 Fork/join} *)
+
+val map_chunks : pool -> ?chunks:int -> ('a array -> 'b) -> 'a array -> 'b array
+(** [map_chunks pool f xs] splits [xs] into at most [chunks] (default
+    [4 * jobs pool]) contiguous chunks of near-uniform size, evaluates
+    [f] over the chunks on the pool, and returns the per-chunk results
+    in input order.  Empty input yields [[||]]; a chunk count above the
+    item count degrades to one item per chunk.  If several chunks
+    raise, the exception of the lowest-indexed one is re-raised after
+    all chunks have finished. *)
+
+val map_array : pool -> ('a -> 'b) -> 'a array -> 'b array
+(** One task per element, results in input order. *)
+
+val map : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map_array}. *)
+
+val filter_array : pool -> ?chunks:int -> ('a -> bool) -> 'a array -> 'a array
+(** Chunked parallel filter; keeps input order. *)

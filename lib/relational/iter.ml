@@ -35,6 +35,26 @@ let of_list rows =
           remaining := rest;
           Some row)
 
+(* Eager chunked scan: the chunk side of the work (predicate evaluation
+   over the table) runs on the pool; emission still streams through the
+   returned iterator.  The counter profile matches a fully consumed
+   [filter pred (of_table table)] — one "operator_rows" per input row at
+   scan time plus one per row the consumer pulls — and is independent of
+   the chunking, so parallel and sequential runs report identical
+   totals. *)
+let parallel_scan ?pool pred table =
+  Table.seal table;
+  let scan_chunk chunk =
+    if Xmark_stats.enabled () then Xmark_stats.incr ~by:(Array.length chunk) "operator_rows";
+    Array.of_seq (Seq.filter pred (Array.to_seq chunk))
+  in
+  let kept =
+    match (match pool with Some _ -> pool | None -> Xmark_parallel.default ()) with
+    | Some p -> Array.concat (Array.to_list (Xmark_parallel.map_chunks p scan_chunk (Table.rows table)))
+    | None -> scan_chunk (Table.rows table)
+  in
+  of_rows kept
+
 let filter pred input =
   make (fun () ->
       let rec pull () =

@@ -23,6 +23,15 @@ val of_list : Table.row list -> t
 
 val filter : (Table.row -> bool) -> t -> t
 
+val parallel_scan : ?pool:Xmark_parallel.pool -> (Table.row -> bool) -> Table.t -> t
+(** Chunked predicate scan over a table on [pool] (default: the
+    process-wide {!Xmark_parallel.default} pool; inline when neither is
+    set).  Unlike [filter (of_table t)] the scan is eager — the
+    predicate runs over every row up front — but rows are emitted in
+    table order and, when fully consumed, the result and the
+    ["operator_rows"] total are identical to the sequential pipeline for
+    any pool size. *)
+
 val project : (Table.row -> Table.row) -> t -> t
 
 val limit : int -> t -> t

@@ -13,9 +13,18 @@ let col r c =
   let rec find i = if i >= n then raise Not_found else if r.cols.(i) = c then i else find (i + 1) in
   find 0
 
+(* Below this many rows the fork/join overhead of a parallel scan costs
+   more than the scan itself. *)
+let parallel_scan_threshold = 4096
+
 let filter pred r =
   rows_in (Array.length r.rows);
-  let rows = Array.of_seq (Seq.filter pred (Array.to_seq r.rows)) in
+  let rows =
+    match Xmark_parallel.default () with
+    | Some pool when Array.length r.rows >= parallel_scan_threshold ->
+        Xmark_parallel.filter_array pool pred r.rows
+    | _ -> Array.of_seq (Seq.filter pred (Array.to_seq r.rows))
+  in
   rows_out (Array.length rows);
   { r with rows }
 

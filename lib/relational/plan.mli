@@ -14,6 +14,10 @@ val col : rel -> string -> int
 (** @raise Not_found for an unknown column. *)
 
 val filter : (Table.row -> bool) -> rel -> rel
+(** Predicate scan.  When a default {!Xmark_parallel} pool is installed
+    ([--jobs N]) and the relation is large, the scan runs chunked on the
+    pool; output order and the [plan_rows_in]/[plan_rows_out] counters
+    are identical either way. *)
 
 val project : rel -> (string * (Table.row -> Value.t)) list -> rel
 

@@ -30,6 +30,12 @@ val get : t -> int -> row
 val rows : t -> row array
 (** Sealed row store; do not mutate. *)
 
+val seal : t -> unit
+(** Force pending appends into the sealed array now.  Sealing is
+    otherwise lazy (first read), which is a mutation — parallel loaders
+    seal every table before handing it to concurrent readers so that
+    scans and index builds on other domains are pure reads. *)
+
 val iter : (int -> row -> unit) -> t -> unit
 
 val fold : ('a -> int -> row -> 'a) -> 'a -> t -> 'a

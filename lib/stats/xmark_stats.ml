@@ -1,13 +1,26 @@
-(* Global execution-statistics registry.
+(* Execution-statistics registry, one per domain.
 
-   One mutable singleton: scope path -> (counter -> value).  The hot
-   path (incr while disabled) is a single flag test; while enabled it is
-   two hashtable probes, the first of which is cached per scope. *)
+   Since the parallel harness (Xmark_parallel) runs benchmark cells on
+   OCaml 5 domains, the registry cannot be a process-wide mutable
+   singleton: concurrent [incr]s would race.  Instead every domain owns
+   a private registry in domain-local storage; the only shared piece of
+   state is the enabled flag, an [Atomic.t] written before domains are
+   spawned and read (a plain load on x86) on every instrumented path.
+
+   A worker domain accumulates into its own registry and the pool
+   harness carries the deltas back with each task's result
+   ([export_and_clear] on the worker, [absorb] on the joining domain, in
+   task order).  Counter addition commutes, so the merged registry holds
+   totals identical to a sequential run — the determinism contract the
+   differential suite enforces.
+
+   The hot path (incr while disabled) is a single atomic load; while
+   enabled it is a domain-local fetch plus two hashtable probes, the
+   first of which is cached per scope. *)
 
 type counters = (string, int ref) Hashtbl.t
 
 type state = {
-  mutable on : bool;
   scopes : (string, counters) Hashtbl.t;
   mutable path : string;  (* current scope path, "" at top level *)
   mutable current : counters;  (* cache: scopes[path] *)
@@ -21,27 +34,37 @@ let scope_table scopes path =
       Hashtbl.replace scopes path t;
       t
 
-let st =
+let fresh_state () =
   let scopes = Hashtbl.create 16 in
-  { on = false; scopes; path = ""; current = scope_table scopes "" }
+  { scopes; path = ""; current = scope_table scopes "" }
 
-let enabled () = st.on
+(* Shared across domains; toggle only outside parallel regions. *)
+let on = Atomic.make false
 
-let enable () = st.on <- true
+(* Each domain (the main one included) lazily gets a private registry. *)
+let key : state Domain.DLS.key = Domain.DLS.new_key fresh_state
 
-let disable () = st.on <- false
+let st () = Domain.DLS.get key
 
-let set_enabled b = st.on <- b
+let enabled () = Atomic.get on
+
+let enable () = Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let set_enabled b = Atomic.set on b
 
 let reset () =
+  let st = st () in
   Hashtbl.reset st.scopes;
   st.current <- scope_table st.scopes st.path
 
-let current_scope () = st.path
+let current_scope () = (st ()).path
 
 let with_scope name f =
-  if not st.on then f ()
+  if not (Atomic.get on) then f ()
   else begin
+    let st = st () in
     let saved_path = st.path and saved_current = st.current in
     let path = if st.path = "" then name else st.path ^ "/" ^ name in
     st.path <- path;
@@ -53,14 +76,30 @@ let with_scope name f =
       f
   end
 
+let with_scope_path path f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let st = st () in
+    let saved_path = st.path and saved_current = st.current in
+    st.path <- path;
+    st.current <- scope_table st.scopes path;
+    Fun.protect
+      ~finally:(fun () ->
+        st.path <- saved_path;
+        st.current <- saved_current)
+      f
+  end
+
 let incr ?(by = 1) name =
-  if st.on then
+  if Atomic.get on then begin
+    let st = st () in
     match Hashtbl.find_opt st.current name with
     | Some r -> r := !r + by
     | None -> Hashtbl.replace st.current name (ref by)
+  end
 
 let time name f =
-  if not st.on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let t0 = Unix.gettimeofday () in
     Fun.protect
@@ -71,7 +110,7 @@ let time name f =
   end
 
 let get ~scope name =
-  match Hashtbl.find_opt st.scopes scope with
+  match Hashtbl.find_opt (st ()).scopes scope with
   | None -> 0
   | Some t -> ( match Hashtbl.find_opt t name with Some r -> !r | None -> 0)
 
@@ -85,7 +124,7 @@ let totals_tbl () =
           | Some a -> a := !a + !r
           | None -> Hashtbl.replace acc name (ref !r))
         t)
-    st.scopes;
+    (st ()).scopes;
   acc
 
 let total name =
@@ -111,6 +150,36 @@ let since snap =
     snap;
   List.filter (fun (_, v) -> v <> 0) (sorted_assoc now)
 
+(* --- cross-domain transfer ------------------------------------------------ *)
+
+type export = (string * (string * int) list) list
+
+let export_and_clear () =
+  let st = st () in
+  let dump =
+    Hashtbl.fold
+      (fun scope t acc ->
+        match sorted_assoc t with [] -> acc | cs -> (scope, cs) :: acc)
+      st.scopes []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Hashtbl.reset st.scopes;
+  st.current <- scope_table st.scopes st.path;
+  dump
+
+let absorb dump =
+  let st = st () in
+  List.iter
+    (fun (scope, cs) ->
+      let t = scope_table st.scopes scope in
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt t name with
+          | Some r -> r := !r + v
+          | None -> Hashtbl.replace t name (ref v))
+        cs)
+    dump
+
 (* --- rendering ----------------------------------------------------------- *)
 
 let counter_inventory =
@@ -125,7 +194,7 @@ let to_assoc () =
   Hashtbl.fold
     (fun scope t acc ->
       match sorted_assoc t with [] -> acc | cs -> (scope, cs) :: acc)
-    st.scopes []
+    (st ()).scopes []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let totals () = sorted_assoc (totals_tbl ())

@@ -8,10 +8,18 @@
     them back per bulkload / compile / execute phase — an EXPLAIN
     ANALYZE for the paper's Section 7 narrative.
 
-    The layer is global and observation-only.  When disabled (the
-    default) every entry point is a single flag test, so instrumented
-    hot paths cost ~nothing; instrumentation must never change query
-    results (enforced by [test_stats_differential]). *)
+    The layer is observation-only.  When disabled (the default) every
+    entry point is a single flag test, so instrumented hot paths cost
+    ~nothing; instrumentation must never change query results (enforced
+    by [test_stats_differential]).
+
+    {b Domain safety.}  Every domain owns a private registry held in
+    domain-local storage; only the enabled flag is shared (an atomic,
+    toggled outside parallel regions).  Worker domains accumulate
+    locally and the parallel harness moves the deltas to the joining
+    domain with {!export_and_clear} / {!absorb}, in deterministic task
+    order — so a parallel run's merged totals equal a sequential
+    run's. *)
 
 (* --- enabling ----------------------------------------------------------- *)
 
@@ -33,6 +41,12 @@ val with_scope : string -> (unit -> 'a) -> 'a
 (** [with_scope name f] runs [f] with counters attributed to [name];
     nested scopes join with ['/'] ("execute/join_build").  Exception
     safe.  When disabled this is just [f ()]. *)
+
+val with_scope_path : string -> (unit -> 'a) -> 'a
+(** As {!with_scope} but the path is absolute, replacing the current one
+    rather than nesting under it.  The parallel harness uses this to run
+    a task on a worker domain under the scope path of the domain that
+    submitted it. *)
 
 val current_scope : unit -> string
 (** The active scope path; [""] at top level. *)
@@ -63,6 +77,21 @@ val snapshot : unit -> snapshot
 val since : snapshot -> (string * int) list
 (** Per-counter totals accumulated after the snapshot was taken, sorted
     by counter name; only counters with a nonzero delta appear. *)
+
+(* --- cross-domain transfer ------------------------------------------------ *)
+
+type export = (string * (string * int) list) list
+(** A registry dump: [(scope, [(counter, delta); ...]); ...], both
+    levels sorted by name. *)
+
+val export_and_clear : unit -> export
+(** Dump and empty the calling domain's registry.  A pool worker calls
+    this after each task so the task's deltas travel back with its
+    result. *)
+
+val absorb : export -> unit
+(** Add a dump into the calling domain's registry, scope by scope.
+    [absorb (export_and_clear ())] is the identity on totals. *)
 
 (* --- rendering ----------------------------------------------------------- *)
 

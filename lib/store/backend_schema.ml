@@ -37,7 +37,7 @@ let serialized n tag =
 let text_of n tag =
   match child_el n tag with Some c -> R.Value.Str (sv c) | None -> R.Value.Null
 
-let load_dom root =
+let load_dom ?pool root =
   let person =
     R.Table.create ~name:"person"
       ~cols:
@@ -93,7 +93,17 @@ let load_dom root =
           R.Value.Str (sv a) )
   in
 
-  (* regions / items *)
+  (* The six sections of <site> write disjoint tables and only read the
+     (immutable once built) DOM, so with a pool each section loads as
+     its own task; row order within every table is the per-section
+     iteration order either way, hence identical to a sequential
+     load's. *)
+  let run_sections jobs =
+    match pool with
+    | Some p when Xmark_parallel.jobs p > 1 -> ignore (Xmark_parallel.map p (fun f -> f ()) jobs)
+    | _ -> List.iter (fun f -> f ()) jobs
+  in
+  let load_regions () =
   let item_idx = ref 0 in
   (match child_el root "regions" with
   | None -> ()
@@ -124,9 +134,10 @@ let load_dom root =
                   R.Table.append incategory [| vi idx; opt (Dom.attr ic "category") |])
                 (children_el it "incategory"))
             (children_el region "item"))
-        (Dom.children regions));
+        (Dom.children regions))
+  in
 
-  (* categories *)
+  let load_categories () =
   (match child_el root "categories" with
   | None -> ()
   | Some cats ->
@@ -137,18 +148,20 @@ let load_dom root =
               vi idx; opt (Dom.attr c "id"); req c "name"; serialized c "description";
               text_of c "description";
             |])
-        (children_el cats "category"));
+        (children_el cats "category"))
+  in
 
-  (* catgraph *)
+  let load_catgraph () =
   (match child_el root "catgraph" with
   | None -> ()
   | Some g ->
       List.iter
         (fun e ->
           R.Table.append edge [| opt (Dom.attr e "from"); opt (Dom.attr e "to") |])
-        (children_el g "edge"));
+        (children_el g "edge"))
+  in
 
-  (* people *)
+  let load_people () =
   (match child_el root "people" with
   | None -> ()
   | Some people ->
@@ -198,9 +211,10 @@ let load_dom root =
                 (fun w ->
                   R.Table.append watch [| vi idx; opt (Dom.attr w "open_auction") |])
                 (children_el ws "watch"))
-        (children_el people "person"));
+        (children_el people "person"))
+  in
 
-  (* open auctions *)
+  let load_open_auctions () =
   (match child_el root "open_auctions" with
   | None -> ()
   | Some oas ->
@@ -241,9 +255,10 @@ let load_dom root =
                   req b "increase";
                 |])
             (children_el oa "bidder"))
-        (children_el oas "open_auction"));
+        (children_el oas "open_auction"))
+  in
 
-  (* closed auctions *)
+  let load_closed_auctions () =
   (match child_el root "closed_auctions" with
   | None -> ()
   | Some cas ->
@@ -264,26 +279,37 @@ let load_dom root =
               ann_xml;
               ann_text;
             |])
-        (children_el cas "closed_auction"));
-
-  let cat = R.Catalog.create () in
-  List.iter (R.Catalog.register cat)
-    [ person; interest; watch; item; incategory; open_auction; bidder; closed_auction;
-      category; edge ];
-  let add_index table column =
-    R.Catalog.register_index cat ~table:(R.Table.name table) ~column
-      (R.Index.build table column)
+        (children_el cas "closed_auction"))
   in
-  add_index person "id";
-  add_index item "id";
-  add_index open_auction "id";
-  add_index bidder "auction_idx";
-  add_index interest "person_idx";
-  add_index incategory "item_idx";
-  add_index watch "person_idx";
-  add_index closed_auction "buyer";
-  add_index closed_auction "itemref";
-  let numeric_btree table column =
+
+  run_sections
+    [
+      load_regions; load_categories; load_catgraph; load_people; load_open_auctions;
+      load_closed_auctions;
+    ];
+
+  let all_tables =
+    [ person; interest; watch; item; incategory; open_auction; bidder; closed_auction;
+      category; edge ]
+  in
+  List.iter R.Table.seal all_tables;
+  let cat = R.Catalog.create () in
+  List.iter (R.Catalog.register cat) all_tables;
+  (* tables are sealed, so index and B+-tree construction are pure reads
+     and fan out on the pool; registration stays here, in order *)
+  let build_all jobs =
+    match pool with
+    | Some p when Xmark_parallel.jobs p > 1 -> Xmark_parallel.map p (fun f -> f ()) jobs
+    | _ -> List.map (fun f -> f ()) jobs
+  in
+  let index_specs =
+    [
+      (person, "id"); (item, "id"); (open_auction, "id"); (bidder, "auction_idx");
+      (interest, "person_idx"); (incategory, "item_idx"); (watch, "person_idx");
+      (closed_auction, "buyer"); (closed_auction, "itemref");
+    ]
+  in
+  let numeric_btree (table, column) () =
     let tree = R.Btree.create () in
     let ci = R.Table.col_index table column in
     R.Table.iter
@@ -294,12 +320,29 @@ let load_dom root =
       table;
     (R.Table.name table, column, tree)
   in
-  {
-    cat;
-    ordered = [ numeric_btree closed_auction "price"; numeric_btree person "income" ];
-  }
+  let built =
+    build_all
+      (List.map
+         (fun (table, column) -> fun () -> `Hash (R.Index.build table column))
+         index_specs
+      @ [
+          (fun () -> `Btree (numeric_btree (closed_auction, "price") ()));
+          (fun () -> `Btree (numeric_btree (person, "income") ()));
+        ])
+  in
+  let ordered = ref [] in
+  List.iter2
+    (fun spec result ->
+      match (spec, result) with
+      | Some (table, column), `Hash idx ->
+          R.Catalog.register_index cat ~table:(R.Table.name table) ~column idx
+      | None, `Btree entry -> ordered := entry :: !ordered
+      | _ -> assert false)
+    (List.map (fun s -> Some s) index_specs @ [ None; None ])
+    built;
+  { cat; ordered = List.rev !ordered }
 
-let load_string s = load_dom (Xmark_xml.Sax.parse_string s)
+let load_string ?pool s = load_dom ?pool (Xmark_xml.Sax.parse_string s)
 
 let catalog t = t.cat
 

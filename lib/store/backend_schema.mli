@@ -20,9 +20,13 @@
 
 type t
 
-val load_dom : Xmark_xml.Dom.node -> t
+val load_dom : ?pool:Xmark_parallel.pool -> Xmark_xml.Dom.node -> t
+(** With a multi-domain [pool], the six sections of <site> load as
+    concurrent tasks (they write disjoint relations and only read the
+    DOM) and index/B+-tree builds fan out over sealed tables.  The
+    resulting store is identical to a sequential load's. *)
 
-val load_string : string -> t
+val load_string : ?pool:Xmark_parallel.pool -> string -> t
 
 val catalog : t -> Xmark_relational.Catalog.t
 

@@ -19,122 +19,360 @@ type t = {
   dir_row : int array;  (* node id -> row in its relation *)
 }
 
-let load_string s =
-  let p = Sax.of_string s in
-  let tag_tables = Hashtbl.create 97 in
-  let attr_tables = Hashtbl.create 97 in
-  let attr_names = Hashtbl.create 97 in
-  let element_tags = ref [] in
-  let text_table = R.Table.create ~name:"_text" ~cols:[ "id"; "parent"; "pos"; "value" ] in
-  let dir_tag_rev = ref [] and dir_row_rev = ref [] in
-  let counter = ref 0 in
-  let stack = ref [] in
+(* The shredder is a fold over SAX events; [builder] is its mutable
+   state.  A sequential load drives one builder over the whole stream; a
+   parallel load partitions the stream at the top-level section
+   boundaries of <site>, drives one builder per partition on the domain
+   pool (each seeded with the node-id range and root child position the
+   sequential fold would have reached at that point of the stream), and
+   concatenates the builders in document order — so the merged store is
+   structurally identical to a sequential load's. *)
+type builder = {
+  b_tag_tables : (string, R.Table.t) Hashtbl.t;
+  b_attr_tables : (string, R.Table.t) Hashtbl.t;
+  b_attr_names : (string, string list) Hashtbl.t;
+  b_text : R.Table.t;
+  mutable b_tags_rev : string list;  (* element tags, reverse first-encounter *)
+  mutable b_attrs_rev : string list;  (* "tag@key" names, reverse first-encounter *)
+  mutable b_dir_rev : (string * int) list;  (* (tag, row in its relation), reverse id order *)
+  mutable b_counter : int;  (* next node id *)
+  mutable b_stack : (int * int) list;  (* (parent id, next child pos) *)
+}
+
+let new_builder ~first_id ~stack =
+  {
+    b_tag_tables = Hashtbl.create 97;
+    b_attr_tables = Hashtbl.create 97;
+    b_attr_names = Hashtbl.create 97;
+    b_text = R.Table.create ~name:"_text" ~cols:[ "id"; "parent"; "pos"; "value" ];
+    b_tags_rev = [];
+    b_attrs_rev = [];
+    b_dir_rev = [];
+    b_counter = first_id;
+    b_stack = stack;
+  }
+
+let is_ws s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+(* Feed events into a builder until [next] returns [Eof]. *)
+let shred b next =
   let parent_and_pos () =
-    match !stack with
+    match b.b_stack with
     | [] -> (-1, 0)
     | (pid, pos) :: rest ->
-        stack := (pid, pos + 1) :: rest;
+        b.b_stack <- (pid, pos + 1) :: rest;
         (pid, pos)
   in
   let table_for tag =
-    match Hashtbl.find_opt tag_tables tag with
+    match Hashtbl.find_opt b.b_tag_tables tag with
     | Some tbl -> tbl
     | None ->
         let tbl = R.Table.create ~name:tag ~cols:[ "id"; "parent"; "pos" ] in
-        Hashtbl.replace tag_tables tag tbl;
-        element_tags := tag :: !element_tags;
+        Hashtbl.replace b.b_tag_tables tag tbl;
+        b.b_tags_rev <- tag :: b.b_tags_rev;
         tbl
   in
   let attr_table_for tag key =
     let tname = tag ^ "@" ^ key in
-    match Hashtbl.find_opt attr_tables tname with
+    match Hashtbl.find_opt b.b_attr_tables tname with
     | Some tbl -> tbl
     | None ->
         let tbl = R.Table.create ~name:tname ~cols:[ "owner"; "value" ] in
-        Hashtbl.replace attr_tables tname tbl;
-        Hashtbl.replace attr_names tag
-          (key :: Option.value ~default:[] (Hashtbl.find_opt attr_names tag));
+        Hashtbl.replace b.b_attr_tables tname tbl;
+        b.b_attrs_rev <- tname :: b.b_attrs_rev;
+        Hashtbl.replace b.b_attr_names tag
+          (key :: Option.value ~default:[] (Hashtbl.find_opt b.b_attr_names tag));
         tbl
   in
   let rec loop () =
-    match Sax.next p with
+    match next () with
     | Sax.Eof -> ()
     | Sax.Start_element (tag, alist) ->
         let pid, pos = parent_and_pos () in
-        let id = !counter in
-        incr counter;
+        let id = b.b_counter in
+        b.b_counter <- id + 1;
         let tbl = table_for tag in
-        dir_tag_rev := tag :: !dir_tag_rev;
-        dir_row_rev := R.Table.row_count tbl :: !dir_row_rev;
+        b.b_dir_rev <- (tag, R.Table.row_count tbl) :: b.b_dir_rev;
         R.Table.append tbl [| R.Value.Int id; R.Value.Int pid; R.Value.Int pos |];
         List.iter
           (fun (k, v) ->
             R.Table.append (attr_table_for tag k) [| R.Value.Int id; R.Value.Str v |])
           alist;
-        stack := (id, 0) :: !stack;
+        b.b_stack <- (id, 0) :: b.b_stack;
         loop ()
     | Sax.End_element _ ->
-        (match !stack with _ :: rest -> stack := rest | [] -> ());
+        (match b.b_stack with _ :: rest -> b.b_stack <- rest | [] -> ());
         loop ()
     | Sax.Chars s ->
-        if not (String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s) then begin
+        if not (is_ws s) then begin
           let pid, pos = parent_and_pos () in
-          let id = !counter in
-          incr counter;
-          dir_tag_rev := "" :: !dir_tag_rev;
-          dir_row_rev := R.Table.row_count text_table :: !dir_row_rev;
-          R.Table.append text_table
+          let id = b.b_counter in
+          b.b_counter <- id + 1;
+          b.b_dir_rev <- ("", R.Table.row_count b.b_text) :: b.b_dir_rev;
+          R.Table.append b.b_text
             [| R.Value.Int id; R.Value.Int pid; R.Value.Int pos; R.Value.Str s |]
         end;
         loop ()
   in
-  loop ();
+  loop ()
+
+(* Concatenate partition builders (document order) into one.  Tag and
+   attribute relations are created at global first encounter, which —
+   partitions being contiguous stream ranges walked in order — is
+   exactly the sequential first-encounter sequence, so hashtable
+   insertion (and hence iteration) order matches a sequential load's;
+   rows within a relation land in document order for the same reason. *)
+let merge_builders parts =
+  let g = new_builder ~first_id:0 ~stack:[] in
+  List.iter
+    (fun p ->
+      let copy_rows dst src = R.Table.iter (fun _ row -> R.Table.append dst row) src in
+      (* per-relation row counts before this partition's rows arrive,
+         for rebasing the partition's directory entries *)
+      let offsets = Hashtbl.create 97 in
+      let offset tag =
+        match Hashtbl.find_opt offsets tag with
+        | Some o -> o
+        | None ->
+            let o =
+              if tag = "" then R.Table.row_count g.b_text
+              else
+                match Hashtbl.find_opt g.b_tag_tables tag with
+                | Some tbl -> R.Table.row_count tbl
+                | None -> 0
+            in
+            Hashtbl.replace offsets tag o;
+            o
+      in
+      g.b_dir_rev <-
+        List.fold_left
+          (fun acc (tag, local_row) -> (tag, offset tag + local_row) :: acc)
+          g.b_dir_rev
+          (List.rev p.b_dir_rev);
+      List.iter
+        (fun tag ->
+          let src = Hashtbl.find p.b_tag_tables tag in
+          let dst =
+            match Hashtbl.find_opt g.b_tag_tables tag with
+            | Some tbl -> tbl
+            | None ->
+                let tbl = R.Table.create ~name:tag ~cols:[ "id"; "parent"; "pos" ] in
+                Hashtbl.replace g.b_tag_tables tag tbl;
+                g.b_tags_rev <- tag :: g.b_tags_rev;
+                tbl
+          in
+          copy_rows dst src)
+        (List.rev p.b_tags_rev);
+      copy_rows g.b_text p.b_text;
+      List.iter
+        (fun tname ->
+          let src = Hashtbl.find p.b_attr_tables tname in
+          let dst =
+            match Hashtbl.find_opt g.b_attr_tables tname with
+            | Some tbl -> tbl
+            | None ->
+                let tbl = R.Table.create ~name:tname ~cols:[ "owner"; "value" ] in
+                Hashtbl.replace g.b_attr_tables tname tbl;
+                g.b_attrs_rev <- tname :: g.b_attrs_rev;
+                (* first global encounter: record the attribute key
+                   under its tag, as the sequential fold would *)
+                let at = String.index tname '@' in
+                let tag = String.sub tname 0 at in
+                let key = String.sub tname (at + 1) (String.length tname - at - 1) in
+                Hashtbl.replace g.b_attr_names tag
+                  (key :: Option.value ~default:[] (Hashtbl.find_opt g.b_attr_names tag));
+                tbl
+          in
+          copy_rows dst src)
+        (List.rev p.b_attrs_rev);
+      g.b_counter <- max g.b_counter p.b_counter)
+    parts;
+  g
+
+(* Index construction and catalog registration over a finished builder.
+   With a pool, the per-relation index builds fan out — every table is
+   sealed first, so concurrent builds are pure reads — while
+   registration stays on the calling domain in the sequential order. *)
+let finalize ?pool b =
+  let element_tags = List.rev b.b_tags_rev in
   let cat = R.Catalog.create () in
-  let element_tags = List.rev !element_tags in
-  List.iter (fun tag -> R.Catalog.register cat (Hashtbl.find tag_tables tag)) element_tags;
-  R.Catalog.register cat text_table;
-  Hashtbl.iter (fun _ tbl -> R.Catalog.register cat tbl) attr_tables;
+  List.iter (fun tag -> R.Catalog.register cat (Hashtbl.find b.b_tag_tables tag)) element_tags;
+  R.Catalog.register cat b.b_text;
+  Hashtbl.iter (fun _ tbl -> R.Catalog.register cat tbl) b.b_attr_tables;
+  List.iter (fun tag -> R.Table.seal (Hashtbl.find b.b_tag_tables tag)) element_tags;
+  R.Table.seal b.b_text;
+  Hashtbl.iter (fun _ tbl -> R.Table.seal tbl) b.b_attr_tables;
+  let build_all jobs =
+    match pool with
+    | Some p -> Xmark_parallel.map p (fun f -> f ()) jobs
+    | None -> List.map (fun f -> f ()) jobs
+  in
+  let child_idx =
+    build_all
+      (List.map
+         (fun tag -> fun () -> (tag, R.Index.build (Hashtbl.find b.b_tag_tables tag) "parent"))
+         element_tags)
+  in
   let child_indexes = Hashtbl.create 97 in
   List.iter
-    (fun tag ->
-      let idx = R.Index.build (Hashtbl.find tag_tables tag) "parent" in
+    (fun (tag, idx) ->
       Hashtbl.replace child_indexes tag idx;
       R.Catalog.register_index cat ~table:tag ~column:"parent" idx)
-    element_tags;
-  let text_child_index = R.Index.build text_table "parent" in
+    child_idx;
+  let text_child_index = R.Index.build b.b_text "parent" in
   R.Catalog.register_index cat ~table:"_text" ~column:"parent" text_child_index;
+  let is_id_table tname =
+    String.length tname > 3 && String.sub tname (String.length tname - 3) 3 = "@id"
+  in
+  let attr_jobs =
+    (* reversed fold restores [Hashtbl.iter] order, keeping registration
+       order identical to the historical sequential loop *)
+    List.rev
+      (Hashtbl.fold
+         (fun tname tbl acc ->
+           (fun () ->
+             let owner = R.Index.build tbl "owner" in
+             let value = if is_id_table tname then Some (R.Index.build tbl "value") else None in
+             (tname, owner, value))
+           :: acc)
+         b.b_attr_tables [])
+  in
+  let attr_idx = build_all attr_jobs in
   let attr_owner_indexes = Hashtbl.create 97 in
   let id_indexes = Hashtbl.create 8 in
   let id_tables = ref [] in
-  Hashtbl.iter
-    (fun tname tbl ->
-      let idx = R.Index.build tbl "owner" in
-      Hashtbl.replace attr_owner_indexes tname idx;
-      R.Catalog.register_index cat ~table:tname ~column:"owner" idx;
-      if String.length tname > 3 && String.sub tname (String.length tname - 3) 3 = "@id" then begin
-        let vidx = R.Index.build tbl "value" in
-        Hashtbl.replace id_indexes tname vidx;
-        id_tables := tname :: !id_tables;
-        R.Catalog.register_index cat ~table:tname ~column:"value" vidx
-      end)
-    attr_tables;
+  List.iter
+    (fun (tname, owner, value) ->
+      Hashtbl.replace attr_owner_indexes tname owner;
+      R.Catalog.register_index cat ~table:tname ~column:"owner" owner;
+      match value with
+      | None -> ()
+      | Some vidx ->
+          Hashtbl.replace id_indexes tname vidx;
+          id_tables := tname :: !id_tables;
+          R.Catalog.register_index cat ~table:tname ~column:"value" vidx)
+    attr_idx;
+  let dir = Array.of_list (List.rev b.b_dir_rev) in
   {
     cat;
     element_tags;
-    tag_tables;
-    text_table;
+    tag_tables = b.b_tag_tables;
+    text_table = b.b_text;
     child_indexes;
     text_child_index;
-    attr_tables;
-    attr_names;
+    attr_tables = b.b_attr_tables;
+    attr_names = b.b_attr_names;
     attr_owner_indexes;
     id_tables = !id_tables;
     id_indexes;
-    dir_tag = Array.of_list (List.rev !dir_tag_rev);
-    dir_row = Array.of_list (List.rev !dir_row_rev);
+    dir_tag = Array.map fst dir;
+    dir_row = Array.map snd dir;
   }
 
-let load_dom root = load_string (Xmark_xml.Serialize.to_string root)
+let load_sequential s =
+  let p = Sax.of_string s in
+  let b = new_builder ~first_id:0 ~stack:[] in
+  shred b (fun () -> Sax.next p);
+  finalize b
+
+(* Partition the event stream at the boundaries of the root's child
+   subtrees (<site>'s six sections).  Returns the root's start tag and
+   attributes plus one event list per section with the number of node
+   ids its subtree consumes; [None] when the document has non-whitespace
+   text directly under the root (never the case for benchmark documents)
+   or is otherwise malformed, in which case the caller falls back to the
+   sequential path. *)
+let segment_events p =
+  let root = ref None in
+  let segments = ref [] in
+  let current = ref [] and current_ids = ref 0 in
+  let depth = ref 0 in
+  let exception Unpartitionable in
+  let close_segment () =
+    segments := (List.rev !current, !current_ids) :: !segments;
+    current := [];
+    current_ids := 0
+  in
+  try
+    let rec loop () =
+      match Sax.next p with
+      | Sax.Eof -> ()
+      | Sax.Start_element _ as e ->
+          (match !depth with
+          | 0 -> root := Some e
+          | _ ->
+              current := e :: !current;
+              Stdlib.incr current_ids);
+          Stdlib.incr depth;
+          loop ()
+      | Sax.End_element _ as e ->
+          Stdlib.decr depth;
+          (match !depth with
+          | 0 -> ()
+          | 1 ->
+              current := e :: !current;
+              close_segment ()
+          | _ -> current := e :: !current);
+          loop ()
+      | Sax.Chars s as e ->
+          (if !depth >= 2 then begin
+             current := e :: !current;
+             if not (is_ws s) then Stdlib.incr current_ids
+           end
+           else if not (is_ws s) then raise Unpartitionable);
+          loop ()
+    in
+    loop ();
+    match !root with
+    | Some (Sax.Start_element (tag, attrs)) when !current = [] ->
+        Some ((tag, attrs), List.rev !segments)
+    | _ -> None
+  with Unpartitionable -> None
+
+let load_parallel pool s =
+  match segment_events (Sax.of_string s) with
+  | None -> load_sequential s
+  | Some ((root_tag, root_attrs), segments) ->
+      (* the root consumes node id 0; section k starts where section
+         k-1's subtree stopped, as child number k of the root *)
+      let seeded =
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (first_id, acc) (events, ids) ->
+                  (first_id + ids, (first_id, events) :: acc))
+                (1, []) segments))
+      in
+      let parts =
+        Xmark_parallel.map pool
+          (fun (k, (first_id, events)) ->
+            let b = new_builder ~first_id ~stack:[ (0, k) ] in
+            let remaining = ref events in
+            shred b (fun () ->
+                match !remaining with
+                | [] -> Sax.Eof
+                | e :: rest ->
+                    remaining := rest;
+                    e);
+            b)
+          (List.mapi (fun k seg -> (k, seg)) seeded)
+      in
+      let root_b = new_builder ~first_id:0 ~stack:[] in
+      let fed = ref false in
+      shred root_b (fun () ->
+          if !fed then Sax.Eof
+          else begin
+            fed := true;
+            Sax.Start_element (root_tag, root_attrs)
+          end);
+      finalize ~pool (merge_builders (root_b :: parts))
+
+let load_string ?pool s =
+  match pool with
+  | Some p when Xmark_parallel.jobs p > 1 -> load_parallel p s
+  | _ -> load_sequential s
+
+let load_dom ?pool root = load_string ?pool (Xmark_xml.Serialize.to_string root)
 
 let catalog t = t.cat
 

@@ -12,9 +12,17 @@
 
 include Xmark_xquery.Store_sig.S with type node = int
 
-val load_string : string -> t
+val load_string : ?pool:Xmark_parallel.pool -> string -> t
+(** With a multi-domain [pool], the SAX event stream is partitioned at
+    the top-level section boundaries of the root element and each
+    partition is shredded on its own domain before a deterministic
+    document-order merge; index builds also fan out.  The resulting
+    store is structurally identical to a sequential load's (same node
+    ids, relation contents, registration orders).  Documents with
+    non-whitespace text directly under the root fall back to the
+    sequential path. *)
 
-val load_dom : Xmark_xml.Dom.node -> t
+val load_dom : ?pool:Xmark_parallel.pool -> Xmark_xml.Dom.node -> t
 
 val catalog : t -> Xmark_relational.Catalog.t
 

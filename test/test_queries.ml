@@ -16,7 +16,9 @@ let dom = lazy (Xmark_xml.Sax.parse_string (Lazy.force doc))
 
 let stores =
   lazy
-    (List.map (fun sys -> (sys, fst (Runner.bulkload sys (Lazy.force doc)))) Runner.all_systems)
+    (List.map
+       (fun sys -> (sys, (Runner.load ~source:(`Text (Lazy.force doc)) sys).Runner.store))
+       Runner.all_systems)
 
 let store sys = List.assq sys (Lazy.force stores)
 
@@ -213,9 +215,13 @@ let test_system_g_reparses () =
   Alcotest.(check string) "G = D on Q1" (canonical Runner.D 1) (canonical Runner.G 1)
 
 let test_run_text_rejected_on_c () =
-  match Runner.run_text (store Runner.C) "1 + 1" with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "System C should reject ad-hoc query texts"
+  (match Runner.run_text (store Runner.C) "1 + 1" with
+  | exception Runner.Unsupported _ -> ()
+  | _ -> Alcotest.fail "System C should reject ad-hoc query texts");
+  match Runner.try_run_text (store Runner.C) "1 + 1" with
+  | Error (`Unsupported msg) ->
+      Alcotest.(check bool) "message names the limitation" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "try_run_text should report Unsupported on System C"
 
 let test_run_text_adhoc () =
   let o = Runner.run_text (store Runner.D) "count(//person)" in
@@ -227,7 +233,9 @@ let test_second_seed_agreement () =
   (* determinism aside, agreement must hold for any generated instance *)
   let doc2 = Xmark_xmlgen.Generator.to_string ~seed:99L ~factor:0.002 () in
   let stores =
-    List.map (fun sys -> fst (Runner.bulkload sys doc2)) [ Runner.A; Runner.C; Runner.D; Runner.G ]
+    List.map
+      (fun sys -> (Runner.load ~source:(`Text doc2) sys).Runner.store)
+      [ Runner.A; Runner.C; Runner.D; Runner.G ]
   in
   List.iter
     (fun q ->
@@ -242,7 +250,7 @@ let test_bulkload_dom_equivalent () =
   let d = Xmark_xml.Sax.parse_string (Lazy.force doc) in
   List.iter
     (fun sys ->
-      let via_dom, _ = Runner.bulkload_dom sys d in
+      let via_dom = (Runner.load ~source:(`Dom d) sys).Runner.store in
       Alcotest.(check string)
         (Runner.system_name sys ^ " dom = text")
         (canonical sys 2)

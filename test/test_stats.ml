@@ -113,7 +113,7 @@ let test_json_stable_schema () =
 (* --- behavioral: the engine records what the architecture predicts -------- *)
 
 let test_run_stats_deterministic_per_run () =
-  let store, _ = Runner.bulkload Runner.D (Lazy.force doc) in
+  let store = (Runner.load ~source:(`Text (Lazy.force doc)) Runner.D).Runner.store in
   Stats.enable ();
   let o1 = Runner.run store 1 in
   let o2 = Runner.run store 1 in
@@ -147,8 +147,8 @@ let test_tag_array_cache_hits_on_second_run () =
 let test_system_g_pays_parse_every_execution () =
   (* Figure 4's point: G has no database, so sax_events appear inside
      every execution; D parsed once at bulkload and never again *)
-  let gstore, _ = Runner.bulkload Runner.G (Lazy.force doc) in
-  let dstore, _ = Runner.bulkload Runner.D (Lazy.force doc) in
+  let gstore = (Runner.load ~source:(`Text (Lazy.force doc)) Runner.G).Runner.store in
+  let dstore = (Runner.load ~source:(`Text (Lazy.force doc)) Runner.D).Runner.store in
   Stats.enable ();
   let g1 = Runner.run gstore 1 in
   let g2 = Runner.run gstore 1 in
@@ -162,7 +162,7 @@ let test_system_g_pays_parse_every_execution () =
 
 let test_bulkload_scope_attribution () =
   Stats.enable ();
-  let _ = Runner.bulkload Runner.D (Lazy.force doc) in
+  let _ = Runner.load ~source:(`Text (Lazy.force doc)) Runner.D in
   Alcotest.(check bool) "bulkload parse attributed to the bulkload scope" true
     (Stats.get ~scope:"bulkload" "sax_events" > 0)
 

@@ -13,7 +13,7 @@ let doc = lazy (Xmark_xmlgen.Generator.to_string ~factor ())
 let stores =
   lazy
     (List.map
-       (fun sys -> (sys, fst (Runner.bulkload sys (Lazy.force doc))))
+       (fun sys -> (sys, (Runner.load ~source:(`Text (Lazy.force doc)) sys).Runner.store))
        Runner.all_systems)
 
 let arb_case =

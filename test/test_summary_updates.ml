@@ -196,7 +196,9 @@ let test_updated_document_still_agrees_across_backends () =
   Updates.close_auction s ~auction ~date:"02/07/2026";
   let mutated = Xmark_xml.Serialize.to_string (MM.dom_root (Updates.store s)) in
   let stores =
-    List.map (fun sys -> fst (Xmark_core.Runner.bulkload sys mutated)) Xmark_core.Runner.all_systems
+    List.map
+      (fun sys -> (Xmark_core.Runner.load ~source:(`Text mutated) sys).Xmark_core.Runner.store)
+      Xmark_core.Runner.all_systems
   in
   List.iter
     (fun q ->
