@@ -1,10 +1,11 @@
 (* xquery_run — execute XQuery against an XMark document.
 
-   The document comes from a file or is generated on the fly; the query is
-   a literal expression, a file, or one of the twenty benchmark queries by
-   number.  The backend flag selects the storage architecture (Systems A-G
-   of the paper), so the same query can be timed across physical
-   mappings. *)
+   The document comes from a file, is generated on the fly, or is
+   restored from a saved snapshot (--snapshot; --save-snapshot writes
+   one); the query is a literal expression, a file, or one of the twenty
+   benchmark queries by number.  The backend flag selects the storage
+   architecture (Systems A-G of the paper), so the same query can be
+   timed across physical mappings. *)
 
 open Cmdliner
 module Cli = Xmark_core.Cli
@@ -30,19 +31,22 @@ let print_summary doc =
   Format.printf "%a@?" Xmark_store.Summary.pp
     (Xmark_store.Summary.build (MM.dom_root store))
 
-let run doc_file factor system query query_file query_number show_timing canonical_out warn summary
-    explain jobs =
+let run doc_file snapshot save_snapshot factor system query query_file query_number show_timing
+    canonical_out warn summary explain jobs =
   if explain then Xmark_core.Stats.enable ();
   let pool = Cli.install_jobs jobs in
   let source, doc =
-    match doc_file with
-    | Some path ->
-        let doc = read_file path in
-        (`Text doc, doc)
-    | None ->
-        Printf.eprintf "(generating document at factor %g)\n%!" factor;
-        let doc = Xmark_xmlgen.Generator.to_string ~factor () in
-        (`Text doc, doc)
+    match snapshot with
+    | Some path -> (`Snapshot path, None)
+    | None -> (
+        match doc_file with
+        | Some path ->
+            let doc = read_file path in
+            (`Text doc, Some doc)
+        | None ->
+            Printf.eprintf "(generating document at factor %g)\n%!" factor;
+            let doc = Xmark_xmlgen.Generator.to_string ~factor () in
+            (`Text doc, Some doc))
   in
   let session = Xmark_core.Runner.load ?pool ~source system in
   let store = session.Xmark_core.Runner.store in
@@ -50,6 +54,14 @@ let run doc_file factor system query query_file query_number show_timing canonic
   if show_timing then
     Printf.eprintf "bulkload: %.1f ms, %d bytes\n%!"
       stats.Xmark_core.Runner.load.Xmark_core.Timing.wall_ms stats.Xmark_core.Runner.db_bytes;
+  (match save_snapshot with
+  | None -> ()
+  | Some out ->
+      let (), span =
+        Xmark_core.Timing.measure (fun () ->
+            Xmark_core.Runner.save_snapshot ?pool session out)
+      in
+      Printf.eprintf "wrote snapshot %s in %.1f ms\n%!" out span.Xmark_core.Timing.wall_ms);
   let qtext_for_warning =
     match (query_number, query, query_file) with
     | Some n, _, _ -> Some (Xmark_core.Queries.text n)
@@ -57,10 +69,19 @@ let run doc_file factor system query query_file query_number show_timing canonic
     | None, None, Some f -> Some (read_file f)
     | None, None, None -> None
   in
-  if warn then Option.iter (warn_paths doc) qtext_for_warning;
+  (* path warnings and the structural summary both need the document
+     text; a snapshot-restored session does not keep it around *)
+  if warn then begin
+    match doc with
+    | Some d -> Option.iter (warn_paths d) qtext_for_warning
+    | None -> prerr_endline "--warn-paths needs a document source; skipped under --snapshot"
+  end;
   if summary then begin
-    print_summary doc;
-    if qtext_for_warning = None then exit 0
+    match doc with
+    | Some d ->
+        print_summary d;
+        if qtext_for_warning = None then exit 0
+    | None -> prerr_endline "--summary needs a document source; skipped under --snapshot"
   end;
   let outcome =
     match (query_number, query, query_file) with
@@ -68,6 +89,7 @@ let run doc_file factor system query query_file query_number show_timing canonic
     | None, Some q, _ -> Xmark_core.Runner.run_text store q
     | None, None, Some f -> Xmark_core.Runner.run_text store (read_file f)
     | None, None, None ->
+        if save_snapshot <> None then exit 0;
         prerr_endline "no query given (use -q, --query-file or --benchmark N, or --summary alone)";
         exit 2
   in
@@ -83,13 +105,16 @@ let run doc_file factor system query query_file query_number show_timing canonic
   if explain then Format.eprintf "%a@?" Xmark_core.Stats.pp ();
   0
 
-let run_safe a b c d e f g h i j k l =
-  try run a b c d e f g h i j k l with
+let run_safe a b c d e f g h i j k l m n =
+  try run a b c d e f g h i j k l m n with
   | Xmark_xquery.Parser.Error _ as ex ->
       Printf.eprintf "%s\n" (Xmark_xquery.Parser.describe_error "" ex);
       1
   | Xmark_core.Runner.Unsupported m ->
       Printf.eprintf "unsupported: %s\n" m;
+      1
+  | Xmark_persist.Corrupt m ->
+      Printf.eprintf "snapshot error: %s\n" m;
       1
   | Invalid_argument m | Failure m ->
       Printf.eprintf "error: %s\n" m;
@@ -126,7 +151,7 @@ let cmd =
   let doc = "run XQuery against an XMark document on a chosen storage backend" in
   Cmd.v (Cmd.info "xquery_run" ~version:"1.0" ~doc)
     Term.(
-      const run_safe $ Cli.doc_file
+      const run_safe $ Cli.doc_file $ Cli.snapshot $ Cli.save_snapshot
       $ Cli.factor ~default:0.005 ()
       $ Cli.system ~default:Xmark_core.Runner.D ()
       $ query_arg $ query_file_arg $ number_arg $ timing_arg $ canonical_arg $ warn_arg

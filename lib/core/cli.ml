@@ -114,6 +114,24 @@ let doc_file =
     & opt (some file) None
     & info [ "doc" ] ~docv:"FILE" ~doc:"Benchmark document file.")
 
+let snapshot =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:
+          "Load the session from a saved snapshot instead of parsing a document \
+           (see $(b,--save-snapshot)); restores skip parsing and shredding.")
+
+let save_snapshot =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-snapshot" ] ~docv:"FILE"
+        ~doc:
+          "After loading, write the session's store to $(docv) as a checksummed \
+           paged snapshot for later $(b,--snapshot) restores.")
+
 let system ?(default = Runner.D) () =
   Arg.(
     value

@@ -3,7 +3,8 @@
     Every binary (xmlgen, xquery_run, xmark_bench, xmark_verify) takes
     its common flags from here so they are spelled — and documented —
     identically: [--factor]/[--scale], [--seed], [--jobs], [--stats-json],
-    [--explain], [--doc], [--system]/[--systems], [--queries]. *)
+    [--explain], [--doc], [--snapshot]/[--save-snapshot],
+    [--system]/[--systems], [--queries]. *)
 
 val read_file : string -> string
 
@@ -38,6 +39,12 @@ val explain : bool Cmdliner.Term.t
 
 val doc_file : string option Cmdliner.Term.t
 (** [--doc FILE]. *)
+
+val snapshot : string option Cmdliner.Term.t
+(** [--snapshot FILE]; restore the session from a saved snapshot. *)
+
+val save_snapshot : string option Cmdliner.Term.t
+(** [--save-snapshot FILE]; write the loaded session's store to disk. *)
 
 val system : ?default:Runner.system -> unit -> Runner.system Cmdliner.Term.t
 (** [-s] / [--system], a single backend. *)

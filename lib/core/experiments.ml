@@ -490,21 +490,27 @@ type stats_cell = {
   sc_system : Runner.system;
   sc_query : int;
   sc_items : int;
+  sc_load_ms : float;
   sc_compile_ms : float;
   sc_execute_ms : float;
   sc_counters : (string * int) list;
+  sc_load_counters : (string * int) list;
   sc_canonical : string;
 }
 
 (* Run the full (system, query) matrix, one freshly loaded store per
    cell so cells are independent of execution order, optionally fanning
-   cells out over a domain pool.  Cells come back in (system, query)
-   order together with the merged counter totals for the whole matrix
-   (loads included); results, per-cell counters and totals are identical
-   for any pool size — only the wall-clock timings differ. *)
-let matrix ?(factor = default_factor) ?pool ?(systems = Runner.all_systems)
+   cells out over a domain pool.  The source defaults to a generated
+   document at [factor]; passing [`Snapshot path] benchmarks restored
+   sessions instead.  Cells come back in (system, query) order together
+   with the merged counter totals for the whole matrix (loads included);
+   results, per-cell counters and totals are identical for any pool
+   size — only the wall-clock timings differ. *)
+let matrix ?(factor = default_factor) ?source ?pool ?(systems = Runner.all_systems)
     ?(queries = List.init 20 (fun i -> i + 1)) () =
-  let doc = document factor in
+  let src =
+    match source with Some s -> s | None -> `Text (document factor)
+  in
   let was = Stats.enabled () in
   Stats.enable ();
   Fun.protect
@@ -515,15 +521,19 @@ let matrix ?(factor = default_factor) ?pool ?(systems = Runner.all_systems)
         List.concat_map (fun sys -> List.map (fun q -> (sys, q)) queries) systems
       in
       let run_cell (sys, q) =
-        let session = Runner.load ~source:(`Text doc) sys in
+        let lsnap = Stats.snapshot () in
+        let session = Runner.load ~source:src sys in
+        let load_counters = Stats.since lsnap in
         let o = Runner.run_session session q in
         {
           sc_system = sys;
           sc_query = q;
           sc_items = o.Runner.items;
+          sc_load_ms = session.Runner.load_stats.Runner.load.Timing.wall_ms;
           sc_compile_ms = o.Runner.compile.Timing.wall_ms;
           sc_execute_ms = o.Runner.execute.Timing.wall_ms;
           sc_counters = o.Runner.run_stats;
+          sc_load_counters = load_counters;
           sc_canonical = Runner.canonical o;
         }
       in
@@ -534,8 +544,8 @@ let matrix ?(factor = default_factor) ?pool ?(systems = Runner.all_systems)
       in
       (results, Stats.since snap))
 
-let stats_matrix ?factor ?pool ?systems ?queries () =
-  fst (matrix ?factor ?pool ?systems ?queries ())
+let stats_matrix ?factor ?source ?pool ?systems ?queries () =
+  fst (matrix ?factor ?source ?pool ?systems ?queries ())
 
 (* GC and timer counters measure the environment (collector scheduling,
    wall clocks), not the computation, so they are the one part of a
@@ -545,7 +555,22 @@ let environmental (name, _) =
   (String.length name >= 3 && String.sub name 0 3 = "gc_")
   || (String.length name >= 3 && String.sub name (String.length name - 3) 3 = "_us")
 
-let matrix_digest ~factor (cells, totals) =
+let merge_counters lists =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (k, v) ->
+         Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k))))
+    lists;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* The totals line sums the per-cell run counters rather than using the
+   matrix-wide merge, which also covers bulkload: load-phase counters
+   (sax_events for a parse, pager_* for a restore) depend on where the
+   document came from, and the digest's contract is that the same cells
+   render the same bytes whether the sessions were parsed or restored
+   from a snapshot. *)
+let matrix_digest ~factor (cells, _totals) =
   let buf = Buffer.create 4096 in
   Printf.bprintf buf "matrix factor=%g cells=%d\n" factor (List.length cells);
   let pp_counters cs =
@@ -561,7 +586,8 @@ let matrix_digest ~factor (cells, totals) =
         (Digest.to_hex (Digest.string c.sc_canonical))
         (pp_counters c.sc_counters))
     cells;
-  Printf.bprintf buf "totals %s\n" (pp_counters totals);
+  Printf.bprintf buf "totals %s\n"
+    (pp_counters (merge_counters (List.map (fun c -> c.sc_counters) cells)));
   Buffer.contents buf
 
 let stats_json ~factor cells =
@@ -578,9 +604,10 @@ let stats_json ~factor cells =
     in
     let cell_obj c =
       Printf.sprintf
-        "{\"query\": %d, \"items\": %d, \"compile_ms\": %.3f, \"execute_ms\": %.3f, \"counters\": %s}"
-        c.sc_query c.sc_items c.sc_compile_ms c.sc_execute_ms
+        "{\"query\": %d, \"items\": %d, \"load_ms\": %.3f, \"compile_ms\": %.3f, \"execute_ms\": %.3f, \"counters\": %s, \"load\": %s}"
+        c.sc_query c.sc_items c.sc_load_ms c.sc_compile_ms c.sc_execute_ms
         (Stats.json_of_counters c.sc_counters)
+        (Stats.json_of_counters c.sc_load_counters)
     in
     Printf.sprintf "{\"system\": \"%s\", \"description\": \"%s\", \"queries\": [%s]}"
       letter

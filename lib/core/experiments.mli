@@ -113,14 +113,19 @@ type stats_cell = {
   sc_system : Runner.system;
   sc_query : int;
   sc_items : int;
+  sc_load_ms : float;  (** bulkload (or snapshot restore) wall time *)
   sc_compile_ms : float;
   sc_execute_ms : float;
   sc_counters : (string * int) list;  (** per-run {!Stats} counter deltas *)
+  sc_load_counters : (string * int) list;
+      (** counter deltas of this cell's load phase — [sax_events] for a
+          parse, [pager_*]/[snapshot_bytes] for a restore *)
   sc_canonical : string;  (** canonical result, for cross-run comparison *)
 }
 
 val matrix :
   ?factor:float ->
+  ?source:Runner.source ->
   ?pool:Xmark_parallel.pool ->
   ?systems:Runner.system list ->
   ?queries:int list ->
@@ -128,22 +133,26 @@ val matrix :
   stats_cell list * (string * int) list
 (** Run every (system, query) cell with {!Stats} enabled, each cell on a
     freshly loaded store so cells are independent of execution order.
-    With a multi-domain [pool] the cells fan out over its domains.
-    Returns the cells in (system, query) order plus the merged counter
-    totals of the whole matrix (bulkloads included).  Everything except
-    wall-clock timings and GC counters is byte-identical for any pool
-    size — {!matrix_digest} is that determinism contract made
-    checkable.  The previous enabled/disabled state of {!Stats} is
-    restored on return. *)
+    [source] defaults to a generated document at [factor]; pass
+    [`Snapshot path] to benchmark restored sessions instead.  With a
+    multi-domain [pool] the cells fan out over its domains.  Returns the
+    cells in (system, query) order plus the merged counter totals of the
+    whole matrix (bulkloads included).  Everything except wall-clock
+    timings and GC counters is byte-identical for any pool size —
+    {!matrix_digest} is that determinism contract made checkable.  The
+    previous enabled/disabled state of {!Stats} is restored on
+    return. *)
 
 val matrix_digest : factor:float -> stats_cell list * (string * int) list -> string
 (** Deterministic text form of a {!matrix} result: per-cell result
-    digests, item counts and counters, plus merged totals — excluding
-    timings and environmental (GC, timer) counters, so sequential and
-    parallel runs of the same matrix render byte-identical digests. *)
+    digests, item counts and counters, plus merged run-phase totals —
+    excluding timings, environmental (GC, timer) counters, and
+    load-phase counters, so sequential/parallel and parsed/restored
+    runs of the same matrix render byte-identical digests. *)
 
 val stats_matrix :
   ?factor:float ->
+  ?source:Runner.source ->
   ?pool:Xmark_parallel.pool ->
   ?systems:Runner.system list ->
   ?queries:int list ->
@@ -155,7 +164,10 @@ val stats_matrix :
 
 val stats_json : factor:float -> stats_cell list -> string
 (** Render a matrix as JSON: per-system, per-query counter objects with
-    a stable key set ({!Stats.counter_inventory}). *)
+    a stable key set ({!Stats.counter_inventory}), each cell carrying
+    both its run counters ("counters") and its load-phase counters and
+    time ("load", "load_ms") — which is where a snapshot restore's
+    pager hit/miss behaviour shows up. *)
 
 (* --- CSV export ---------------------------------------------------------------- *)
 

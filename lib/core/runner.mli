@@ -25,9 +25,15 @@ type load_stats = {
   nodes : int;
 }
 
-type source = [ `File of string | `Text of string | `Dom of Xmark_xml.Dom.node ]
+type source =
+  [ `File of string
+  | `Text of string
+  | `Dom of Xmark_xml.Dom.node
+  | `Snapshot of string ]
 (** Where a benchmark document comes from: a file on disk, its serialized
-    contents, or an already-parsed DOM. *)
+    contents, an already-parsed DOM, or a saved session snapshot (see
+    {!save_snapshot}) — restoring skips parsing and shredding
+    entirely. *)
 
 type session = {
   system : system;
@@ -40,21 +46,26 @@ val load : ?pool:Xmark_parallel.pool -> source:source -> system -> session
 (** [load ~source sys] bulkloads [sys] from [source].  Backends that
     can't start from the given form convert first (System G always keeps
     the serialized document; relational systems parse a [`File]/[`Text]
-    source).  With a multi-domain [pool], Systems B and C bulkload in
-    parallel (see {!Xmark_store.Backend_shredded.load_string} and
-    {!Xmark_store.Backend_schema.load_dom}); the resulting store is
-    identical to a sequential load's. *)
+    source).  A [`Snapshot] source restores a saved session through the
+    {!Xmark_persist} pager: relational images go straight to
+    {!Xmark_store.Backend_shredded.of_image} /
+    {!Xmark_store.Backend_schema.of_tables} and DOM/text payloads resume
+    at the matching load stage — the restored session is structurally
+    identical to one loaded from the original document, and
+    [load_stats.load] covers read + rebuild.  With a multi-domain
+    [pool], Systems B and C bulkload in parallel and snapshot sections
+    decode in parallel; the resulting store is identical to a sequential
+    load's.
+    @raise Xmark_persist.Corrupt on a damaged or truncated snapshot.
+    @raise Unsupported when a relational snapshot targets the wrong
+    system. *)
 
-val bulkload : system -> string -> store * load_stats
-  [@@ocaml.deprecated "use Runner.load ~source:(`Text doc)"]
-(** [bulkload sys doc] loads a serialized benchmark document.
-    @deprecated use {!load}. *)
-
-val bulkload_dom : system -> Xmark_xml.Dom.node -> store * load_stats
-  [@@ocaml.deprecated "use Runner.load ~source:(`Dom dom)"]
-(** Variant that starts from a parsed document where the backend allows;
-    System G always keeps the serialized form.
-    @deprecated use {!load}. *)
+val save_snapshot : ?pool:Xmark_parallel.pool -> session -> string -> unit
+(** [save_snapshot session path] writes the session's store to a
+    checksummed paged snapshot file: the relational image for Systems B
+    and C, the DOM for A and D-F, the serialized document for G.  With a
+    multi-domain [pool], sections encode in parallel; the file bytes are
+    identical at any pool size. *)
 
 type outcome = {
   compile : Timing.span;
@@ -69,8 +80,9 @@ type outcome = {
 }
 
 exception Unsupported of string
-(** A store was asked for an execution mode it does not implement (for
-    now: ad-hoc query text on System C). *)
+(** A store was asked for an execution mode it does not implement
+    (ad-hoc query text on System C, or a relational snapshot loaded
+    into the wrong system). *)
 
 val run : store -> int -> outcome
 (** [run store q] executes benchmark query [q] (1-20).

@@ -1,0 +1,63 @@
+(* Reflected CRC-32, slicing-by-eight: eight derived 256-entry tables
+   let the hot loop consume eight input bytes per iteration instead of
+   one, which matters because every snapshot byte is checksummed twice
+   (page trailer + section digest).  OCaml ints are 63-bit here, so the
+   32-bit arithmetic needs no masking: entries stay below 2^32 and
+   [lsr] only shrinks them. *)
+
+let table =
+  lazy
+    begin
+      (* one flat array; slice k lives at indexes [k*256, k*256+255] *)
+      let t = Array.make (8 * 256) 0 in
+      for n = 0 to 255 do
+        let c = ref n in
+        for _ = 0 to 7 do
+          c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+        done;
+        t.(n) <- !c
+      done;
+      (* tk[n] advances the crc one more zero byte than t(k-1)[n] *)
+      for k = 1 to 7 do
+        for n = 0 to 255 do
+          let p = t.(((k - 1) * 256) + n) in
+          t.((k * 256) + n) <- t.(p land 0xff) lxor (p lsr 8)
+        done
+      done;
+      t
+    end
+
+let update crc s off len =
+  if off < 0 || len < 0 || off + len > String.length s then invalid_arg "Crc32.update";
+  let t = Lazy.force table in
+  (* zlib convention: the exposed value is pre/post-conditioned with
+     0xffffffff, which is what makes chained updates concatenate *)
+  let c = ref (crc lxor 0xffffffff) in
+  let i = ref off in
+  let stop = off + len in
+  while stop - !i >= 8 do
+    let w1 = !c lxor (Int32.to_int (String.get_int32_le s !i) land 0xffffffff) in
+    let w2 = Int32.to_int (String.get_int32_le s (!i + 4)) land 0xffffffff in
+    (* every index is masked to [0,255], so unsafe_get is in range *)
+    c :=
+      Array.unsafe_get t (0x700 lor (w1 land 0xff))
+      lxor Array.unsafe_get t (0x600 lor ((w1 lsr 8) land 0xff))
+      lxor Array.unsafe_get t (0x500 lor ((w1 lsr 16) land 0xff))
+      lxor Array.unsafe_get t (0x400 lor (w1 lsr 24))
+      lxor Array.unsafe_get t (0x300 lor (w2 land 0xff))
+      lxor Array.unsafe_get t (0x200 lor ((w2 lsr 8) land 0xff))
+      lxor Array.unsafe_get t (0x100 lor ((w2 lsr 16) land 0xff))
+      lxor Array.unsafe_get t (w2 lsr 24);
+    i := !i + 8
+  done;
+  while !i < stop do
+    c :=
+      Array.unsafe_get t ((!c lxor Char.code (String.unsafe_get s !i)) land 0xff)
+      lxor (!c lsr 8);
+    incr i
+  done;
+  !c lxor 0xffffffff
+
+let digest_sub s off len = update 0 s off len
+
+let digest s = digest_sub s 0 (String.length s)

@@ -1,0 +1,16 @@
+(** CRC-32 (the IEEE 802.3 / zlib polynomial 0xEDB88320), table-driven.
+
+    Guards the snapshot file format: the header, every page trailer and
+    every section carries a checksum so corruption is detected at read
+    time rather than surfacing as wrong query results.  The check value
+    of the reference vector ["123456789"] is [0xCBF43926]. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s off len] extends a running checksum over a substring,
+    zlib-style: [update (update 0 a 0 la) b 0 lb] equals the digest of
+    [a ^ b].  [0] is the initial value.
+    @raise Invalid_argument on an out-of-bounds range. *)
+
+val digest : string -> int
+
+val digest_sub : string -> int -> int -> int

@@ -1,0 +1,44 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let page_size = 4096
+
+let trailer_size = 8
+
+let payload_size = page_size - trailer_size
+
+let magic = "XMSNAP1\n"
+
+let format_version = 1
+
+let endian_marker = 0x11223344
+
+let pages_for len = (len + payload_size - 1) / payload_size
+
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+
+(* CRC over the payload area plus the page number: detects both flipped
+   bits and pages transposed to the wrong slot. *)
+let trailer_crc b off page =
+  let c = Crc32.update 0 (Bytes.unsafe_to_string b) off payload_size in
+  let pn = Bytes.create 4 in
+  set_u32 pn 0 page;
+  Crc32.update c (Bytes.unsafe_to_string pn) 0 4
+
+let seal b ~off ~page =
+  if off < 0 || off + page_size > Bytes.length b then invalid_arg "Page_io.seal";
+  set_u32 b (off + payload_size) (trailer_crc b off page);
+  set_u32 b (off + payload_size + 4) page
+
+let verify b ~off ~page =
+  if off < 0 || off + page_size > Bytes.length b then corrupt "page %d: short page" page;
+  let stored_page = get_u32 b (off + payload_size + 4) in
+  if stored_page <> page then
+    corrupt "page %d: trailer names page %d (transposed write?)" page stored_page;
+  let stored = get_u32 b (off + payload_size) in
+  let computed = trailer_crc b off page in
+  if stored <> computed then
+    corrupt "page %d: checksum mismatch (stored %08x, computed %08x)" page stored computed

@@ -1,0 +1,45 @@
+(** The on-disk page format of snapshot files.
+
+    A snapshot is a sequence of fixed-size pages.  Every page ends in an
+    8-byte trailer: a CRC-32 over the payload area {e and} the page
+    number (so a page written at the wrong offset fails verification
+    even when its bytes are intact), followed by the page number itself.
+    All multi-byte integers in the format are little-endian, written
+    explicitly — the file is byte-identical across hosts.
+
+    Pages 0..k-1 hold the header blob (see {!Snapshot} for its layout);
+    the remaining pages hold one contiguous run per section. *)
+
+exception Corrupt of string
+(** Any structural defect of a snapshot file: a short or empty file, bad
+    magic, an unsupported format version, a checksum mismatch, or an
+    undecodable section.  CLIs turn this into a one-line error. *)
+
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+(** [corrupt fmt ...] raises {!Corrupt} with a formatted message. *)
+
+val page_size : int
+(** 4096 bytes per page. *)
+
+val payload_size : int
+(** [page_size - 8]: bytes of payload per page, before the trailer. *)
+
+val magic : string
+(** The 8-byte file magic, ["XMSNAP1\n"]. *)
+
+val format_version : int
+
+val endian_marker : int
+(** [0x11223344], stored little-endian; a reader that decodes anything
+    else is mis-reading the byte order. *)
+
+val pages_for : int -> int
+(** Number of pages a blob of the given byte length occupies. *)
+
+val seal : bytes -> off:int -> page:int -> unit
+(** Write the trailer of page [page] into the page-sized region starting
+    at [off] of a buffer whose payload bytes are already in place. *)
+
+val verify : bytes -> off:int -> page:int -> unit
+(** Check the trailer of the page-sized region at [off].
+    @raise Corrupt on a checksum or page-number mismatch. *)

@@ -1,0 +1,12 @@
+(** On-disk snapshot persistence: checksummed paged files, an LRU buffer
+    pool, and codecs for the DOM and the relational store images. *)
+
+module Crc32 = Crc32
+module Page_io = Page_io
+module Pager = Pager
+module Codec = Codec
+module Snapshot = Snapshot
+
+exception Corrupt = Page_io.Corrupt
+(** Re-export: one typed error covers every way a snapshot can be bad —
+    truncation, bad magic, version skew, checksum or decode failures. *)

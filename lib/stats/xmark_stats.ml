@@ -187,6 +187,7 @@ let counter_inventory =
     "nodes_scanned"; "elements_materialized"; "index_lookups"; "index_hits";
     "join_tables_built"; "join_probes"; "tag_array_cache_hits";
     "tag_array_cache_misses"; "sax_events"; "tuples_emitted";
+    "pager_hits"; "pager_misses"; "pager_evictions"; "snapshot_bytes";
     "gc_minor_words"; "gc_major_collections";
   ]
 

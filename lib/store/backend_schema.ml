@@ -37,6 +37,70 @@ let serialized n tag =
 let text_of n tag =
   match child_el n tag with Some c -> R.Value.Str (sv c) | None -> R.Value.Null
 
+(* The ten relations in catalog registration order — the order a fresh
+   load registers them, and the order a snapshot stores and restores. *)
+let table_order =
+  [ "person"; "interest"; "watch"; "item"; "incategory"; "open_auction"; "bidder";
+    "closed_auction"; "category"; "edge" ]
+
+(* Seal, register and index a complete set of the ten relations — the
+   shared tail of a DOM load and a snapshot restore.  Tables are sealed
+   first, so index and B+-tree construction are pure reads and fan out
+   on the pool; registration stays on the calling domain, in order. *)
+let finish ?pool all_tables =
+  let find name = List.find (fun t -> R.Table.name t = name) all_tables in
+  let person = find "person" and item = find "item" in
+  let open_auction = find "open_auction" and bidder = find "bidder" in
+  let interest = find "interest" and incategory = find "incategory" in
+  let watch = find "watch" and closed_auction = find "closed_auction" in
+  List.iter R.Table.seal all_tables;
+  let cat = R.Catalog.create () in
+  List.iter (R.Catalog.register cat) all_tables;
+  let build_all jobs =
+    match pool with
+    | Some p when Xmark_parallel.jobs p > 1 -> Xmark_parallel.map p (fun f -> f ()) jobs
+    | _ -> List.map (fun f -> f ()) jobs
+  in
+  let index_specs =
+    [
+      (person, "id"); (item, "id"); (open_auction, "id"); (bidder, "auction_idx");
+      (interest, "person_idx"); (incategory, "item_idx"); (watch, "person_idx");
+      (closed_auction, "buyer"); (closed_auction, "itemref");
+    ]
+  in
+  let numeric_btree (table, column) () =
+    let tree = R.Btree.create () in
+    let ci = R.Table.col_index table column in
+    R.Table.iter
+      (fun row_id row ->
+        match row.(ci) with
+        | R.Value.Null -> ()
+        | v -> R.Btree.insert tree (R.Value.Num (R.Value.to_float v)) row_id)
+      table;
+    (R.Table.name table, column, tree)
+  in
+  let built =
+    build_all
+      (List.map
+         (fun (table, column) -> fun () -> `Hash (R.Index.build table column))
+         index_specs
+      @ [
+          (fun () -> `Btree (numeric_btree (closed_auction, "price") ()));
+          (fun () -> `Btree (numeric_btree (person, "income") ()));
+        ])
+  in
+  let ordered = ref [] in
+  List.iter2
+    (fun spec result ->
+      match (spec, result) with
+      | Some (table, column), `Hash idx ->
+          R.Catalog.register_index cat ~table:(R.Table.name table) ~column idx
+      | None, `Btree entry -> ordered := entry :: !ordered
+      | _ -> assert false)
+    (List.map (fun s -> Some s) index_specs @ [ None; None ])
+    built;
+  { cat; ordered = List.rev !ordered }
+
 let load_dom ?pool root =
   let person =
     R.Table.create ~name:"person"
@@ -292,57 +356,20 @@ let load_dom ?pool root =
     [ person; interest; watch; item; incategory; open_auction; bidder; closed_auction;
       category; edge ]
   in
-  List.iter R.Table.seal all_tables;
-  let cat = R.Catalog.create () in
-  List.iter (R.Catalog.register cat) all_tables;
-  (* tables are sealed, so index and B+-tree construction are pure reads
-     and fan out on the pool; registration stays here, in order *)
-  let build_all jobs =
-    match pool with
-    | Some p when Xmark_parallel.jobs p > 1 -> Xmark_parallel.map p (fun f -> f ()) jobs
-    | _ -> List.map (fun f -> f ()) jobs
-  in
-  let index_specs =
-    [
-      (person, "id"); (item, "id"); (open_auction, "id"); (bidder, "auction_idx");
-      (interest, "person_idx"); (incategory, "item_idx"); (watch, "person_idx");
-      (closed_auction, "buyer"); (closed_auction, "itemref");
-    ]
-  in
-  let numeric_btree (table, column) () =
-    let tree = R.Btree.create () in
-    let ci = R.Table.col_index table column in
-    R.Table.iter
-      (fun row_id row ->
-        match row.(ci) with
-        | R.Value.Null -> ()
-        | v -> R.Btree.insert tree (R.Value.Num (R.Value.to_float v)) row_id)
-      table;
-    (R.Table.name table, column, tree)
-  in
-  let built =
-    build_all
-      (List.map
-         (fun (table, column) -> fun () -> `Hash (R.Index.build table column))
-         index_specs
-      @ [
-          (fun () -> `Btree (numeric_btree (closed_auction, "price") ()));
-          (fun () -> `Btree (numeric_btree (person, "income") ()));
-        ])
-  in
-  let ordered = ref [] in
-  List.iter2
-    (fun spec result ->
-      match (spec, result) with
-      | Some (table, column), `Hash idx ->
-          R.Catalog.register_index cat ~table:(R.Table.name table) ~column idx
-      | None, `Btree entry -> ordered := entry :: !ordered
-      | _ -> assert false)
-    (List.map (fun s -> Some s) index_specs @ [ None; None ])
-    built;
-  { cat; ordered = List.rev !ordered }
+  finish ?pool all_tables
 
 let load_string ?pool s = load_dom ?pool (Xmark_xml.Sax.parse_string s)
+
+(* --- snapshot image ------------------------------------------------------- *)
+
+let snapshot_tables t = R.Catalog.tables t.cat
+
+let of_tables ?pool tables =
+  if List.map R.Table.name tables <> table_order then
+    Xmark_persist.Page_io.corrupt
+      "System C snapshot: unexpected relation set [%s]"
+      (String.concat "; " (List.map R.Table.name tables));
+  finish ?pool tables
 
 let catalog t = t.cat
 

@@ -42,6 +42,16 @@ val ordered_index :
 (** Numeric B+-tree indexes for range predicates (closed_auction.price,
     person.income); keys are the runtime-cast numeric column values. *)
 
+val snapshot_tables : t -> Xmark_relational.Table.t list
+(** The ten relations in catalog registration order — the snapshot
+    image; indexes and B+-trees are derived data and stay out of it. *)
+
+val of_tables : ?pool:Xmark_parallel.pool -> Xmark_relational.Table.t list -> t
+(** Rebuild a store from restored relations: seal, register, and build
+    the hash indexes and B+-trees exactly as a fresh load would.
+    @raise Xmark_persist.Corrupt unless the relations are precisely the
+    schema's ten, in registration order. *)
+
 val size_bytes : t -> int
 
 val row_total : t -> int

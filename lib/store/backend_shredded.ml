@@ -15,6 +15,7 @@ type t = {
   attr_owner_indexes : (string, R.Index.t) Hashtbl.t;
   id_tables : string list;  (* attr table keys that hold "id" attributes *)
   id_indexes : (string, R.Index.t) Hashtbl.t;  (* keyed on value *)
+  attr_order : string list;  (* "tag@attr" names, first-encounter order *)
   dir_tag : string array;  (* node id -> tag, "" for text *)
   dir_row : int array;  (* node id -> row in its relation *)
 }
@@ -265,6 +266,7 @@ let finalize ?pool b =
     attr_owner_indexes;
     id_tables = !id_tables;
     id_indexes;
+    attr_order = List.rev b.b_attrs_rev;
     dir_tag = Array.map fst dir;
     dir_row = Array.map snd dir;
   }
@@ -373,6 +375,83 @@ let load_string ?pool s =
   | _ -> load_sequential s
 
 let load_dom ?pool root = load_string ?pool (Xmark_xml.Serialize.to_string root)
+
+(* --- snapshot image ------------------------------------------------------- *)
+
+let to_image t =
+  {
+    Xmark_persist.Snapshot.bi_tags = t.element_tags;
+    bi_tag_tables = List.map (fun tag -> Hashtbl.find t.tag_tables tag) t.element_tags;
+    bi_text = t.text_table;
+    bi_attr_tables = List.map (fun n -> (n, Hashtbl.find t.attr_tables n)) t.attr_order;
+  }
+
+(* Rebuild the store from a restored image by reconstituting the builder
+   a load would have produced and running the ordinary [finalize].  The
+   tag and attribute hashtables are repopulated in the image's
+   first-encounter order — the same insertion sequence as the original
+   load, so every order that leaks out of a hashtable downstream
+   (catalog registration, index-build batches) matches a fresh load's
+   and the restored session is structurally identical to a parsed one. *)
+let of_image ?pool (img : Xmark_persist.Snapshot.b_image) =
+  let corrupt = Xmark_persist.Page_io.corrupt in
+  if List.length img.bi_tags <> List.length img.bi_tag_tables then
+    corrupt "shredded image: %d tags but %d tag relations"
+      (List.length img.bi_tags) (List.length img.bi_tag_tables);
+  let b_tag_tables = Hashtbl.create 97 in
+  List.iter2
+    (fun tag tbl ->
+      if R.Table.name tbl <> tag then
+        corrupt "shredded image: relation %S filed under tag %S" (R.Table.name tbl) tag;
+      Hashtbl.replace b_tag_tables tag tbl)
+    img.bi_tags img.bi_tag_tables;
+  let b_attr_tables = Hashtbl.create 97 in
+  let b_attr_names = Hashtbl.create 97 in
+  let attrs_rev = ref [] in
+  List.iter
+    (fun (tname, tbl) ->
+      match String.index_opt tname '@' with
+      | None -> corrupt "shredded image: attribute relation %S lacks a tag@key name" tname
+      | Some at ->
+          let tag = String.sub tname 0 at in
+          let key = String.sub tname (at + 1) (String.length tname - at - 1) in
+          Hashtbl.replace b_attr_tables tname tbl;
+          attrs_rev := tname :: !attrs_rev;
+          Hashtbl.replace b_attr_names tag
+            (key :: Option.value ~default:[] (Hashtbl.find_opt b_attr_names tag)))
+    img.bi_attr_tables;
+  let total =
+    List.fold_left
+      (fun acc t -> acc + R.Table.row_count t)
+      (R.Table.row_count img.bi_text)
+      img.bi_tag_tables
+  in
+  let dir = Array.make (max total 1) ("", 0) in
+  let place tag tbl =
+    R.Table.iter
+      (fun row_idx row ->
+        match row.(0) with
+        | R.Value.Int id when id >= 0 && id < total -> dir.(id) <- (tag, row_idx)
+        | _ -> corrupt "shredded image: relation %S has inconsistent node ids" (R.Table.name tbl))
+      tbl
+  in
+  List.iter2 place img.bi_tags img.bi_tag_tables;
+  place "" img.bi_text;
+  let b =
+    {
+      b_tag_tables;
+      b_attr_tables;
+      b_attr_names;
+      b_text = img.bi_text;
+      b_tags_rev = List.rev img.bi_tags;
+      b_attrs_rev = !attrs_rev;
+      b_dir_rev =
+        (if total = 0 then [] else Array.fold_left (fun acc e -> e :: acc) [] dir);
+      b_counter = total;
+      b_stack = [];
+    }
+  in
+  finalize ?pool b
 
 let catalog t = t.cat
 

@@ -29,3 +29,15 @@ val catalog : t -> Xmark_relational.Catalog.t
 val element_tags : t -> string list
 (** Every element tag with a relation of its own, in first-encounter
     (document) order. *)
+
+val to_image : t -> Xmark_persist.Snapshot.b_image
+(** The store's relational image for snapshotting: everything a restore
+    cannot rebuild without re-parsing (the tag, text and attribute
+    relations plus both first-encounter orders).  Indexes and the node
+    directory are derived data and stay out of the image. *)
+
+val of_image : ?pool:Xmark_parallel.pool -> Xmark_persist.Snapshot.b_image -> t
+(** Rebuild a store from a restored image — indexes, catalog and node
+    directory are reconstructed, in the same registration orders as a
+    fresh load, so queries behave identically.
+    @raise Xmark_persist.Corrupt on an internally inconsistent image. *)
