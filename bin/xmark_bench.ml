@@ -30,6 +30,19 @@ let run_stats_json file factor source pool systems queries =
     (List.length systems) (List.length queries) factor;
   0
 
+let run_bench_out file runs factor source pool systems queries =
+  let module E = Xmark_core.Experiments in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let cells = E.bench_matrix ~factor ~runs ?source ?pool ~systems ~queries () in
+      output_string oc (E.bench_json ~factor ~runs cells));
+  Printf.eprintf
+    "wrote %s (%d systems x %d queries, median of %d run(s) at factor %g)\n%!" file
+    (List.length systems) (List.length queries) (max 1 runs) factor;
+  0
+
 (* Load one system, snapshot it, and time a restore against the original
    load — the paper's bulkload column with persistence taken seriously. *)
 let run_save system doc snapshot factor pool out =
@@ -72,7 +85,8 @@ let run_save system doc snapshot factor pool out =
     (load_span.Timing.wall_ms /. Float.max 0.001 restore_span.Timing.wall_ms);
   0
 
-let run exhibit factor jobs stats_json systems queries system doc snapshot save =
+let run exhibit factor jobs stats_json bench_out bench_runs systems queries system doc
+    snapshot save =
   let module E = Xmark_core.Experiments in
   let pool = Cli.install_jobs jobs in
   let source = Option.map (fun p -> `Snapshot p) snapshot in
@@ -87,6 +101,13 @@ let run exhibit factor jobs stats_json systems queries system doc snapshot save 
               Printf.eprintf "%s\n" m;
               2)
         | None -> (
+            match bench_out with
+            | Some file -> (
+                try run_bench_out file bench_runs factor source pool systems queries
+                with Failure m | Sys_error m ->
+                  Printf.eprintf "%s\n" m;
+                  2)
+            | None -> (
             match exhibit with
             | "table1" -> ignore (E.table1 ~factor ()); 0
             | "table2" -> ignore (E.table2 ~factor ()); 0
@@ -116,7 +137,7 @@ let run exhibit factor jobs stats_json systems queries system doc snapshot save 
                 Printf.eprintf
                   "unknown exhibit %S (table1|table2|table3|fig3|fig4|genperf|scaling|fulltext|throughput|workload|matrix|all)\n"
                   other;
-                2))
+                2)))
   with
   | Xmark_persist.Corrupt m ->
       Printf.eprintf "snapshot error: %s\n" m;
@@ -137,7 +158,8 @@ let cmd =
     Term.(
       const run $ exhibit_arg
       $ Cli.factor ~default:Xmark_core.Experiments.default_factor ()
-      $ Cli.jobs $ Cli.stats_json $ Cli.systems $ Cli.queries
+      $ Cli.jobs $ Cli.stats_json $ Cli.bench_out $ Cli.bench_runs $ Cli.systems
+      $ Cli.queries
       $ Cli.system ~default:Xmark_core.Runner.B ()
       $ Cli.doc_file $ Cli.snapshot $ Cli.save_snapshot)
 

@@ -169,6 +169,39 @@ val stats_json : factor:float -> stats_cell list -> string
     time ("load", "load_ms") — which is where a snapshot restore's
     pager hit/miss behaviour shows up. *)
 
+(* --- benchmark matrix (--bench-out) ------------------------------------------- *)
+
+type bench_cell = {
+  bn_system : Runner.system;
+  bn_query : int;
+  bn_items : int;
+  bn_load_ms : float;
+  bn_compile_ms : float;
+  bn_execute_ms : float;
+  bn_counters : (string * int) list;
+}
+(** One (system, query) cell reduced to per-field medians over repeated
+    {!stats_matrix} runs. *)
+
+val bench_matrix :
+  ?factor:float ->
+  ?runs:int ->
+  ?source:Runner.source ->
+  ?pool:Xmark_parallel.pool ->
+  ?systems:Runner.system list ->
+  ?queries:int list ->
+  unit ->
+  bench_cell list
+(** Run the stats matrix [runs] times (default 3) and reduce each cell
+    to medians — the functional counters are deterministic across runs,
+    so the medians matter for timings and the gc_* counters, which is
+    what cross-build performance comparisons need. *)
+
+val bench_json : ?factor:float -> runs:int -> bench_cell list -> string
+(** Render a bench matrix as a flat JSON cell array
+    [{"factor": f, "runs": n, "cells": [...]}] with the stable
+    {!Stats.counter_inventory} key set per cell. *)
+
 (* --- CSV export ---------------------------------------------------------------- *)
 
 val fig3_to_csv : fig3_row list -> string

@@ -42,29 +42,17 @@ type load_stats = { load : Timing.span; db_bytes : int; nodes : int }
 (* Phase scopes: counters recorded while loading / compiling / executing
    land in "bulkload" / "compile" / "execute", so an --explain dump can
    attribute e.g. System G's sax_events to execution while A-F pay them
-   at bulkload.  Execution additionally samples the GC (allocation is a
-   real cost of materializing mappings). *)
-let measure_load f = Stats.with_scope "bulkload" (fun () -> Timing.measure f)
+   at bulkload.  Every phase also samples the GC (allocation is a real
+   cost of materializing mappings), so --stats-json shows per-phase
+   gc_minor_words / gc_major_words / gc_major_collections deltas. *)
+let measure_load f =
+  Stats.with_scope "bulkload" (fun () -> Stats.count_allocations (fun () -> Timing.measure f))
 
-let measure_compile f = Stats.with_scope "compile" (fun () -> Timing.measure f)
+let measure_compile f =
+  Stats.with_scope "compile" (fun () -> Stats.count_allocations (fun () -> Timing.measure f))
 
 let measure_execute f =
-  Stats.with_scope "execute" (fun () ->
-      if not (Stats.enabled ()) then Timing.measure f
-      else begin
-        (* Gc.minor_words, not quick_stat.minor_words: the latter omits
-           young-generation allocation since the last minor collection. *)
-        let m0 = Gc.minor_words () in
-        let g0 = Gc.quick_stat () in
-        let r = Timing.measure f in
-        let g1 = Gc.quick_stat () in
-        let m1 = Gc.minor_words () in
-        Stats.incr ~by:(int_of_float (m1 -. m0)) "gc_minor_words";
-        Stats.incr
-          ~by:(g1.Gc.major_collections - g0.Gc.major_collections)
-          "gc_major_collections";
-        r
-      end)
+  Stats.with_scope "execute" (fun () -> Stats.count_allocations (fun () -> Timing.measure f))
 
 type source =
   [ `File of string
@@ -82,7 +70,7 @@ let rec heap_dom s n =
   match Store.Backend_heap.kind s n with
   | `Text -> Xml.Dom.text (Store.Backend_heap.text s n)
   | `Element ->
-      Xml.Dom.element
+      Xml.Dom.element_sym
         ~attrs:(Store.Backend_heap.attributes s n)
         ~children:(List.map (heap_dom s) (Store.Backend_heap.children s n))
         (Store.Backend_heap.name s n)

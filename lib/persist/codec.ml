@@ -1,5 +1,6 @@
 module R = Xmark_relational
 module Dom = Xmark_xml.Dom
+module Symbol = Xmark_xml.Symbol
 
 let corrupt = Page_io.corrupt
 
@@ -46,14 +47,44 @@ let add_table b tbl =
   add_u32 b (R.Table.row_count tbl);
   R.Table.iter (fun _ row -> Array.iter (add_value b) row) tbl
 
-let rec add_dom b node =
+(* The element-name dictionary for a DOM section: every distinct tag in
+   pre-order first-use order.  Indexes are derived from document content
+   alone — never from global symbol ids, which depend on interning
+   history — so the encoded bytes are identical across runs and [--jobs]
+   levels. *)
+type symdict = {
+  sd_names : string list;  (* first-use order *)
+  sd_index : (Symbol.t, int) Hashtbl.t;
+}
+
+let symdict_of_dom root =
+  let sd_index = Hashtbl.create 97 in
+  let names_rev = ref [] in
+  let rec walk n =
+    match n.Dom.desc with
+    | Dom.Text _ -> ()
+    | Dom.Element e ->
+        if not (Hashtbl.mem sd_index e.Dom.name) then begin
+          Hashtbl.replace sd_index e.Dom.name (Hashtbl.length sd_index);
+          names_rev := Symbol.to_string e.Dom.name :: !names_rev
+        end;
+        List.iter walk e.Dom.children
+  in
+  walk root;
+  { sd_names = List.rev !names_rev; sd_index }
+
+let add_symdict b dict =
+  add_u32 b (List.length dict.sd_names);
+  List.iter (add_str b) dict.sd_names
+
+let rec add_dom b ~dict node =
   match node.Dom.desc with
   | Dom.Text s ->
       add_u8 b 2;
       add_str b s
   | Dom.Element e ->
       add_u8 b 1;
-      add_str b e.Dom.name;
+      add_u32 b (Hashtbl.find dict.sd_index e.Dom.name);
       add_u32 b (List.length e.Dom.attrs);
       List.iter
         (fun (k, v) ->
@@ -61,7 +92,7 @@ let rec add_dom b node =
           add_str b v)
         e.Dom.attrs;
       add_u32 b (List.length e.Dom.children);
-      List.iter (add_dom b) e.Dom.children
+      List.iter (add_dom b ~dict) e.Dom.children
 
 (* --- decoders ------------------------------------------------------------ *)
 
@@ -129,11 +160,19 @@ let table d =
   R.Table.seal tbl;
   tbl
 
-let rec dom d =
+let symdict d =
+  let n = u32 d in
+  Array.of_list (read_list n (fun () -> Symbol.intern (str d)))
+
+let rec dom d ~dict =
   match u8 d with
   | 2 -> Dom.text (str d)
   | 1 ->
-      let name = str d in
+      let i = u32 d in
+      if i >= Array.length dict then
+        corrupt "section decode: element name id %d outside dictionary of %d" i
+          (Array.length dict);
+      let name = dict.(i) in
       let nattrs = u32 d in
       let attrs =
         read_list nattrs (fun () ->
@@ -142,8 +181,8 @@ let rec dom d =
             (k, v))
       in
       let nkids = u32 d in
-      let children = read_list nkids (fun () -> dom d) in
-      Dom.element ~attrs ~children name
+      let children = read_list nkids (fun () -> dom d ~dict) in
+      Dom.element_sym ~attrs ~children name
   | t -> corrupt "section decode: unknown DOM node tag %d" t
 
 let finish d =

@@ -34,9 +34,22 @@ val add_value : Buffer.t -> Xmark_relational.Value.t -> unit
 val add_table : Buffer.t -> Xmark_relational.Table.t -> unit
 (** Name, column list, then the rows in row-identifier order. *)
 
-val add_dom : Buffer.t -> Xmark_xml.Dom.node -> unit
-(** Pre-order subtree encoding: elements carry name, attributes and
-    child count; text nodes carry their characters. *)
+type symdict
+(** Element-name dictionary for a DOM section: every distinct tag in
+    pre-order first-use order.  Indexes derive from document content
+    alone (never from global symbol ids), so encoded bytes are identical
+    across runs and [--jobs] levels. *)
+
+val symdict_of_dom : Xmark_xml.Dom.node -> symdict
+
+val add_symdict : Buffer.t -> symdict -> unit
+(** u32 count followed by the length-prefixed names in dictionary
+    order. *)
+
+val add_dom : Buffer.t -> dict:symdict -> Xmark_xml.Dom.node -> unit
+(** Pre-order subtree encoding: elements carry a u32 dictionary index in
+    place of their name, then attributes and child count; text nodes
+    carry their characters. *)
 
 (* --- decoders ------------------------------------------------------------ *)
 
@@ -55,9 +68,14 @@ val value : decoder -> Xmark_relational.Value.t
 val table : decoder -> Xmark_relational.Table.t
 (** The decoded table is sealed: concurrent readers see a pure array. *)
 
-val dom : decoder -> Xmark_xml.Dom.node
+val symdict : decoder -> Xmark_xml.Symbol.t array
+(** Decodes a dictionary section and interns every name, so element
+    construction during {!dom} is a pure array read. *)
+
+val dom : decoder -> dict:Xmark_xml.Symbol.t array -> Xmark_xml.Dom.node
 (** Parent links are rebuilt; document-order numbers are {e not} — the
-    caller indexes the root once the whole tree is back. *)
+    caller indexes the root once the whole tree is back.
+    @raise Page_io.Corrupt on a name id outside [dict]. *)
 
 val finish : decoder -> unit
 (** @raise Page_io.Corrupt if input remains — sections must decode

@@ -10,7 +10,9 @@ let payload_size = page_size - trailer_size
 
 let magic = "XMSNAP1\n"
 
-let format_version = 1
+(* version 2: DOM payloads carry a symbol-dictionary section and encode
+   element names as dictionary indexes *)
+let format_version = 2
 
 let endian_marker = 0x11223344
 

@@ -46,7 +46,14 @@ let split_at n xs =
 (* --- write ---------------------------------------------------------------- *)
 
 let sections_of_payload = function
-  | Dom root -> [ ("dom", fun b -> Codec.add_dom b root) ]
+  | Dom root ->
+      (* dictionary built eagerly so the section closures stay pure reads
+         under a parallel encode *)
+      let dict = Codec.symdict_of_dom root in
+      [
+        ("symdict", fun b -> Codec.add_symdict b dict);
+        ("dom", fun b -> Codec.add_dom b ~dict root);
+      ]
   | Text doc -> [ ("text", fun b -> Codec.add_str b doc) ]
   | Relational_c tables ->
       List.map
@@ -227,9 +234,12 @@ let decode_table (name, blob) =
 
 let decode_payload ?pool path kind blobs =
   match (kind, blobs) with
-  | 0, [ ("dom", blob) ] ->
+  | 0, [ ("symdict", sblob); ("dom", blob) ] ->
+      let sd = Codec.decoder sblob in
+      let dict = Codec.symdict sd in
+      Codec.finish sd;
       let d = Codec.decoder blob in
-      let root = Codec.dom d in
+      let root = Codec.dom d ~dict in
       Codec.finish d;
       ignore (Dom.index root);
       Dom root

@@ -98,6 +98,25 @@ let incr ?(by = 1) name =
     | None -> Hashtbl.replace st.current name (ref by)
   end
 
+let count_allocations f =
+  if not (Atomic.get on) then f ()
+  else begin
+    (* Gc.minor_words, not quick_stat.minor_words: the latter omits
+       young-generation allocation since the last minor collection. *)
+    let m0 = Gc.minor_words () in
+    let g0 = Gc.quick_stat () in
+    Fun.protect
+      ~finally:(fun () ->
+        let g1 = Gc.quick_stat () in
+        let m1 = Gc.minor_words () in
+        incr ~by:(int_of_float (m1 -. m0)) "gc_minor_words";
+        incr ~by:(int_of_float (g1.Gc.major_words -. g0.Gc.major_words)) "gc_major_words";
+        incr
+          ~by:(g1.Gc.major_collections - g0.Gc.major_collections)
+          "gc_major_collections")
+      f
+  end
+
 let time name f =
   if not (Atomic.get on) then f ()
   else begin
@@ -188,7 +207,7 @@ let counter_inventory =
     "join_tables_built"; "join_probes"; "tag_array_cache_hits";
     "tag_array_cache_misses"; "sax_events"; "tuples_emitted";
     "pager_hits"; "pager_misses"; "pager_evictions"; "snapshot_bytes";
-    "gc_minor_words"; "gc_major_collections";
+    "gc_minor_words"; "gc_major_words"; "gc_major_collections";
   ]
 
 let to_assoc () =

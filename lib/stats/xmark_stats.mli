@@ -62,6 +62,13 @@ val time : string -> (unit -> 'a) -> 'a
     microseconds to counter [name ^ "_us"].  When disabled, just
     [f ()]. *)
 
+val count_allocations : (unit -> 'a) -> 'a
+(** [count_allocations f] runs [f] and adds the allocation the GC saw
+    during it to the current scope: [gc_minor_words] (young-generation
+    words, via {!Gc.minor_words} so words not yet collected count too),
+    [gc_major_words] (promoted plus directly major-allocated words) and
+    [gc_major_collections].  When disabled, just [f ()]. *)
+
 val get : scope:string -> string -> int
 (** Counter value within one scope (0 if never touched). *)
 

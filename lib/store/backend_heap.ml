@@ -1,5 +1,6 @@
 module R = Xmark_relational
 module Sax = Xmark_xml.Sax
+module Symbol = Xmark_xml.Symbol
 
 type node = int  (* row id in the nodes relation = document pre-order *)
 
@@ -10,7 +11,7 @@ type t = {
   children_idx : R.Index.t;
   attr_owner_idx : R.Index.t;
   id_idx : R.Index.t;  (* value of attributes named "id" -> attr rows *)
-  stats : (string, int) Hashtbl.t;  (* optimizer statistics: tag -> count *)
+  stats : (Symbol.t, int) Hashtbl.t;  (* optimizer statistics: tag -> count *)
 }
 
 let col_parent = 0
@@ -50,7 +51,8 @@ let load_events next =
         let pid, pos = parent_and_pos () in
         let id = fresh () in
         R.Table.append nodes
-          [| R.Value.Int pid; R.Value.Int 0; R.Value.Str tag; R.Value.Null; R.Value.Int pos |];
+          [| R.Value.Int pid; R.Value.Int 0; R.Value.Int (tag :> int); R.Value.Null;
+             R.Value.Int pos |];
         Hashtbl.replace stats tag (1 + Option.value ~default:0 (Hashtbl.find_opt stats tag));
         List.iter
           (fun (k, v) ->
@@ -124,7 +126,8 @@ let row t n =
 let kind t n = if (row t n).(col_kind) = R.Value.Int 0 then `Element else `Text
 
 let name t n =
-  match (row t n).(col_tag) with R.Value.Str s -> s | _ -> ""
+  (* the tag column is dictionary-encoded: Int symbol ids, Null for text *)
+  match (row t n).(col_tag) with R.Value.Int s -> Symbol.of_int s | _ -> Symbol.empty
 
 let text t n =
   match (row t n).(col_value) with R.Value.Str s -> s | _ -> ""

@@ -1,4 +1,5 @@
 module Dom = Xmark_xml.Dom
+module Symbol = Xmark_xml.Symbol
 module Stats = Xmark_stats
 
 type level = [ `Full | `Id_only | `Plain ]
@@ -9,11 +10,13 @@ type t = {
   root : Dom.node;
   lvl : level;
   ids : (string, Dom.node) Hashtbl.t option;
-  tags : (string, Dom.node list) Hashtbl.t option;  (* extents in document order *)
+  tags : Dom.node list array option;
+      (* symbol-indexed extents in document order; shorter than the
+         symbol table only when tags were interned after the load *)
   subtree_end : int array option;  (* indexed by order: exclusive end of subtree *)
   bytes : int;
   nodes : int;
-  keyword_indexes : (string, (string, Dom.node list) Hashtbl.t) Hashtbl.t;
+  keyword_indexes : (Symbol.t, (string, Dom.node list) Hashtbl.t) Hashtbl.t;
       (* per-tag inverted index over string values; built lazily (System D's
          optional full-text access path, paper Section 6.9) *)
 }
@@ -24,8 +27,8 @@ let estimate_bytes root =
       match n.Dom.desc with
       | Dom.Text s -> acc + 24 + String.length s
       | Dom.Element e ->
+          ignore e.Dom.name;  (* interned: one immediate word, in the 64 *)
           acc + 64
-          + String.length e.Dom.name
           + List.fold_left (fun a (k, v) -> a + 32 + String.length k + String.length v) 0 e.Dom.attrs)
     0 root
 
@@ -46,15 +49,17 @@ let create ~level root =
     match level with
     | `Plain | `Id_only -> (None, None)
     | `Full ->
-        let h = Hashtbl.create 128 in
+        (* every tag in the document is already interned, so the symbol
+           count bounds the extent array *)
+        let extents = Array.make (Symbol.count ()) [] in
         Dom.iter
           (fun n ->
-            if Dom.is_element n then
-              let tag = Dom.name n in
-              Hashtbl.replace h tag (n :: (Option.value ~default:[] (Hashtbl.find_opt h tag))))
+            if Dom.is_element n then begin
+              let tag = (Dom.name_sym n :> int) in
+              Array.unsafe_set extents tag (n :: Array.unsafe_get extents tag)
+            end)
           root;
-        let sorted = Hashtbl.create 128 in
-        Hashtbl.iter (fun tag lst -> Hashtbl.replace sorted tag (List.rev lst)) h;
+        let sorted = Array.map List.rev extents in
         (* subtree spans: node with order o covers [o, o + size) *)
         let ends = Array.make nodes 0 in
         let rec span n =
@@ -81,7 +86,7 @@ let root t = t.root
 
 let kind _ n = if Dom.is_element n then `Element else `Text
 
-let name _ n = Dom.name n
+let name _ n = Dom.name_sym n
 
 let text _ (n : node) = match n.Dom.desc with Dom.Text s -> s | Dom.Element _ -> ""
 
@@ -113,9 +118,10 @@ let id_lookup t id =
 let tag_nodes t tag =
   match t.tags with
   | None -> None
-  | Some h ->
+  | Some extents ->
       Stats.incr "summary_consultations";
-      Some (Option.value ~default:[] (Hashtbl.find_opt h tag))
+      let i = (tag : Symbol.t :> int) in
+      Some (if i < Array.length extents then extents.(i) else [])
 
 let tag_count t tag = Option.map List.length (tag_nodes t tag)
 

@@ -1,22 +1,24 @@
 module R = Xmark_relational
 module Sax = Xmark_xml.Sax
+module Symbol = Xmark_xml.Symbol
 
 type node = int  (* global node id = document pre-order *)
 
 type t = {
   cat : R.Catalog.t;
   element_tags : string list;  (* registration order *)
-  tag_tables : (string, R.Table.t) Hashtbl.t;  (* tag -> (id, parent, pos) *)
+  element_tag_syms : Symbol.t list;  (* same order, interned *)
+  tag_tables : R.Table.t option array;  (* symbol -> (id, parent, pos) relation *)
   text_table : R.Table.t;  (* (id, parent, pos, value) *)
-  child_indexes : (string, R.Index.t) Hashtbl.t;  (* per tag table, on parent *)
+  child_indexes : R.Index.t option array;  (* symbol -> index on parent *)
   text_child_index : R.Index.t;
   attr_tables : (string, R.Table.t) Hashtbl.t;  (* "tag@attr" -> (owner, value) *)
-  attr_names : (string, string list) Hashtbl.t;  (* tag -> its attribute names *)
-  attr_owner_indexes : (string, R.Index.t) Hashtbl.t;
+  attr_info : (string * R.Table.t * R.Index.t) list array;
+      (* symbol -> (key, relation, owner index), first-encounter order *)
   id_tables : string list;  (* attr table keys that hold "id" attributes *)
   id_indexes : (string, R.Index.t) Hashtbl.t;  (* keyed on value *)
   attr_order : string list;  (* "tag@attr" names, first-encounter order *)
-  dir_tag : string array;  (* node id -> tag, "" for text *)
+  dir_tag : Symbol.t array;  (* node id -> tag, Symbol.empty for text *)
   dir_row : int array;  (* node id -> row in its relation *)
 }
 
@@ -29,13 +31,13 @@ type t = {
    concatenates the builders in document order — so the merged store is
    structurally identical to a sequential load's. *)
 type builder = {
-  b_tag_tables : (string, R.Table.t) Hashtbl.t;
+  b_tag_tables : (Symbol.t, R.Table.t) Hashtbl.t;
   b_attr_tables : (string, R.Table.t) Hashtbl.t;
-  b_attr_names : (string, string list) Hashtbl.t;
+  b_attr_names : (Symbol.t, string list) Hashtbl.t;
   b_text : R.Table.t;
-  mutable b_tags_rev : string list;  (* element tags, reverse first-encounter *)
+  mutable b_tags_rev : Symbol.t list;  (* element tags, reverse first-encounter *)
   mutable b_attrs_rev : string list;  (* "tag@key" names, reverse first-encounter *)
-  mutable b_dir_rev : (string * int) list;  (* (tag, row in its relation), reverse id order *)
+  mutable b_dir_rev : (Symbol.t * int) list;  (* (tag, row in its relation), reverse id order *)
   mutable b_counter : int;  (* next node id *)
   mutable b_stack : (int * int) list;  (* (parent id, next child pos) *)
 }
@@ -68,13 +70,15 @@ let shred b next =
     match Hashtbl.find_opt b.b_tag_tables tag with
     | Some tbl -> tbl
     | None ->
-        let tbl = R.Table.create ~name:tag ~cols:[ "id"; "parent"; "pos" ] in
+        let tbl =
+          R.Table.create ~name:(Symbol.to_string tag) ~cols:[ "id"; "parent"; "pos" ]
+        in
         Hashtbl.replace b.b_tag_tables tag tbl;
         b.b_tags_rev <- tag :: b.b_tags_rev;
         tbl
   in
   let attr_table_for tag key =
-    let tname = tag ^ "@" ^ key in
+    let tname = Symbol.to_string tag ^ "@" ^ key in
     match Hashtbl.find_opt b.b_attr_tables tname with
     | Some tbl -> tbl
     | None ->
@@ -109,7 +113,7 @@ let shred b next =
           let pid, pos = parent_and_pos () in
           let id = b.b_counter in
           b.b_counter <- id + 1;
-          b.b_dir_rev <- ("", R.Table.row_count b.b_text) :: b.b_dir_rev;
+          b.b_dir_rev <- (Symbol.empty, R.Table.row_count b.b_text) :: b.b_dir_rev;
           R.Table.append b.b_text
             [| R.Value.Int id; R.Value.Int pid; R.Value.Int pos; R.Value.Str s |]
         end;
@@ -136,7 +140,7 @@ let merge_builders parts =
         | Some o -> o
         | None ->
             let o =
-              if tag = "" then R.Table.row_count g.b_text
+              if Symbol.equal tag Symbol.empty then R.Table.row_count g.b_text
               else
                 match Hashtbl.find_opt g.b_tag_tables tag with
                 | Some tbl -> R.Table.row_count tbl
@@ -157,7 +161,9 @@ let merge_builders parts =
             match Hashtbl.find_opt g.b_tag_tables tag with
             | Some tbl -> tbl
             | None ->
-                let tbl = R.Table.create ~name:tag ~cols:[ "id"; "parent"; "pos" ] in
+                let tbl =
+                  R.Table.create ~name:(Symbol.to_string tag) ~cols:[ "id"; "parent"; "pos" ]
+                in
                 Hashtbl.replace g.b_tag_tables tag tbl;
                 g.b_tags_rev <- tag :: g.b_tags_rev;
                 tbl
@@ -178,7 +184,7 @@ let merge_builders parts =
                 (* first global encounter: record the attribute key
                    under its tag, as the sequential fold would *)
                 let at = String.index tname '@' in
-                let tag = String.sub tname 0 at in
+                let tag = Symbol.intern (String.sub tname 0 at) in
                 let key = String.sub tname (at + 1) (String.length tname - at - 1) in
                 Hashtbl.replace g.b_attr_names tag
                   (key :: Option.value ~default:[] (Hashtbl.find_opt g.b_attr_names tag));
@@ -195,12 +201,15 @@ let merge_builders parts =
    sealed first, so concurrent builds are pure reads — while
    registration stays on the calling domain in the sequential order. *)
 let finalize ?pool b =
-  let element_tags = List.rev b.b_tags_rev in
+  let element_tag_syms = List.rev b.b_tags_rev in
+  let element_tags = List.map Symbol.to_string element_tag_syms in
   let cat = R.Catalog.create () in
-  List.iter (fun tag -> R.Catalog.register cat (Hashtbl.find b.b_tag_tables tag)) element_tags;
+  List.iter
+    (fun tag -> R.Catalog.register cat (Hashtbl.find b.b_tag_tables tag))
+    element_tag_syms;
   R.Catalog.register cat b.b_text;
   Hashtbl.iter (fun _ tbl -> R.Catalog.register cat tbl) b.b_attr_tables;
-  List.iter (fun tag -> R.Table.seal (Hashtbl.find b.b_tag_tables tag)) element_tags;
+  List.iter (fun tag -> R.Table.seal (Hashtbl.find b.b_tag_tables tag)) element_tag_syms;
   R.Table.seal b.b_text;
   Hashtbl.iter (fun _ tbl -> R.Table.seal tbl) b.b_attr_tables;
   let build_all jobs =
@@ -212,13 +221,21 @@ let finalize ?pool b =
     build_all
       (List.map
          (fun tag -> fun () -> (tag, R.Index.build (Hashtbl.find b.b_tag_tables tag) "parent"))
-         element_tags)
+         element_tag_syms)
   in
-  let child_indexes = Hashtbl.create 97 in
+  (* Symbol-indexed lookup arrays: every tag in the document was interned
+     before this point, so its id is in range; tags interned later (query
+     constants absent from the document) are guarded at the accessors. *)
+  let n_syms = Symbol.count () in
+  let tag_tables = Array.make n_syms None in
+  List.iter
+    (fun tag -> tag_tables.((tag : Symbol.t :> int)) <- Some (Hashtbl.find b.b_tag_tables tag))
+    element_tag_syms;
+  let child_indexes = Array.make n_syms None in
   List.iter
     (fun (tag, idx) ->
-      Hashtbl.replace child_indexes tag idx;
-      R.Catalog.register_index cat ~table:tag ~column:"parent" idx)
+      child_indexes.((tag : Symbol.t :> int)) <- Some idx;
+      R.Catalog.register_index cat ~table:(Symbol.to_string tag) ~column:"parent" idx)
     child_idx;
   let text_child_index = R.Index.build b.b_text "parent" in
   R.Catalog.register_index cat ~table:"_text" ~column:"parent" text_child_index;
@@ -253,17 +270,29 @@ let finalize ?pool b =
           id_tables := tname :: !id_tables;
           R.Catalog.register_index cat ~table:tname ~column:"value" vidx)
     attr_idx;
+  (* per-tag attribute metadata resolved once, so an [attributes] call
+     needs no "tag@key" string building or hashtable probes *)
+  let attr_info = Array.make n_syms [] in
+  Hashtbl.iter
+    (fun tag keys_rev ->
+      attr_info.((tag : Symbol.t :> int)) <-
+        List.rev_map
+          (fun key ->
+            let tname = Symbol.to_string tag ^ "@" ^ key in
+            (key, Hashtbl.find b.b_attr_tables tname, Hashtbl.find attr_owner_indexes tname))
+          keys_rev)
+    b.b_attr_names;
   let dir = Array.of_list (List.rev b.b_dir_rev) in
   {
     cat;
     element_tags;
-    tag_tables = b.b_tag_tables;
+    element_tag_syms;
+    tag_tables;
     text_table = b.b_text;
     child_indexes;
     text_child_index;
     attr_tables = b.b_attr_tables;
-    attr_names = b.b_attr_names;
-    attr_owner_indexes;
+    attr_info;
     id_tables = !id_tables;
     id_indexes;
     attr_order = List.rev b.b_attrs_rev;
@@ -381,7 +410,13 @@ let load_dom ?pool root = load_string ?pool (Xmark_xml.Serialize.to_string root)
 let to_image t =
   {
     Xmark_persist.Snapshot.bi_tags = t.element_tags;
-    bi_tag_tables = List.map (fun tag -> Hashtbl.find t.tag_tables tag) t.element_tags;
+    bi_tag_tables =
+      List.map
+        (fun tag ->
+          match t.tag_tables.((tag : Symbol.t :> int)) with
+          | Some tbl -> tbl
+          | None -> assert false)
+        t.element_tag_syms;
     bi_text = t.text_table;
     bi_attr_tables = List.map (fun n -> (n, Hashtbl.find t.attr_tables n)) t.attr_order;
   }
@@ -398,13 +433,15 @@ let of_image ?pool (img : Xmark_persist.Snapshot.b_image) =
   if List.length img.bi_tags <> List.length img.bi_tag_tables then
     corrupt "shredded image: %d tags but %d tag relations"
       (List.length img.bi_tags) (List.length img.bi_tag_tables);
+  let tag_syms = List.map Symbol.intern img.bi_tags in
   let b_tag_tables = Hashtbl.create 97 in
   List.iter2
-    (fun tag tbl ->
+    (fun (tag, sym) tbl ->
       if R.Table.name tbl <> tag then
         corrupt "shredded image: relation %S filed under tag %S" (R.Table.name tbl) tag;
-      Hashtbl.replace b_tag_tables tag tbl)
-    img.bi_tags img.bi_tag_tables;
+      Hashtbl.replace b_tag_tables sym tbl)
+    (List.combine img.bi_tags tag_syms)
+    img.bi_tag_tables;
   let b_attr_tables = Hashtbl.create 97 in
   let b_attr_names = Hashtbl.create 97 in
   let attrs_rev = ref [] in
@@ -413,7 +450,7 @@ let of_image ?pool (img : Xmark_persist.Snapshot.b_image) =
       match String.index_opt tname '@' with
       | None -> corrupt "shredded image: attribute relation %S lacks a tag@key name" tname
       | Some at ->
-          let tag = String.sub tname 0 at in
+          let tag = Symbol.intern (String.sub tname 0 at) in
           let key = String.sub tname (at + 1) (String.length tname - at - 1) in
           Hashtbl.replace b_attr_tables tname tbl;
           attrs_rev := tname :: !attrs_rev;
@@ -426,7 +463,7 @@ let of_image ?pool (img : Xmark_persist.Snapshot.b_image) =
       (R.Table.row_count img.bi_text)
       img.bi_tag_tables
   in
-  let dir = Array.make (max total 1) ("", 0) in
+  let dir = Array.make (max total 1) (Symbol.empty, 0) in
   let place tag tbl =
     R.Table.iter
       (fun row_idx row ->
@@ -435,15 +472,15 @@ let of_image ?pool (img : Xmark_persist.Snapshot.b_image) =
         | _ -> corrupt "shredded image: relation %S has inconsistent node ids" (R.Table.name tbl))
       tbl
   in
-  List.iter2 place img.bi_tags img.bi_tag_tables;
-  place "" img.bi_text;
+  List.iter2 place tag_syms img.bi_tag_tables;
+  place Symbol.empty img.bi_text;
   let b =
     {
       b_tag_tables;
       b_attr_tables;
       b_attr_names;
       b_text = img.bi_text;
-      b_tags_rev = List.rev img.bi_tags;
+      b_tags_rev = List.rev tag_syms;
       b_attrs_rev = !attrs_rev;
       b_dir_rev =
         (if total = 0 then [] else Array.fold_left (fun acc e -> e :: acc) [] dir);
@@ -459,18 +496,21 @@ let element_tags t = t.element_tags
 
 let root _ = 0
 
-let kind t n = if t.dir_tag.(n) = "" then `Text else `Element
+let kind t n = if Symbol.equal t.dir_tag.(n) Symbol.empty then `Text else `Element
 
 let name t n = t.dir_tag.(n)
 
 let node_row t n =
   Xmark_stats.incr "nodes_scanned";
   let tag = t.dir_tag.(n) in
-  if tag = "" then R.Table.get t.text_table t.dir_row.(n)
-  else R.Table.get (Hashtbl.find t.tag_tables tag) t.dir_row.(n)
+  if Symbol.equal tag Symbol.empty then R.Table.get t.text_table t.dir_row.(n)
+  else
+    match t.tag_tables.((tag : Symbol.t :> int)) with
+    | Some tbl -> R.Table.get tbl t.dir_row.(n)
+    | None -> assert false
 
 let text t n =
-  if t.dir_tag.(n) <> "" then ""
+  if not (Symbol.equal t.dir_tag.(n) Symbol.empty) then ""
   else
     match (R.Table.get t.text_table t.dir_row.(n)).(3) with
     | R.Value.Str s -> s
@@ -480,7 +520,7 @@ let text t n =
    the price of fragmentation. *)
 let children t n =
   let key = R.Value.Int n in
-  let collect tag idx table =
+  let collect idx table =
     List.filter_map
       (fun row_id ->
         let row = R.Table.get table row_id in
@@ -488,14 +528,17 @@ let children t n =
         | R.Value.Int id, R.Value.Int pos -> Some (pos, id)
         | _ -> None)
       (R.Index.lookup idx key)
-    |> fun l -> ignore tag; l
   in
   let from_tags =
     List.concat_map
-      (fun tag -> collect tag (Hashtbl.find t.child_indexes tag) (Hashtbl.find t.tag_tables tag))
-      t.element_tags
+      (fun tag ->
+        let i = (tag : Symbol.t :> int) in
+        match (t.child_indexes.(i), t.tag_tables.(i)) with
+        | Some idx, Some tbl -> collect idx tbl
+        | _ -> [])
+      t.element_tag_syms
   in
-  let from_text = collect "" t.text_child_index t.text_table in
+  let from_text = collect t.text_child_index t.text_table in
   let out = List.sort compare (from_tags @ from_text) |> List.map snd in
   if Xmark_stats.enabled () then Xmark_stats.incr ~by:(List.length out) "nodes_scanned";
   out
@@ -507,19 +550,15 @@ let parent t n =
 
 let attributes t n =
   let tag = t.dir_tag.(n) in
-  if tag = "" then []
+  if Symbol.equal tag Symbol.empty then []
   else
-    let names = List.rev (Option.value ~default:[] (Hashtbl.find_opt t.attr_names tag)) in
     List.filter_map
-      (fun key ->
-        let tname = tag ^ "@" ^ key in
-        let idx = Hashtbl.find t.attr_owner_indexes tname in
-        let tbl = Hashtbl.find t.attr_tables tname in
+      (fun (key, tbl, idx) ->
         match R.Index.lookup_rows idx tbl (R.Value.Int n) with
         | [ row ] -> (
             match row.(1) with R.Value.Str v -> Some (key, v) | _ -> None)
         | _ -> None)
-      names
+      t.attr_info.((tag : Symbol.t :> int))
 
 let attribute t n key = List.assoc_opt key (attributes t n)
 
@@ -547,8 +586,12 @@ let id_lookup t idval =
   in
   probe t.id_tables
 
+(* [tag_nodes]/[tag_count] go through the catalog on purpose: System B's
+   defining cost is metadata consultation, and the explain counters
+   measure exactly that.  The symbol is resolved to its name only here,
+   at the catalog boundary. *)
 let tag_nodes t tag =
-  match R.Catalog.lookup t.cat tag with
+  match R.Catalog.lookup t.cat (Symbol.to_string tag) with
   | None -> Some []
   | Some tbl ->
       if Xmark_stats.enabled () then
@@ -561,7 +604,7 @@ let tag_nodes t tag =
 
 let tag_count t tag =
   Xmark_stats.incr "summary_consultations";
-  match R.Catalog.lookup t.cat tag with
+  match R.Catalog.lookup t.cat (Symbol.to_string tag) with
   | None -> Some 0
   | Some tbl -> Some (R.Table.row_count tbl)
 

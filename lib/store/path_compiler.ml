@@ -1,11 +1,12 @@
 module R = Xmark_relational
+module Symbol = Xmark_xml.Symbol
 module Ast = Xmark_xquery.Ast
 
 exception Unsupported of string
 
 let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
 
-type test = Tag of string | Any_element
+type test = Tag of Symbol.t | Any_element
 
 type op =
   | Document  (* the virtual node above the root *)
@@ -28,13 +29,13 @@ let compile_pred op = function
       ( Ast.Eq,
         Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]),
         Ast.Literal v ) ->
-      Attr_join (op, a, v)
+      Attr_join (op, Symbol.to_string a, v)
   | Ast.Compare
       ( Ast.Eq,
         Ast.Literal v,
         Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]) )
       ->
-      Attr_join (op, a, v)
+      Attr_join (op, Symbol.to_string a, v)
   | p -> unsupported "predicate %s" (Ast.expr_to_string p)
 
 let compile_step op { Ast.axis; test; preds } =
@@ -97,7 +98,9 @@ let row_matches a test row =
   &&
   match test with
   | Any_element -> true
-  | Tag tag -> ( match row.(a.tag_col) with R.Value.Str t -> String.equal t tag | _ -> false)
+  | Tag tag -> (
+      (* dictionary-encoded tag column: an int compare, no hashing *)
+      match row.(a.tag_col) with R.Value.Int t -> t = (tag :> int) | _ -> false)
 
 (* index-nested-loop join on the parent column *)
 let children_of a test ids =
@@ -152,7 +155,9 @@ let rec join_count = function
 
 let join_count plan = join_count plan.op
 
-let test_to_string = function Tag t -> Printf.sprintf "tag='%s'" t | Any_element -> "kind=elem"
+let test_to_string = function
+  | Tag t -> Printf.sprintf "tag='%s'" (Symbol.to_string t)
+  | Any_element -> "kind=elem"
 
 let rec render = function
   | Document -> "DOC"

@@ -1,11 +1,12 @@
 module R = Xmark_relational
 module Ast = Xmark_xquery.Ast
+module Symbol = Xmark_xml.Symbol
 
 exception Unsupported of string
 
 let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
 
-type test = Tag of string | Any_element
+type test = Tag of Symbol.t | Any_element
 
 type op =
   | Document
@@ -26,13 +27,13 @@ let compile_pred op = function
       ( Ast.Eq,
         Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]),
         Ast.Literal v ) ->
-      Attr_join (op, a, v)
+      Attr_join (op, Symbol.to_string a, v)
   | Ast.Compare
       ( Ast.Eq,
         Ast.Literal v,
         Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]) )
       ->
-      Attr_join (op, a, v)
+      Attr_join (op, Symbol.to_string a, v)
   | p -> unsupported "predicate %s" (Ast.expr_to_string p)
 
 let compile_step op { Ast.axis; test; preds } =
@@ -78,7 +79,7 @@ let probe_relation store tag ids =
 let children_of store test ids =
   let tags =
     match test with
-    | Tag tag -> [ tag ]
+    | Tag tag -> [ Symbol.to_string tag ]
     | Any_element -> Backend_shredded.element_tags store
   in
   List.concat_map (fun tag -> probe_relation store tag ids) tags |> List.sort_uniq compare
@@ -91,7 +92,7 @@ let rec closure store test frontier acc =
       let matching =
         match test with
         | Any_element -> kids
-        | Tag tag -> List.filter (fun id -> Backend_shredded.name store id = tag) kids
+        | Tag tag -> List.filter (fun id -> Symbol.equal (Backend_shredded.name store id) tag) kids
       in
       closure store test kids (List.rev_append matching acc)
 
@@ -101,7 +102,7 @@ let attr_matches store name value id =
 let root_matches store test =
   match test with
   | Any_element -> true
-  | Tag tag -> Backend_shredded.name store (Backend_shredded.root store) = tag
+  | Tag tag -> Symbol.equal (Backend_shredded.name store (Backend_shredded.root store)) tag
 
 let rec run store = function
   | Document -> [ -1 ]
@@ -132,7 +133,9 @@ let rec relations_touched store = function
 
 let relations_touched plan = relations_touched plan.store plan.op
 
-let test_to_string = function Tag t -> Printf.sprintf "%s" t | Any_element -> "<every relation>"
+let test_to_string = function
+  | Tag t -> Symbol.to_string t
+  | Any_element -> "<every relation>"
 
 let rec render = function
   | Document -> "DOC"

@@ -83,7 +83,10 @@ let leaf_value n tag =
 
 let set_leaf n tag value =
   match child_el n tag with
-  | Some c -> c.Dom.desc <- Dom.Element { name = tag; attrs = []; children = [ Dom.text value ] }
+  | Some c ->
+      c.Dom.desc <-
+        Dom.Element
+          { name = Xmark_xml.Symbol.intern tag; attrs = []; children = [ Dom.text value ] }
   | None -> err "<%s> missing inside <%s>" tag (Dom.name n)
 
 let money f = Printf.sprintf "%.2f" f

@@ -17,7 +17,7 @@ let rec emit buf (n : Dom.node) =
   | Dom.Text s -> Serialize.(Buffer.add_string buf (escape_text (normalize_ws s)))
   | Dom.Element e ->
       Buffer.add_char buf '<';
-      Buffer.add_string buf e.name;
+      Buffer.add_string buf (Symbol.to_string e.name);
       List.iter
         (fun (k, v) ->
           Buffer.add_char buf ' ';
@@ -46,7 +46,7 @@ let rec emit buf (n : Dom.node) =
       in
       walk e.children;
       Buffer.add_string buf "</";
-      Buffer.add_string buf e.name;
+      Buffer.add_string buf (Symbol.to_string e.name);
       Buffer.add_char buf '>'
 
 let of_node n =

@@ -9,15 +9,17 @@ and desc =
   | Text of string
 
 and element = {
-  name : string;
+  name : Symbol.t;
   mutable attrs : (string * string) list;
   mutable children : node list;
 }
 
-let element ?(attrs = []) ?(children = []) name =
+let element_sym ?(attrs = []) ?(children = []) name =
   let n = { desc = Element { name; attrs; children }; parent = None; order = -1 } in
   List.iter (fun c -> c.parent <- Some n) children;
   n
+
+let element ?attrs ?children name = element_sym ?attrs ?children (Symbol.intern name)
 
 let text data = { desc = Text data; parent = None; order = -1 }
 
@@ -40,10 +42,17 @@ let index root =
   number counter root;
   !counter
 
-let name n =
+let order_exn n =
+  if n.order < 0 then invalid_arg "Dom.index not run" else n.order
+
+let name_sym n =
   match n.desc with
   | Element e -> e.name
-  | Text _ -> ""
+  | Text _ -> Symbol.empty
+
+let name_string n = Symbol.to_string (name_sym n)
+
+let name = name_string
 
 let is_element n =
   match n.desc with
@@ -84,24 +93,26 @@ let string_value n =
   Buffer.contents buf
 
 let descendants_named root tag =
+  let tag = Symbol.intern tag in
   let acc = ref [] in
   iter
     (fun x ->
-      if x != root && name x = tag then acc := x :: !acc)
+      if x != root && Symbol.equal (name_sym x) tag then acc := x :: !acc)
     root;
   List.rev !acc
 
 let find_element root tag =
+  let tag = Symbol.intern tag in
   let exception Found of node in
   try
-    iter (fun x -> if name x = tag then raise (Found x)) root;
+    iter (fun x -> if Symbol.equal (name_sym x) tag then raise (Found x)) root;
     None
   with Found x -> Some x
 
 let rec deep_copy n =
   match n.desc with
   | Text s -> text s
-  | Element e -> element ~attrs:e.attrs ~children:(List.map deep_copy e.children) e.name
+  | Element e -> element_sym ~attrs:e.attrs ~children:(List.map deep_copy e.children) e.name
 
 let sorted_attrs e = List.sort compare e.attrs
 
@@ -109,7 +120,7 @@ let rec equal a b =
   match (a.desc, b.desc) with
   | Text s, Text t -> String.equal s t
   | Element e, Element f ->
-      String.equal e.name f.name
+      Symbol.equal e.name f.name
       && sorted_attrs e = sorted_attrs f
       && List.length e.children = List.length f.children
       && List.for_all2 equal e.children f.children

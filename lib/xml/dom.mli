@@ -4,7 +4,12 @@
     attributes and character data only — no namespaces, entities, notations
     or processing instructions.  Attributes are unordered name/value pairs
     attached to elements; element and text nodes carry a document-order
-    number assigned by {!index}. *)
+    number assigned by {!index}.
+
+    Element names are interned {!Symbol.t} values: name tests are integer
+    comparisons and a tree holds one boxed string less per element.  The
+    string-typed constructors and accessors below intern/resolve at the
+    boundary, so casual callers never see symbols. *)
 
 type node = {
   mutable desc : desc;
@@ -17,14 +22,18 @@ and desc =
   | Text of string
 
 and element = {
-  name : string;
+  name : Symbol.t;  (** interned tag *)
   mutable attrs : (string * string) list;  (** in source order *)
   mutable children : node list;  (** in document order *)
 }
 
 val element : ?attrs:(string * string) list -> ?children:node list -> string -> node
 (** [element name] builds an element node and sets the [parent] field of
-    the given children. *)
+    the given children.  The tag is interned; prefer {!element_sym} on
+    hot paths that already hold a symbol. *)
+
+val element_sym : ?attrs:(string * string) list -> ?children:node list -> Symbol.t -> node
+(** Like {!element} from an already-interned tag. *)
 
 val text : string -> node
 (** Text node. *)
@@ -37,8 +46,21 @@ val index : node -> int
 (** [index root] numbers the subtree in document order starting at 0 and
     returns the number of nodes. *)
 
+val order_exn : node -> int
+(** The node's document-order number.
+    @raise Invalid_argument with message ["Dom.index not run"] if the
+    node has not been numbered — order-dependent operations must fail
+    loudly rather than silently misorder on the [-1] placeholder. *)
+
 val name : node -> string
 (** Element tag, or [""] for a text node. *)
+
+val name_string : node -> string
+(** Alias of {!name}: the tag resolved back to a string, for
+    serialization and canonical output. *)
+
+val name_sym : node -> Symbol.t
+(** Interned tag, or {!Symbol.empty} for a text node. *)
 
 val is_element : node -> bool
 

@@ -1,8 +1,8 @@
 exception Parse_error of { line : int; col : int; message : string }
 
 type event =
-  | Start_element of string * (string * string) list
-  | End_element of string
+  | Start_element of Symbol.t * (string * string) list
+  | End_element of Symbol.t
   | Chars of string
   | Eof
 
@@ -11,8 +11,8 @@ type t = {
   mutable pos : int;
   mutable line : int;
   mutable bol : int;  (* offset of beginning of current line *)
-  mutable stack : string list;  (* open elements, innermost first *)
-  mutable pending_end : string option;  (* for <empty/> tags *)
+  mutable stack : Symbol.t list;  (* open elements, innermost first *)
+  mutable pending_end : Symbol.t option;  (* for <empty/> tags *)
   mutable done_ : bool;
 }
 
@@ -62,6 +62,17 @@ let read_name p =
     advance p
   done;
   String.sub p.src start (p.pos - start)
+
+(* Tag names are interned straight off the source slice: for the DTD
+   vocabulary this allocates nothing, which is most of the win of
+   dictionary encoding at parse time. *)
+let read_name_sym p =
+  if eof p || not (is_name_start (peek p)) then error p "expected a name";
+  let start = p.pos in
+  while (not (eof p)) && is_name_char (peek p) do
+    advance p
+  done;
+  Symbol.intern_sub p.src ~pos:start ~len:(p.pos - start)
 
 (* Entity / character reference, cursor just past '&'. *)
 let read_reference p =
@@ -179,15 +190,18 @@ let read_tag p =
   match peek p with
   | '/' ->
       advance p;
-      let name = read_name p in
+      let name = read_name_sym p in
       skip_ws p;
       expect p '>';
       (match p.stack with
-      | top :: rest when String.equal top name ->
+      | top :: rest when Symbol.equal top name ->
           p.stack <- rest;
           End_element name
-      | top :: _ -> error p (Printf.sprintf "mismatched end tag </%s>, expected </%s>" name top)
-      | [] -> error p (Printf.sprintf "unexpected end tag </%s>" name))
+      | top :: _ ->
+          error p
+            (Printf.sprintf "mismatched end tag </%s>, expected </%s>"
+               (Symbol.to_string name) (Symbol.to_string top))
+      | [] -> error p (Printf.sprintf "unexpected end tag </%s>" (Symbol.to_string name)))
   | '?' ->
       skip_until p "?>";
       Chars ""
@@ -207,7 +221,7 @@ let read_tag p =
       end
       else error p "unsupported markup declaration"
   | _ ->
-      let name = read_name p in
+      let name = read_name_sym p in
       let rec attrs acc =
         skip_ws p;
         if eof p then error p "unterminated start tag"
@@ -259,13 +273,16 @@ let rec next_event p =
   | Some name ->
       p.pending_end <- None;
       (match p.stack with
-      | top :: rest when String.equal top name -> p.stack <- rest
+      | top :: rest when Symbol.equal top name -> p.stack <- rest
       | _ -> ());
       End_element name
   | None ->
       if p.done_ then Eof
       else if eof p then begin
-        if p.stack <> [] then error p (Printf.sprintf "unexpected end of input inside <%s>" (List.hd p.stack));
+        if p.stack <> [] then
+          error p
+            (Printf.sprintf "unexpected end of input inside <%s>"
+               (Symbol.to_string (List.hd p.stack)));
         p.done_ <- true;
         Eof
       end
@@ -310,7 +327,7 @@ let parse_dom ?(keep_ws = false) p =
         else build_children (Dom.text s :: acc)
     | Start_element (name, attrs) ->
         let children = build_children [] in
-        build_children (Dom.element ~attrs ~children name :: acc)
+        build_children (Dom.element_sym ~attrs ~children name :: acc)
   in
   let rec root () =
     match next p with
@@ -319,7 +336,7 @@ let parse_dom ?(keep_ws = false) p =
     | End_element _ -> error p "unexpected end tag"
     | Start_element (name, attrs) ->
         let children = build_children [] in
-        Dom.element ~attrs ~children name
+        Dom.element_sym ~attrs ~children name
   in
   let r = root () in
   (match next p with

@@ -12,8 +12,9 @@
 exception Parse_error of { line : int; col : int; message : string }
 
 type event =
-  | Start_element of string * (string * string) list
-  | End_element of string
+  | Start_element of Symbol.t * (string * string) list
+      (** interned tag; attribute keys stay strings *)
+  | End_element of Symbol.t
   | Chars of string  (** character data; never empty *)
   | Eof
 

@@ -39,7 +39,7 @@ let to_buffer ?(indent = false) buf root =
     | Text s -> add_escaped buf `Text s
     | Element e ->
         Buffer.add_char buf '<';
-        Buffer.add_string buf e.name;
+        Buffer.add_string buf (Symbol.to_string e.name);
         List.iter
           (fun (k, v) ->
             Buffer.add_char buf ' ';
@@ -59,7 +59,7 @@ let to_buffer ?(indent = false) buf root =
             e.children;
           if not mixed then pad depth;
           Buffer.add_string buf "</";
-          Buffer.add_string buf e.name;
+          Buffer.add_string buf (Symbol.to_string e.name);
           Buffer.add_char buf '>'
         end
   in

@@ -57,23 +57,27 @@ type gen = {
 
 (* --- small emission helpers ------------------------------------------- *)
 
+(* Every tag the generator emits is in the DTD vocabulary, so interning
+   here is an allocation-free probe of the seeded table. *)
+let sym = Xmark_xml.Symbol.intern
+
 let el t tag f =
-  t.sink.Sink.open_tag tag [];
+  t.sink.Sink.open_tag (sym tag) [];
   f ();
   t.sink.Sink.close_tag ()
 
 let el_attrs t tag attrs f =
-  t.sink.Sink.open_tag tag attrs;
+  t.sink.Sink.open_tag (sym tag) attrs;
   f ();
   t.sink.Sink.close_tag ()
 
 let leaf t tag value =
-  t.sink.Sink.open_tag tag [];
+  t.sink.Sink.open_tag (sym tag) [];
   t.sink.Sink.text value;
   t.sink.Sink.close_tag ()
 
 let empty_el t tag attrs =
-  t.sink.Sink.open_tag tag attrs;
+  t.sink.Sink.open_tag (sym tag) attrs;
   t.sink.Sink.close_tag ()
 
 (* --- scalar value generators ------------------------------------------ *)

@@ -1,20 +1,23 @@
 module Serialize = Xmark_xml.Serialize
+module Symbol = Xmark_xml.Symbol
 module Dom = Xmark_xml.Dom
 
 type t = {
-  open_tag : string -> (string * string) list -> unit;
+  open_tag : Symbol.t -> (string * string) list -> unit;
   close_tag : unit -> unit;
   text : string -> unit;
 }
 
 (* Shared writer core over a raw-string output function.  Elements are
    written as explicit start/end pairs; the generator never needs
-   self-closing forms and parsers treat both the same. *)
+   self-closing forms and parsers treat both the same.  Tags arrive
+   interned and are resolved to (shared) strings only at the byte
+   boundary. *)
 let writer out =
   let stack = ref [] in
   let open_tag name attrs =
     out "<";
-    out name;
+    out (Symbol.to_string name);
     List.iter
       (fun (k, v) ->
         out " ";
@@ -31,7 +34,7 @@ let writer out =
     | [] -> invalid_arg "Sink: close_tag without open element"
     | name :: rest ->
         out "</";
-        out name;
+        out (Symbol.to_string name);
         out ">";
         stack := rest
   in
@@ -53,14 +56,14 @@ let counting () =
   ({ w with open_tag }, fun () -> (!bytes, !elements))
 
 let dom () =
-  let stack : (string * (string * string) list * Dom.node list ref) list ref = ref [] in
+  let stack : (Symbol.t * (string * string) list * Dom.node list ref) list ref = ref [] in
   let root = ref None in
   let open_tag name attrs = stack := (name, attrs, ref []) :: !stack in
   let close_tag () =
     match !stack with
     | [] -> invalid_arg "Sink.dom: close_tag without open element"
     | (name, attrs, children) :: rest ->
-        let node = Dom.element ~attrs ~children:(List.rev !children) name in
+        let node = Dom.element_sym ~attrs ~children:(List.rev !children) name in
         stack := rest;
         (match rest with
         | (_, _, parent_children) :: _ -> parent_children := node :: !parent_children
@@ -85,6 +88,8 @@ type split_info = { files : string list; entities : int }
 
 let entity_tags = [ "item"; "person"; "open_auction"; "closed_auction"; "category" ]
 
+let entity_tag_syms = List.map Symbol.intern entity_tags
+
 let split ~dir ~basename ~per_file () =
   if per_file <= 0 then invalid_arg "Sink.split: per_file must be positive";
   let files = ref [] in
@@ -94,7 +99,7 @@ let split ~dir ~basename ~per_file () =
   let oc = ref None in
   (* Stack of open elements with their attributes so a fresh file can be
      re-opened under the same ancestor chain. *)
-  let stack : (string * (string * string) list) list ref = ref [] in
+  let stack : (Symbol.t * (string * string) list) list ref = ref [] in
   let out s =
     match !oc with
     | Some c -> output_string c s
@@ -102,7 +107,7 @@ let split ~dir ~basename ~per_file () =
   in
   let write_open (name, attrs) =
     out "<";
-    out name;
+    out (Symbol.to_string name);
     List.iter
       (fun (k, v) ->
         out " ";
@@ -115,7 +120,7 @@ let split ~dir ~basename ~per_file () =
   in
   let write_close name =
     out "</";
-    out name;
+    out (Symbol.to_string name);
     out ">"
   in
   let open_file () =
@@ -137,7 +142,7 @@ let split ~dir ~basename ~per_file () =
   in
   let open_tag name attrs =
     if !oc = None then open_file ();
-    if List.mem name entity_tags then begin
+    if List.exists (Symbol.equal name) entity_tag_syms then begin
       incr entities_total;
       if !in_file >= per_file then rotate ();
       incr in_file

@@ -9,7 +9,9 @@
     split-files mode of Section 5 ("n entities per file"). *)
 
 type t = {
-  open_tag : string -> (string * string) list -> unit;
+  open_tag : Xmark_xml.Symbol.t -> (string * string) list -> unit;
+      (** tags arrive pre-interned; the generator interns each literal
+          once at emission (a seeded-table hit, no allocation) *)
   close_tag : unit -> unit;
   text : string -> unit;  (** character data; escaped by the sink *)
 }

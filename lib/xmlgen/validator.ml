@@ -59,16 +59,17 @@ let validate ?(mode = `Single) root =
     match n.Dom.desc with
     | Dom.Text _ -> ()
     | Dom.Element e ->
-        let path = if path = "" then e.Dom.name else path ^ "/" ^ e.Dom.name in
-        (match List.assoc_opt e.Dom.name elements with
-        | None -> add path "undeclared element <%s>" e.Dom.name
+        let ename = Xmark_xml.Symbol.to_string e.Dom.name in
+        let path = if path = "" then ename else path ^ "/" ^ ename in
+        (match List.assoc_opt ename elements with
+        | None -> add path "undeclared element <%s>" ename
         | Some model -> (
-            let model = model_for mode e.Dom.name model in
+            let model = model_for mode ename model in
             let child_tags =
               List.filter_map
                 (fun (c : Dom.node) ->
                   match c.Dom.desc with
-                  | Dom.Element ce -> Some ce.Dom.name
+                  | Dom.Element ce -> Some (Xmark_xml.Symbol.to_string ce.Dom.name)
                   | Dom.Text _ -> None)
                 e.Dom.children
             in
@@ -94,7 +95,7 @@ let validate ?(mode = `Single) root =
                 if not (matches model child_tags) then
                   add path "children (%s) violate the content model"
                     (String.concat ", " child_tags)));
-        let decls = Option.value ~default:[] (List.assoc_opt e.Dom.name attributes) in
+        let decls = Option.value ~default:[] (List.assoc_opt ename attributes) in
         List.iter
           (fun (k, v) ->
             match List.find_opt (fun d -> d.aname = k) decls with

@@ -62,8 +62,8 @@ let element_decl (name, content) =
       let body =
         (* the top-level particle must be a model group *)
         match particle model with
-        | { Dom.desc = Dom.Element e; _ } as p
-          when e.Dom.name = "xs:sequence" || e.Dom.name = "xs:choice" ->
+        | { Dom.desc = Dom.Element _; _ } as p
+          when Dom.name p = "xs:sequence" || Dom.name p = "xs:choice" ->
             p
         | p -> el "xs:sequence" [ p ]
       in

@@ -13,7 +13,7 @@ type axis =
   | Self
 
 type test =
-  | Name of string
+  | Name of Xmark_xml.Symbol.t  (** interned: a name test is an int compare *)
   | Star
   | Text_test  (** [text()] *)
   | Any_kind  (** [node()] *)
@@ -42,7 +42,7 @@ type expr =
   | Arith of arith * expr * expr
   | Neg of expr
   | Call of string * expr list
-  | Elem_ctor of string * (string * attr_value) list * content list
+  | Elem_ctor of Xmark_xml.Symbol.t * (string * attr_value) list * content list
   | Node_before of expr * expr  (** [<<] *)
   | Node_after of expr * expr  (** [>>] *)
 
@@ -126,6 +126,7 @@ let rec pp_expr fmt e =
         (pp_print_list ~pp_sep:(fun f () -> pp_print_string f ", ") pp_expr)
         args
   | Elem_ctor (tag, attrs, content) ->
+      let tag = Xmark_xml.Symbol.to_string tag in
       fprintf fmt "<%s" tag;
       List.iter (fun (k, _) -> fprintf fmt " %s=\"...\"" k) attrs;
       fprintf fmt ">";
@@ -147,7 +148,10 @@ and pp_step fmt { axis; test; preds } =
   | Parent -> fprintf fmt "/.."
   | Self -> fprintf fmt "/.");
   (match test with
-  | Name n -> (match axis with Parent | Self -> () | _ -> pp_print_string fmt n)
+  | Name n -> (
+      match axis with
+      | Parent | Self -> ()
+      | _ -> pp_print_string fmt (Xmark_xml.Symbol.to_string n))
   | Star -> pp_print_string fmt "*"
   | Text_test -> pp_print_string fmt "text()"
   | Any_kind -> pp_print_string fmt "node()");

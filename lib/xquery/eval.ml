@@ -1,4 +1,5 @@
 module Dom = Xmark_xml.Dom
+module Symbol = Xmark_xml.Symbol
 module Stats = Xmark_stats
 
 module Make (S : Store_sig.S) = struct
@@ -29,7 +30,7 @@ module Make (S : Store_sig.S) = struct
     store : S.t;
     query : Ast.query;
     funcs : (string, string list * Ast.expr) Hashtbl.t;
-    tag_arrays : (string, S.node array option) Hashtbl.t;
+    tag_arrays : (Symbol.t, S.node array option) Hashtbl.t;
         (* doc-order extent per tag, when the backend offers one *)
     optimize : bool;
         (* heuristic rewrites: equi-joins in FLWOR bodies become hash joins
@@ -325,7 +326,7 @@ module Make (S : Store_sig.S) = struct
   let node_order c = function
     | D -> -1
     | N n -> S.order c.store n
-    | C d -> d.Dom.order
+    | C d -> Dom.order_exn d
     | A a -> a.aowner_order
     | Num _ | Str _ | Bool _ -> err "document order of an atomic value"
 
@@ -412,14 +413,23 @@ module Make (S : Store_sig.S) = struct
 
   let item_name ctx = function
     | D -> ""
-    | N n -> S.name ctx.c.store n
-    | C d -> Dom.name d
+    | N n -> Symbol.to_string (S.name ctx.c.store n)
+    | C d -> Dom.name_string d
     | A a -> a.aname
+    | Num _ | Str _ | Bool _ -> err "node name of an atomic value"
+
+  (* Symbol-typed twin of [item_name] for name tests: no string ever
+     materializes on the hot path. *)
+  let item_name_sym ctx = function
+    | D -> Symbol.empty
+    | N n -> S.name ctx.c.store n
+    | C d -> Dom.name_sym d
+    | A a -> Symbol.intern a.aname
     | Num _ | Str _ | Bool _ -> err "node name of an atomic value"
 
   let matches_test ctx test it =
     match test with
-    | Ast.Name tag -> item_kind ctx it = `Element && String.equal (item_name ctx it) tag
+    | Ast.Name tag -> item_kind ctx it = `Element && Symbol.equal (item_name_sym ctx it) tag
     | Ast.Star -> item_kind ctx it = `Element
     | Ast.Text_test -> item_kind ctx it = `Text
     | Ast.Any_kind -> true
@@ -433,6 +443,68 @@ module Make (S : Store_sig.S) = struct
         | `Element -> collect_descendants ctx acc k
         | `Text -> acc)
       acc kids
+
+  (* Fused //tag scan for stores without extent indexes: walk the tree at
+     the node level and cons an item only for symbol-equal hits, instead
+     of materializing an item per descendant and filtering afterwards.
+     On a factor-0.1 document a //item scan visits ~500k nodes for ~20k
+     hits, so the unfused version allocates 25x more items. *)
+  let collect_descendants_named ctx it tag =
+    let store = ctx.c.store in
+    let rec go_n acc n =
+      List.fold_left
+        (fun acc k ->
+          match S.kind store k with
+          | `Element ->
+              let acc =
+                if Symbol.equal (S.name store k) tag then N k :: acc else acc
+              in
+              go_n acc k
+          | `Text -> acc)
+        acc (S.children store n)
+    in
+    let rec go_c acc d =
+      List.fold_left
+        (fun acc k ->
+          if Dom.is_element k then
+            let acc = if Symbol.equal (Dom.name_sym k) tag then C k :: acc else acc in
+            go_c acc k
+          else acc)
+        acc (Dom.children d)
+    in
+    match it with
+    | D ->
+        let root = S.root store in
+        let acc =
+          if Symbol.equal (S.name store root) tag then [ N root ] else []
+        in
+        List.rev (go_n acc root)
+    | N n -> List.rev (go_n [] n)
+    | C d -> List.rev (go_c [] d)
+    | A _ | Num _ | Str _ | Bool _ -> err "child step on a non-element item"
+
+  (* Same fusion for the child axis: test the symbol while walking the
+     child list, wrapping only hits into items. *)
+  let children_named ctx it tag =
+    let store = ctx.c.store in
+    match it with
+    | D ->
+        let r = S.root store in
+        if Symbol.equal (S.name store r) tag then [ N r ] else []
+    | N n ->
+        List.filter_map
+          (fun k ->
+            match S.kind store k with
+            | `Element when Symbol.equal (S.name store k) tag -> Some (N k)
+            | `Element | `Text -> None)
+          (S.children store n)
+    | C d ->
+        List.filter_map
+          (fun k ->
+            if Dom.is_element k && Symbol.equal (Dom.name_sym k) tag then Some (C k)
+            else None)
+          (Dom.children d)
+    | A _ | Num _ | Str _ | Bool _ -> err "child step on a non-element item"
 
   (* Descendants with a given tag, using extent + interval indexes when the
      backend provides them — the structural-summary fast path. *)
@@ -491,7 +563,7 @@ module Make (S : Store_sig.S) = struct
     | `Text -> Dom.text (S.text store n)
     | `Element ->
         Stats.incr "elements_materialized";
-        Dom.element
+        Dom.element_sym
           ~attrs:(S.attributes store n)
           ~children:(List.map (store_to_dom store) (S.children store n))
           (S.name store n)
@@ -511,19 +583,23 @@ module Make (S : Store_sig.S) = struct
     | None -> err "undefined variable $%s" v
 
   (* Detect the [@id = "literal"] predicate shape the ID index serves. *)
+  let sym_id = Symbol.intern "id"
+
   let id_predicate_literal preds =
     match preds with
     | Ast.Compare
         ( Ast.Eq,
-          Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name "id"; preds = [] } ]),
+          Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]),
           Ast.Literal s )
-      :: rest ->
+      :: rest
+      when Symbol.equal a sym_id ->
         Some (s, rest)
     | Ast.Compare
         ( Ast.Eq,
           Ast.Literal s,
-          Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name "id"; preds = [] } ]) )
-      :: rest ->
+          Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]) )
+      :: rest
+      when Symbol.equal a sym_id ->
         Some (s, rest)
     | _ -> None
 
@@ -579,16 +655,17 @@ module Make (S : Store_sig.S) = struct
               | Some candidate -> (
                   match candidate with
                   | Some n
-                    when String.equal (S.name ctx.c.store n) tag
+                    when Symbol.equal (S.name ctx.c.store n) tag
                          && (match S.parent ctx.c.store n with
                             | Some p -> item_equal (N p) it
                             | None -> false) ->
                       apply_predicates ctx [ N n ] rest_preds
                   | Some _ | None -> [])
               | None ->
-                  let selected = List.filter (matches_test ctx test) (child_items ctx it) in
-                  apply_predicates ctx selected preds)
-          | _ ->
+                  apply_predicates ctx (children_named ctx it tag) preds)
+          | Ast.Name tag, None ->
+              apply_predicates ctx (children_named ctx it tag) preds
+          | (Ast.Star | Ast.Text_test | Ast.Any_kind), _ ->
               let selected = List.filter (matches_test ctx test) (child_items ctx it) in
               apply_predicates ctx selected preds)
       | Ast.Descendant ->
@@ -597,16 +674,16 @@ module Make (S : Store_sig.S) = struct
             | Ast.Name tag -> (
                 match descendants_named ctx it tag with
                 | Some nodes -> nodes
-                | None ->
-                    List.filter (matches_test ctx test)
-                      (List.rev (collect_descendants ctx [] it)))
+                | None -> collect_descendants_named ctx it tag)
             | _ -> List.filter (matches_test ctx test) (List.rev (collect_descendants ctx [] it))
           in
           apply_predicates ctx selected preds
       | Ast.Attribute ->
           let selected =
             match test with
-            | Ast.Name a -> List.filter (fun x -> item_name ctx x = a) (attribute_items ctx it)
+            | Ast.Name a ->
+                let a = Symbol.to_string a in
+                List.filter (fun x -> String.equal (item_name ctx x) a) (attribute_items ctx it)
             | Ast.Star -> attribute_items ctx it
             | Ast.Text_test | Ast.Any_kind -> []
           in
@@ -1054,7 +1131,7 @@ module Make (S : Store_sig.S) = struct
         | Ast.C_text s -> add_text s
         | Ast.C_expr e -> add_items (eval ctx e))
       content;
-    let node = Dom.element ~attrs:!attrs ~children:(List.rev !children) tag in
+    let node = Dom.element_sym ~attrs:!attrs ~children:(List.rev !children) tag in
     ignore (Dom.index node);
     C node
 
@@ -1207,16 +1284,14 @@ module Make (S : Store_sig.S) = struct
            backend's inverted index when it has one (System D), by an
            extent or tree scan otherwise — the isolation study of the
            paper's Section 6.9. *)
-        let tag = string_arg ctx tag_e and word = string_arg ctx word_e in
+        let tag = Symbol.intern (string_arg ctx tag_e) and word = string_arg ctx word_e in
         match S.keyword_search ctx.c.store ~tag ~word with
         | Some nodes -> List.map (fun n -> N n) nodes
         | None ->
             let extent =
               match tag_array ctx.c tag with
               | Some a -> Array.to_list (Array.map (fun n -> N n) a)
-              | None ->
-                  List.filter (matches_test ctx (Ast.Name tag))
-                    (List.rev (collect_descendants ctx [] D))
+              | None -> collect_descendants_named ctx D tag
             in
             let needle = String.lowercase_ascii word in
             List.filter (fun it -> contains_token (string_value_of ctx it) needle) extent)

@@ -1,3 +1,5 @@
+module Symbol = Xmark_xml.Symbol
+
 exception Error of { pos : int; message : string }
 
 type state = { src : string; mutable pos : int }
@@ -391,7 +393,7 @@ and parse_step p axis =
   let axis, test =
     if eat p "@" then
       if eat p "*" then (Ast.Attribute, Ast.Star)
-      else (Ast.Attribute, Ast.Name (read_name_raw p))
+      else (Ast.Attribute, Ast.Name (Symbol.intern (read_name_raw p)))
     else if looking_at p ".." then begin
       p.pos <- p.pos + 2;
       (Ast.Parent, Ast.Any_kind)
@@ -416,7 +418,8 @@ and parse_step p axis =
           | other -> error p (Printf.sprintf "unsupported axis %s" other)
         in
         skip p;
-        if eat p "*" then (axis, Ast.Star) else (axis, Ast.Name (read_qname p))
+        if eat p "*" then (axis, Ast.Star)
+        else (axis, Ast.Name (Symbol.intern (read_qname p)))
       end
       else if looking_at p "()" then begin
         p.pos <- p.pos + 2;
@@ -425,7 +428,7 @@ and parse_step p axis =
         | "node" -> (axis, Ast.Any_kind)
         | other -> error p (Printf.sprintf "unsupported node test %s()" other)
       end
-      else (axis, Ast.Name name)
+      else (axis, Ast.Name (Symbol.intern name))
     end
   in
   let preds = parse_predicates p in
@@ -503,10 +506,10 @@ and parse_constructor p =
   let tag = read_qname p in
   let rec attrs acc =
     skip p;
-    if eat p "/>" then Ast.Elem_ctor (tag, List.rev acc, [])
+    if eat p "/>" then Ast.Elem_ctor (Symbol.intern tag, List.rev acc, [])
     else if eat p ">" then begin
       let content = parse_content p tag in
-      Ast.Elem_ctor (tag, List.rev acc, content)
+      Ast.Elem_ctor (Symbol.intern tag, List.rev acc, content)
     end
     else begin
       let key = read_qname p in

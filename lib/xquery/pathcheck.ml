@@ -29,7 +29,7 @@ module Make (S : Store_sig.S) = struct
       let best = ref None in
       List.iter
         (fun candidate ->
-          match S.tag_count store candidate with
+          match S.tag_count store (Xmark_xml.Symbol.intern candidate) with
           | Some n when n > 0 ->
               let d = edit_distance tag candidate in
               if d <= 2 && (match !best with None -> true | Some (bd, _) -> d < bd) then
@@ -38,9 +38,10 @@ module Make (S : Store_sig.S) = struct
         vocabulary;
       Option.map snd !best
     in
-    let note context tag =
+    let note context tag_sym =
+      let tag = Xmark_xml.Symbol.to_string tag_sym in
       if not (Hashtbl.mem seen tag) then
-        match S.tag_count store tag with
+        match S.tag_count store tag_sym with
         | Some 0 ->
             Hashtbl.add seen tag ();
             warnings := { tag; context; suggestion = suggest tag } :: !warnings

@@ -36,8 +36,10 @@ module type S = sig
 
   val kind : t -> node -> [ `Element | `Text ]
 
-  val name : t -> node -> string
-  (** Tag name of an element; [""] for text nodes. *)
+  val name : t -> node -> Xmark_xml.Symbol.t
+  (** Interned tag of an element; {!Xmark_xml.Symbol.empty} for text
+      nodes.  Resolve with [Symbol.to_string] only at output
+      boundaries — name tests stay in symbol space. *)
 
   val text : t -> node -> string
   (** Character data of a text node; [""] for elements. *)
@@ -63,16 +65,16 @@ module type S = sig
   (** [Some (Some n)]: the element whose [id] attribute is the argument;
       [Some None]: index present, no such id; [None]: no ID index. *)
 
-  val tag_nodes : t -> string -> node list option
+  val tag_nodes : t -> Xmark_xml.Symbol.t -> node list option
   (** All elements with the given tag, in document order. *)
 
-  val tag_count : t -> string -> int option
+  val tag_count : t -> Xmark_xml.Symbol.t -> int option
 
   val subtree_interval : t -> node -> (int * int) option
   (** [(lo, hi)] such that node [d] is a descendant-or-self of the argument
       iff [lo <= order d < hi]. *)
 
-  val keyword_search : t -> tag:string -> word:string -> node list option
+  val keyword_search : t -> tag:Xmark_xml.Symbol.t -> word:string -> node list option
   (** Elements with the given tag whose string value contains [word] as a
       token — an inverted-index access path for the full-text query Q14. *)
 

@@ -19,7 +19,9 @@ module Lockstep (S : Xmark_xquery.Store_sig.S) = struct
     (match (d.Dom.desc, S.kind store n) with
     | Dom.Text s, `Text -> Alcotest.(check string) "text" s (S.text store n)
     | Dom.Element e, `Element ->
-        Alcotest.(check string) "tag" e.Dom.name (S.name store n);
+        Alcotest.(check string) "tag"
+          (Xmark_xml.Symbol.to_string e.Dom.name)
+          (Xmark_xml.Symbol.to_string (S.name store n));
         Alcotest.(check (list (pair string string))) "attrs"
           (List.sort compare e.Dom.attrs)
           (List.sort compare (S.attributes store n))
@@ -85,9 +87,9 @@ let test_id_lookup () =
     | Some None -> Alcotest.fail (name ^ ": person0 not found")
     | None -> Alcotest.fail (name ^ ": no id index")
   in
-  check_lookup "heap" (HA.id_lookup a) (HA.name a);
-  check_lookup "shredded" (SB.id_lookup b) (SB.name b);
-  check_lookup "mainmem" (MM.id_lookup m) (MM.name m);
+  check_lookup "heap" (HA.id_lookup a) (fun n -> Xmark_xml.Symbol.to_string (HA.name a n));
+  check_lookup "shredded" (SB.id_lookup b) (fun n -> Xmark_xml.Symbol.to_string (SB.name b n));
+  check_lookup "mainmem" (MM.id_lookup m) (fun n -> Xmark_xml.Symbol.to_string (MM.name m n));
   (match HA.id_lookup a "missing-id" with
   | Some None -> ()
   | _ -> Alcotest.fail "heap miss should be Some None");
@@ -102,7 +104,7 @@ let test_tag_extents () =
   let expected tag = List.length (Dom.descendants_named d tag) in
   List.iter
     (fun tag ->
-      match (MM.tag_nodes m tag, MM.tag_count m tag) with
+      match (MM.tag_nodes m (Xmark_xml.Symbol.intern tag), MM.tag_count m (Xmark_xml.Symbol.intern tag)) with
       | Some nodes, Some count ->
           Alcotest.(check int) (tag ^ " extent size") (expected tag) (List.length nodes);
           Alcotest.(check int) (tag ^ " count") (expected tag) count;
@@ -114,7 +116,7 @@ let test_tag_extents () =
   let b = SB.load_string text in
   List.iter
     (fun tag ->
-      match SB.tag_count b tag with
+      match SB.tag_count b (Xmark_xml.Symbol.intern tag) with
       | Some c -> Alcotest.(check int) ("shredded " ^ tag) (expected tag) c
       | None -> Alcotest.fail "shredded always knows tag counts")
     [ "item"; "person" ]
@@ -177,13 +179,13 @@ let test_catalog_metadata_counting () =
   let b = SB.load_string (Lazy.force doc) in
   let cat = SB.catalog b in
   R.Catalog.reset_counters cat;
-  ignore (SB.tag_count b "person");
+  ignore (SB.tag_count b (Xmark_xml.Symbol.intern "person"));
   let after_b = R.Catalog.metadata_accesses cat in
   Alcotest.(check bool) "fragmenting catalog scans many entries" true (after_b > 10);
   let a = HA.load_string (Lazy.force doc) in
   let cat_a = HA.catalog a in
   R.Catalog.reset_counters cat_a;
-  ignore (HA.tag_count a "person");
+  ignore (HA.tag_count a (Xmark_xml.Symbol.intern "person"));
   Alcotest.(check bool) "heap catalog touches few entries" true
     (R.Catalog.metadata_accesses cat_a <= 2)
 

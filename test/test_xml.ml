@@ -1,29 +1,32 @@
 module Dom = Xmark_xml.Dom
 module Sax = Xmark_xml.Sax
+module Symbol = Xmark_xml.Symbol
 module Serialize = Xmark_xml.Serialize
 module Canonical = Xmark_xml.Canonical
 
 let parse = Sax.parse_string
+
+let sym = Symbol.intern
 
 (* --- SAX --------------------------------------------------------------- *)
 
 let test_basic_events () =
   let p = Sax.of_string "<a x=\"1\"><b>hi</b></a>" in
   let expect e = Alcotest.(check bool) "event" true (Sax.next p = e) in
-  expect (Sax.Start_element ("a", [ ("x", "1") ]));
-  expect (Sax.Start_element ("b", []));
+  expect (Sax.Start_element (sym "a", [ ("x", "1") ]));
+  expect (Sax.Start_element (sym "b", []));
   expect (Sax.Chars "hi");
-  expect (Sax.End_element "b");
-  expect (Sax.End_element "a");
+  expect (Sax.End_element (sym "b"));
+  expect (Sax.End_element (sym "a"));
   expect Sax.Eof;
   expect Sax.Eof
 
 let test_self_closing () =
   let p = Sax.of_string "<a><b/></a>" in
   ignore (Sax.next p);
-  Alcotest.(check bool) "start b" true (Sax.next p = Sax.Start_element ("b", []));
-  Alcotest.(check bool) "end b" true (Sax.next p = Sax.End_element "b");
-  Alcotest.(check bool) "end a" true (Sax.next p = Sax.End_element "a")
+  Alcotest.(check bool) "start b" true (Sax.next p = Sax.Start_element (sym "b", []));
+  Alcotest.(check bool) "end b" true (Sax.next p = Sax.End_element (sym "b"));
+  Alcotest.(check bool) "end a" true (Sax.next p = Sax.End_element (sym "a"))
 
 let test_entities () =
   let d = parse "<a>x &amp; y &lt; z &gt; w &quot;q&quot; &apos;a&apos;</a>" in
@@ -106,6 +109,17 @@ let test_dom_orders_unique () =
   let orders = Dom.fold (fun acc n -> n.Dom.order :: acc) [] d in
   Alcotest.(check int) "all distinct" (List.length orders)
     (List.length (List.sort_uniq compare orders))
+
+let test_order_exn_unindexed () =
+  (* a hand-built, never-indexed tree must fail loudly on order access
+     instead of silently comparing the -1 placeholder *)
+  let n = Dom.element ~children:[ Dom.text "x" ] "a" in
+  (match Dom.order_exn n with
+  | exception Invalid_argument m ->
+      Alcotest.(check string) "message" "Dom.index not run" m
+  | _ -> Alcotest.fail "order_exn on an unindexed node must raise");
+  ignore (Dom.index n);
+  Alcotest.(check int) "after index: root order" 0 (Dom.order_exn n)
 
 let test_dom_parents () =
   let d = sample () in
@@ -273,6 +287,7 @@ let () =
         [
           Alcotest.test_case "navigation" `Quick test_dom_navigation;
           Alcotest.test_case "orders unique" `Quick test_dom_orders_unique;
+          Alcotest.test_case "order_exn unindexed" `Quick test_order_exn_unindexed;
           Alcotest.test_case "parents" `Quick test_dom_parents;
           Alcotest.test_case "deep copy" `Quick test_deep_copy;
           Alcotest.test_case "find element" `Quick test_find_element;

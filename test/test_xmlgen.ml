@@ -429,7 +429,7 @@ let test_validator_detects_breakage () =
       Dom.iter
         (fun n ->
           match n.Dom.desc with
-          | Dom.Element e when e.Dom.name = "person" -> e.Dom.children <- List.rev e.Dom.children
+          | Dom.Element e when Dom.name n = "person" -> e.Dom.children <- List.rev e.Dom.children
           | _ -> ())
         d);
   expect_invalid "person without id" (fun d ->
@@ -440,7 +440,7 @@ let test_validator_detects_breakage () =
       Dom.iter
         (fun n ->
           match n.Dom.desc with
-          | Dom.Element e when e.Dom.name = "person" -> e.Dom.attrs <- [ ("id", "person0") ]
+          | Dom.Element e when Dom.name n = "person" -> e.Dom.attrs <- [ ("id", "person0") ]
           | _ -> ())
         d);
   expect_invalid "dangling itemref" (fun d ->

@@ -1,7 +1,10 @@
 module P = Xmark_xquery.Parser
 module Ast = Xmark_xquery.Ast
+module Symbol = Xmark_xml.Symbol
 
 let parse = P.parse_expr
+
+let sym = Symbol.intern
 
 let parses src =
   match parse src with
@@ -25,8 +28,8 @@ let test_literals () =
 let test_paths () =
   (match parse "/site/people" with
   | Ast.Path (Ast.Root, [ s1; s2 ]) ->
-      Alcotest.(check bool) "step1" true (s1.Ast.test = Ast.Name "site" && s1.Ast.axis = Ast.Child);
-      Alcotest.(check bool) "step2" true (s2.Ast.test = Ast.Name "people")
+      Alcotest.(check bool) "step1" true (s1.Ast.test = Ast.Name (sym "site") && s1.Ast.axis = Ast.Child);
+      Alcotest.(check bool) "step2" true (s2.Ast.test = Ast.Name (sym "people"))
   | _ -> Alcotest.fail "absolute path");
   (match parse "$b//item" with
   | Ast.Path (Ast.Var "b", [ s ]) ->
@@ -131,25 +134,32 @@ let test_function_calls () =
 
 let test_constructors () =
   (match parse "<a/>" with
-  | Ast.Elem_ctor ("a", [], []) -> ()
+  | Ast.Elem_ctor (t, [], []) when t = sym "a" -> ()
   | _ -> Alcotest.fail "empty ctor");
   (match parse {|<a x="1" y="{$v}"/>|} with
-  | Ast.Elem_ctor ("a", [ ("x", [ Ast.A_text "1" ]); ("y", [ Ast.A_expr (Ast.Var "v") ]) ], []) -> ()
+  | Ast.Elem_ctor (t, [ ("x", [ Ast.A_text "1" ]); ("y", [ Ast.A_expr (Ast.Var "v") ]) ], [])
+    when t = sym "a" ->
+      ()
   | _ -> Alcotest.fail "attrs");
   (match parse "<a>text {$v} more</a>" with
-  | Ast.Elem_ctor ("a", [], [ Ast.C_text "text "; Ast.C_expr (Ast.Var "v"); Ast.C_text " more" ]) ->
+  | Ast.Elem_ctor (t, [], [ Ast.C_text "text "; Ast.C_expr (Ast.Var "v"); Ast.C_text " more" ])
+    when t = sym "a" ->
       ()
   | _ -> Alcotest.fail "mixed content");
   (match parse "<a><b>{1}</b></a>" with
-  | Ast.Elem_ctor ("a", [], [ Ast.C_expr (Ast.Elem_ctor ("b", [], _)) ]) -> ()
+  | Ast.Elem_ctor (t, [], [ Ast.C_expr (Ast.Elem_ctor (u, [], _)) ])
+    when t = sym "a" && u = sym "b" ->
+      ()
   | _ -> Alcotest.fail "nested ctor");
   match parse "<a>{{literal}}</a>" with
-  | Ast.Elem_ctor ("a", [], [ Ast.C_text "{literal}" ]) -> ()
+  | Ast.Elem_ctor (t, [], [ Ast.C_text "{literal}" ]) when t = sym "a" -> ()
   | _ -> Alcotest.fail "escaped braces"
 
 let test_boundary_ws_dropped () =
   match parse "<a>\n  <b/>\n</a>" with
-  | Ast.Elem_ctor ("a", [], [ Ast.C_expr (Ast.Elem_ctor ("b", _, _)) ]) -> ()
+  | Ast.Elem_ctor (t, [], [ Ast.C_expr (Ast.Elem_ctor (u, _, _)) ])
+    when t = sym "a" && u = sym "b" ->
+      ()
   | _ -> Alcotest.fail "boundary whitespace dropped"
 
 let test_comments () =
