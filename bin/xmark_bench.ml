@@ -17,7 +17,7 @@ module Cli = Xmark_core.Cli
 module Runner = Xmark_core.Runner
 module Timing = Xmark_core.Timing
 
-let run_stats_json file factor source pool systems queries =
+let run_stats_json file factor jobs source pool systems queries =
   let module E = Xmark_core.Experiments in
   (* open before the (possibly long) matrix run, so a bad path fails fast *)
   let oc = open_out file in
@@ -25,19 +25,19 @@ let run_stats_json file factor source pool systems queries =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       let cells = E.stats_matrix ~factor ?source ?pool ~systems ~queries () in
-      output_string oc (E.stats_json ~factor cells));
+      output_string oc (E.stats_json ~jobs ~factor cells));
   Printf.eprintf "wrote %s (%d systems x %d queries at factor %g)\n%!" file
     (List.length systems) (List.length queries) factor;
   0
 
-let run_bench_out file runs factor source pool systems queries =
+let run_bench_out file runs factor jobs source pool systems queries =
   let module E = Xmark_core.Experiments in
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       let cells = E.bench_matrix ~factor ~runs ?source ?pool ~systems ~queries () in
-      output_string oc (E.bench_json ~factor ~runs cells));
+      output_string oc (E.bench_json ~factor ~jobs ~runs cells));
   Printf.eprintf
     "wrote %s (%d systems x %d queries, median of %d run(s) at factor %g)\n%!" file
     (List.length systems) (List.length queries) (max 1 runs) factor;
@@ -96,14 +96,14 @@ let run exhibit factor jobs stats_json bench_out bench_runs systems queries syst
     | None -> (
         match stats_json with
         | Some file -> (
-            try run_stats_json file factor source pool systems queries
+            try run_stats_json file factor jobs source pool systems queries
             with Failure m | Sys_error m ->
               Printf.eprintf "%s\n" m;
               2)
         | None -> (
             match bench_out with
             | Some file -> (
-                try run_bench_out file bench_runs factor source pool systems queries
+                try run_bench_out file bench_runs factor jobs source pool systems queries
                 with Failure m | Sys_error m ->
                   Printf.eprintf "%s\n" m;
                   2)
@@ -139,12 +139,14 @@ let run exhibit factor jobs stats_json bench_out bench_runs systems queries syst
                   other;
                 2)))
   with
+  (* exit-code contract (README "Exit codes"): 1 = data/evaluation
+     error, 2 = bad invocation, 3 = valid query a system cannot run *)
   | Xmark_persist.Corrupt m ->
       Printf.eprintf "snapshot error: %s\n" m;
-      2
+      1
   | Runner.Unsupported m ->
       Printf.eprintf "unsupported: %s\n" m;
-      2
+      3
 
 let exhibit_arg =
   Arg.(value & pos 0 string "all"

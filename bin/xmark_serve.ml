@@ -1,0 +1,205 @@
+(* xmark_serve — drive the concurrent query service and report
+   throughput and tail latency.
+
+   For each selected system the store is loaded once (generated
+   document, --doc file, or --snapshot restore) and served concurrently;
+   for each entry in --clients a closed-loop workload of
+   --duration-requests total requests runs against it.  Sweeping
+   --clients 1,2,4,8 produces the client-scaling curve: total work is
+   held constant, so req/s across runs is directly comparable.
+
+   The per-run report (stdout) and the --stats-json dump carry
+   p50/p90/p99/max latency overall and per query class, plus typed
+   failure counts (timeouts, rejections).  Per-query result digests must
+   agree across all runs of a system — the binary exits nonzero if
+   concurrency ever changed an answer.
+
+   No process-wide default pool is installed here: each run owns a
+   private pool sized by --jobs (default: client count capped at the
+   hardware's recommended domain count — a pool of 1 means requests
+   execute inline on the workload's runner domains), because the
+   default pool's deep consumers assume a single submitting domain
+   while a server has many. *)
+
+open Cmdliner
+module Cli = Xmark_core.Cli
+module Runner = Xmark_core.Runner
+module Timing = Xmark_core.Timing
+module Provenance = Xmark_core.Provenance
+module Server = Xmark_service.Server
+module Workload = Xmark_service.Workload
+
+let letter sys =
+  let name = Runner.system_name sys in
+  String.sub name (String.length name - 1) 1
+
+let load_session factor doc snapshot sys =
+  let source =
+    match (snapshot, doc) with
+    | Some p, _ -> `Snapshot p
+    | None, Some f -> `File f
+    | None, None -> `Text (Xmark_core.Experiments.document factor)
+  in
+  Runner.load ~source sys
+
+(* One (system, client-count) cell: private pool, fresh server. *)
+let run_one ~jobs ~requests ~mix ~deadline ~max_inflight ~queue_depth
+    ~plan_cache ~seed session nclients =
+  let njobs =
+    if jobs > 0 then jobs
+    else min nclients (Domain.recommended_domain_count ())
+  in
+  let config =
+    {
+      Server.max_inflight = (if max_inflight > 0 then max_inflight else nclients);
+      queue_depth;
+      deadline_ms = (if deadline > 0.0 then Some deadline else None);
+      plan_cache;
+    }
+  in
+  let drive ?pool () =
+    let server = Server.create ?pool ~config session in
+    let report = Workload.run ?seed ~clients:nclients ~requests ~mix server in
+    (report, Server.totals server, njobs)
+  in
+  if njobs > 1 then Xmark_parallel.with_pool ~jobs:njobs (fun pool -> drive ~pool ())
+  else drive ()
+
+(* --- JSON rendering -------------------------------------------------------- *)
+
+let quantiles_json h =
+  let p q = Timing.Histogram.percentile h q in
+  Printf.sprintf
+    "{\"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \"max\": %.3f, \"mean\": %.3f}"
+    (p 50.0) (p 90.0) (p 99.0)
+    (Timing.Histogram.max_ms h)
+    (Timing.Histogram.mean_ms h)
+
+let class_json (c : Workload.class_stats) =
+  let p q = Timing.Histogram.percentile c.Workload.cs_hist q in
+  Printf.sprintf
+    "{\"query\": %d, \"count\": %d, \"ok\": %d, \"timeouts\": %d, \"rejected\": %d, \
+     \"failed\": %d, \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \"max\": %.3f, \
+     \"digest\": \"%s\"}"
+    c.Workload.cs_query c.Workload.cs_count c.Workload.cs_ok c.Workload.cs_timeouts
+    c.Workload.cs_rejected c.Workload.cs_failed (p 50.0) (p 90.0) (p 99.0)
+    (Timing.Histogram.max_ms c.Workload.cs_hist)
+    (Option.value ~default:"" c.Workload.cs_digest)
+
+let run_json (r : Workload.report) (totals : Server.totals) njobs =
+  Printf.sprintf
+    "{\"clients\": %d, \"jobs\": %d, \"requests\": %d, \"ok\": %d, \"timeouts\": %d, \
+     \"rejected\": %d, \"failed\": %d, \"digest_mismatches\": %d, \"elapsed_s\": %.3f, \
+     \"rps\": %.1f, \"plan_hits\": %d, \"plan_misses\": %d, \"latency_ms\": %s, \
+     \"per_query\": [%s]}"
+    r.Workload.r_clients njobs r.Workload.r_requests r.Workload.r_ok
+    r.Workload.r_timeouts r.Workload.r_rejected r.Workload.r_failed
+    r.Workload.r_digest_mismatches r.Workload.r_elapsed_s r.Workload.r_rps
+    totals.Server.plan_hits totals.Server.plan_misses
+    (quantiles_json r.Workload.r_hist)
+    (String.concat ", " (List.map class_json r.Workload.r_classes))
+
+(* --- digest agreement across a system's runs ------------------------------- *)
+
+(* Same query, same store => same answer, at any concurrency level: the
+   load-independence half of the acceptance contract, checked here so a
+   scaling sweep that corrupts a result cannot exit 0. *)
+let check_digests sys runs =
+  let seen : (int, string) Hashtbl.t = Hashtbl.create 32 in
+  let bad = ref 0 in
+  List.iter
+    (fun (r, _, _) ->
+      if r.Workload.r_digest_mismatches > 0 then bad := !bad + r.Workload.r_digest_mismatches;
+      List.iter
+        (fun (c : Workload.class_stats) ->
+          match (c.Workload.cs_digest, Hashtbl.find_opt seen c.Workload.cs_query) with
+          | Some d, Some d' when d <> d' ->
+              incr bad;
+              Printf.eprintf "System %s Q%d: digest differs across client counts\n"
+                (letter sys) c.Workload.cs_query
+          | Some d, None -> Hashtbl.replace seen c.Workload.cs_query d
+          | _ -> ())
+        r.Workload.r_classes)
+    runs;
+  !bad
+
+let run factor jobs clients requests mix_s deadline max_inflight queue_depth
+    plan_cache seed systems doc snapshot stats_json_file =
+  try
+    let mix = Workload.mix_of_string mix_s in
+    let seed = Option.map Int64.of_int seed in
+    let mismatches = ref 0 in
+    let sys_objs =
+      List.map
+        (fun sys ->
+          let session = load_session factor doc snapshot sys in
+          Printf.printf "%s (%s)\n%!" (Runner.system_name sys)
+            (Runner.system_description sys);
+          let runs =
+            List.map
+              (fun nclients ->
+                let ((report, _, _) as cell) =
+                  run_one ~jobs ~requests ~mix ~deadline ~max_inflight
+                    ~queue_depth ~plan_cache ~seed session nclients
+                in
+                Format.printf "%a%!" Workload.pp_report report;
+                cell)
+              clients
+          in
+          mismatches := !mismatches + check_digests sys runs;
+          Printf.sprintf "{\"system\": \"%s\", \"runs\": [%s]}" (letter sys)
+            (String.concat ", "
+               (List.map (fun (r, totals, njobs) -> run_json r totals njobs) runs)))
+        systems
+    in
+    (match stats_json_file with
+    | None -> ()
+    | Some file ->
+        let json =
+          Printf.sprintf
+            "{\"provenance\": %s, \"factor\": %g, \"mix\": \"%s\", \
+             \"deadline_ms\": %g, \"duration_requests\": %d, \"systems\": [%s]}\n"
+            (Provenance.json ~factor ~jobs ~runs:1 ())
+            factor (Workload.mix_to_string mix) deadline requests
+            (String.concat ", " sys_objs)
+        in
+        Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc json);
+        Printf.eprintf "wrote %s (%d system(s) x %d client sweep(s))\n%!" file
+          (List.length systems) (List.length clients));
+    if !mismatches > 0 then begin
+      Printf.eprintf "FAIL: %d result digest mismatch(es) under concurrency\n" !mismatches;
+      1
+    end
+    else 0
+  with
+  | Failure m | Sys_error m ->
+      Printf.eprintf "%s\n" m;
+      2
+  | Xmark_persist.Corrupt m ->
+      Printf.eprintf "snapshot error: %s\n" m;
+      1
+  | Runner.Unsupported m ->
+      Printf.eprintf "unsupported: %s\n" m;
+      3
+
+let jobs_serve =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domain-pool size for request execution; 0 (the default) sizes the pool to \
+           the run's client count capped at the hardware's recommended domain count \
+           (a size of 1 executes requests inline on the workload's runner domains).")
+
+let cmd =
+  let doc = "serve concurrent queries and measure throughput and tail latency" in
+  Cmd.v (Cmd.info "xmark_serve" ~version:"1.0" ~doc)
+    Term.(
+      const run
+      $ Cli.factor ~default:0.01 ()
+      $ jobs_serve $ Cli.clients $ Cli.duration_requests $ Cli.mix
+      $ Cli.deadline_ms $ Cli.max_inflight $ Cli.queue_depth $ Cli.plan_cache
+      $ Cli.seed $ Cli.systems $ Cli.doc_file $ Cli.snapshot $ Cli.stats_json)
+
+let () = exit (Cmd.eval' cmd)

@@ -105,6 +105,10 @@ let run doc_file snapshot save_snapshot factor system query query_file query_num
   if explain then Format.eprintf "%a@?" Xmark_core.Stats.pp ();
   0
 
+(* exit-code contract (README "Exit codes"): 1 = data/evaluation error,
+   2 = bad invocation (cmdliner's own), 3 = valid query the selected
+   system cannot run — distinct so scripts can tell "broken" from
+   "unsupported on this backend". *)
 let run_safe a b c d e f g h i j k l m n =
   try run a b c d e f g h i j k l m n with
   | Xmark_xquery.Parser.Error _ as ex ->
@@ -112,7 +116,7 @@ let run_safe a b c d e f g h i j k l m n =
       1
   | Xmark_core.Runner.Unsupported m ->
       Printf.eprintf "unsupported: %s\n" m;
-      1
+      3
   | Xmark_persist.Corrupt m ->
       Printf.eprintf "snapshot error: %s\n" m;
       1

@@ -168,6 +168,81 @@ let queries =
     & info [ "queries" ] ~docv:"LIST"
         ~doc:"Comma-separated query numbers or ranges (e.g. 1,8,20 or 1-5).")
 
+(* --- query-service flags (xmark_serve) ------------------------------------- *)
+
+let clients_conv =
+  Arg.conv
+    ( (fun s ->
+        let parse tok =
+          match int_of_string_opt (String.trim tok) with
+          | Some n when n >= 1 -> n
+          | _ -> failwith (Printf.sprintf "bad client count %S" tok)
+        in
+        match List.map parse (String.split_on_char ',' s) with
+        | counts -> Ok counts
+        | exception Failure m -> Error (`Msg m)),
+      fun fmt counts ->
+        Format.pp_print_string fmt (String.concat "," (List.map string_of_int counts)) )
+
+let clients =
+  Arg.(
+    value
+    & opt clients_conv [ 1 ]
+    & info [ "clients" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated client counts to sweep (e.g. 1,2,4,8); each count runs the \
+           whole workload once, which is how the scaling curve is produced.")
+
+let duration_requests =
+  Arg.(
+    value
+    & opt int 200
+    & info [ "duration-requests" ] ~docv:"N"
+        ~doc:
+          "Total requests per workload run, split evenly across the clients — held \
+           constant across client counts so runs compare.")
+
+let mix =
+  Arg.(
+    value
+    & opt string "interactive"
+    & info [ "mix" ] ~docv:"MIX"
+        ~doc:
+          "Query mix: $(b,interactive) (weighted lookups/scans, no quadratic joins), \
+           $(b,uniform) (Q1-Q20 equally), or explicit weights like $(b,1:5,8:2,20).")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline in milliseconds (queue wait + execution); 0 disables.  \
+           Late requests are aborted cooperatively and reported as typed timeouts.")
+
+let max_inflight =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:"Admission limit on concurrently executing requests; 0 means one per client.")
+
+let queue_depth =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:
+          "Bounded admission queue behind $(b,--max-inflight); a request arriving with \
+           the queue full is rejected as overloaded.")
+
+let plan_cache =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "plan-cache" ] ~docv:"N"
+        ~doc:"Capacity of the prepared-plan LRU cache (idle plans); 0 disables caching.")
+
 let install_jobs n =
   Xmark_parallel.set_default_jobs n;
   Xmark_parallel.default ()

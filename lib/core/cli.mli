@@ -63,6 +63,30 @@ val systems : Runner.system list Cmdliner.Term.t
 val queries : int list Cmdliner.Term.t
 (** [--queries LIST], default 1-20. *)
 
+(* --- query-service terms (xmark_serve) ------------------------------------ *)
+
+val clients : int list Cmdliner.Term.t
+(** [--clients LIST]; client counts to sweep, default [1]. *)
+
+val duration_requests : int Cmdliner.Term.t
+(** [--duration-requests N]; total requests per run, default 200. *)
+
+val mix : string Cmdliner.Term.t
+(** [--mix MIX]; "interactive" (default), "uniform" or explicit
+    weights — parsed by {!Xmark_service.Workload.mix_of_string}. *)
+
+val deadline_ms : float Cmdliner.Term.t
+(** [--deadline-ms MS]; 0 (default) disables the per-request deadline. *)
+
+val max_inflight : int Cmdliner.Term.t
+(** [--max-inflight N]; 0 (default) means one slot per client. *)
+
+val queue_depth : int Cmdliner.Term.t
+(** [--queue-depth N]; bounded admission queue, default 64. *)
+
+val plan_cache : int Cmdliner.Term.t
+(** [--plan-cache N]; prepared-plan LRU capacity, default 64. *)
+
 (* --- wiring --------------------------------------------------------------- *)
 
 val install_jobs : int -> Xmark_parallel.pool option

@@ -590,7 +590,7 @@ let matrix_digest ~factor (cells, _totals) =
     (pp_counters (merge_counters (List.map (fun c -> c.sc_counters) cells)));
   Buffer.contents buf
 
-let stats_json ~factor cells =
+let stats_json ?(jobs = 1) ~factor cells =
   (* group per system, preserving the order cells arrived in *)
   let systems = ref [] in
   List.iter
@@ -617,7 +617,9 @@ let stats_json ~factor cells =
             (fun c -> if c.sc_system == sys then Some (cell_obj c) else None)
             cells))
   in
-  Printf.sprintf "{\"factor\": %g, \"systems\": [%s]}\n" factor
+  Printf.sprintf "{\"provenance\": %s, \"factor\": %g, \"systems\": [%s]}\n"
+    (Provenance.json ~factor ~jobs ~runs:1 ())
+    factor
     (String.concat ", " (List.map sys_obj (List.rev !systems)))
 
 (* --- benchmark matrix: per-cell medians over repeated runs (--bench-out) ----- *)
@@ -632,10 +634,9 @@ type bench_cell = {
   bn_counters : (string * int) list;
 }
 
-let median_float xs =
-  match List.sort Float.compare xs with
-  | [] -> 0.0
-  | sorted -> List.nth sorted (List.length sorted / 2)
+(* Shared nearest-rank machinery from Timing: a bench median is the same
+   statistic the workload driver's percentile reports are built on. *)
+let median_float xs = match xs with [] -> 0.0 | xs -> Timing.median xs
 
 let median_int xs =
   match List.sort compare xs with
@@ -680,7 +681,7 @@ let bench_matrix ?factor ?(runs = 3) ?source ?pool ?systems ?queries () =
           })
         first
 
-let bench_json ?(factor = default_factor) ~runs cells =
+let bench_json ?(factor = default_factor) ?(jobs = 1) ~runs cells =
   let cell_obj c =
     let letter =
       let name = Runner.system_name c.bn_system in
@@ -691,7 +692,9 @@ let bench_json ?(factor = default_factor) ~runs cells =
       letter c.bn_query c.bn_items c.bn_load_ms c.bn_compile_ms c.bn_execute_ms
       (Stats.json_of_counters c.bn_counters)
   in
-  Printf.sprintf "{\"factor\": %g, \"runs\": %d, \"cells\": [%s]}\n" factor runs
+  Printf.sprintf "{\"provenance\": %s, \"factor\": %g, \"runs\": %d, \"cells\": [%s]}\n"
+    (Provenance.json ~factor ~jobs ~runs ())
+    factor runs
     (String.concat ", " (List.map cell_obj cells))
 
 (* --- CSV export (for external plotting of the figures) ----------------------- *)

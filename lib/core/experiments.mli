@@ -162,12 +162,14 @@ val stats_matrix :
     discussion ("System G pays a constant re-parse cost", "Q8/Q9 hinge
     on the join table"). *)
 
-val stats_json : factor:float -> stats_cell list -> string
+val stats_json : ?jobs:int -> factor:float -> stats_cell list -> string
 (** Render a matrix as JSON: per-system, per-query counter objects with
     a stable key set ({!Stats.counter_inventory}), each cell carrying
     both its run counters ("counters") and its load-phase counters and
     time ("load", "load_ms") — which is where a snapshot restore's
-    pager hit/miss behaviour shows up. *)
+    pager hit/miss behaviour shows up.  The leading "provenance" object
+    ({!Provenance.json}) records factor, [jobs] (default 1) and the git
+    commit, making the dump self-describing. *)
 
 (* --- benchmark matrix (--bench-out) ------------------------------------------- *)
 
@@ -197,10 +199,12 @@ val bench_matrix :
     so the medians matter for timings and the gc_* counters, which is
     what cross-build performance comparisons need. *)
 
-val bench_json : ?factor:float -> runs:int -> bench_cell list -> string
+val bench_json : ?factor:float -> ?jobs:int -> runs:int -> bench_cell list -> string
 (** Render a bench matrix as a flat JSON cell array
-    [{"factor": f, "runs": n, "cells": [...]}] with the stable
-    {!Stats.counter_inventory} key set per cell. *)
+    [{"provenance": {...}, "factor": f, "runs": n, "cells": [...]}] with
+    the stable {!Stats.counter_inventory} key set per cell; the
+    provenance header ({!Provenance.json}) records factor, [jobs]
+    (default 1), [runs] and the git commit. *)
 
 (* --- CSV export ---------------------------------------------------------------- *)
 

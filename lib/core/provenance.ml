@@ -1,0 +1,34 @@
+(* Self-describing benchmark output: every BENCH_*.json / stats dump
+   carries the knobs that produced it, so a file found on disk months
+   later can be tied back to a build and configuration. *)
+
+let commit_cache = ref None
+
+(* The short commit hash of the working tree.  Resolution order:
+   XMARK_COMMIT (lets CI pin the value without a .git directory), then
+   `git rev-parse`, then "unknown".  Cached: one subprocess per run at
+   most. *)
+let commit () =
+  match !commit_cache with
+  | Some c -> c
+  | None ->
+      let resolved =
+        match Sys.getenv_opt "XMARK_COMMIT" with
+        | Some c when c <> "" -> c
+        | _ -> (
+            try
+              let ic =
+                Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+              in
+              let line = try input_line ic with End_of_file -> "" in
+              match (Unix.close_process_in ic, line) with
+              | Unix.WEXITED 0, c when c <> "" -> c
+              | _ -> "unknown"
+            with _ -> "unknown")
+      in
+      commit_cache := Some resolved;
+      resolved
+
+let json ~factor ~jobs ~runs () =
+  Printf.sprintf "{\"factor\": %g, \"jobs\": %d, \"runs\": %d, \"commit\": \"%s\"}"
+    factor jobs runs (commit ())

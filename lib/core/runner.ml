@@ -230,8 +230,28 @@ type outcome = {
       (* per-counter deltas accumulated by this run; [] when Stats is off *)
 }
 
-let run_text store qtext =
-  let snap = Stats.snapshot () in
+(* --- prepared plans -------------------------------------------------------- *)
+
+(* A prepared plan carries everything [execute_prepared] needs: the
+   typed store it was compiled against plus the compiled form, and the
+   compile-phase cost so outcomes keep reporting it.  Compiled Eval
+   plans hold mutable per-plan caches (tag arrays, join tables), so a
+   prepared plan must be used by one evaluation at a time — the query
+   service's plan cache checks plans out exclusively for this reason. *)
+type plan_repr =
+  | PlA of Store.Backend_heap.t * EvA.compiled
+  | PlB of Store.Backend_shredded.t * EvB.compiled
+  | PlM of Store.Backend_mainmem.t * EvM.compiled
+  | PlC of Plans_c.plan
+  | PlG of Store.Backend_embedded.t * Xmark_xquery.Ast.query
+
+type prepared = {
+  p_compile : Timing.span;
+  p_metadata : int;
+  p_repr : plan_repr;
+}
+
+let prepare_text store qtext =
   match store with
   | SA s ->
       let cat = Store.Backend_heap.catalog s in
@@ -239,32 +259,18 @@ let run_text store qtext =
       let compiled, compile =
         measure_compile (fun () -> EvA.compile s (Xmark_xquery.Parser.parse_query qtext))
       in
-      let metadata_accesses = R.Catalog.metadata_accesses cat in
-      let v, execute = measure_execute (fun () -> EvA.run compiled) in
-      {
-        compile;
-        execute;
-        items = List.length v;
-        result = EvA.result_to_dom s v;
-        metadata_accesses;
-        run_stats = Stats.since snap;
-      }
+      { p_compile = compile;
+        p_metadata = R.Catalog.metadata_accesses cat;
+        p_repr = PlA (s, compiled) }
   | SB s ->
       let cat = Store.Backend_shredded.catalog s in
       R.Catalog.reset_counters cat;
       let compiled, compile =
         measure_compile (fun () -> EvB.compile s (Xmark_xquery.Parser.parse_query qtext))
       in
-      let metadata_accesses = R.Catalog.metadata_accesses cat in
-      let v, execute = measure_execute (fun () -> EvB.run compiled) in
-      {
-        compile;
-        execute;
-        items = List.length v;
-        result = EvB.result_to_dom s v;
-        metadata_accesses;
-        run_stats = Stats.since snap;
-      }
+      { p_compile = compile;
+        p_metadata = R.Catalog.metadata_accesses cat;
+        p_repr = PlB (s, compiled) }
   | SM s ->
       (* System D's heuristic optimizer applies the hash-join rewrite; the
          plain main-memory systems E and F do not (the paper hand-optimized
@@ -274,33 +280,19 @@ let run_text store qtext =
         measure_compile (fun () ->
             EvM.compile ~optimize s (Xmark_xquery.Parser.parse_query qtext))
       in
-      let v, execute = measure_execute (fun () -> EvM.run compiled) in
-      { compile; execute; items = List.length v; result = EvM.result_to_dom s v;
-        metadata_accesses = 0; run_stats = Stats.since snap }
+      { p_compile = compile; p_metadata = 0; p_repr = PlM (s, compiled) }
   | SG g ->
       (* compile = query parse; execution = document parse + evaluation *)
       let ast, compile = measure_compile (fun () -> Xmark_xquery.Parser.parse_query qtext) in
-      let (v, s), execute =
-        measure_execute (fun () ->
-            let s = Store.Backend_embedded.session g in
-            (EvM.run (EvM.compile s ast), s))
-      in
-      { compile; execute; items = List.length v; result = EvM.result_to_dom s v;
-        metadata_accesses = 0; run_stats = Stats.since snap }
+      { p_compile = compile; p_metadata = 0; p_repr = PlG (g, ast) }
   | SC _ ->
       raise
         (Unsupported
            "System C executes prepared plans only; use Runner.run with a query number")
 
-let try_run_text store qtext =
-  match run_text store qtext with
-  | outcome -> Ok outcome
-  | exception Unsupported msg -> Error (`Unsupported msg)
-
-let run store n =
+let prepare store n =
   match store with
   | SC s ->
-      let snap = Stats.snapshot () in
       let cat = Store.Backend_schema.catalog s in
       R.Catalog.reset_counters cat;
       let plan, compile =
@@ -310,11 +302,65 @@ let run store n =
             ignore (Xmark_xquery.Parser.parse_query (Queries.text n));
             Plans_c.compile s n)
       in
-      let metadata_accesses = R.Catalog.metadata_accesses cat in
-      let result, execute = measure_execute (fun () -> Plans_c.execute plan) in
-      { compile; execute; items = List.length result; result; metadata_accesses;
+      { p_compile = compile;
+        p_metadata = R.Catalog.metadata_accesses cat;
+        p_repr = PlC plan }
+  | SA _ | SB _ | SM _ | SG _ -> prepare_text store (Queries.text n)
+
+let try_prepare_text store qtext =
+  match prepare_text store qtext with
+  | p -> Ok p
+  | exception Unsupported msg -> Error (`Unsupported msg)
+
+(* [snap] anchors the outcome's counter deltas: run/run_text pass the
+   snapshot taken before their compile phase, so a one-shot outcome
+   keeps covering compile + execute, while [execute_prepared] covers
+   just the execution it performs. *)
+let execute_from snap p =
+  match p.p_repr with
+  | PlA (s, compiled) ->
+      let v, execute = measure_execute (fun () -> EvA.run compiled) in
+      { compile = p.p_compile; execute; items = List.length v;
+        result = EvA.result_to_dom s v; metadata_accesses = p.p_metadata;
         run_stats = Stats.since snap }
-  | SA _ | SB _ | SM _ | SG _ -> run_text store (Queries.text n)
+  | PlB (s, compiled) ->
+      let v, execute = measure_execute (fun () -> EvB.run compiled) in
+      { compile = p.p_compile; execute; items = List.length v;
+        result = EvB.result_to_dom s v; metadata_accesses = p.p_metadata;
+        run_stats = Stats.since snap }
+  | PlM (s, compiled) ->
+      let v, execute = measure_execute (fun () -> EvM.run compiled) in
+      { compile = p.p_compile; execute; items = List.length v;
+        result = EvM.result_to_dom s v; metadata_accesses = p.p_metadata;
+        run_stats = Stats.since snap }
+  | PlC plan ->
+      let result, execute = measure_execute (fun () -> Plans_c.execute plan) in
+      { compile = p.p_compile; execute; items = List.length result; result;
+        metadata_accesses = p.p_metadata; run_stats = Stats.since snap }
+  | PlG (g, ast) ->
+      let (v, s), execute =
+        measure_execute (fun () ->
+            let s = Store.Backend_embedded.session g in
+            (EvM.run (EvM.compile s ast), s))
+      in
+      { compile = p.p_compile; execute; items = List.length v;
+        result = EvM.result_to_dom s v; metadata_accesses = p.p_metadata;
+        run_stats = Stats.since snap }
+
+let execute_prepared p = execute_from (Stats.snapshot ()) p
+
+let run_text store qtext =
+  let snap = Stats.snapshot () in
+  execute_from snap (prepare_text store qtext)
+
+let try_run_text store qtext =
+  match run_text store qtext with
+  | outcome -> Ok outcome
+  | exception Unsupported msg -> Error (`Unsupported msg)
+
+let run store n =
+  let snap = Stats.snapshot () in
+  execute_from snap (prepare store n)
 
 let run_session session n = run session.store n
 

@@ -97,6 +97,38 @@ val try_run_text : store -> string -> (outcome, [ `Unsupported of string ]) resu
     callers (CLIs) that want a clean one-line error instead of an
     exception. *)
 
+(** {2 Prepared plans}
+
+    The compile/execute split as an API: prepare once, execute many
+    times.  This is what the query service's plan cache stores —
+    repeated queries skip parsing and path compilation, and on System C
+    the prepared plan is the only execution mode there is.
+
+    A prepared plan holds mutable per-plan caches (tag arrays, join
+    tables, which warm across executions), so it must not be executed by
+    two domains at once; checkout it exclusively, as
+    {!Xmark_service.Plan_cache} does. *)
+
+type prepared
+
+val prepare : store -> int -> prepared
+(** [prepare store q] compiles benchmark query [q] (1-20) — on System C,
+    its prepared relational plan.
+    @raise Invalid_argument for an unknown query number. *)
+
+val prepare_text : store -> string -> prepared
+(** Compile arbitrary XQuery text.
+    @raise Unsupported on System C, which executes prepared plans only. *)
+
+val try_prepare_text :
+  store -> string -> (prepared, [ `Unsupported of string ]) result
+(** Like {!prepare_text} with the unsupported case as a value. *)
+
+val execute_prepared : prepared -> outcome
+(** Execute a prepared plan.  The outcome's [compile] span and
+    [metadata_accesses] are the (one-time) preparation costs; [execute]
+    and [run_stats] cover this execution. *)
+
 val run_session : session -> int -> outcome
 (** [run_session s q] executes benchmark query [q] (1-20) on the
     session's store.

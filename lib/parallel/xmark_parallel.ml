@@ -200,6 +200,117 @@ let run_tasks pool tasks =
   try run_tasks pool tasks
   with Task_failed (_, e, bt) -> Printexc.raise_with_backtrace e bt
 
+(* --- futures: multi-producer submission (the query service) --------------- *)
+
+(* [run_tasks] assumes one submitting domain per batch; a server has many
+   client domains submitting independently.  A future is a single job
+   pushed onto the same queue, so client submissions and fork/join
+   batches share the pool's workers.  While a future is pending its
+   awaiting domain HELPS drain the queue (any job, not just its own), so
+   clients are compute domains too and a pool of N workers serving M
+   clients delivers up to [N + M]-way parallelism with nobody parked on
+   a full queue.
+
+   Statistics follow the run_tasks discipline: the executing domain
+   exports its counter deltas into the future and the awaiting domain
+   absorbs them, so per-request counters land on the domain that owns
+   the request regardless of where it ran. *)
+
+type 'a future_state =
+  | Pending
+  | Resolved of 'a * Xmark_stats.export
+  | Raised of exn * Printexc.raw_backtrace * Xmark_stats.export
+
+type 'a future = {
+  f_pool : pool;
+  f_lock : Mutex.t;
+  f_done : Condition.t;
+  mutable f_state : 'a future_state;
+}
+
+let resolve fut st =
+  Mutex.lock fut.f_lock;
+  fut.f_state <- st;
+  Condition.broadcast fut.f_done;
+  Mutex.unlock fut.f_lock
+
+let async pool f =
+  let fut =
+    { f_pool = pool; f_lock = Mutex.create (); f_done = Condition.create ();
+      f_state = Pending }
+  in
+  if pool.njobs <= 1 || Domain.DLS.get in_worker then begin
+    (* sequential pool, or already on a pool domain: run now, on this
+       domain — counters stay in place, no export round-trip *)
+    (match f () with
+    | v -> fut.f_state <- Resolved (v, [])
+    | exception e -> fut.f_state <- Raised (e, Printexc.get_raw_backtrace (), []));
+    fut
+  end
+  else begin
+    let scope = Xmark_stats.current_scope () in
+    let job () =
+      (* the job may run on a helping client domain: mark it a worker for
+         the duration so nested pool use (a parallel scan inside the
+         query) falls back to inline execution instead of re-submitting *)
+      let was_worker = Domain.DLS.get in_worker in
+      Domain.DLS.set in_worker true;
+      let outcome =
+        match Xmark_stats.with_scope_path scope f with
+        | v -> `Ok v
+        | exception e -> `Exn (e, Printexc.get_raw_backtrace ())
+      in
+      let stats = Xmark_stats.export_and_clear () in
+      Domain.DLS.set in_worker was_worker;
+      resolve fut
+        (match outcome with
+        | `Ok v -> Resolved (v, stats)
+        | `Exn (e, bt) -> Raised (e, bt, stats))
+    in
+    Mutex.lock pool.lock;
+    Queue.add job pool.queue;
+    Condition.signal pool.work_available;
+    Mutex.unlock pool.lock;
+    fut
+  end
+
+let await fut =
+  let finish st =
+    match st with
+    | Resolved (v, stats) ->
+        Xmark_stats.absorb stats;
+        v
+    | Raised (e, bt, stats) ->
+        Xmark_stats.absorb stats;
+        Printexc.raise_with_backtrace e bt
+    | Pending -> assert false
+  in
+  let rec loop () =
+    Mutex.lock fut.f_lock;
+    match fut.f_state with
+    | Pending ->
+        Mutex.unlock fut.f_lock;
+        (* help: run any queued job (maybe our own) rather than park *)
+        Mutex.lock fut.f_pool.lock;
+        let j = Queue.take_opt fut.f_pool.queue in
+        Mutex.unlock fut.f_pool.lock;
+        (match j with
+        | Some j ->
+            j ();
+            loop ()
+        | None ->
+            Mutex.lock fut.f_lock;
+            (match fut.f_state with
+            | Pending -> Condition.wait fut.f_done fut.f_lock
+            | _ -> ());
+            Mutex.unlock fut.f_lock;
+            loop ())
+    | st ->
+        Mutex.unlock fut.f_lock;
+        finish st
+  in
+  loop ()
+
 let map_chunks pool ?chunks f xs =
   let limit = match chunks with Some c -> max 1 c | None -> 4 * pool.njobs in
   let bounds = chunk_bounds ~limit (Array.length xs) in

@@ -17,9 +17,13 @@
     region inline on its own domain, so composition (a parallel matrix
     cell whose bulkload is itself parallelizable) cannot deadlock.
 
-    Submissions must come from one domain at a time — the harness
-    drives a single fork/join batch per pool; tasks themselves never
-    block on the pool. *)
+    Fork/join submissions must come from one domain at a time — the
+    harness drives a single fork/join batch per pool; tasks themselves
+    never block on the pool.  {!async}/{!await} futures are the
+    multi-producer entry point layered on the same queue: any number of
+    domains may submit futures concurrently (the query service's client
+    domains do), and an awaiting domain helps drain the queue instead of
+    parking. *)
 
 type pool
 
@@ -65,3 +69,25 @@ val map : pool -> ('a -> 'b) -> 'a list -> 'b list
 
 val filter_array : pool -> ?chunks:int -> ('a -> bool) -> 'a array -> 'a array
 (** Chunked parallel filter; keeps input order. *)
+
+(** {2 Futures}
+
+    Single-job submission, safe from any domain and from many domains at
+    once — the primitive the query service dispatches requests with. *)
+
+type 'a future
+
+val async : pool -> (unit -> 'a) -> 'a future
+(** Submit one job.  On a sequential pool ([jobs = 1]) or from inside a
+    pool task the thunk runs inline before [async] returns; otherwise it
+    is queued for the workers.  Thread-safe: any domain may call this
+    concurrently. *)
+
+val await : 'a future -> 'a
+(** Block until the future resolves, returning its value or re-raising
+    its exception with the original backtrace.  While the future is
+    pending the calling domain helps execute queued jobs (possibly its
+    own), so awaiting never wastes a domain.  The executing domain's
+    {!Xmark_stats} deltas are absorbed into the awaiting domain's
+    registry here — await each future exactly once, from the domain that
+    owns the request. *)

@@ -5,6 +5,11 @@ type t = {
   npages : int;
   cap : int;
   cache : (int, entry) Hashtbl.t;
+  lock : Mutex.t;
+      (* one lock covers lookup, disk read and eviction, so several
+         domains can read the same snapshot concurrently; page bytes are
+         immutable once published, so callers may keep using a returned
+         page after it has been evicted *)
   mutable tick : int;  (* strictly increasing, so LRU order has no ties *)
   mutable hits : int;
   mutable misses : int;
@@ -30,6 +35,7 @@ let open_file ?(capacity = default_capacity) path =
     npages = len / Page_io.page_size;
     cap = max 1 capacity;
     cache = Hashtbl.create 64;
+    lock = Mutex.create ();
     tick = 0;
     hits = 0;
     misses = 0;
@@ -65,6 +71,7 @@ let evict_lru t =
 let page t n =
   if n < 0 || n >= t.npages then
     Page_io.corrupt "page %d out of range (snapshot has %d pages — truncated?)" n t.npages;
+  Mutex.protect t.lock (fun () ->
   match Hashtbl.find_opt t.cache n with
   | Some e ->
       t.hits <- t.hits + 1;
@@ -84,7 +91,7 @@ let page t n =
       let e = { bytes = b; last_used = 0 } in
       touch t e;
       Hashtbl.replace t.cache n e;
-      b
+      b)
 
 let read_blob t ~first_page ~byte_len =
   let buf = Buffer.create byte_len in
@@ -98,9 +105,10 @@ let read_blob t ~first_page ~byte_len =
   done;
   Buffer.contents buf
 
-let stats t = (t.hits, t.misses, t.evictions)
+let stats t = Mutex.protect t.lock (fun () -> (t.hits, t.misses, t.evictions))
 
 let cached t =
-  Hashtbl.fold (fun p e acc -> (p, e.last_used) :: acc) t.cache []
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun p e acc -> (p, e.last_used) :: acc) t.cache [])
   |> List.sort (fun (_, a) (_, b) -> compare b a)
   |> List.map fst

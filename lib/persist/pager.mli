@@ -7,7 +7,12 @@
     [pager_hits] / [pager_misses] / [pager_evictions] in {!Xmark_stats}
     (so [--explain] and [--stats-json] expose cache behaviour) and are
     also kept locally so tests can observe them with statistics
-    disabled. *)
+    disabled.
+
+    Thread-safe: one lock serializes lookup, disk read and eviction, so
+    any number of domains may read through the same pager concurrently.
+    Page bytes are immutable once returned — a caller may keep using a
+    page after it has been evicted from the pool. *)
 
 type t
 

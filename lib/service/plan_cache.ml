@@ -1,0 +1,107 @@
+module Runner = Xmark_core.Runner
+module Stats = Xmark_stats
+
+(* Prepared plans are stateful (their tag-array and join-table caches
+   warm across executions) and therefore single-occupancy: the cache
+   hands a plan out exclusively and takes it back when the execution is
+   done.  Under concurrency the same key can hold several idle plans —
+   one per client that hit a cold cache simultaneously — which is
+   exactly what a server wants: N concurrent Q1s get N warmed plans.
+
+   [capacity] bounds the total number of IDLE plans (checked-out plans
+   are the admission gate's budget, not ours); at capacity the plan
+   whose key was least recently used is dropped. *)
+
+type entry = { mutable idle : Runner.prepared list; mutable last_used : int }
+
+type t = {
+  cap : int;
+  lock : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable size : int;  (* total idle plans across entries *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  {
+    cap = max 0 capacity;
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    tick = 0;
+    size = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_used <- t.tick
+
+(* Drop one idle plan from the least-recently-used non-empty entry. *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun _ e acc ->
+        if e.idle = [] then acc
+        else
+          match acc with
+          | Some best when best.last_used <= e.last_used -> acc
+          | _ -> Some e)
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some e ->
+      (match e.idle with
+      | _ :: rest ->
+          e.idle <- rest;
+          t.size <- t.size - 1;
+          t.evictions <- t.evictions + 1
+      | [] -> ())
+
+let checkout t key build =
+  let cached =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some ({ idle = plan :: rest; _ } as e) ->
+            e.idle <- rest;
+            t.size <- t.size - 1;
+            t.hits <- t.hits + 1;
+            touch t e;
+            Some plan
+        | _ ->
+            t.misses <- t.misses + 1;
+            None)
+  in
+  match cached with
+  | Some plan ->
+      Stats.incr "plan_cache_hits";
+      (plan, true)
+  | None ->
+      Stats.incr "plan_cache_misses";
+      (* compile outside the lock: concurrent cold requests for the same
+         key build duplicate plans, both of which check in afterwards *)
+      (build (), false)
+
+let checkin t key plan =
+  if t.cap > 0 then
+    Mutex.protect t.lock (fun () ->
+        let e =
+          match Hashtbl.find_opt t.tbl key with
+          | Some e -> e
+          | None ->
+              let e = { idle = []; last_used = 0 } in
+              Hashtbl.replace t.tbl key e;
+              e
+        in
+        if t.size >= t.cap then evict_one t;
+        e.idle <- plan :: e.idle;
+        t.size <- t.size + 1;
+        touch t e)
+
+let stats t =
+  Mutex.protect t.lock (fun () -> (t.hits, t.misses, t.evictions))

@@ -1,0 +1,35 @@
+(** LRU cache of prepared query plans with exclusive checkout.
+
+    A {!Xmark_core.Runner.prepared} plan carries mutable per-plan caches
+    and must not run on two domains at once, so the cache lends plans
+    out rather than sharing them: {!checkout} removes a plan from the
+    idle pool (or builds a fresh one on a miss) and {!checkin} returns
+    it, warmed, for the next request.  Keys are query texts — the system
+    is implicit because each server owns one store and one cache.
+
+    Thread-safe; plan compilation happens outside the lock, so a burst
+    of cold requests for the same key builds independent duplicates
+    (each checks in afterwards, giving that key a plan per concurrent
+    client).  Hits and misses register as [plan_cache_hits] /
+    [plan_cache_misses] in {!Xmark_stats} and are also counted
+    locally. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] bounds the total number of idle plans across all keys;
+    0 disables caching ({!checkin} drops every plan). *)
+
+val checkout :
+  t -> string -> (unit -> Xmark_core.Runner.prepared) ->
+  Xmark_core.Runner.prepared * bool
+(** [checkout t key build] pops an idle plan for [key] ([..., true]) or
+    calls [build] outside the lock ([..., false]).  Whatever [build]
+    raises passes through (the miss is still counted). *)
+
+val checkin : t -> string -> Xmark_core.Runner.prepared -> unit
+(** Return a checked-out plan.  Also safe for plans whose last execution
+    was cancelled — plan caches only publish fully built state. *)
+
+val stats : t -> int * int * int
+(** (hits, misses, evictions). *)

@@ -1,0 +1,234 @@
+module Runner = Xmark_core.Runner
+module Parallel = Xmark_parallel
+module Cancel = Xmark_xquery.Cancel
+module Stats = Xmark_stats
+
+(* A server owns one immutable loaded store and turns it into a shared
+   resource: any number of client domains call [submit] concurrently.
+
+   Admission: [max_inflight] requests execute at once; up to
+   [queue_depth] more wait for a slot; beyond that a request is rejected
+   immediately with [Overloaded] — the closed-loop workload driver never
+   sees rejections by default (clients wait), but an open-loop caller
+   gets typed backpressure instead of an unbounded queue.
+
+   Execution: the request body is dispatched onto the domain pool as a
+   future; the submitting client domain helps drain the pool queue while
+   awaiting, so clients are compute resources too.  Without a pool (or
+   with [jobs = 1]) the body runs inline on the client domain — with
+   several client domains that is still concurrent execution.
+
+   Deadlines: [deadline_ms] covers queue wait plus execution.  A request
+   that is already late when it reaches the front is timed out before
+   executing; one that goes long mid-evaluation is aborted through
+   [Cancel] polls in Eval's iteration loops.  (System C's relational
+   plans execute between polls as compact scan pipelines; their deadline
+   is enforced at dequeue and between Eval-driven stages.)  Timeouts are
+   typed — the client gets [Timeout], never a wrong answer. *)
+
+type config = {
+  max_inflight : int;
+  queue_depth : int;
+  deadline_ms : float option;
+  plan_cache : int;
+}
+
+let default_config =
+  { max_inflight = 4; queue_depth = 64; deadline_ms = None; plan_cache = 64 }
+
+type error =
+  | Overloaded of { inflight : int; queued : int }
+  | Timeout of { elapsed_ms : float }
+  | Unsupported of string
+  | Failed of string
+
+type reply = {
+  items : int;
+  digest : string;  (* md5 hex of the canonical result *)
+  latency_ms : float;  (* admission + queue + execution *)
+  queue_ms : float;
+  plan_hit : bool;
+}
+
+type totals = {
+  served : int;
+  rejected : int;
+  timed_out : int;
+  failed : int;
+  plan_hits : int;
+  plan_misses : int;
+  plan_evictions : int;
+}
+
+type t = {
+  session : Runner.session;
+  pool : Parallel.pool option;
+  cfg : config;
+  cache : Plan_cache.t;
+  lock : Mutex.t;
+  slot_free : Condition.t;
+  mutable inflight : int;
+  mutable queued : int;
+  mutable n_served : int;
+  mutable n_rejected : int;
+  mutable n_timed_out : int;
+  mutable n_failed : int;
+}
+
+let create ?pool ?(config = default_config) session =
+  let config =
+    { config with
+      max_inflight = max 1 config.max_inflight;
+      queue_depth = max 0 config.queue_depth }
+  in
+  {
+    session;
+    pool;
+    cfg = config;
+    cache = Plan_cache.create ~capacity:config.plan_cache;
+    lock = Mutex.create ();
+    slot_free = Condition.create ();
+    inflight = 0;
+    queued = 0;
+    n_served = 0;
+    n_rejected = 0;
+    n_timed_out = 0;
+    n_failed = 0;
+  }
+
+let session t = t.session
+
+let config t = t.cfg
+
+let totals t =
+  let hits, misses, evictions = Plan_cache.stats t.cache in
+  Mutex.protect t.lock (fun () ->
+      {
+        served = t.n_served;
+        rejected = t.n_rejected;
+        timed_out = t.n_timed_out;
+        failed = t.n_failed;
+        plan_hits = hits;
+        plan_misses = misses;
+        plan_evictions = evictions;
+      })
+
+(* Take an execution slot, waiting in the bounded queue if needed. *)
+let acquire t =
+  Mutex.lock t.lock;
+  if t.inflight < t.cfg.max_inflight then begin
+    t.inflight <- t.inflight + 1;
+    Mutex.unlock t.lock;
+    Ok ()
+  end
+  else if t.queued >= t.cfg.queue_depth then begin
+    t.n_rejected <- t.n_rejected + 1;
+    let e = Overloaded { inflight = t.inflight; queued = t.queued } in
+    Mutex.unlock t.lock;
+    Stats.incr "service_rejections";
+    Error e
+  end
+  else begin
+    t.queued <- t.queued + 1;
+    while t.inflight >= t.cfg.max_inflight do
+      Condition.wait t.slot_free t.lock
+    done;
+    t.queued <- t.queued - 1;
+    t.inflight <- t.inflight + 1;
+    Mutex.unlock t.lock;
+    Ok ()
+  end
+
+let release t disposition =
+  Mutex.lock t.lock;
+  t.inflight <- t.inflight - 1;
+  (match disposition with
+  | `Ok -> t.n_served <- t.n_served + 1
+  | `Timeout -> t.n_timed_out <- t.n_timed_out + 1
+  | `Failed -> t.n_failed <- t.n_failed + 1);
+  Condition.signal t.slot_free;
+  Mutex.unlock t.lock
+
+(* The deadline check Eval polls: gettimeofday is ~20ns but polls fire
+   per node visited, so only look at the clock every 64th poll. *)
+let deadline_check ~t0 ~deadline =
+  let polls = ref 0 in
+  fun () ->
+    incr polls;
+    if !polls land 63 = 0 then begin
+      let now = Unix.gettimeofday () in
+      if now > deadline then
+        raise
+          (Cancel.Cancelled
+             (Printf.sprintf "deadline exceeded after %.1f ms"
+                ((now -. t0) *. 1000.0)))
+    end
+
+let submit_with t ~key ~prepare =
+  Stats.incr "service_requests";
+  let t0 = Unix.gettimeofday () in
+  match acquire t with
+  | Error e -> Error e
+  | Ok () -> (
+      let queue_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let deadline =
+        Option.map (fun ms -> t0 +. (ms /. 1000.0)) t.cfg.deadline_ms
+      in
+      let work () =
+        (match deadline with
+        | Some d when Unix.gettimeofday () > d ->
+            raise (Cancel.Cancelled "deadline exceeded while queued")
+        | _ -> ());
+        let body () =
+          let plan, plan_hit = Plan_cache.checkout t.cache key prepare in
+          let outcome =
+            Fun.protect
+              ~finally:(fun () -> Plan_cache.checkin t.cache key plan)
+              (fun () -> Runner.execute_prepared plan)
+          in
+          (* digest on the executing domain: canonicalization is real CPU
+             work, so it belongs on the pool, not the submitting client *)
+          ( outcome.Runner.items,
+            Digest.to_hex (Digest.string (Runner.canonical outcome)),
+            plan_hit )
+        in
+        match deadline with
+        | None -> body ()
+        | Some d -> Cancel.with_check (deadline_check ~t0 ~deadline:d) body
+      in
+      let dispatch () =
+        match t.pool with
+        | Some pool when Parallel.jobs pool > 1 -> Parallel.await (Parallel.async pool work)
+        | _ -> work ()
+      in
+      let elapsed () = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      match dispatch () with
+      | items, digest, plan_hit ->
+          release t `Ok;
+          Ok { items; digest; latency_ms = elapsed (); queue_ms; plan_hit }
+      | exception Cancel.Cancelled _ ->
+          release t `Timeout;
+          Stats.incr "service_timeouts";
+          Error (Timeout { elapsed_ms = elapsed () })
+      | exception Runner.Unsupported msg ->
+          release t `Failed;
+          Error (Unsupported msg)
+      | exception e ->
+          release t `Failed;
+          Error (Failed (Printexc.to_string e)))
+
+let submit t n =
+  submit_with t
+    ~key:("#" ^ string_of_int n)
+    ~prepare:(fun () -> Runner.prepare t.session.Runner.store n)
+
+let submit_text t qtext =
+  submit_with t ~key:qtext
+    ~prepare:(fun () -> Runner.prepare_text t.session.Runner.store qtext)
+
+let error_to_string = function
+  | Overloaded { inflight; queued } ->
+      Printf.sprintf "overloaded (%d in flight, %d queued)" inflight queued
+  | Timeout { elapsed_ms } -> Printf.sprintf "timeout after %.1f ms" elapsed_ms
+  | Unsupported msg -> "unsupported: " ^ msg
+  | Failed msg -> "failed: " ^ msg

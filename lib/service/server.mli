@@ -1,0 +1,83 @@
+(** Concurrent query server over one loaded store.
+
+    A server owns an immutable {!Xmark_core.Runner.session} (from a
+    parse or a snapshot restore) and serves it to any number of client
+    domains: {!submit} is thread-safe and blocks only in the bounded
+    admission queue.  Request bodies are dispatched onto the
+    {!Xmark_parallel} domain pool as futures — awaiting clients help
+    drain the pool queue, so a pool of N workers serving M clients
+    yields up to [N + M]-way execution.  Without a pool, bodies run
+    inline on the calling domain (still concurrent across clients).
+
+    Admission control: at most [max_inflight] requests execute at once;
+    up to [queue_depth] more wait; beyond that {!submit} returns
+    [Overloaded] immediately — typed backpressure, never an unbounded
+    queue.
+
+    Deadlines: [deadline_ms] bounds queue wait plus execution.  Late
+    requests are aborted cooperatively via {!Xmark_xquery.Cancel} polls
+    in Eval's iteration loops and return [Timeout] — a typed refusal,
+    never a crash or a partial answer.
+
+    Plan reuse: an LRU {!Plan_cache} keyed by query text lends prepared
+    plans out exclusively, so repeated queries skip parsing and path
+    compilation and reuse warmed per-plan caches. *)
+
+type config = {
+  max_inflight : int;  (** concurrent executions; clamped to >= 1 *)
+  queue_depth : int;  (** waiting requests beyond inflight; >= 0 *)
+  deadline_ms : float option;  (** per-request budget, queue + execute *)
+  plan_cache : int;  (** idle prepared plans kept (0 disables) *)
+}
+
+val default_config : config
+(** 4 in flight, 64 queued, no deadline, 64 cached plans. *)
+
+type error =
+  | Overloaded of { inflight : int; queued : int }
+      (** rejected at admission; the payload is the load observed *)
+  | Timeout of { elapsed_ms : float }  (** deadline exceeded *)
+  | Unsupported of string  (** e.g. ad-hoc text on System C *)
+  | Failed of string  (** evaluation error; the server survives *)
+
+type reply = {
+  items : int;
+  digest : string;  (** md5 hex of the canonical result *)
+  latency_ms : float;  (** wall time from submission to reply *)
+  queue_ms : float;  (** part of [latency_ms] spent waiting for a slot *)
+  plan_hit : bool;  (** plan came from the cache *)
+}
+
+type totals = {
+  served : int;
+  rejected : int;
+  timed_out : int;
+  failed : int;
+  plan_hits : int;
+  plan_misses : int;
+  plan_evictions : int;
+}
+
+type t
+
+val create :
+  ?pool:Xmark_parallel.pool -> ?config:config -> Xmark_core.Runner.session -> t
+(** The server borrows [pool] (caller shuts it down) and shares the
+    session's store across domains — stores are immutable on the query
+    path, which is what makes this safe. *)
+
+val session : t -> Xmark_core.Runner.session
+
+val config : t -> config
+
+val submit : t -> int -> (reply, error) result
+(** Execute benchmark query 1-20.  Thread-safe; blocks at most while
+    queued for an execution slot. *)
+
+val submit_text : t -> string -> (reply, error) result
+(** Execute ad-hoc XQuery text ([Unsupported] on System C). *)
+
+val totals : t -> totals
+(** Lifetime counters, consistent snapshot. *)
+
+val error_to_string : error -> string

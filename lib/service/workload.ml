@@ -1,0 +1,262 @@
+module Timing = Xmark_core.Timing
+module Prng = Xmark_prng.Prng
+module Stats = Xmark_stats
+
+(* Closed-loop multi-client workload driver: N client domains each run a
+   think-time-free request loop against one server, drawing queries from
+   a weighted mix with a deterministic per-client PRNG stream.  Closed
+   loop means a client submits its next request only after the previous
+   reply — offered load adapts to service rate, so throughput (req/s)
+   is the measurement, not an input. *)
+
+type mix = (int * int) list
+
+let uniform_mix = List.init 20 (fun i -> (i + 1, 1))
+
+(* The "interactive" profile: lookups, scans and small aggregates —
+   the queries a user-facing auction site fires constantly — leaving
+   out the quadratic joins (Q9-Q12) that belong in batch reports.
+   Weights loosely follow XMach-1's mix philosophy: cheap and frequent
+   dominates. *)
+let interactive_mix =
+  [ (1, 8); (2, 4); (3, 2); (5, 4); (6, 6); (7, 3); (8, 2); (13, 4);
+    (14, 2); (15, 4); (16, 3); (17, 4); (20, 4) ]
+
+let mix_to_string mix =
+  String.concat "," (List.map (fun (q, w) -> Printf.sprintf "%d:%d" q w) mix)
+
+let mix_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "uniform" -> uniform_mix
+  | "interactive" -> interactive_mix
+  | spec ->
+      let entry part =
+        let fail () =
+          failwith
+            (Printf.sprintf
+               "bad mix entry %S (want QUERY or QUERY:WEIGHT, e.g. \"1:5,8:2\")"
+               part)
+        in
+        let q, w =
+          match String.split_on_char ':' part with
+          | [ q ] -> (q, "1")
+          | [ q; w ] -> (q, w)
+          | _ -> fail ()
+        in
+        match (int_of_string_opt (String.trim q), int_of_string_opt (String.trim w)) with
+        | Some q, Some w when q >= 1 && q <= 20 && w > 0 -> (q, w)
+        | _ -> fail ()
+      in
+      let mix = List.map entry (String.split_on_char ',' spec) in
+      if mix = [] then failwith "empty mix";
+      mix
+
+let draw gen mix total_weight =
+  let r = Prng.int gen total_weight in
+  let rec pick acc = function
+    | [] -> assert false
+    | (q, w) :: rest -> if r < acc + w then q else pick (acc + w) rest
+  in
+  pick 0 mix
+
+(* --- per-query-class accumulation ----------------------------------------- *)
+
+type class_stats = {
+  cs_query : int;
+  mutable cs_count : int;
+  mutable cs_ok : int;
+  mutable cs_timeouts : int;
+  mutable cs_rejected : int;
+  mutable cs_failed : int;
+  mutable cs_digest : string option;  (* first digest seen *)
+  mutable cs_digest_mismatches : int;
+  cs_hist : Timing.Histogram.t;  (* latencies of ok replies *)
+}
+
+let fresh_classes () =
+  Array.init 20 (fun i ->
+      {
+        cs_query = i + 1;
+        cs_count = 0;
+        cs_ok = 0;
+        cs_timeouts = 0;
+        cs_rejected = 0;
+        cs_failed = 0;
+        cs_digest = None;
+        cs_digest_mismatches = 0;
+        cs_hist = Timing.Histogram.create ();
+      })
+
+let merge_class ~into src =
+  into.cs_count <- into.cs_count + src.cs_count;
+  into.cs_ok <- into.cs_ok + src.cs_ok;
+  into.cs_timeouts <- into.cs_timeouts + src.cs_timeouts;
+  into.cs_rejected <- into.cs_rejected + src.cs_rejected;
+  into.cs_failed <- into.cs_failed + src.cs_failed;
+  (match (into.cs_digest, src.cs_digest) with
+  | None, d -> into.cs_digest <- d
+  | Some a, Some b when a <> b ->
+      into.cs_digest_mismatches <- into.cs_digest_mismatches + 1
+  | _ -> ());
+  into.cs_digest_mismatches <- into.cs_digest_mismatches + src.cs_digest_mismatches;
+  Timing.Histogram.merge ~into:into.cs_hist src.cs_hist
+
+type report = {
+  r_clients : int;
+  r_requests : int;
+  r_ok : int;
+  r_timeouts : int;
+  r_rejected : int;
+  r_failed : int;
+  r_elapsed_s : float;
+  r_rps : float;  (* ok replies per wall-clock second *)
+  r_hist : Timing.Histogram.t;
+  r_classes : class_stats list;  (* only classes the mix exercised *)
+  r_digest_mismatches : int;
+}
+
+(* One client fiber: its PRNG stream, its remaining request budget, its
+   private accumulators (merged by the driver afterwards — fibers share
+   nothing, so the loop is lock-free outside the server). *)
+type strand = {
+  st_gen : Prng.t;
+  mutable st_budget : int;
+  st_classes : class_stats array;
+}
+
+let strand_step server mix total_weight s =
+  let q = draw s.st_gen mix total_weight in
+  let c = s.st_classes.(q - 1) in
+  c.cs_count <- c.cs_count + 1;
+  (match Server.submit server q with
+  | Ok reply ->
+      c.cs_ok <- c.cs_ok + 1;
+      Timing.Histogram.add c.cs_hist reply.Server.latency_ms;
+      (match c.cs_digest with
+      | None -> c.cs_digest <- Some reply.Server.digest
+      | Some d ->
+          if d <> reply.Server.digest then
+            c.cs_digest_mismatches <- c.cs_digest_mismatches + 1)
+  | Error (Server.Timeout _) -> c.cs_timeouts <- c.cs_timeouts + 1
+  | Error (Server.Overloaded _) -> c.cs_rejected <- c.cs_rejected + 1
+  | Error (Server.Unsupported _ | Server.Failed _) ->
+      c.cs_failed <- c.cs_failed + 1);
+  s.st_budget <- s.st_budget - 1
+
+(* Round-robin the runner's strands, one request per strand per pass:
+   each strand stays closed-loop (its next request follows its previous
+   reply) while the runner interleaves fairly. *)
+let runner_loop server mix total_weight strands =
+  let remaining = ref (List.filter (fun s -> s.st_budget > 0) strands) in
+  while !remaining <> [] do
+    remaining :=
+      List.filter
+        (fun s ->
+          strand_step server mix total_weight s;
+          s.st_budget > 0)
+        !remaining
+  done
+
+let run ?seed ?(domains = 0) ~clients ~requests ~mix server =
+  if clients < 1 then invalid_arg "Workload.run: clients must be >= 1";
+  if requests < 0 then invalid_arg "Workload.run: requests must be >= 0";
+  (match mix with
+  | [] -> invalid_arg "Workload.run: empty mix"
+  | mix ->
+      List.iter
+        (fun (q, w) ->
+          if q < 1 || q > 20 || w <= 0 then
+            invalid_arg "Workload.run: mix entries must be (1-20, weight > 0)")
+        mix);
+  let total_weight = List.fold_left (fun acc (_, w) -> acc + w) 0 mix in
+  (* requests split as evenly as possible; remainder to the first
+     clients, so the total is exact and comparisons across client
+     counts hold the offered work constant *)
+  let share i = (requests / clients) + if i < requests mod clients then 1 else 0 in
+  let base = Prng.create ?seed () in
+  let strands =
+    List.init clients (fun i ->
+        { st_gen = Prng.split base; st_budget = share i; st_classes = fresh_classes () })
+  in
+  (* Client fibers multiplex over runner domains: parallelism is bounded
+     by the hardware (spawning more CPU-bound domains than cores only
+     buys minor-GC synchronization stalls), concurrency by [clients].
+     [domains] overrides the auto size, for tests. *)
+  let ndomains =
+    let auto = min clients (Domain.recommended_domain_count ()) in
+    max 1 (min clients (if domains > 0 then domains else auto))
+  in
+  let groups =
+    List.init ndomains (fun d ->
+        List.filteri (fun i _ -> i mod ndomains = d) strands)
+  in
+  let t0 = Unix.gettimeofday () in
+  (match groups with
+  | [] -> ()
+  | first :: rest ->
+      (* the driver domain runs the first group itself; only extra
+         runners are spawned (none on a single-core machine) *)
+      let spawned =
+        List.map
+          (fun group ->
+            Domain.spawn (fun () ->
+                runner_loop server mix total_weight group;
+                (* per-domain counter deltas ride back to the driver,
+                   same discipline as the pool's workers *)
+                Stats.export_and_clear ()))
+          rest
+      in
+      runner_loop server mix total_weight first;
+      List.iter (fun d -> Stats.absorb (Domain.join d)) spawned);
+  let merged = fresh_classes () in
+  List.iter
+    (fun s -> Array.iteri (fun i c -> merge_class ~into:merged.(i) c) s.st_classes)
+    strands;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let hist = Timing.Histogram.create () in
+  let ok = ref 0 and timeouts = ref 0 and rejected = ref 0 and failed = ref 0 in
+  let mismatches = ref 0 in
+  Array.iter
+    (fun c ->
+      ok := !ok + c.cs_ok;
+      timeouts := !timeouts + c.cs_timeouts;
+      rejected := !rejected + c.cs_rejected;
+      failed := !failed + c.cs_failed;
+      mismatches := !mismatches + c.cs_digest_mismatches;
+      Timing.Histogram.merge ~into:hist c.cs_hist)
+    merged;
+  {
+    r_clients = clients;
+    r_requests = requests;
+    r_ok = !ok;
+    r_timeouts = !timeouts;
+    r_rejected = !rejected;
+    r_failed = !failed;
+    r_elapsed_s = elapsed_s;
+    r_rps = (if elapsed_s > 0.0 then float_of_int !ok /. elapsed_s else 0.0);
+    r_hist = hist;
+    r_classes =
+      Array.to_list merged |> List.filter (fun c -> c.cs_count > 0);
+    r_digest_mismatches = !mismatches;
+  }
+
+let pp_report fmt r =
+  let p h q = Timing.Histogram.percentile h q in
+  Format.fprintf fmt
+    "%d client(s): %d requests in %.2f s = %.1f req/s (ok %d, timeout %d, rejected %d, failed %d)@."
+    r.r_clients r.r_requests r.r_elapsed_s r.r_rps r.r_ok r.r_timeouts
+    r.r_rejected r.r_failed;
+  if Timing.Histogram.count r.r_hist > 0 then
+    Format.fprintf fmt
+      "  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f@."
+      (p r.r_hist 50.0) (p r.r_hist 90.0) (p r.r_hist 99.0)
+      (Timing.Histogram.max_ms r.r_hist);
+  List.iter
+    (fun c ->
+      Format.fprintf fmt
+        "  Q%-2d %5d req  p50 %8.2f  p90 %8.2f  p99 %8.2f  max %8.2f%s@."
+        c.cs_query c.cs_count (p c.cs_hist 50.0) (p c.cs_hist 90.0)
+        (p c.cs_hist 99.0)
+        (Timing.Histogram.max_ms c.cs_hist)
+        (if c.cs_digest_mismatches > 0 then "  DIGEST MISMATCH" else ""))
+    r.r_classes

@@ -1,0 +1,79 @@
+(** Closed-loop multi-client workload driver.
+
+    [run] creates [clients] client fibers, each submitting
+    [requests/clients] queries back-to-back to one {!Server}, drawing
+    from a weighted Q1-Q20 [mix] with a per-client deterministic PRNG
+    stream (split from one base seed, so workloads replay exactly).
+    Fibers are multiplexed round-robin over at most
+    [Domain.recommended_domain_count ()] runner domains — parallelism is
+    sized to the hardware, concurrency to [clients]; oversubscribing a
+    small machine with one domain per client only buys minor-GC
+    synchronization stalls.  Every successful reply lands in a
+    per-query-class log-bucketed latency histogram
+    ({!Xmark_core.Timing.Histogram}); the report carries throughput and
+    p50/p90/p99/max per class plus overall.
+
+    Closed loop: a client submits its next request only after the
+    previous reply, so offered load adapts to service rate and req/s is
+    the measurement.  Total requests are held constant across client
+    counts, which is what makes a scaling curve comparable. *)
+
+type mix = (int * int) list
+(** (query number 1-20, positive weight). *)
+
+val uniform_mix : mix
+
+val interactive_mix : mix
+(** Lookups, scans and small aggregates — the default service mix;
+    excludes the quadratic join queries Q9-Q12. *)
+
+val mix_of_string : string -> mix
+(** ["uniform"], ["interactive"], or explicit ["1:5,8:2,20"] (weight
+    defaults to 1).  @raise Failure on a malformed spec. *)
+
+val mix_to_string : mix -> string
+
+type class_stats = {
+  cs_query : int;
+  mutable cs_count : int;
+  mutable cs_ok : int;
+  mutable cs_timeouts : int;
+  mutable cs_rejected : int;
+  mutable cs_failed : int;
+  mutable cs_digest : string option;
+      (** first result digest seen; all replies of a class must match *)
+  mutable cs_digest_mismatches : int;
+  cs_hist : Xmark_core.Timing.Histogram.t;
+}
+
+type report = {
+  r_clients : int;
+  r_requests : int;
+  r_ok : int;
+  r_timeouts : int;
+  r_rejected : int;
+  r_failed : int;
+  r_elapsed_s : float;
+  r_rps : float;  (** successful replies per wall-clock second *)
+  r_hist : Xmark_core.Timing.Histogram.t;  (** all successful replies *)
+  r_classes : class_stats list;  (** classes the mix exercised, ascending *)
+  r_digest_mismatches : int;  (** must be 0: same query, same answer *)
+}
+
+val run :
+  ?seed:int64 ->
+  ?domains:int ->
+  clients:int ->
+  requests:int ->
+  mix:mix ->
+  Server.t ->
+  report
+(** Drive the server and block until all clients finish.  [domains]
+    overrides the runner-domain count (clamped to [1 .. clients]); 0 or
+    absent sizes it to [min clients (Domain.recommended_domain_count ())].
+    Runner-domain {!Xmark_stats} deltas are absorbed into the caller's
+    registry.
+    @raise Invalid_argument on [clients < 1], negative [requests], or a
+    malformed mix. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,8 @@
+(** Concurrent query service: a {!Server} sharing one immutable loaded
+    store across client domains with admission control, deadlines and a
+    prepared-plan cache, plus the closed-loop {!Workload} driver that
+    measures it. *)
+
+module Plan_cache = Plan_cache
+module Server = Server
+module Workload = Workload

@@ -207,6 +207,8 @@ let counter_inventory =
     "join_tables_built"; "join_probes"; "tag_array_cache_hits";
     "tag_array_cache_misses"; "sax_events"; "tuples_emitted";
     "pager_hits"; "pager_misses"; "pager_evictions"; "snapshot_bytes";
+    "plan_cache_hits"; "plan_cache_misses";
+    "service_requests"; "service_rejections"; "service_timeouts";
     "gc_minor_words"; "gc_major_words"; "gc_major_collections";
   ]
 

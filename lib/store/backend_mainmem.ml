@@ -19,6 +19,10 @@ type t = {
   keyword_indexes : (Symbol.t, (string, Dom.node list) Hashtbl.t) Hashtbl.t;
       (* per-tag inverted index over string values; built lazily (System D's
          optional full-text access path, paper Section 6.9) *)
+  kw_lock : Mutex.t;
+      (* guards the lazy build: the only mutation a loaded store performs
+         on its query path, so this lock is what makes a store shareable
+         across the query service's domains *)
 }
 
 let estimate_bytes root =
@@ -74,7 +78,7 @@ let create ~level root =
         (Some sorted, Some ends)
   in
   { root; lvl = level; ids; tags; subtree_end; bytes = estimate_bytes root; nodes;
-    keyword_indexes = Hashtbl.create 4 }
+    keyword_indexes = Hashtbl.create 4; kw_lock = Mutex.create () }
 
 let of_string ~level s = create ~level (Xmark_xml.Sax.parse_string s)
 
@@ -153,29 +157,33 @@ let tokens s =
   !out
 
 let keyword_index t tag =
-  match Hashtbl.find_opt t.keyword_indexes tag with
-  | Some idx -> Some idx
-  | None -> (
-      match tag_nodes t tag with
-      | None -> None
-      | Some extent ->
-          let idx = Hashtbl.create 4096 in
-          List.iter
-            (fun n ->
-              let seen = Hashtbl.create 64 in
+  (* the whole lookup-or-build runs under kw_lock: concurrent readers of
+     a warm index only pay an uncontended lock, and a cold index is
+     built exactly once even when several domains ask for it at once *)
+  Mutex.protect t.kw_lock (fun () ->
+      match Hashtbl.find_opt t.keyword_indexes tag with
+      | Some idx -> Some idx
+      | None -> (
+          match tag_nodes t tag with
+          | None -> None
+          | Some extent ->
+              let idx = Hashtbl.create 4096 in
               List.iter
-                (fun w ->
-                  if not (Hashtbl.mem seen w) then begin
-                    Hashtbl.add seen w ();
-                    Hashtbl.replace idx w
-                      (n :: Option.value ~default:[] (Hashtbl.find_opt idx w))
-                  end)
-                (tokens (Dom.string_value n)))
-            extent;
-          (* extents are in document order, so bucket lists reverse to it *)
-          Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) idx;
-          Hashtbl.replace t.keyword_indexes tag idx;
-          Some idx)
+                (fun n ->
+                  let seen = Hashtbl.create 64 in
+                  List.iter
+                    (fun w ->
+                      if not (Hashtbl.mem seen w) then begin
+                        Hashtbl.add seen w ();
+                        Hashtbl.replace idx w
+                          (n :: Option.value ~default:[] (Hashtbl.find_opt idx w))
+                      end)
+                    (tokens (Dom.string_value n)))
+                extent;
+              (* extents are in document order, so bucket lists reverse to it *)
+              Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) idx;
+              Hashtbl.replace t.keyword_indexes tag idx;
+              Some idx))
 
 let keyword_search t ~tag ~word =
   match keyword_index t tag with

@@ -435,6 +435,7 @@ module Make (S : Store_sig.S) = struct
     | Ast.Any_kind -> true
 
   let rec collect_descendants ctx acc it =
+    Cancel.poll ();
     let kids = child_items ctx it in
     List.fold_left
       (fun acc k ->
@@ -452,6 +453,7 @@ module Make (S : Store_sig.S) = struct
   let collect_descendants_named ctx it tag =
     let store = ctx.c.store in
     let rec go_n acc n =
+      Cancel.poll ();
       List.fold_left
         (fun acc k ->
           match S.kind store k with
@@ -464,6 +466,7 @@ module Make (S : Store_sig.S) = struct
         acc (S.children store n)
     in
     let rec go_c acc d =
+      Cancel.poll ();
       List.fold_left
         (fun acc k ->
           if Dom.is_element k then
@@ -646,6 +649,7 @@ module Make (S : Store_sig.S) = struct
   and eval_step ctx input { Ast.axis; test; preds } =
     Stats.incr "path_steps";
     let per_node it =
+      Cancel.poll ();
       match axis with
       | Ast.Child -> (
           (* ID-index shortcut for  tag[@id = "..."]  child steps. *)
@@ -707,6 +711,7 @@ module Make (S : Store_sig.S) = struct
   and filter_sequence ctx selected pred =
     let size = List.length selected in
     let keep i it =
+      Cancel.poll ();
       let ctx' = { ctx with citem = Some it; cpos = i + 1; csize = size } in
       match eval ctx' pred with
       | [ Num f ] -> f = float_of_int (i + 1)
@@ -1021,6 +1026,7 @@ module Make (S : Store_sig.S) = struct
             | Ast.For (v, e) ->
                 List.concat_map
                   (fun ctx' ->
+                    Cancel.poll ();
                     List.map
                       (fun it -> { ctx' with vars = (v, [ it ]) :: ctx'.vars })
                       (eval ctx' e))

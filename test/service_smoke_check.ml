@@ -1,0 +1,46 @@
+(* Validate an xmark_serve --stats-json dump: the keys the scaling
+   analysis depends on must be present, every digest-mismatch counter
+   must be zero, and both swept client counts must have produced runs.
+   Substring-level checks on purpose — the full counter schema is
+   validated by stats_smoke_check; this guards the service report's
+   shape and its concurrency-correctness invariant. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let file = Sys.argv.(1) in
+  let json = In_channel.with_open_bin file In_channel.input_all in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun key ->
+      if not (contains (Printf.sprintf "\"%s\"" key)) then
+        fail "%s: missing key %S" file key)
+    [
+      "provenance"; "commit"; "factor"; "mix"; "systems"; "runs"; "clients";
+      "rps"; "latency_ms"; "p50"; "p90"; "p99"; "max"; "per_query";
+      "plan_hits"; "digest_mismatches"; "timeouts"; "rejected";
+    ];
+  List.iter
+    (fun marker ->
+      if not (contains marker) then fail "%s: missing %s" file marker)
+    [ "\"clients\": 1"; "\"clients\": 2" ];
+  (* every digest_mismatches counter must be zero: concurrency never
+     changes an answer *)
+  let key = "\"digest_mismatches\": " in
+  let klen = String.length key in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !i + klen <= String.length json do
+    if String.sub json !i klen = key then begin
+      incr found;
+      if json.[!i + klen] <> '0' then
+        fail "%s: nonzero digest_mismatches at offset %d" file !i
+    end;
+    incr i
+  done;
+  if !found = 0 then fail "%s: no digest_mismatches counters found" file;
+  Printf.printf "%s: service stats dump ok (%d runs checked)\n" file !found

@@ -80,6 +80,50 @@ let test_pager_lru () =
       Alcotest.(check (list int)) "page 1 evicted next" [ 2; 3 ]
         (P.Pager.cached pager))
 
+(* Four domains hammer one pager — with a capacity squeeze forcing
+   constant eviction — and every section they read must be
+   byte-identical to a quiet sequential read.  The counters must add up:
+   every access is classified exactly once as a hit or a miss. *)
+let test_pager_concurrent () =
+  let path = multi_page_snapshot () in
+  let expected =
+    let pager = P.Pager.open_file path in
+    Fun.protect
+      ~finally:(fun () -> P.Pager.close pager)
+      (fun () ->
+        Array.init (P.Pager.page_count pager) (fun i ->
+            Bytes.to_string (P.Pager.page pager i)))
+  in
+  let npages = Array.length expected in
+  let pager = P.Pager.open_file ~capacity:2 path in
+  Fun.protect
+    ~finally:(fun () -> P.Pager.close pager)
+    (fun () ->
+      let rounds = 25 in
+      let reader d () =
+        let bad = ref 0 in
+        for r = 0 to rounds - 1 do
+          for k = 0 to npages - 1 do
+            (* different domains walk the pages in different orders, so
+               eviction interleaves adversarially *)
+            let i = (k * (d + 1) + r) mod npages in
+            if Bytes.to_string (P.Pager.page pager i) <> expected.(i) then incr bad
+          done
+        done;
+        !bad
+      in
+      let domains = List.init 4 (fun d -> Domain.spawn (reader d)) in
+      let bad = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+      Alcotest.(check int) "all concurrent reads byte-identical" 0 bad;
+      let hits, misses, evictions = P.Pager.stats pager in
+      Alcotest.(check int) "hits + misses = total accesses"
+        (4 * rounds * npages) (hits + misses);
+      Alcotest.(check bool) "every page missed at least once" true
+        (misses >= npages);
+      (* capacity 2: the first two misses fill the pool, every later
+         miss evicts exactly one page *)
+      Alcotest.(check int) "evictions = misses - capacity" (misses - 2) evictions)
+
 let test_pager_out_of_range () =
   let pager = P.Pager.open_file (multi_page_snapshot ()) in
   Fun.protect
@@ -211,6 +255,7 @@ let () =
         [
           Alcotest.test_case "lru accounting" `Quick test_pager_lru;
           Alcotest.test_case "out of range" `Quick test_pager_out_of_range;
+          Alcotest.test_case "4-domain concurrent reads" `Quick test_pager_concurrent;
         ] );
       ( "corrupt",
         [

@@ -1,0 +1,144 @@
+(* Percentile selection and the log-bucketed latency histogram — the
+   machinery shared by xmark_bench medians and the service workload
+   driver's tail-latency reports. *)
+
+module Timing = Xmark_core.Timing
+module H = Timing.Histogram
+
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- nearest-rank percentiles over sample lists --------------------------- *)
+
+let test_percentile_single () =
+  checkf "p50 of one sample" 7.0 (Timing.percentile 50.0 [ 7.0 ]);
+  checkf "p0 of one sample" 7.0 (Timing.percentile 0.0 [ 7.0 ]);
+  checkf "p100 of one sample" 7.0 (Timing.percentile 100.0 [ 7.0 ])
+
+let test_percentile_nearest_rank () =
+  (* canonical nearest-rank example: 10 samples 1..10 *)
+  let s = List.init 10 (fun i -> float_of_int (i + 1)) in
+  checkf "p25" 3.0 (Timing.percentile 25.0 s);
+  checkf "p50" 5.0 (Timing.percentile 50.0 s);
+  checkf "p75" 8.0 (Timing.percentile 75.0 s);
+  checkf "p90" 9.0 (Timing.percentile 90.0 s);
+  checkf "p99" 10.0 (Timing.percentile 99.0 s);
+  checkf "p100" 10.0 (Timing.percentile 100.0 s)
+
+let test_percentile_unsorted () =
+  checkf "order does not matter" 5.0
+    (Timing.percentile 50.0 [ 9.0; 1.0; 5.0; 10.0; 2.0; 8.0; 3.0; 7.0; 4.0; 6.0 ])
+
+let test_percentile_is_a_sample () =
+  (* nearest rank never interpolates — the answer is an actual sample *)
+  let s = [ 1.0; 100.0 ] in
+  List.iter
+    (fun p ->
+      let v = Timing.percentile p s in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g lands on a sample" p)
+        true (List.mem v s))
+    [ 0.0; 10.0; 50.0; 90.0; 100.0 ]
+
+let test_percentile_errors () =
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Timing.percentile: empty sample list") (fun () ->
+      ignore (Timing.percentile 50.0 []));
+  (match Timing.percentile 101.0 [ 1.0 ] with
+  | _ -> Alcotest.fail "p out of range accepted"
+  | exception Invalid_argument _ -> ());
+  match Timing.percentile (-1.0) [ 1.0 ] with
+  | _ -> Alcotest.fail "negative p accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_percentiles_batch () =
+  let s = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "batch agrees with one-at-a-time"
+    (List.map (fun p -> (p, Timing.percentile p s)) [ 50.0; 90.0; 99.0 ])
+    (Timing.percentiles [ 50.0; 90.0; 99.0 ] s)
+
+let test_median () =
+  checkf "odd" 2.0 (Timing.median [ 3.0; 1.0; 2.0 ]);
+  (* even count: nearest rank picks the lower middle, matching
+     median_rank's "must be an actual run" policy *)
+  checkf "even" 2.0 (Timing.median [ 4.0; 1.0; 3.0; 2.0 ])
+
+(* --- histogram ------------------------------------------------------------- *)
+
+let test_hist_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "count" 0 (H.count h);
+  checkf "p50 of empty" 0.0 (H.percentile h 50.0);
+  checkf "max of empty" 0.0 (H.max_ms h);
+  checkf "mean of empty" 0.0 (H.mean_ms h)
+
+let test_hist_relative_error () =
+  (* 8 buckets per octave => any quantile is within ~4.5% of the true
+     sample value (half a bucket: 2^(1/16) - 1) *)
+  let h = H.create () in
+  let samples = List.init 1000 (fun i -> 0.01 +. (float_of_int i *. 0.37)) in
+  List.iter (H.add h) samples;
+  Alcotest.(check int) "count" 1000 (H.count h);
+  List.iter
+    (fun p ->
+      let exact = Timing.percentile p samples in
+      let approx = H.percentile h p in
+      let rel = abs_float (approx -. exact) /. exact in
+      if rel > 0.045 then
+        Alcotest.failf "p%g: %.4f vs exact %.4f (rel err %.3f)" p approx exact rel)
+    [ 10.0; 50.0; 90.0; 99.0 ]
+
+let test_hist_max_exact () =
+  (* the maximum is tracked exactly, not bucket-rounded *)
+  let h = H.create () in
+  List.iter (H.add h) [ 0.5; 123.456; 3.0 ];
+  checkf "max" 123.456 (H.max_ms h);
+  checkf "p100 reports the exact max" 123.456 (H.percentile h 100.0)
+
+let test_hist_merge () =
+  let a = H.create () and b = H.create () and whole = H.create () in
+  let sa = List.init 500 (fun i -> 0.001 *. float_of_int (i + 1)) in
+  let sb = List.init 500 (fun i -> 1.0 +. (0.01 *. float_of_int i)) in
+  List.iter (H.add a) sa;
+  List.iter (H.add b) sb;
+  List.iter (H.add whole) (sa @ sb);
+  H.merge ~into:a b;
+  Alcotest.(check int) "merged count" (H.count whole) (H.count a);
+  checkf "merged max" (H.max_ms whole) (H.max_ms a);
+  List.iter
+    (fun p ->
+      checkf
+        (Printf.sprintf "merged p%g equals whole-population p%g" p p)
+        (H.percentile whole p) (H.percentile a p))
+    [ 25.0; 50.0; 75.0; 99.0 ]
+
+let test_hist_degenerate_samples () =
+  let h = H.create () in
+  H.add h 0.0;
+  H.add h (-5.0);
+  H.add h nan;
+  Alcotest.(check int) "all clamped samples counted" 3 (H.count h);
+  checkf "clamped to zero" 0.0 (H.percentile h 50.0)
+
+let () =
+  Alcotest.run "timing"
+    [
+      ( "percentiles",
+        [
+          Alcotest.test_case "single sample" `Quick test_percentile_single;
+          Alcotest.test_case "nearest rank" `Quick test_percentile_nearest_rank;
+          Alcotest.test_case "unsorted input" `Quick test_percentile_unsorted;
+          Alcotest.test_case "always a sample" `Quick test_percentile_is_a_sample;
+          Alcotest.test_case "errors" `Quick test_percentile_errors;
+          Alcotest.test_case "batch" `Quick test_percentiles_batch;
+          Alcotest.test_case "median" `Quick test_median;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "relative error bound" `Quick test_hist_relative_error;
+          Alcotest.test_case "exact maximum" `Quick test_hist_max_exact;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "degenerate samples" `Quick test_hist_degenerate_samples;
+        ] );
+    ]
