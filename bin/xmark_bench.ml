@@ -144,6 +144,9 @@ let run exhibit factor jobs stats_json bench_out bench_runs systems queries syst
   | Xmark_persist.Corrupt m ->
       Printf.eprintf "snapshot error: %s\n" m;
       1
+  | Xmark_xml.Sax.Parse_error { line; col; message } ->
+      Printf.eprintf "parse error: line %d, column %d: %s\n" line col message;
+      1
   | Runner.Unsupported m ->
       Printf.eprintf "unsupported: %s\n" m;
       3

@@ -175,6 +175,9 @@ let run factor jobs clients requests mix_s deadline max_inflight queue_depth
   | Failure m | Sys_error m ->
       Printf.eprintf "%s\n" m;
       2
+  | Xmark_xml.Sax.Parse_error { line; col; message } ->
+      Printf.eprintf "parse error: line %d, column %d: %s\n" line col message;
+      1
   | Xmark_persist.Corrupt m ->
       Printf.eprintf "snapshot error: %s\n" m;
       1

@@ -117,10 +117,13 @@ let run_safe a b c d e f g h i j k l m n =
   | Xmark_core.Runner.Unsupported m ->
       Printf.eprintf "unsupported: %s\n" m;
       3
+  | Xmark_xml.Sax.Parse_error { line; col; message } ->
+      Printf.eprintf "parse error: line %d, column %d: %s\n" line col message;
+      1
   | Xmark_persist.Corrupt m ->
       Printf.eprintf "snapshot error: %s\n" m;
       1
-  | Invalid_argument m | Failure m ->
+  | Invalid_argument m | Failure m | Sys_error m ->
       Printf.eprintf "error: %s\n" m;
       1
 

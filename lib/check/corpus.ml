@@ -1,0 +1,148 @@
+(* Regression corpus: hostile inputs kept on disk and replayed on every
+   test run.  A file's extension says which contract it exercises:
+   [.xml] → the Sax contract, [.xms] → the snapshot reader, [.xq] → the
+   XQuery parser.  Files come from two sources — {!seed} writes the
+   hand-constructed cases this subsystem ships with, and the property
+   runner adds a shrunk reproducer whenever a campaign finds a
+   violation. *)
+
+module Sax = Xmark_xml.Sax
+module Snapshot = Xmark_persist.Snapshot
+module Page_io = Xmark_persist.Page_io
+module Parser = Xmark_xquery.Parser
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* The snapshot contract a corpus file can check without its base
+   snapshot on hand: read must either raise Corrupt or decode to a
+   payload that re-encodes to exactly the file's bytes (the format's
+   write determinism makes re-encoding a faithful identity oracle). *)
+let replay_snapshot path =
+  match Snapshot.read path with
+  | exception Xmark_persist.Corrupt _ -> Ok "corrupt"
+  | system, payload ->
+      let tmp = Filename.temp_file "xmark_corpus_" ".xms" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          Snapshot.write ~path:tmp ~system payload;
+          if read_file tmp = read_file path then Ok "roundtrip"
+          else Error "snapshot decoded to a payload that re-encodes differently")
+
+let replay_xq path =
+  let text = read_file path in
+  match Parser.parse_query text with
+  | _ -> Ok "parsed"
+  | exception Parser.Error _ -> Ok "syntax-error"
+
+let replay path =
+  match Filename.extension path with
+  | ".xml" -> Fuzz_sax.contract (read_file path)
+  | ".xms" -> replay_snapshot path
+  | ".xq" -> replay_xq path
+  | ext -> Error (Printf.sprintf "unknown corpus extension %S" ext)
+
+(* Replay every corpus file; each must satisfy its contract (typed
+   rejection or clean round-trip — anything else means a regression
+   resurfaced).  Returns (path, label-or-error) per file, sorted. *)
+let replay_dir dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter (fun f ->
+         match Filename.extension f with
+         | ".xml" | ".xms" | ".xq" -> true
+         | _ -> false)
+  |> List.map (fun f ->
+         let path = Filename.concat dir f in
+         (path, try replay path with e ->
+             Error ("uncaught exception: " ^ Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Hand-constructed seed cases.                                        *)
+
+let sax_seed_cases =
+  [ ("tag-imbalance", "<site><open_auctions></site>");
+    ("unterminated-cdata", "<a><![CDATA[never closed");
+    ("undeclared-entity", "<a>&nbsp;</a>");
+    ("raw-lt-in-attr", "<a b=\"x<y\"/>");
+    ("duplicate-attr", "<a id=\"1\" id=\"2\"/>");
+    ("truncated-doc", "<site><regions><africa><item id=\"it");
+    ("trailing-garbage", "<a/></b>");
+    ("deep-nesting", String.concat "" (List.init 4097 (fun _ -> "<d>"))) ]
+
+let xq_seed_cases =
+  [ ("unclosed-flwor", "for $x in /site/people/person return");
+    ("bad-token", "let $a := ### return $a");
+    ("unbalanced-paren", "count(/site/regions/item");
+    ("garbage", "\x00\xff<<>>&&") ]
+
+(* Snapshot seed cases are binary corruptions of a real (tiny) snapshot
+   file, constructed so each exercises a distinct reader defense:
+   truncation off and on page boundaries, the magic check, the per-page
+   CRC (page moved), and the per-section CRC (payload byte flipped and
+   the page re-sealed so the page CRC alone would pass). *)
+let snapshot_seed_cases () =
+  let tmp = Filename.temp_file "xmark_corpus_seed_" ".xms" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let doc = "<site><regions><item id=\"i1\">seed corpus document, long \
+                 enough to span several pages when repeated — "
+                ^ String.concat " "
+                    (List.init 600 (fun i -> Printf.sprintf "word%d" i))
+                ^ "</item></regions></site>"
+      in
+      Snapshot.write ~path:tmp ~system:'G' (Snapshot.Text doc);
+      let base = read_file tmp in
+      let page = Page_io.page_size in
+      let n_pages = String.length base / page in
+      assert (n_pages >= 2);
+      let truncated_mid = String.sub base 0 (String.length base - (page / 2)) in
+      let truncated_page = String.sub base 0 ((n_pages - 1) * page) in
+      let bad_magic =
+        let b = Bytes.of_string base in
+        Bytes.set b 0 'Y';
+        Bytes.to_string b
+      in
+      let transposed =
+        (* swap the last two pages: bytes intact, positions wrong *)
+        let b = Bytes.of_string base in
+        let a_off = (n_pages - 2) * page and b_off = (n_pages - 1) * page in
+        let pa = Bytes.sub b a_off page in
+        Bytes.blit b b_off b a_off page;
+        Bytes.blit pa 0 b b_off page;
+        Bytes.to_string b
+      in
+      let bad_section_digest =
+        (* flip a payload byte of the last page, then re-seal it: the
+           page CRC passes, so only the section digest can object *)
+        let b = Bytes.of_string base in
+        let off = (n_pages - 1) * page in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x01));
+        Page_io.seal b ~off ~page:(n_pages - 1);
+        Bytes.to_string b
+      in
+      [ ("truncated-mid-page", truncated_mid);
+        ("truncated-page-boundary", truncated_page);
+        ("bad-magic", bad_magic); ("transposed-pages", transposed);
+        ("bad-section-digest", bad_section_digest) ])
+
+let seed dir =
+  Property.mkdir_p dir;
+  let put name ext bytes =
+    let path = Filename.concat dir (Printf.sprintf "seed-%s.%s" name ext) in
+    write_file path bytes;
+    path
+  in
+  List.map (fun (n, s) -> put n "xml" s) sax_seed_cases
+  @ List.map (fun (n, s) -> put n "xq" s) xq_seed_cases
+  @ List.map (fun (n, s) -> put n "xms" s) (snapshot_seed_cases ())

@@ -1,0 +1,84 @@
+(* Fuzz target: the Sax tokenizer and DOM builder on hostile bytes.
+
+   Contract under test — for ANY input string:
+   - [Sax.scan] and [Sax.parse_dom] return normally or raise
+     {!Sax.Parse_error}.  Any other exception (including
+     [Stack_overflow]) is a violation.
+   - If [scan] rejects the input, [parse_dom] must reject it too: the
+     DOM builder consumes the same event stream and cannot be more
+     permissive than the tokenizer.
+   - If [parse_dom] accepts, serialization is a fixpoint: with
+     [d = parse s], [s1 = serialize d], then [parse s1] must succeed and
+     re-serialize to exactly [s1], and its canonical form must equal
+     [d]'s.  (We compare through one serialize round because arbitrary
+     accepted input — CDATA, whitespace policy — need not re-parse to a
+     structurally identical tree; the serialized form is the fixpoint.) *)
+
+module Prng = Xmark_prng.Prng
+module Sax = Xmark_xml.Sax
+module Serialize = Xmark_xml.Serialize
+module Canonical = Xmark_xml.Canonical
+
+let clamp max_bytes s =
+  if String.length s <= max_bytes then s else String.sub s 0 max_bytes
+
+let contract s =
+  let scan_result =
+    match Sax.scan (Sax.of_string s) with
+    | n -> Ok n
+    | exception Sax.Parse_error _ -> Error `Rejected
+  in
+  match scan_result with
+  | Error `Rejected -> (
+      (* scan rejected; parse_dom must reject as well *)
+      match Sax.parse_string s with
+      | _ -> Error "scan raised Parse_error but parse_dom accepted"
+      | exception Sax.Parse_error _ -> Ok "parse-error")
+  | Ok _ -> (
+      match Sax.parse_string s with
+      | exception Sax.Parse_error _ ->
+          (* tokenizes but has no single root / trailing content *)
+          Ok "parse-error"
+      | d -> (
+          let s1 = Serialize.to_string d in
+          match Sax.parse_string s1 with
+          | exception Sax.Parse_error { line; col; message } ->
+              Error
+                (Printf.sprintf
+                   "serialized form of accepted input failed to re-parse \
+                    (line %d col %d: %s)"
+                   line col message)
+          | d2 ->
+              let s2 = Serialize.to_string d2 in
+              if s2 <> s1 then
+                Error "serialize is not a fixpoint on an accepted input"
+              else if Canonical.of_node d <> Canonical.of_node d2 then
+                Error "canonical form changed across a serialize round-trip"
+              else Ok "well-formed"))
+
+(* A case is a generated XMark-vocabulary document pushed through 0-4
+   mutation rounds.  Round 0 keeps some well-formed inputs in the mix so
+   the accept path stays exercised. *)
+let gen ~max_bytes g =
+  let s = clamp max_bytes (Gen.xml g) in
+  let rounds = Prng.int g 5 in
+  let rec go k s =
+    if k = 0 then s
+    else
+      let _, s' = Mutate.mutate g s in
+      go (k - 1) (clamp max_bytes s')
+  in
+  go rounds s
+
+let property ~max_bytes =
+  {
+    Property.name = "sax";
+    gen = gen ~max_bytes;
+    shrink = Shrink.string;
+    prop = contract;
+    to_bytes = Fun.id;
+    ext = "xml";
+  }
+
+let run ?corpus_dir ?(max_bytes = 16384) ~seed ~iterations () =
+  Property.run ?corpus_dir ~count:iterations ~seed (property ~max_bytes)

@@ -1,0 +1,158 @@
+(* Fuzz target: the query server under fault injection.
+
+   Contract under test — after ANY hostile interaction (garbage query
+   text, out-of-range query numbers, sub-millisecond deadlines, bursts
+   past the admission limit), the server must
+   - respond with a typed [(reply, error) result], never an exception or
+     a hang, and
+   - keep serving CORRECT answers to a healthy client: a known query
+     submitted right after the fault must return [Ok] with the digest a
+     direct single-threaded [Runner.run] produced before the campaign.
+
+   The target runs System D (structural-index DOM), the backend that
+   accepts ad-hoc query text — so garbage actually reaches the XQuery
+   parser rather than bouncing off an [Unsupported] guard. *)
+
+module Prng = Xmark_prng.Prng
+module Runner = Xmark_core.Runner
+module Server = Xmark_service.Server
+
+type fault =
+  | Garbage of string  (** mutated query text through [submit_text] *)
+  | Bad_query of int  (** out-of-range benchmark query number *)
+  | Deadline of { query : int; ms : float }  (** a near-impossible budget *)
+  | Burst of { clients : int; per_client : int; query : int }
+      (** concurrent storm past the admission limit *)
+
+type world = {
+  server : Server.t;
+  store : Runner.store;
+  reference : (int * string) array;  (** query → trusted digest *)
+  mutable probe : int;  (** rotates through [reference] *)
+}
+
+(* Queries with modest runtimes at factor 0.001: health probes must be
+   cheap enough to run after every single fault. *)
+let probe_queries = [| 1; 13; 15; 17; 20 |]
+
+let reference_digest store q =
+  Digest.to_hex (Digest.string (Runner.canonical (Runner.run store q)))
+
+let make_world () =
+  let text = Xmark_xmlgen.Generator.to_string ~factor:0.001 () in
+  let session = Runner.load ~source:(`Text text) Runner.D in
+  let config =
+    { Server.max_inflight = 2; queue_depth = 2; deadline_ms = None;
+      plan_cache = 4 }
+  in
+  let server = Server.create ~config session in
+  let store = session.Runner.store in
+  let reference =
+    Array.map (fun q -> (q, reference_digest store q)) probe_queries
+  in
+  { server; store; reference; probe = 0 }
+
+let gen_fault g =
+  let roll = Prng.float g 1.0 in
+  if roll < 0.40 then begin
+    let q = Prng.int_in g 1 20 in
+    let text = Xmark_core.Queries.text q in
+    let rounds = Prng.int_in g 1 3 in
+    let rec go k s =
+      if k = 0 then s
+      else
+        let _, s' = Mutate.mutate g s in
+        let s' =
+          if String.length s' > 2048 then String.sub s' 0 2048 else s'
+        in
+        go (k - 1) s'
+    in
+    Garbage (go rounds text)
+  end
+  else if roll < 0.55 then Bad_query (Prng.int_in g (-4) 30)
+  else if roll < 0.80 then
+    Deadline { query = Prng.int_in g 1 20; ms = Prng.float g 0.5 }
+  else
+    Burst
+      { clients = Prng.int_in g 2 4; per_client = Prng.int_in g 1 3;
+        query = Prng.pick g probe_queries }
+
+let label_of_result = function
+  | Ok (_ : Server.reply) -> "ok"
+  | Error (Server.Overloaded _) -> "overloaded"
+  | Error (Server.Timeout _) -> "timeout"
+  | Error (Server.Unsupported _) -> "unsupported"
+  | Error (Server.Failed _) -> "failed"
+
+(* Inject the fault; any escape from the typed result is a violation
+   (Property.eval catches it).  Bursts run real client domains. *)
+let inject world = function
+  | Garbage text -> label_of_result (Server.submit_text world.server text)
+  | Bad_query n -> label_of_result (Server.submit world.server n)
+  | Deadline { query; ms } ->
+      label_of_result (Server.submit ~deadline_ms:ms world.server query)
+  | Burst { clients; per_client; query } ->
+      let worker i =
+        Domain.spawn (fun () ->
+            let rec go k acc =
+              if k = 0 then acc
+              else
+                let r =
+                  if i mod 2 = 0 then
+                    Server.submit ~deadline_ms:0.05 world.server query
+                  else Server.submit world.server query
+                in
+                go (k - 1) (label_of_result r :: acc)
+            in
+            go per_client [])
+      in
+      let domains = List.init clients worker in
+      let labels = List.concat_map Domain.join domains in
+      (* summarize: a burst is one fault with one histogram label *)
+      if List.mem "ok" labels then "burst-served" else "burst-shed"
+
+let health_check world =
+  let q, want = world.reference.(world.probe mod Array.length world.reference) in
+  world.probe <- world.probe + 1;
+  match Server.submit world.server q with
+  | Ok reply ->
+      if reply.Server.digest = want then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "healthy client got a wrong digest for query %d after a fault" q)
+  | Error e ->
+      Error
+        (Printf.sprintf "healthy client rejected after a fault: query %d, %s"
+           q (Server.error_to_string e))
+
+let fault_to_string = function
+  | Garbage s -> Printf.sprintf "garbage %S" s
+  | Bad_query n -> Printf.sprintf "bad-query %d" n
+  | Deadline { query; ms } -> Printf.sprintf "deadline q%d %.3fms" query ms
+  | Burst { clients; per_client; query } ->
+      Printf.sprintf "burst %dx%d q%d" clients per_client query
+
+let shrink_fault fault =
+  match fault with
+  | Garbage s -> Seq.map (fun s' -> Garbage s') (Shrink.string s)
+  | _ -> Seq.empty
+
+let property world =
+  {
+    Property.name = "service";
+    gen = gen_fault;
+    shrink = shrink_fault;
+    prop =
+      (fun fault ->
+        let label = inject world fault in
+        match health_check world with
+        | Ok () -> Ok label
+        | Error msg -> Error msg);
+    to_bytes = fault_to_string;
+    ext = "xq";
+  }
+
+let run ?corpus_dir ~seed ~iterations () =
+  let world = make_world () in
+  Property.run ?corpus_dir ~count:iterations ~seed (property world)

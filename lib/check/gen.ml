@@ -1,0 +1,103 @@
+(* Deterministic generators for well-formed XML documents over the XMark
+   DTD vocabulary.  Every draw comes from an explicit [Prng.t], so a
+   campaign seed reproduces the exact same documents on any machine; the
+   fuzz targets mutate these documents into hostile inputs, and the
+   property tests use them directly.
+
+   Two invariants matter for the round-trip property
+   [parse (serialize doc) = doc]:
+   - adjacent text children are coalesced (the serializer concatenates
+     them, so the parser would read back fewer nodes), and
+   - no text node is whitespace-only (the parser drops those by
+     default). *)
+
+module Prng = Xmark_prng.Prng
+module Dom = Xmark_xml.Dom
+
+let element_vocab = Array.of_list Xmark_xmlgen.Dtd.element_names
+
+let attr_vocab =
+  [| "id"; "featured"; "category"; "person"; "item"; "open_auction"; "from";
+     "to"; "income" |]
+
+let name_start = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+
+let name_rest = name_start ^ "0123456789-.:"
+
+(* Mostly DTD names (so stores and symbol interning see realistic tags),
+   sometimes a random well-formed name (so the dynamic interning path and
+   non-vocabulary code paths get exercised too). *)
+let name g =
+  if Prng.chance g 0.8 then Prng.pick g element_vocab
+  else begin
+    let n = Prng.int_in g 1 12 in
+    let b = Bytes.create n in
+    Bytes.set b 0 name_start.[Prng.int g (String.length name_start)];
+    for i = 1 to n - 1 do
+      Bytes.set b i name_rest.[Prng.int g (String.length name_rest)]
+    done;
+    Bytes.to_string b
+  end
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+(* Includes the characters serialization must escape. *)
+let text_pool = "abcdefghij XYZ&<>\"'\t\n0123456789,."
+
+let text g =
+  let n = Prng.int_in g 1 24 in
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i text_pool.[Prng.int g (String.length text_pool)]
+  done;
+  let s = Bytes.to_string b in
+  if String.for_all is_ws s then s ^ "x" else s
+
+let attrs g =
+  let n = Prng.int g 4 in
+  let rec go k acc =
+    if k = 0 then List.rev acc
+    else
+      let key = if Prng.chance g 0.7 then Prng.pick g attr_vocab else name g in
+      if List.mem_assoc key acc then go (k - 1) acc
+      else go (k - 1) ((key, text g) :: acc)
+  in
+  go n []
+
+let coalesce nodes =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ({ Dom.desc = Dom.Text a; _ } : Dom.node)
+      :: { Dom.desc = Dom.Text b; _ }
+      :: rest ->
+        go acc (Dom.text (a ^ b) :: rest)
+    | n :: rest -> go (n :: acc) rest
+  in
+  go [] nodes
+
+(* Children via explicit recursion: List.init evaluation order is
+   unspecified, and reproducibility demands a fixed draw order. *)
+let rec element g ~depth budget =
+  let nm = name g in
+  let ats = attrs g in
+  let n_children = if depth = 0 || !budget <= 0 then 0 else Prng.int g 5 in
+  let rec kids k acc =
+    if k = 0 || !budget <= 0 then List.rev acc
+    else begin
+      decr budget;
+      let child =
+        if Prng.chance g 0.4 then Dom.text (text g)
+        else element g ~depth:(depth - 1) budget
+      in
+      kids (k - 1) (child :: acc)
+    end
+  in
+  let children = coalesce (kids n_children []) in
+  Dom.element ~attrs:ats ~children nm
+
+let doc ?(max_depth = 6) ?(max_nodes = 150) g =
+  let budget = ref (Prng.int_in g 1 (max 1 max_nodes)) in
+  element g ~depth:max_depth budget
+
+let xml ?max_depth ?max_nodes g =
+  Xmark_xml.Serialize.to_string (doc ?max_depth ?max_nodes g)

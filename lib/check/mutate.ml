@@ -1,0 +1,126 @@
+(* Byte-level mutators that turn well-formed inputs hostile.  Each
+   operator is a pure function of (generator, input), so a campaign seed
+   replays the exact mutation sequence.  The operators target the failure
+   modes the parsers under test must reject with typed errors: tag
+   imbalance, unterminated constructs, bogus entities, binary garbage,
+   truncation on and off page boundaries, pathological nesting and
+   oversized names. *)
+
+module Prng = Xmark_prng.Prng
+
+let splice s ~at ~len ~ins =
+  let at = max 0 (min at (String.length s)) in
+  let len = max 0 (min len (String.length s - at)) in
+  String.sub s 0 at ^ ins ^ String.sub s (at + len) (String.length s - at - len)
+
+(* Fragments of XML syntax that, dropped at a random offset, tend to
+   break lexical structure rather than just change character data. *)
+let hostile_tokens =
+  [| "<"; ">"; "</"; "/>"; "<!"; "<![CDATA["; "]]>"; "<!--"; "-->";
+     "<?xml"; "?>"; "<!DOCTYPE x ["; "&"; "&#"; "&#x110000;"; "&bogus;";
+     "&amp"; "\""; "'"; "="; "\x00"; "\xff\xfe"; "<a b=\"c"; "</nope>" |]
+
+let flip_bits g s =
+  let b = Bytes.of_string s in
+  let flips = Prng.int_in g 1 8 in
+  for _ = 1 to flips do
+    let i = Prng.int g (Bytes.length b) in
+    let bit = Prng.int g 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
+  done;
+  Bytes.to_string b
+
+let set_byte g s =
+  let b = Bytes.of_string s in
+  Bytes.set b (Prng.int g (Bytes.length b)) (Char.chr (Prng.int g 256));
+  Bytes.to_string b
+
+let truncate g s = String.sub s 0 (Prng.int g (String.length s))
+
+(* Cut on a snapshot page boundary: exercises the "file is a whole
+   number of pages but fewer than the header declares" path, which plain
+   random truncation almost never hits. *)
+let truncate_page g s =
+  let page = 4096 in
+  let pages = String.length s / page in
+  if pages < 1 then truncate g s
+  else String.sub s 0 (Prng.int_in g 0 (pages - 1) * page)
+
+let delete_span g s =
+  let at = Prng.int g (String.length s) in
+  let len = Prng.int_in g 1 (max 1 (String.length s / 4)) in
+  splice s ~at ~len ~ins:""
+
+let dup_span g s =
+  let at = Prng.int g (String.length s) in
+  let len = min (Prng.int_in g 1 64) (String.length s - at) in
+  splice s ~at ~len:0 ~ins:(String.sub s at len)
+
+let swap_chunks g s =
+  let n = String.length s in
+  if n < 8 then flip_bits g s
+  else begin
+    let len = Prng.int_in g 1 (n / 4) in
+    let a = Prng.int g (n - len) in
+    let b = Prng.int g (n - len) in
+    let lo, hi = (min a b, max a b) in
+    if lo + len > hi then flip_bits g s
+    else
+      String.sub s 0 lo
+      ^ String.sub s hi len
+      ^ String.sub s (lo + len) (hi - lo - len)
+      ^ String.sub s lo len
+      ^ String.sub s (hi + len) (n - hi - len)
+  end
+
+let insert_token g s =
+  let tok = Prng.pick g hostile_tokens in
+  splice s ~at:(Prng.int g (String.length s + 1)) ~len:0 ~ins:tok
+
+(* Unbalance the tag structure specifically: find a '<'-delimited group
+   and either remove it or duplicate it. *)
+let tag_imbalance g s =
+  let positions = ref [] in
+  String.iteri (fun i c -> if c = '<' then positions := i :: !positions) s;
+  match !positions with
+  | [] -> insert_token g s
+  | ps ->
+      let ps = Array.of_list ps in
+      let at = Prng.pick g ps in
+      let stop =
+        match String.index_from_opt s at '>' with
+        | Some j -> j + 1
+        | None -> String.length s
+      in
+      let group = String.sub s at (stop - at) in
+      if Prng.bool g then splice s ~at ~len:(String.length group) ~ins:""
+      else splice s ~at ~len:0 ~ins:group
+
+let deep_nest g s =
+  let reps = Prng.int_in g 16 5000 in
+  let b = Buffer.create (reps * 3) in
+  for _ = 1 to reps do
+    Buffer.add_string b "<x>"
+  done;
+  splice s ~at:(Prng.int g (String.length s + 1)) ~len:0
+    ~ins:(Buffer.contents b)
+
+let long_name g s =
+  let n = Prng.int_in g 256 20000 in
+  splice s ~at:(Prng.int g (String.length s + 1)) ~len:0
+    ~ins:("<" ^ String.make n 'a' ^ ">")
+
+let ops =
+  [| ("flip-bits", flip_bits); ("set-byte", set_byte); ("truncate", truncate);
+     ("truncate-page", truncate_page); ("delete-span", delete_span);
+     ("dup-span", dup_span); ("swap-chunks", swap_chunks);
+     ("insert-token", insert_token); ("tag-imbalance", tag_imbalance);
+     ("deep-nest", deep_nest); ("long-name", long_name) |]
+
+(* One random mutation; returns the operator name for outcome
+   histograms.  Empty input can only grow. *)
+let mutate g s =
+  if String.length s = 0 then ("insert-token", insert_token g s)
+  else
+    let name, op = Prng.pick g ops in
+    (name, op g s)

@@ -1,0 +1,97 @@
+(* Shrinking: lazy sequences of strictly "smaller" candidates for a
+   failing input.  The property runner takes the first candidate that
+   still fails and recurses (greedy first-improvement), so each sequence
+   must be finite and every candidate must be smaller by a measure that
+   cannot increase — length first, then bytes simplified toward 'a'. *)
+
+module Dom = Xmark_xml.Dom
+
+let ( @+ ) = Seq.append
+
+(* Chunk removals, largest first (halves, quarters, ... single bytes),
+   then byte simplification.  Simplification caps the positions it
+   tries so pathological inputs don't generate quadratic candidate
+   lists. *)
+let string s () =
+  let n = String.length s in
+  let removals =
+    let rec sizes acc sz = if sz < 1 then acc else sizes (sz :: acc) (sz / 2) in
+    List.to_seq (List.rev (sizes [] (n / 2)))
+    |> Seq.concat_map (fun sz ->
+           let rec offs at () =
+             if at + sz > n then Seq.Nil
+             else
+               Seq.Cons
+                 ( String.sub s 0 at ^ String.sub s (at + sz) (n - at - sz),
+                   offs (at + sz) )
+           in
+           offs 0)
+  in
+  let simplify =
+    let limit = min n 200 in
+    let rec go i () =
+      if i >= limit then Seq.Nil
+      else if s.[i] > 'a' || s.[i] < ' ' then
+        Seq.Cons
+          (String.sub s 0 i ^ "a" ^ String.sub s (i + 1) (n - i - 1), go (i + 1))
+      else go (i + 1) ()
+    in
+    go 0
+  in
+  (removals @+ simplify) ()
+
+let int i () =
+  if i = 0 then Seq.Nil
+  else
+    let candidates = List.filter (fun c -> c <> i) [ 0; i / 2; i - 1 ] in
+    List.to_seq candidates ()
+
+(* DOM shrinks: replace the tree by a child subtree, drop one child,
+   drop the attributes, or shrink one child in place.  deep_copy keeps
+   candidates independent of the original's mutable parent links. *)
+let rec dom node () =
+  match node.Dom.desc with
+  | Dom.Text s ->
+      Seq.map (fun s' -> Dom.text s') (fun () -> string s ()) ()
+  | Dom.Element el ->
+      let children = el.Dom.children in
+      let promote =
+        List.to_seq children
+        |> Seq.filter Dom.is_element
+        |> Seq.map Dom.deep_copy
+      in
+      let drop_child =
+        if children = [] then Seq.empty
+        else
+          List.to_seq
+            (List.mapi
+               (fun i _ ->
+                 let kept = List.filteri (fun j _ -> j <> i) children in
+                 Dom.element
+                   ~attrs:el.Dom.attrs
+                   ~children:(List.map Dom.deep_copy kept)
+                   (Dom.name node))
+               children)
+      in
+      let drop_attrs =
+        if el.Dom.attrs = [] then Seq.empty
+        else
+          Seq.return
+            (Dom.element ~children:(List.map Dom.deep_copy children)
+               (Dom.name node))
+      in
+      let shrink_child =
+        List.to_seq children
+        |> Seq.mapi (fun i c -> (i, c))
+        |> Seq.concat_map (fun (i, c) ->
+               Seq.map
+                 (fun c' ->
+                   Dom.element ~attrs:el.Dom.attrs
+                     ~children:
+                       (List.mapi
+                          (fun j k -> if j = i then c' else Dom.deep_copy k)
+                          children)
+                     (Dom.name node))
+                 (dom c))
+      in
+      (promote @+ drop_child @+ drop_attrs @+ shrink_child) ()

@@ -1,0 +1,21 @@
+(** Deterministic property testing and mutation fuzzing for the XMark
+    stack.
+
+    Everything here is a pure function of an explicit seed: {!Gen}
+    builds well-formed documents over the benchmark vocabulary,
+    {!Mutate} turns any input hostile, {!Property} runs seeded
+    campaigns with automatic shrinking to a minimal reproducer, and the
+    [Fuzz_*] modules apply that machinery to the three trust boundaries
+    — the {!Xmark_xml.Sax} parser, the {!Xmark_persist.Snapshot}
+    reader, and the {!Xmark_service.Server}.  {!Corpus} keeps found and
+    hand-constructed reproducers on disk and replays them as regression
+    tests. *)
+
+module Gen = Gen
+module Mutate = Mutate
+module Shrink = Shrink
+module Property = Property
+module Fuzz_sax = Fuzz_sax
+module Fuzz_snapshot = Fuzz_snapshot
+module Fuzz_service = Fuzz_service
+module Corpus = Corpus

@@ -21,6 +21,12 @@ let bits64 g =
   g.state <- Int64.add g.state golden_gamma;
   mix g.state
 
+(* The raw state word.  [create ~seed:(state g) ()] reconstructs a
+   generator that will produce exactly the stream [g] is about to
+   produce — this is how lib/check prints a failing case's seed and
+   replays it byte-identically. *)
+let state g = g.state
+
 let split g =
   let s = bits64 g in
   { state = mix s }

@@ -25,6 +25,11 @@ val split : t -> t
 (** [split g] derives a statistically independent generator from [g],
     advancing [g] by one draw. *)
 
+val state : t -> int64
+(** The raw state word: [create ~seed:(state g) ()] reconstructs a
+    generator that replays exactly the stream [g] will produce next.
+    Property-testing harnesses print this as the per-case seed. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit draw. *)
 

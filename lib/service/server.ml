@@ -164,16 +164,20 @@ let deadline_check ~t0 ~deadline =
                 ((now -. t0) *. 1000.0)))
     end
 
-let submit_with t ~key ~prepare =
+(* [?deadline_ms] overrides the server-wide deadline for this one
+   request — the fuzz harness uses it to inject deadline storms into a
+   server whose healthy clients keep their generous budget. *)
+let submit_with ?deadline_ms t ~key ~prepare =
   Stats.incr "service_requests";
   let t0 = Unix.gettimeofday () in
   match acquire t with
   | Error e -> Error e
   | Ok () -> (
       let queue_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-      let deadline =
-        Option.map (fun ms -> t0 +. (ms /. 1000.0)) t.cfg.deadline_ms
+      let deadline_ms =
+        match deadline_ms with Some _ as d -> d | None -> t.cfg.deadline_ms
       in
+      let deadline = Option.map (fun ms -> t0 +. (ms /. 1000.0)) deadline_ms in
       let work () =
         (match deadline with
         | Some d when Unix.gettimeofday () > d ->
@@ -217,13 +221,13 @@ let submit_with t ~key ~prepare =
           release t `Failed;
           Error (Failed (Printexc.to_string e)))
 
-let submit t n =
-  submit_with t
+let submit ?deadline_ms t n =
+  submit_with ?deadline_ms t
     ~key:("#" ^ string_of_int n)
     ~prepare:(fun () -> Runner.prepare t.session.Runner.store n)
 
-let submit_text t qtext =
-  submit_with t ~key:qtext
+let submit_text ?deadline_ms t qtext =
+  submit_with ?deadline_ms t ~key:qtext
     ~prepare:(fun () -> Runner.prepare_text t.session.Runner.store qtext)
 
 let error_to_string = function

@@ -70,12 +70,15 @@ val session : t -> Xmark_core.Runner.session
 
 val config : t -> config
 
-val submit : t -> int -> (reply, error) result
+val submit : ?deadline_ms:float -> t -> int -> (reply, error) result
 (** Execute benchmark query 1-20.  Thread-safe; blocks at most while
-    queued for an execution slot. *)
+    queued for an execution slot.  [?deadline_ms] overrides the
+    server-wide deadline for this request only (fault injection,
+    per-client budgets); omitted, the server config applies. *)
 
-val submit_text : t -> string -> (reply, error) result
-(** Execute ad-hoc XQuery text ([Unsupported] on System C). *)
+val submit_text : ?deadline_ms:float -> t -> string -> (reply, error) result
+(** Execute ad-hoc XQuery text ([Unsupported] on System C).  Malformed
+    text is a typed [Failed]/[Unsupported] result, never an exception. *)
 
 val totals : t -> totals
 (** Lifetime counters, consistent snapshot. *)

@@ -6,18 +6,28 @@ type event =
   | Chars of string
   | Eof
 
+(* Hostile inputs can nest elements arbitrarily deep; the recursive DOM
+   builder (and every recursive consumer downstream — serialization,
+   canonicalization, snapshot encoding) would blow the OS stack long
+   after this limit.  XMark documents are ~12 levels deep, so the bound
+   only ever fires on adversarial input, and it fires as the typed
+   [Parse_error] rather than [Stack_overflow]. *)
+let max_depth = 4096
+
 type t = {
   src : string;
   mutable pos : int;
   mutable line : int;
   mutable bol : int;  (* offset of beginning of current line *)
   mutable stack : Symbol.t list;  (* open elements, innermost first *)
+  mutable depth : int;  (* List.length stack, tracked incrementally *)
   mutable pending_end : Symbol.t option;  (* for <empty/> tags *)
   mutable done_ : bool;
 }
 
 let of_string src =
-  { src; pos = 0; line = 1; bol = 0; stack = []; pending_end = None; done_ = false }
+  { src; pos = 0; line = 1; bol = 0; stack = []; depth = 0; pending_end = None;
+    done_ = false }
 
 let of_file path =
   let ic = open_in_bin path in
@@ -196,6 +206,7 @@ let read_tag p =
       (match p.stack with
       | top :: rest when Symbol.equal top name ->
           p.stack <- rest;
+          p.depth <- p.depth - 1;
           End_element name
       | top :: _ ->
           error p
@@ -222,6 +233,12 @@ let read_tag p =
       else error p "unsupported markup declaration"
   | _ ->
       let name = read_name_sym p in
+      let push () =
+        p.stack <- name :: p.stack;
+        p.depth <- p.depth + 1;
+        if p.depth > max_depth then
+          error p (Printf.sprintf "elements nested deeper than %d" max_depth)
+      in
       let rec attrs acc =
         skip_ws p;
         if eof p then error p "unterminated start tag"
@@ -229,12 +246,12 @@ let read_tag p =
           match peek p with
           | '>' ->
               advance p;
-              p.stack <- name :: p.stack;
+              push ();
               Start_element (name, List.rev acc)
           | '/' ->
               advance p;
               expect p '>';
-              p.stack <- name :: p.stack;
+              push ();
               p.pending_end <- Some name;
               Start_element (name, List.rev acc)
           | c when is_name_start c ->
@@ -273,7 +290,9 @@ let rec next_event p =
   | Some name ->
       p.pending_end <- None;
       (match p.stack with
-      | top :: rest when Symbol.equal top name -> p.stack <- rest
+      | top :: rest when Symbol.equal top name ->
+          p.stack <- rest;
+          p.depth <- p.depth - 1
       | _ -> ());
       End_element name
   | None ->

@@ -11,6 +11,13 @@
 
 exception Parse_error of { line : int; col : int; message : string }
 
+val max_depth : int
+(** Maximum element nesting depth (4096).  Deeper input raises
+    {!Parse_error} — the typed rejection — rather than letting the
+    recursive DOM builder run into [Stack_overflow] on hostile data.
+    Benchmark documents are ~12 levels deep; the bound is unreachable
+    for legitimate input. *)
+
 type event =
   | Start_element of Symbol.t * (string * string) list
       (** interned tag; attribute keys stay strings *)

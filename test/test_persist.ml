@@ -171,6 +171,34 @@ let test_empty_file () =
   write_file path "";
   expect_corrupt "empty file" (fun () -> P.Snapshot.read path)
 
+(* Seeded sweep: every byte of the format sits under a CRC (page
+   payloads, trailers, header, directory), so ANY single-bit flip must
+   surface as the typed [Corrupt] — decoding to a different document,
+   or crashing some other way, would be silent corruption. *)
+let test_bit_flip_sweep () =
+  let doc = Xmark_xmlgen.Generator.to_string ~factor:0.01 () in
+  let session = Runner.load ~source:(`Text doc) Runner.C in
+  let path = temp_snapshot () in
+  Runner.save_snapshot session path;
+  let base = read_file path in
+  let g = Xmark_prng.Prng.create ~seed:0xF11BL () in
+  let flips = 128 in
+  for k = 1 to flips do
+    let i = Xmark_prng.Prng.int g (String.length base) in
+    let bit = Xmark_prng.Prng.int g 8 in
+    let b = Bytes.of_string base in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    write_file path (Bytes.to_string b);
+    match P.Snapshot.read path with
+    | _ ->
+        Alcotest.failf "flip %d (byte %d bit %d) decoded without Corrupt" k i
+          bit
+    | exception P.Corrupt _ -> ()
+    | exception e ->
+        Alcotest.failf "flip %d (byte %d bit %d) raised %s, not Corrupt" k i
+          bit (Printexc.to_string e)
+  done
+
 (* --- session round-trips -------------------------------------------------- *)
 
 let document = lazy (Xmark_xmlgen.Generator.to_string ~factor:0.01 ())
@@ -264,6 +292,7 @@ let () =
           Alcotest.test_case "bad version" `Quick test_corrupt_bad_version;
           Alcotest.test_case "flipped bit" `Quick test_corrupt_flipped_bit;
           Alcotest.test_case "empty file" `Quick test_empty_file;
+          Alcotest.test_case "seeded bit-flip sweep" `Quick test_bit_flip_sweep;
         ] );
       ( "round-trip",
         [

@@ -252,6 +252,60 @@ let prop_scan_total =
       | n -> n >= 0
       | exception Sax.Parse_error _ -> true)
 
+(* --- hostile input: typed rejection with pinned positions -------------------- *)
+
+(* These exact line/col values are part of the error contract: tools
+   (and people) locate defects in benchmark documents with them, so a
+   lexer change that shifts positions must show up here. *)
+let expect_error_at src want_line want_col =
+  match parse src with
+  | exception Sax.Parse_error { line; col; _ } ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "error position for %S" src)
+        (want_line, want_col) (line, col)
+  | _ -> Alcotest.failf "expected parse error for %S" src
+
+let test_error_positions () =
+  expect_error_at "<a><b></c></a>" 1 11;
+  expect_error_at "<a>\n  <b>oops</c>\n</a>" 2 14;
+  expect_error_at "<a>&unknown;</a>" 1 13;
+  expect_error_at "" 1 1;
+  expect_error_at "<a>\n<b>\n" 3 1;
+  expect_error_at "<a x=\"1\" x=\"2\"/>" 1 15
+
+(* Nesting at the depth cap parses; one level beyond raises the typed
+   error instead of exhausting the stack (scan and parse alike). *)
+let test_depth_cap () =
+  let opens n = String.concat "" (List.init n (fun _ -> "<d>")) in
+  let closes n = String.concat "" (List.init n (fun _ -> "</d>")) in
+  let at_cap = opens Sax.max_depth ^ closes Sax.max_depth in
+  Alcotest.(check int) "scan at the cap"
+    (2 * Sax.max_depth)
+    (Sax.scan (Sax.of_string at_cap));
+  ignore (Sax.parse_string at_cap);
+  let beyond = opens (Sax.max_depth + 1) in
+  (match Sax.scan (Sax.of_string beyond) with
+  | _ -> Alcotest.fail "scan accepted nesting beyond the cap"
+  | exception Sax.Parse_error _ -> ());
+  match Sax.parse_string beyond with
+  | _ -> Alcotest.fail "parse accepted nesting beyond the cap"
+  | exception Sax.Parse_error _ -> ()
+
+(* A zero-length file is a typed parse error ("no root element"), never
+   End_of_file or an assertion. *)
+let test_empty_file () =
+  let path = Filename.temp_file "xmark_test" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Alcotest.(check int) "scan of an empty file" 0
+        (Sax.scan (Sax.of_file path));
+      match Sax.parse_file path with
+      | _ -> Alcotest.fail "parse_file accepted an empty file"
+      | exception Sax.Parse_error { line = 1; col = 1; _ } -> ()
+      | exception Sax.Parse_error { line; col; _ } ->
+          Alcotest.failf "empty file rejected at %d:%d, expected 1:1" line col)
+
 let prop_truncation_fails_cleanly =
   QCheck.Test.make ~name:"truncated well-formed documents raise Parse_error" ~count:100
     QCheck.(pair arb_root (float_range 0.0 1.0))
@@ -282,6 +336,9 @@ let () =
           Alcotest.test_case "whitespace kept" `Quick test_whitespace_kept;
           Alcotest.test_case "mixed content" `Quick test_mixed_content;
           Alcotest.test_case "scan counts" `Quick test_scan_counts;
+          Alcotest.test_case "pinned error positions" `Quick test_error_positions;
+          Alcotest.test_case "depth cap" `Quick test_depth_cap;
+          Alcotest.test_case "empty file" `Quick test_empty_file;
         ] );
       ( "dom",
         [
