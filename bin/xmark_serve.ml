@@ -1,25 +1,34 @@
 (* xmark_serve — drive the concurrent query service and report
-   throughput and tail latency.
+   throughput and tail latency, in process or over the wire.
 
-   For each selected system the store is loaded once (generated
-   document, --doc file, or --snapshot restore) and served concurrently;
-   for each entry in --clients a closed-loop workload of
-   --duration-requests total requests runs against it.  Sweeping
-   --clients 1,2,4,8 produces the client-scaling curve: total work is
-   held constant, so req/s across runs is directly comparable.
+   Four modes, selected by --listen / --connect / --fleet:
 
+   - default: load each selected system once and sweep --clients against
+     it in process (the PR-5 behavior).
+   - --listen ADDR: load one system and serve it over the binary wire
+     protocol until killed.
+   - --connect ADDR: load nothing; run the same closed-loop workload
+     sweep as a socket client against a server started elsewhere.
+   - --fleet N: fork N worker processes, each restoring the same
+     read-only snapshot, behind a round-robin front door.  With
+     --listen the fleet serves until killed; without it the workload
+     sweep runs against the front door over real sockets and the
+     process exits with the usual digest-gated status.
+
+   Sweeping --clients 1,2,4,8 produces the client-scaling curve: total
+   work is held constant, so req/s across runs is directly comparable.
    The per-run report (stdout) and the --stats-json dump carry
    p50/p90/p99/max latency overall and per query class, plus typed
-   failure counts (timeouts, rejections).  Per-query result digests must
-   agree across all runs of a system — the binary exits nonzero if
-   concurrency ever changed an answer.
+   failure counts (timeouts, rejections).  Per-query result digests
+   must agree across all runs — the binary exits nonzero if concurrency
+   (or the wire) ever changed an answer.
 
-   No process-wide default pool is installed here: each run owns a
-   private pool sized by --jobs (default: client count capped at the
-   hardware's recommended domain count — a pool of 1 means requests
-   execute inline on the workload's runner domains), because the
-   default pool's deep consumers assume a single submitting domain
-   while a server has many. *)
+   No process-wide default pool is installed here: each local run owns
+   a private pool sized by --jobs (default: client count capped at the
+   hardware's recommended domain count), because the default pool's
+   deep consumers assume a single submitting domain while a server has
+   many.  Fleet workers execute requests inline on their connection
+   threads — fleet scaling comes from processes, not domains. *)
 
 open Cmdliner
 module Cli = Xmark_core.Cli
@@ -28,10 +37,16 @@ module Timing = Xmark_core.Timing
 module Provenance = Xmark_core.Provenance
 module Server = Xmark_service.Server
 module Workload = Xmark_service.Workload
+module Wire = Xmark_wire
+module Snapshot = Xmark_persist.Snapshot
 
 let letter sys =
   let name = Runner.system_name sys in
   String.sub name (String.length name - 1) 1
+
+(* Wire modes serve exactly one backend: an explicit single --systems
+   entry wins, otherwise System D (the paper's main-memory reference). *)
+let pick_system = function [ sys ] -> sys | _ -> Runner.D
 
 let load_session factor doc snapshot sys =
   let source =
@@ -42,6 +57,27 @@ let load_session factor doc snapshot sys =
   in
   Runner.load ~source sys
 
+let server_config ~nclients ~max_inflight ~queue_depth ~deadline ~plan_cache =
+  {
+    Server.max_inflight = (if max_inflight > 0 then max_inflight else nclients);
+    queue_depth;
+    deadline_ms = (if deadline > 0.0 then Some deadline else None);
+    plan_cache;
+  }
+
+(* Socket runs report no server-side counters: the plan cache lives in
+   the (possibly remote, possibly plural) server process. *)
+let zero_totals =
+  {
+    Server.served = 0;
+    rejected = 0;
+    timed_out = 0;
+    failed = 0;
+    plan_hits = 0;
+    plan_misses = 0;
+    plan_evictions = 0;
+  }
+
 (* One (system, client-count) cell: private pool, fresh server. *)
 let run_one ~jobs ~requests ~mix ~deadline ~max_inflight ~queue_depth
     ~plan_cache ~seed session nclients =
@@ -50,12 +86,7 @@ let run_one ~jobs ~requests ~mix ~deadline ~max_inflight ~queue_depth
     else min nclients (Domain.recommended_domain_count ())
   in
   let config =
-    {
-      Server.max_inflight = (if max_inflight > 0 then max_inflight else nclients);
-      queue_depth;
-      deadline_ms = (if deadline > 0.0 then Some deadline else None);
-      plan_cache;
-    }
+    server_config ~nclients ~max_inflight ~queue_depth ~deadline ~plan_cache
   in
   let drive ?pool () =
     let server = Server.create ?pool ~config session in
@@ -99,12 +130,28 @@ let run_json (r : Workload.report) (totals : Server.totals) njobs =
     (quantiles_json r.Workload.r_hist)
     (String.concat ", " (List.map class_json r.Workload.r_classes))
 
+let write_stats_json ~factor ~mix ~deadline ~requests ~transport sys_objs = function
+  | None -> ()
+  | Some file ->
+      let json =
+        Printf.sprintf
+          "{\"provenance\": %s, \"factor\": %g, \"mix\": \"%s\", \
+           \"deadline_ms\": %g, \"duration_requests\": %d, \"transport\": \"%s\", \
+           \"systems\": [%s]}\n"
+          (Provenance.json ~factor ~jobs:1 ~runs:1 ())
+          factor (Workload.mix_to_string mix) deadline requests transport
+          (String.concat ", " sys_objs)
+      in
+      Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc json);
+      Printf.eprintf "wrote %s (%d system object(s))\n%!" file (List.length sys_objs)
+
 (* --- digest agreement across a system's runs ------------------------------- *)
 
-(* Same query, same store => same answer, at any concurrency level: the
-   load-independence half of the acceptance contract, checked here so a
-   scaling sweep that corrupts a result cannot exit 0. *)
-let check_digests sys runs =
+(* Same query, same store => same answer, at any concurrency level and
+   over any transport: the load-independence half of the acceptance
+   contract, checked here so a sweep that corrupts a result cannot
+   exit 0. *)
+let check_digests label runs =
   let seen : (int, string) Hashtbl.t = Hashtbl.create 32 in
   let bad = ref 0 in
   List.iter
@@ -115,62 +162,206 @@ let check_digests sys runs =
           match (c.Workload.cs_digest, Hashtbl.find_opt seen c.Workload.cs_query) with
           | Some d, Some d' when d <> d' ->
               incr bad;
-              Printf.eprintf "System %s Q%d: digest differs across client counts\n"
-                (letter sys) c.Workload.cs_query
+              Printf.eprintf "%s Q%d: digest differs across client counts\n" label
+                c.Workload.cs_query
           | Some d, None -> Hashtbl.replace seen c.Workload.cs_query d
           | _ -> ())
         r.Workload.r_classes)
     runs;
   !bad
 
+let digest_gate mismatches =
+  if mismatches > 0 then begin
+    Printf.eprintf "FAIL: %d result digest mismatch(es) under concurrency\n"
+      mismatches;
+    1
+  end
+  else 0
+
+(* --- wire modes ------------------------------------------------------------ *)
+
+let parse_addr s =
+  match Wire.Addr.of_string s with Ok a -> a | Error m -> failwith m
+
+(* The socket side of the sweep: same mixes, same histograms, same
+   digest gate — the transport is the only variable. *)
+let sweep_socket ~label ~clients ~requests ~mix ~seed ~factor ~deadline
+    ~stats_json_file addr =
+  let runs =
+    List.map
+      (fun nclients ->
+        let report =
+          Workload.run_transport ?seed ~clients:nclients ~requests ~mix
+            (Wire.Client.transport addr)
+        in
+        Format.printf "%a%!" Workload.pp_report report;
+        (report, zero_totals, 0))
+      clients
+  in
+  let mismatches = check_digests label runs in
+  let sys_obj =
+    Printf.sprintf "{\"system\": \"%s\", \"runs\": [%s]}" label
+      (String.concat ", "
+         (List.map (fun (r, totals, njobs) -> run_json r totals njobs) runs))
+  in
+  write_stats_json ~factor ~mix ~deadline ~requests
+    ~transport:(Wire.Addr.to_string addr) [ sys_obj ] stats_json_file;
+  (* a sweep where nothing ever succeeded is a failed run, digests or
+     not — e.g. --connect against an address nobody serves *)
+  if List.for_all (fun (r, _, _) -> r.Workload.r_ok = 0) runs then begin
+    Printf.eprintf "FAIL: no request succeeded against %s\n"
+      (Wire.Addr.to_string addr);
+    1
+  end
+  else digest_gate mismatches
+
+let serve_mode ~factor ~doc ~snapshot ~systems ~max_inflight ~queue_depth
+    ~deadline ~plan_cache addr_s =
+  let sys = pick_system systems in
+  let session = load_session factor doc snapshot sys in
+  let config =
+    server_config ~nclients:4 ~max_inflight ~queue_depth ~deadline ~plan_cache
+  in
+  let addr = parse_addr addr_s in
+  Printf.printf "serving %s on %s\n%!" (Runner.system_name sys)
+    (Wire.Addr.to_string addr);
+  Wire.Wire_server.serve addr (Server.create ~config session);
+  0
+
+let rm_quiet path = try Sys.remove path with Sys_error _ -> ()
+
+let fleet_mode ~workers ~listen ~factor ~doc ~snapshot ~systems ~max_inflight
+    ~queue_depth ~deadline ~plan_cache ~clients ~requests ~mix ~seed
+    ~stats_json_file =
+  (* Resolve the snapshot every worker restores.  All of this runs
+     before Fleet.start forks, while the parent is still
+     single-threaded. *)
+  let snap_path, sys, cleanup_snap =
+    match snapshot with
+    | Some path ->
+        let sysc, kind, bytes = Snapshot.probe path in
+        Printf.printf "fleet: snapshot %s (System %c, %s payload, %d bytes)\n%!"
+          path sysc kind bytes;
+        let sys =
+          match systems with
+          | [ s ] -> s
+          | _ -> (
+              match Cli.system_of_string (String.make 1 sysc) with
+              | Ok s -> s
+              | Error (`Msg m) -> failwith m)
+        in
+        (path, sys, ignore)
+    | None ->
+        let sys = pick_system systems in
+        let session = load_session factor doc None sys in
+        let path = Filename.temp_file "xmark_fleet" ".xms" in
+        Runner.save_snapshot session path;
+        Printf.printf "fleet: wrote bootstrap snapshot %s (System %s)\n%!" path
+          (letter sys);
+        (path, sys, fun () -> rm_quiet path)
+  in
+  let config =
+    server_config
+      ~nclients:(max 4 (List.fold_left max 1 clients))
+      ~max_inflight ~queue_depth ~deadline ~plan_cache
+  in
+  (* Runs in worker i after the fork: restore (read-only — all workers
+     share the file) and serve inline on connection threads. *)
+  let make_server _i =
+    Server.create ~config (Runner.load ~source:(`Snapshot snap_path) sys)
+  in
+  let front, cleanup_front =
+    match listen with
+    | Some a -> (parse_addr a, ignore)
+    | None ->
+        let dir = Filename.temp_file "xmark_fleet" ".d" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o700;
+        ( Wire.Addr.Unix_sock (Filename.concat dir "front.sock"),
+          fun () -> try Unix.rmdir dir with Unix.Unix_error _ -> () )
+  in
+  let fleet = Wire.Fleet.start ~workers ~make_server front in
+  Fun.protect
+    ~finally:(fun () ->
+      Wire.Fleet.stop fleet;
+      cleanup_snap ();
+      cleanup_front ())
+    (fun () ->
+      Printf.printf "fleet: %d worker(s) (pids %s) behind %s\n%!" workers
+        (String.concat ","
+           (List.map string_of_int (Wire.Fleet.pids fleet)))
+        (Wire.Addr.to_string front);
+      match listen with
+      | Some _ ->
+          let quit = ref false in
+          let stop _ = quit := true in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          while not !quit do
+            Unix.sleepf 0.2
+          done;
+          0
+      | None ->
+          sweep_socket
+            ~label:(Printf.sprintf "%s-fleet%d" (letter sys) workers)
+            ~clients ~requests ~mix ~seed ~factor ~deadline ~stats_json_file
+            front)
+
+(* --- local (in-process) sweep ---------------------------------------------- *)
+
+let local_mode ~factor ~jobs ~clients ~requests ~mix ~deadline ~max_inflight
+    ~queue_depth ~plan_cache ~seed ~systems ~doc ~snapshot ~stats_json_file =
+  let mismatches = ref 0 in
+  let sys_objs =
+    List.map
+      (fun sys ->
+        let session = load_session factor doc snapshot sys in
+        Printf.printf "%s (%s)\n%!" (Runner.system_name sys)
+          (Runner.system_description sys);
+        let runs =
+          List.map
+            (fun nclients ->
+              let ((report, _, _) as cell) =
+                run_one ~jobs ~requests ~mix ~deadline ~max_inflight
+                  ~queue_depth ~plan_cache ~seed session nclients
+              in
+              Format.printf "%a%!" Workload.pp_report report;
+              cell)
+            clients
+        in
+        mismatches :=
+          !mismatches + check_digests ("System " ^ letter sys) runs;
+        Printf.sprintf "{\"system\": \"%s\", \"runs\": [%s]}" (letter sys)
+          (String.concat ", "
+             (List.map (fun (r, totals, njobs) -> run_json r totals njobs) runs)))
+      systems
+  in
+  write_stats_json ~factor ~mix ~deadline ~requests ~transport:"local" sys_objs
+    stats_json_file;
+  digest_gate !mismatches
+
 let run factor jobs clients requests mix_s deadline max_inflight queue_depth
-    plan_cache seed systems doc snapshot stats_json_file =
+    plan_cache seed systems doc snapshot stats_json_file listen connect fleet =
   try
     let mix = Workload.mix_of_string mix_s in
     let seed = Option.map Int64.of_int seed in
-    let mismatches = ref 0 in
-    let sys_objs =
-      List.map
-        (fun sys ->
-          let session = load_session factor doc snapshot sys in
-          Printf.printf "%s (%s)\n%!" (Runner.system_name sys)
-            (Runner.system_description sys);
-          let runs =
-            List.map
-              (fun nclients ->
-                let ((report, _, _) as cell) =
-                  run_one ~jobs ~requests ~mix ~deadline ~max_inflight
-                    ~queue_depth ~plan_cache ~seed session nclients
-                in
-                Format.printf "%a%!" Workload.pp_report report;
-                cell)
-              clients
-          in
-          mismatches := !mismatches + check_digests sys runs;
-          Printf.sprintf "{\"system\": \"%s\", \"runs\": [%s]}" (letter sys)
-            (String.concat ", "
-               (List.map (fun (r, totals, njobs) -> run_json r totals njobs) runs)))
-        systems
-    in
-    (match stats_json_file with
-    | None -> ()
-    | Some file ->
-        let json =
-          Printf.sprintf
-            "{\"provenance\": %s, \"factor\": %g, \"mix\": \"%s\", \
-             \"deadline_ms\": %g, \"duration_requests\": %d, \"systems\": [%s]}\n"
-            (Provenance.json ~factor ~jobs ~runs:1 ())
-            factor (Workload.mix_to_string mix) deadline requests
-            (String.concat ", " sys_objs)
-        in
-        Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc json);
-        Printf.eprintf "wrote %s (%d system(s) x %d client sweep(s))\n%!" file
-          (List.length systems) (List.length clients));
-    if !mismatches > 0 then begin
-      Printf.eprintf "FAIL: %d result digest mismatch(es) under concurrency\n" !mismatches;
-      1
-    end
-    else 0
+    match (listen, connect) with
+    | Some _, Some _ -> failwith "--connect and --listen are mutually exclusive"
+    | None, Some addr_s ->
+        if fleet > 0 then failwith "--connect and --fleet are mutually exclusive";
+        sweep_socket ~label:"remote" ~clients ~requests ~mix ~seed ~factor
+          ~deadline ~stats_json_file (parse_addr addr_s)
+    | listen, None when fleet > 0 ->
+        fleet_mode ~workers:fleet ~listen ~factor ~doc ~snapshot ~systems
+          ~max_inflight ~queue_depth ~deadline ~plan_cache ~clients ~requests
+          ~mix ~seed ~stats_json_file
+    | Some addr_s, None ->
+        serve_mode ~factor ~doc ~snapshot ~systems ~max_inflight ~queue_depth
+          ~deadline ~plan_cache addr_s
+    | None, None ->
+        local_mode ~factor ~jobs ~clients ~requests ~mix ~deadline
+          ~max_inflight ~queue_depth ~plan_cache ~seed ~systems ~doc ~snapshot
+          ~stats_json_file
   with
   | Failure m | Sys_error m ->
       Printf.eprintf "%s\n" m;
@@ -203,6 +394,7 @@ let cmd =
       $ Cli.factor ~default:0.01 ()
       $ jobs_serve $ Cli.clients $ Cli.duration_requests $ Cli.mix
       $ Cli.deadline_ms $ Cli.max_inflight $ Cli.queue_depth $ Cli.plan_cache
-      $ Cli.seed $ Cli.systems $ Cli.doc_file $ Cli.snapshot $ Cli.stats_json)
+      $ Cli.seed $ Cli.systems $ Cli.doc_file $ Cli.snapshot $ Cli.stats_json
+      $ Cli.listen $ Cli.connect $ Cli.fleet)
 
 let () = exit (Cmd.eval' cmd)

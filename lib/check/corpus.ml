@@ -1,7 +1,8 @@
 (* Regression corpus: hostile inputs kept on disk and replayed on every
    test run.  A file's extension says which contract it exercises:
    [.xml] → the Sax contract, [.xms] → the snapshot reader, [.xq] → the
-   XQuery parser.  Files come from two sources — {!seed} writes the
+   XQuery parser, [.wfr] → the wire frame decoder.  Files come from two
+   sources — {!seed} writes the
    hand-constructed cases this subsystem ships with, and the property
    runner adds a shrunk reproducer whenever a campaign finds a
    violation. *)
@@ -50,6 +51,7 @@ let replay path =
   | ".xml" -> Fuzz_sax.contract (read_file path)
   | ".xms" -> replay_snapshot path
   | ".xq" -> replay_xq path
+  | ".wfr" -> Fuzz_wire.contract (read_file path)
   | ext -> Error (Printf.sprintf "unknown corpus extension %S" ext)
 
 (* Replay every corpus file; each must satisfy its contract (typed
@@ -59,7 +61,7 @@ let replay_dir dir =
   Sys.readdir dir |> Array.to_list |> List.sort compare
   |> List.filter (fun f ->
          match Filename.extension f with
-         | ".xml" | ".xms" | ".xq" -> true
+         | ".xml" | ".xms" | ".xq" | ".wfr" -> true
          | _ -> false)
   |> List.map (fun f ->
          let path = Filename.concat dir f in
@@ -136,6 +138,42 @@ let snapshot_seed_cases () =
         ("bad-magic", bad_magic); ("transposed-pages", transposed);
         ("bad-section-digest", bad_section_digest) ])
 
+(* Wire seed cases: one per framing defense.  Each is a corruption of a
+   real encoded frame, so a decoder change that loosens a check replays
+   as a corpus failure. *)
+let wire_seed_cases () =
+  let module Frame = Xmark_wire.Frame in
+  let module Codec = Xmark_wire.Wire_codec in
+  let module P = Xmark_service.Protocol in
+  let base =
+    Frame.encode Frame.Request
+      (Codec.encode_request (P.request ~client:"corpus" (P.Benchmark 7)))
+  in
+  let bad_magic =
+    let b = Bytes.of_string base in
+    Bytes.set b 0 'Y';
+    Bytes.to_string b
+  in
+  (* cut inside the 4-byte length prefix: bytes 6..9 of the header *)
+  let truncated_length = String.sub base 0 8 in
+  let corrupt_crc =
+    let b = Bytes.of_string base in
+    let last = Bytes.length b - 1 in
+    Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x40));
+    Bytes.to_string b
+  in
+  let oversized =
+    (* a syntactically perfect header declaring a payload past the cap:
+       must be refused from the length field alone, before allocation *)
+    let b = Bytes.create Frame.header_len in
+    Bytes.blit_string base 0 b 0 6;
+    Bytes.set_int32_be b 6 0x7fff_ffffl;
+    Bytes.to_string b
+  in
+  [ ("wire-bad-magic", bad_magic);
+    ("wire-truncated-length", truncated_length);
+    ("wire-corrupt-crc", corrupt_crc); ("wire-oversized", oversized) ]
+
 let seed dir =
   Property.mkdir_p dir;
   let put name ext bytes =
@@ -146,3 +184,4 @@ let seed dir =
   List.map (fun (n, s) -> put n "xml" s) sax_seed_cases
   @ List.map (fun (n, s) -> put n "xq" s) xq_seed_cases
   @ List.map (fun (n, s) -> put n "xms" s) (snapshot_seed_cases ())
+  @ List.map (fun (n, s) -> put n "wfr" s) (wire_seed_cases ())

@@ -79,10 +79,9 @@ let gen_fault g =
 
 let label_of_result = function
   | Ok (_ : Server.reply) -> "ok"
-  | Error (Server.Overloaded _) -> "overloaded"
-  | Error (Server.Timeout _) -> "timeout"
-  | Error (Server.Unsupported _) -> "unsupported"
-  | Error (Server.Failed _) -> "failed"
+  | Error e ->
+      let module P = Xmark_service.Protocol in
+      P.status_name (P.status_code e)
 
 (* Inject the fault; any escape from the typed result is a violation
    (Property.eval catches it).  Bursts run real client domains. *)

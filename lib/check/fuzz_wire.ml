@@ -1,0 +1,122 @@
+(* Fuzz target: the wire frame and payload decoders on hostile bytes.
+
+   Contract under test — for ANY byte string thrown at the boundary:
+   - [Frame.decode] returns [Ok] or a typed {!Xmark_wire.Frame.error};
+     any exception is a violation, as is a hang (decoding is
+     allocation-vetted and single-pass, so the iteration budget doubles
+     as a liveness check).
+   - A frame [decode] accepts must re-encode to exactly the bytes it was
+     decoded from (the CRC makes accepting altered bytes a checksum
+     bug, and the oracle is exact, not probabilistic).
+   - The payload codecs ([Wire_codec.decode_request] /
+     [decode_response]) are total over arbitrary payloads: [Ok] or
+     [Error], never an exception — the same hostile bytes are pushed
+     through both, whatever the frame said.
+
+   Bases are pristine encoded frames of randomized protocol requests
+   and responses (every constructor of both), so zero-round mutations
+   also exercise the accept path. *)
+
+module Prng = Xmark_prng.Prng
+module Frame = Xmark_wire.Frame
+module Wire_codec = Xmark_wire.Wire_codec
+module P = Xmark_service.Protocol
+
+let gen_string g =
+  let n = Prng.int_in g 0 24 in
+  String.init n (fun _ -> Char.chr (Prng.int_in g 0 255))
+
+let gen_request g =
+  let query =
+    if Prng.bool g then P.Benchmark (Prng.int_in g (-3) 25)
+    else P.Text (gen_string g)
+  in
+  let deadline_ms =
+    if Prng.bool g then Some (Prng.float g 1000.0) else None
+  in
+  P.request ?deadline_ms ~client:(gen_string g) query
+
+let gen_reply g =
+  {
+    P.items = Prng.int_in g 0 10_000;
+    digest = gen_string g;
+    latency_ms = Prng.float g 100.0;
+    queue_ms = Prng.float g 10.0;
+    plan_hit = Prng.bool g;
+  }
+
+let gen_error g =
+  match Prng.int_in g 0 5 with
+  | 0 -> P.Failed (gen_string g)
+  | 1 -> P.Bad_request (gen_string g)
+  | 2 -> P.Unsupported (gen_string g)
+  | 3 -> P.Overloaded { inflight = Prng.int_in g 0 64; queued = Prng.int_in g 0 64 }
+  | 4 -> P.Timeout { elapsed_ms = Prng.float g 5000.0 }
+  | _ -> P.Unavailable (gen_string g)
+
+let gen_base g =
+  if Prng.bool g then
+    Frame.encode Frame.Request (Wire_codec.encode_request (gen_request g))
+  else
+    Frame.encode Frame.Response
+      (Wire_codec.encode_response
+         (if Prng.bool g then Ok (gen_reply g) else Error (gen_error g)))
+
+(* The stand-alone contract — also what {!Corpus} replays for [.wfr]
+   files. *)
+let contract bytes =
+  let codec_total payload =
+    match
+      ignore (Wire_codec.decode_request payload);
+      ignore (Wire_codec.decode_response payload)
+    with
+    | () -> Ok ()
+    | exception e -> Error ("payload codec raised " ^ Printexc.to_string e)
+  in
+  match Frame.decode bytes with
+  | exception e -> Error ("Frame.decode raised " ^ Printexc.to_string e)
+  | Error e ->
+      (* hostile frame bytes double as hostile payload bytes *)
+      Result.map (fun () -> "reject-" ^ Frame.error_name e) (codec_total bytes)
+  | Ok (kind, payload) ->
+      let re = Frame.encode kind payload in
+      let n = String.length re in
+      if String.length bytes < n || String.sub bytes 0 n <> re then
+        Error "accepted frame re-encodes to different bytes"
+      else
+        Result.map
+          (fun () ->
+            match kind with
+            | Frame.Request -> "accept-request"
+            | Frame.Response -> "accept-response")
+          (codec_total payload)
+
+type case = { bytes : string }
+
+let gen ~max_bytes g =
+  let base = gen_base g in
+  let clamp s =
+    if String.length s <= max_bytes then s else String.sub s 0 max_bytes
+  in
+  let rounds = Prng.int_in g 0 3 in
+  let rec go k s =
+    if k = 0 then s
+    else
+      let _, s' = Mutate.mutate g s in
+      go (k - 1) (clamp s')
+  in
+  { bytes = go rounds base }
+
+let property ~max_bytes =
+  {
+    Property.name = "wire";
+    gen = gen ~max_bytes;
+    shrink =
+      (fun case -> Seq.map (fun s -> { bytes = s }) (Shrink.string case.bytes));
+    prop = (fun case -> contract case.bytes);
+    to_bytes = (fun case -> case.bytes);
+    ext = "wfr";
+  }
+
+let run ?corpus_dir ?(max_bytes = 1 lsl 16) ~seed ~iterations () =
+  Property.run ?corpus_dir ~count:iterations ~seed (property ~max_bytes)

@@ -7,9 +7,9 @@
     campaigns with automatic shrinking to a minimal reproducer, and the
     [Fuzz_*] modules apply that machinery to the three trust boundaries
     — the {!Xmark_xml.Sax} parser, the {!Xmark_persist.Snapshot}
-    reader, and the {!Xmark_service.Server}.  {!Corpus} keeps found and
-    hand-constructed reproducers on disk and replays them as regression
-    tests. *)
+    reader, the {!Xmark_service.Server}, and the {!Xmark_wire.Frame}
+    decoder.  {!Corpus} keeps found and hand-constructed reproducers on
+    disk and replays them as regression tests. *)
 
 module Gen = Gen
 module Mutate = Mutate
@@ -18,4 +18,5 @@ module Property = Property
 module Fuzz_sax = Fuzz_sax
 module Fuzz_snapshot = Fuzz_snapshot
 module Fuzz_service = Fuzz_service
+module Fuzz_wire = Fuzz_wire
 module Corpus = Corpus

@@ -243,6 +243,39 @@ let plan_cache =
     & info [ "plan-cache" ] ~docv:"N"
         ~doc:"Capacity of the prepared-plan LRU cache (idle plans); 0 disables caching.")
 
+(* --- wire flags (xmark_serve) ---------------------------------------------- *)
+
+let listen =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Serve the loaded store over the wire protocol on $(docv) \
+           ($(b,unix:/path/sock), $(b,tcp:HOST:PORT), or a bare path/HOST:PORT) \
+           instead of running a local workload sweep; blocks until killed.")
+
+let connect =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Run the workload sweep as a socket client against a server started \
+           with $(b,--listen) or $(b,--fleet) at $(docv); no store is loaded \
+           locally.")
+
+let fleet =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "fleet" ] ~docv:"N"
+        ~doc:
+          "Fork $(docv) worker processes, each restoring the same read-only \
+           snapshot, behind a round-robin front door; with $(b,--listen) the \
+           fleet serves until killed, otherwise the workload sweep runs against \
+           it over real sockets.")
+
 let install_jobs n =
   Xmark_parallel.set_default_jobs n;
   Xmark_parallel.default ()

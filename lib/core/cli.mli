@@ -87,6 +87,18 @@ val queue_depth : int Cmdliner.Term.t
 val plan_cache : int Cmdliner.Term.t
 (** [--plan-cache N]; prepared-plan LRU capacity, default 64. *)
 
+(* --- wire terms (xmark_serve) --------------------------------------------- *)
+
+val listen : string option Cmdliner.Term.t
+(** [--listen ADDR]; serve the store over the wire protocol (blocking). *)
+
+val connect : string option Cmdliner.Term.t
+(** [--connect ADDR]; run the workload sweep as a socket client. *)
+
+val fleet : int Cmdliner.Term.t
+(** [--fleet N]; fork N snapshot-restoring workers behind a front door,
+    0 (default) disables fleet mode. *)
+
 (* --- wiring --------------------------------------------------------------- *)
 
 val install_jobs : int -> Xmark_parallel.pool option

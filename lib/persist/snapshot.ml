@@ -303,3 +303,30 @@ let read ?pool ?capacity path =
       let system, kind, entries = read_directory path pager header_len in
       let blobs = read_sections path pager entries in
       (system, decode_payload ?pool path kind blobs))
+
+(* Header-only probe: everything a fleet parent needs to validate a
+   snapshot before forking workers at it — system letter, payload kind,
+   size — without decoding a single section.  Read-only, like [read]:
+   any number of processes may probe and restore the same file
+   concurrently; nothing here (or in [read]) ever opens it for
+   writing. *)
+let kind_name = function
+  | 0 -> "dom"
+  | 1 -> "relational-b"
+  | 2 -> "relational-c"
+  | 3 -> "text"
+  | k -> Printf.sprintf "unknown-%d" k
+
+let probe path =
+  let header_len = check_prelude path (read_prelude path) in
+  let pager = Pager.open_file ~capacity:8 path in
+  Fun.protect
+    ~finally:(fun () -> Pager.close pager)
+    (fun () ->
+      if header_len < 38 || Page_io.pages_for header_len > Pager.page_count pager
+      then corrupt "%s: implausible header length %d" path header_len;
+      let system, kind, entries = read_directory path pager header_len in
+      let bytes =
+        List.fold_left (fun acc (_, byte_len, _, _) -> acc + byte_len) 0 entries
+      in
+      (system, kind_name kind, bytes))

@@ -47,6 +47,16 @@ val write :
     of more than one job, per-section encoding and pagination run as
     pool tasks. *)
 
+val probe : string -> char * string * int
+(** [(system, payload kind, payload bytes)] from the header and
+    directory alone — no section is read or decoded.  [kind] is
+    ["dom"], ["relational-b"], ["relational-c"] or ["text"].  Like
+    {!read}, strictly read-only: a fleet parent probes the snapshot it
+    is about to hand to N forked workers, which then restore it
+    concurrently from the same file.
+    @raise Page_io.Corrupt on truncation, bad magic, version mismatch,
+    or a damaged header. *)
+
 val read :
   ?pool:Xmark_parallel.pool -> ?capacity:int -> string -> char * payload
 (** Read a snapshot back through a {!Pager} of [capacity] pages,

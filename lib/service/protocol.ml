@@ -1,0 +1,73 @@
+(* One request/response vocabulary shared by the in-process server, the
+   wire protocol and the CLIs.  The numeric codes are the contract:
+   they appear on the wire (status byte), in diagnostics and in exit
+   codes, and are append-only. *)
+
+type query = Benchmark of int | Text of string
+
+type request = {
+  query : query;
+  deadline_ms : float option;
+  client : string;
+}
+
+let request ?deadline_ms ?(client = "") query = { query; deadline_ms; client }
+
+type reply = {
+  items : int;
+  digest : string;
+  latency_ms : float;
+  queue_ms : float;
+  plan_hit : bool;
+}
+
+type error =
+  | Failed of string
+  | Bad_request of string
+  | Unsupported of string
+  | Overloaded of { inflight : int; queued : int }
+  | Timeout of { elapsed_ms : float }
+  | Unavailable of string
+
+type response = (reply, error) result
+
+let status_code = function
+  | Failed _ -> 1
+  | Bad_request _ -> 2
+  | Unsupported _ -> 3
+  | Overloaded _ -> 4
+  | Timeout _ -> 5
+  | Unavailable _ -> 6
+
+let status_of_response = function Ok _ -> 0 | Error e -> status_code e
+
+let status_name = function
+  | 0 -> "ok"
+  | 1 -> "failed"
+  | 2 -> "bad-request"
+  | 3 -> "unsupported"
+  | 4 -> "overloaded"
+  | 5 -> "timeout"
+  | 6 -> "unavailable"
+  | _ -> "unknown"
+
+(* CLI contract: 0 success, 1 data/evaluation errors, 2 usage, 3
+   unsupported.  Load shedding, deadlines and transport failures all
+   mean "the run did not produce its answers" — data errors. *)
+let exit_code = function
+  | Bad_request _ -> 2
+  | Unsupported _ -> 3
+  | Failed _ | Overloaded _ | Timeout _ | Unavailable _ -> 1
+
+let error_to_string e =
+  let body =
+    match e with
+    | Failed msg -> "failed: " ^ msg
+    | Bad_request msg -> "bad request: " ^ msg
+    | Unsupported msg -> "unsupported: " ^ msg
+    | Overloaded { inflight; queued } ->
+        Printf.sprintf "overloaded (%d in flight, %d queued)" inflight queued
+    | Timeout { elapsed_ms } -> Printf.sprintf "timeout after %.1f ms" elapsed_ms
+    | Unavailable msg -> "unavailable: " ^ msg
+  in
+  Printf.sprintf "error %d: %s" (status_code e) body

@@ -1,0 +1,85 @@
+(** The service's request/response vocabulary — one shared surface for
+    in-process callers, the wire protocol, and the CLIs.
+
+    Before this module, each layer spelled the API its own way:
+    {!Server} had [submit] (by number) and [submit_text] (by text) with
+    a private error variant, the workload driver matched on it
+    structurally, and every binary mapped errors to exit codes with its
+    own [with] clause.  [Protocol] collapses that into one request type
+    (query by number or by text, optional per-request deadline, a
+    client tag for attribution), one reply, and one error variant with
+    {e stable numeric codes} — the same numbers appear in
+    {!status_code} (the wire status byte), {!error_to_string}
+    diagnostics, and the CLI exit-code contract via {!exit_code}.
+
+    Status codes are append-only: new failure modes get new numbers;
+    existing numbers never change meaning.
+
+    {t
+      | code | variant       | meaning                                   |
+      |------|---------------|-------------------------------------------|
+      | 0    | (Ok reply)    | query executed                            |
+      | 1    | [Failed]      | evaluation/data error; the server survives|
+      | 2    | [Bad_request] | malformed request or protocol misuse      |
+      | 3    | [Unsupported] | store can't run this form (e.g. C + text) |
+      | 4    | [Overloaded]  | admission control shed the request        |
+      | 5    | [Timeout]     | deadline exceeded, execution aborted      |
+      | 6    | [Unavailable] | transport/worker failure, answer unknown  |
+    } *)
+
+type query =
+  | Benchmark of int  (** benchmark query 1-20 *)
+  | Text of string  (** ad-hoc XQuery text *)
+
+type request = {
+  query : query;
+  deadline_ms : float option;
+      (** per-request budget (queue + execute); [None] defers to the
+          server's configured deadline *)
+  client : string;  (** caller tag, for logs and traces; may be [""] *)
+}
+
+val request : ?deadline_ms:float -> ?client:string -> query -> request
+(** Build a request; [client] defaults to [""]. *)
+
+type reply = {
+  items : int;  (** result cardinality *)
+  digest : string;  (** md5 hex of the canonical result *)
+  latency_ms : float;  (** server-side admission + queue + execution *)
+  queue_ms : float;  (** part of [latency_ms] spent waiting for a slot *)
+  plan_hit : bool;  (** plan came from the prepared-plan cache *)
+}
+
+type error =
+  | Failed of string  (** code 1: evaluation error; the server survives *)
+  | Bad_request of string
+      (** code 2: out-of-range query number, malformed frame, protocol
+          misuse — the request never reached execution *)
+  | Unsupported of string  (** code 3: e.g. ad-hoc text on System C *)
+  | Overloaded of { inflight : int; queued : int }
+      (** code 4: rejected at admission; the payload is the load observed *)
+  | Timeout of { elapsed_ms : float }  (** code 5: deadline exceeded *)
+  | Unavailable of string
+      (** code 6: the transport or a fleet worker failed before an
+          answer was produced — retrying may succeed *)
+
+type response = (reply, error) result
+
+val status_code : error -> int
+(** The stable numeric code (1-6); [0] is reserved for [Ok]. *)
+
+val status_of_response : response -> int
+
+val status_name : int -> string
+(** ["ok"], ["failed"], ["bad-request"], ... — ["unknown"] for numbers
+    this build does not define. *)
+
+val exit_code : error -> int
+(** Collapse onto the CLI exit-code contract (README "Exit codes"):
+    [1] data/evaluation errors (also timeouts, overload and transport
+    failures — the run did not produce its answers), [2] usage errors
+    ([Bad_request]), [3] [Unsupported]. *)
+
+val error_to_string : error -> string
+(** One line, prefixed with the stable code: ["error 5: timeout after
+    3.2 ms"]. *)

@@ -36,13 +36,18 @@ type config = {
 let default_config =
   { max_inflight = 4; queue_depth = 64; deadline_ms = None; plan_cache = 64 }
 
-type error =
+(* Both re-exported from [Protocol] so pattern matches and field
+   accesses written against [Server] keep working — the service speaks
+   one vocabulary whether the caller is in-process or on the wire. *)
+type error = Protocol.error =
+  | Failed of string
+  | Bad_request of string
+  | Unsupported of string
   | Overloaded of { inflight : int; queued : int }
   | Timeout of { elapsed_ms : float }
-  | Unsupported of string
-  | Failed of string
+  | Unavailable of string
 
-type reply = {
+type reply = Protocol.reply = {
   items : int;
   digest : string;  (* md5 hex of the canonical result *)
   latency_ms : float;  (* admission + queue + execution *)
@@ -221,18 +226,29 @@ let submit_with ?deadline_ms t ~key ~prepare =
           release t `Failed;
           Error (Failed (Printexc.to_string e)))
 
+(* The one entry point: a typed [Protocol.request] in, a typed
+   [Protocol.response] out.  Requests that fail validation are refused
+   as [Bad_request] before touching admission control — they consume no
+   slot and skew no latency numbers, but are counted as failures. *)
+let handle t (req : Protocol.request) =
+  match req.Protocol.query with
+  | Protocol.Benchmark n when n < 1 || n > 20 ->
+      Mutex.protect t.lock (fun () -> t.n_failed <- t.n_failed + 1);
+      Error
+        (Bad_request (Printf.sprintf "benchmark query %d out of range 1-20" n))
+  | Protocol.Benchmark n ->
+      submit_with ?deadline_ms:req.Protocol.deadline_ms t
+        ~key:("#" ^ string_of_int n)
+        ~prepare:(fun () -> Runner.prepare t.session.Runner.store n)
+  | Protocol.Text qtext ->
+      submit_with ?deadline_ms:req.Protocol.deadline_ms t ~key:qtext
+        ~prepare:(fun () -> Runner.prepare_text t.session.Runner.store qtext)
+
+(* Deprecated spellings of [handle], kept as thin wrappers. *)
 let submit ?deadline_ms t n =
-  submit_with ?deadline_ms t
-    ~key:("#" ^ string_of_int n)
-    ~prepare:(fun () -> Runner.prepare t.session.Runner.store n)
+  handle t (Protocol.request ?deadline_ms (Protocol.Benchmark n))
 
 let submit_text ?deadline_ms t qtext =
-  submit_with ?deadline_ms t ~key:qtext
-    ~prepare:(fun () -> Runner.prepare_text t.session.Runner.store qtext)
+  handle t (Protocol.request ?deadline_ms (Protocol.Text qtext))
 
-let error_to_string = function
-  | Overloaded { inflight; queued } ->
-      Printf.sprintf "overloaded (%d in flight, %d queued)" inflight queued
-  | Timeout { elapsed_ms } -> Printf.sprintf "timeout after %.1f ms" elapsed_ms
-  | Unsupported msg -> "unsupported: " ^ msg
-  | Failed msg -> "failed: " ^ msg
+let error_to_string = Protocol.error_to_string

@@ -33,14 +33,18 @@ type config = {
 val default_config : config
 (** 4 in flight, 64 queued, no deadline, 64 cached plans. *)
 
-type error =
+type error = Protocol.error =
+  | Failed of string
+  | Bad_request of string
+  | Unsupported of string
   | Overloaded of { inflight : int; queued : int }
-      (** rejected at admission; the payload is the load observed *)
-  | Timeout of { elapsed_ms : float }  (** deadline exceeded *)
-  | Unsupported of string  (** e.g. ad-hoc text on System C *)
-  | Failed of string  (** evaluation error; the server survives *)
+  | Timeout of { elapsed_ms : float }
+  | Unavailable of string
+(** Re-exported {!Protocol.error} — see there for the stable numeric
+    codes.  [Unavailable] is produced by transports (a fleet front door
+    whose worker died), never by this in-process server. *)
 
-type reply = {
+type reply = Protocol.reply = {
   items : int;
   digest : string;  (** md5 hex of the canonical result *)
   latency_ms : float;  (** wall time from submission to reply *)
@@ -70,15 +74,25 @@ val session : t -> Xmark_core.Runner.session
 
 val config : t -> config
 
+val handle : t -> Protocol.request -> Protocol.response
+(** The entry point: execute one typed request.  Thread-safe; blocks at
+    most while queued for an execution slot.  A request's
+    [deadline_ms] overrides the server-wide deadline for this request
+    only; [None] defers to the server config.  Out-of-range benchmark
+    numbers are refused as [Bad_request] before admission; malformed
+    query text is a typed [Failed]/[Unsupported] result, never an
+    exception.  This is what the wire server calls for every decoded
+    frame — in-process callers and remote clients get identical
+    semantics. *)
+
 val submit : ?deadline_ms:float -> t -> int -> (reply, error) result
-(** Execute benchmark query 1-20.  Thread-safe; blocks at most while
-    queued for an execution slot.  [?deadline_ms] overrides the
-    server-wide deadline for this request only (fault injection,
-    per-client budgets); omitted, the server config applies. *)
+(** Execute benchmark query 1-20.
+    @deprecated thin wrapper over {!handle} with [Protocol.Benchmark];
+    new code should build a {!Protocol.request}. *)
 
 val submit_text : ?deadline_ms:float -> t -> string -> (reply, error) result
-(** Execute ad-hoc XQuery text ([Unsupported] on System C).  Malformed
-    text is a typed [Failed]/[Unsupported] result, never an exception. *)
+(** Execute ad-hoc XQuery text.
+    @deprecated thin wrapper over {!handle} with [Protocol.Text]. *)
 
 val totals : t -> totals
 (** Lifetime counters, consistent snapshot. *)

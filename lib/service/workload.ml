@@ -7,7 +7,25 @@ module Stats = Xmark_stats
    a weighted mix with a deterministic per-client PRNG stream.  Closed
    loop means a client submits its next request only after the previous
    reply — offered load adapts to service rate, so throughput (req/s)
-   is the measurement, not an input. *)
+   is the measurement, not an input.
+
+   The driver is transport-agnostic: each client strand owns one [conn]
+   (a [Protocol.request -> Protocol.response] function plus a closer),
+   obtained from a [transport] factory.  [local] wraps an in-process
+   {!Server}; {!Xmark_wire.Client.transport} dials a socket — the same
+   mixes, histograms and digest gate then measure the full path
+   including framing and the kernel, which is why latency is clocked
+   here on the client side, not taken from the server's reply. *)
+
+type conn = {
+  call : Protocol.request -> Protocol.response;
+  close : unit -> unit;
+}
+
+type transport = unit -> conn
+
+let local server =
+  fun () -> { call = (fun req -> Server.handle server req); close = ignore }
 
 type mix = (int * int) list
 
@@ -117,47 +135,80 @@ type report = {
 
 (* One client fiber: its PRNG stream, its remaining request budget, its
    private accumulators (merged by the driver afterwards — fibers share
-   nothing, so the loop is lock-free outside the server). *)
+   nothing, so the loop is lock-free outside the server) and its
+   connection, dialed lazily on the runner domain that steps it so a
+   socket is only ever used by the domain that opened it. *)
 type strand = {
+  st_id : int;
   st_gen : Prng.t;
   mutable st_budget : int;
+  mutable st_conn : conn option;
   st_classes : class_stats array;
 }
 
-let strand_step server mix total_weight s =
+let strand_conn transport s =
+  match s.st_conn with
+  | Some c -> c
+  | None ->
+      let c = transport () in
+      s.st_conn <- Some c;
+      c
+
+let strand_close s =
+  match s.st_conn with
+  | None -> ()
+  | Some c ->
+      s.st_conn <- None;
+      (try c.close () with _ -> ())
+
+let strand_step transport mix total_weight s =
   let q = draw s.st_gen mix total_weight in
   let c = s.st_classes.(q - 1) in
   c.cs_count <- c.cs_count + 1;
-  (match Server.submit server q with
+  let conn = strand_conn transport s in
+  let req =
+    Protocol.request ~client:(Printf.sprintf "c%d" s.st_id)
+      (Protocol.Benchmark q)
+  in
+  (* latency is clocked here — it covers the transport, not just the
+     server-side slice the reply reports *)
+  let t0 = Unix.gettimeofday () in
+  (match conn.call req with
   | Ok reply ->
       c.cs_ok <- c.cs_ok + 1;
-      Timing.Histogram.add c.cs_hist reply.Server.latency_ms;
+      Timing.Histogram.add c.cs_hist ((Unix.gettimeofday () -. t0) *. 1000.0);
       (match c.cs_digest with
-      | None -> c.cs_digest <- Some reply.Server.digest
+      | None -> c.cs_digest <- Some reply.Protocol.digest
       | Some d ->
-          if d <> reply.Server.digest then
+          if d <> reply.Protocol.digest then
             c.cs_digest_mismatches <- c.cs_digest_mismatches + 1)
-  | Error (Server.Timeout _) -> c.cs_timeouts <- c.cs_timeouts + 1
-  | Error (Server.Overloaded _) -> c.cs_rejected <- c.cs_rejected + 1
-  | Error (Server.Unsupported _ | Server.Failed _) ->
+  | Error (Protocol.Timeout _) -> c.cs_timeouts <- c.cs_timeouts + 1
+  | Error (Protocol.Overloaded _) -> c.cs_rejected <- c.cs_rejected + 1
+  | Error
+      ( Protocol.Unsupported _ | Protocol.Failed _ | Protocol.Bad_request _
+      | Protocol.Unavailable _ ) ->
       c.cs_failed <- c.cs_failed + 1);
-  s.st_budget <- s.st_budget - 1
+  s.st_budget <- s.st_budget - 1;
+  if s.st_budget <= 0 then strand_close s
 
 (* Round-robin the runner's strands, one request per strand per pass:
    each strand stays closed-loop (its next request follows its previous
    reply) while the runner interleaves fairly. *)
-let runner_loop server mix total_weight strands =
-  let remaining = ref (List.filter (fun s -> s.st_budget > 0) strands) in
-  while !remaining <> [] do
-    remaining :=
-      List.filter
-        (fun s ->
-          strand_step server mix total_weight s;
-          s.st_budget > 0)
-        !remaining
-  done
+let runner_loop transport mix total_weight strands =
+  Fun.protect
+    ~finally:(fun () -> List.iter strand_close strands)
+    (fun () ->
+      let remaining = ref (List.filter (fun s -> s.st_budget > 0) strands) in
+      while !remaining <> [] do
+        remaining :=
+          List.filter
+            (fun s ->
+              strand_step transport mix total_weight s;
+              s.st_budget > 0)
+            !remaining
+      done)
 
-let run ?seed ?(domains = 0) ~clients ~requests ~mix server =
+let run_transport ?seed ?(domains = 0) ~clients ~requests ~mix transport =
   if clients < 1 then invalid_arg "Workload.run: clients must be >= 1";
   if requests < 0 then invalid_arg "Workload.run: requests must be >= 0";
   (match mix with
@@ -176,7 +227,8 @@ let run ?seed ?(domains = 0) ~clients ~requests ~mix server =
   let base = Prng.create ?seed () in
   let strands =
     List.init clients (fun i ->
-        { st_gen = Prng.split base; st_budget = share i; st_classes = fresh_classes () })
+        { st_id = i; st_gen = Prng.split base; st_budget = share i;
+          st_conn = None; st_classes = fresh_classes () })
   in
   (* Client fibers multiplex over runner domains: parallelism is bounded
      by the hardware (spawning more CPU-bound domains than cores only
@@ -200,13 +252,13 @@ let run ?seed ?(domains = 0) ~clients ~requests ~mix server =
         List.map
           (fun group ->
             Domain.spawn (fun () ->
-                runner_loop server mix total_weight group;
+                runner_loop transport mix total_weight group;
                 (* per-domain counter deltas ride back to the driver,
                    same discipline as the pool's workers *)
                 Stats.export_and_clear ()))
           rest
       in
-      runner_loop server mix total_weight first;
+      runner_loop transport mix total_weight first;
       List.iter (fun d -> Stats.absorb (Domain.join d)) spawned);
   let merged = fresh_classes () in
   List.iter
@@ -239,6 +291,9 @@ let run ?seed ?(domains = 0) ~clients ~requests ~mix server =
       Array.to_list merged |> List.filter (fun c -> c.cs_count > 0);
     r_digest_mismatches = !mismatches;
   }
+
+let run ?seed ?domains ~clients ~requests ~mix server =
+  run_transport ?seed ?domains ~clients ~requests ~mix (local server)
 
 let pp_report fmt r =
   let p h q = Timing.Histogram.percentile h q in

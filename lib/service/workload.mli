@@ -1,9 +1,15 @@
-(** Closed-loop multi-client workload driver.
+(** Closed-loop multi-client workload driver, over any transport.
 
-    [run] creates [clients] client fibers, each submitting
-    [requests/clients] queries back-to-back to one {!Server}, drawing
-    from a weighted Q1-Q20 [mix] with a per-client deterministic PRNG
-    stream (split from one base seed, so workloads replay exactly).
+    [run_transport] creates [clients] client fibers, each submitting
+    [requests/clients] queries back-to-back through its own connection,
+    drawing from a weighted Q1-Q20 [mix] with a per-client
+    deterministic PRNG stream (split from one base seed, so workloads
+    replay exactly).  A {!transport} is a connection factory: {!local}
+    wraps an in-process {!Server} (a call is a function call);
+    [Xmark_wire.Client.transport] dials a socket, so the same mixes,
+    latency histograms and cross-client digest gate measure the path
+    end-to-end over real connections — latencies are clocked on the
+    client side, around the whole call.
     Fibers are multiplexed round-robin over at most
     [Domain.recommended_domain_count ()] runner domains — parallelism is
     sized to the hardware, concurrency to [clients]; oversubscribing a
@@ -17,6 +23,23 @@
     previous reply, so offered load adapts to service rate and req/s is
     the measurement.  Total requests are held constant across client
     counts, which is what makes a scaling curve comparable. *)
+
+type conn = {
+  call : Protocol.request -> Protocol.response;
+      (** one request/response exchange; must be typed-total (errors as
+          [Error _], never an exception) *)
+  close : unit -> unit;
+}
+(** One client connection.  A [conn] is single-occupancy: exactly one
+    strand calls it, from one domain at a time. *)
+
+type transport = unit -> conn
+(** Connection factory, called once per client strand on the runner
+    domain that will use the connection. *)
+
+val local : Server.t -> transport
+(** The in-process transport: [call] is {!Server.handle}, [close] a
+    no-op. *)
 
 type mix = (int * int) list
 (** (query number 1-20, positive weight). *)
@@ -60,6 +83,24 @@ type report = {
   r_digest_mismatches : int;  (** must be 0: same query, same answer *)
 }
 
+val run_transport :
+  ?seed:int64 ->
+  ?domains:int ->
+  clients:int ->
+  requests:int ->
+  mix:mix ->
+  transport ->
+  report
+(** Drive the service behind [transport] and block until all clients
+    finish.  [domains] overrides the runner-domain count (clamped to
+    [1 .. clients]); 0 or absent sizes it to
+    [min clients (Domain.recommended_domain_count ())].  Each strand's
+    connection is dialed lazily on its runner domain and closed when
+    its budget is spent (or the loop unwinds).  Runner-domain
+    {!Xmark_stats} deltas are absorbed into the caller's registry.
+    @raise Invalid_argument on [clients < 1], negative [requests], or a
+    malformed mix. *)
+
 val run :
   ?seed:int64 ->
   ?domains:int ->
@@ -68,12 +109,6 @@ val run :
   mix:mix ->
   Server.t ->
   report
-(** Drive the server and block until all clients finish.  [domains]
-    overrides the runner-domain count (clamped to [1 .. clients]); 0 or
-    absent sizes it to [min clients (Domain.recommended_domain_count ())].
-    Runner-domain {!Xmark_stats} deltas are absorbed into the caller's
-    registry.
-    @raise Invalid_argument on [clients < 1], negative [requests], or a
-    malformed mix. *)
+(** [run_transport] over {!local} — the in-process spelling. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,8 +1,11 @@
-(** Concurrent query service: a {!Server} sharing one immutable loaded
-    store across client domains with admission control, deadlines and a
-    prepared-plan cache, plus the closed-loop {!Workload} driver that
-    measures it. *)
+(** Concurrent query service: the {!Protocol} request/response
+    vocabulary (shared by in-process callers, the wire protocol and the
+    CLIs), a {!Server} sharing one immutable loaded store across client
+    domains with admission control, deadlines and a prepared-plan
+    cache, plus the closed-loop {!Workload} driver that measures it
+    over any transport. *)
 
+module Protocol = Protocol
 module Plan_cache = Plan_cache
 module Server = Server
 module Workload = Workload

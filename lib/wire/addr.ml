@@ -1,0 +1,80 @@
+type t = Unix_sock of string | Tcp of string * int
+
+let of_string s =
+  let s = String.trim s in
+  let tcp rest =
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "bad TCP address %S (want HOST:PORT)" rest)
+    | Some i -> (
+        let host = String.sub rest 0 i in
+        let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+        | _ -> Error (Printf.sprintf "bad TCP address %S (want HOST:PORT)" rest))
+  in
+  if s = "" then Error "empty address"
+  else if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_sock (String.sub s 5 (String.length s - 5)))
+  else if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+    tcp (String.sub s 4 (String.length s - 4))
+  else if String.contains s '/' then Ok (Unix_sock s)
+  else tcp s
+
+let to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let worker addr i =
+  match addr with
+  | Unix_sock p -> Unix_sock (Printf.sprintf "%s.w%d" p i)
+  | Tcp (h, p) -> Tcp (h, p + 1 + i)
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | a -> a
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host))
+      | h -> h.Unix.h_addr_list.(0))
+
+let sockaddr = function
+  | Unix_sock p -> Unix.ADDR_UNIX p
+  | Tcp (h, p) -> Unix.ADDR_INET (resolve h, p)
+
+let unlink = function
+  | Tcp _ -> ()
+  | Unix_sock p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+
+let domain = function Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+(* A peer hanging up mid-write must surface as EPIPE (a typed transport
+   error), not kill the process with SIGPIPE. *)
+let sigpipe_ignored =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
+let listen ?(backlog = 64) addr =
+  Lazy.force sigpipe_ignored;
+  unlink addr;
+  let fd = Unix.socket (domain addr) Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with
+     | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+     | Unix_sock _ -> ());
+     Unix.bind fd (sockaddr addr);
+     Unix.listen fd backlog
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let connect addr =
+  Lazy.force sigpipe_ignored;
+  let fd = Unix.socket (domain addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr addr)
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd

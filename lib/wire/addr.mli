@@ -1,0 +1,32 @@
+(** Listen/connect addresses for the wire protocol.
+
+    Two families: Unix-domain sockets ([unix:/path/to.sock] — the
+    loopback default, no port allocation, filesystem permissions) and
+    TCP ([tcp:HOST:PORT]).  A bare string containing ['/'] parses as a
+    Unix path; a bare [HOST:PORT] as TCP. *)
+
+type t =
+  | Unix_sock of string  (** socket file path *)
+  | Tcp of string * int  (** host (name or dotted quad), port *)
+
+val of_string : string -> (t, string) result
+
+val to_string : t -> string
+(** Round-trips through {!of_string}; always carries the family
+    prefix. *)
+
+val worker : t -> int -> t
+(** [worker addr i] is the private address fleet worker [i] listens on,
+    derived from the front door's: [path.w<i>] for Unix sockets, port
+    [+ 1 + i] for TCP. *)
+
+val listen : ?backlog:int -> t -> Unix.file_descr
+(** Socket, bind, listen.  For a Unix address any stale socket file is
+    unlinked first.  @raise Unix.Unix_error. *)
+
+val connect : t -> Unix.file_descr
+(** Blocking connect.  @raise Unix.Unix_error (e.g. [ECONNREFUSED]
+    when nothing is listening). *)
+
+val unlink : t -> unit
+(** Remove a Unix address's socket file, if any; no-op for TCP. *)

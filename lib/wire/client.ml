@@ -1,0 +1,63 @@
+(* Synchronous wire client: frame out, frame back.  All transport
+   failures collapse into [Error (Unavailable _)] so callers — the
+   workload driver above all — handle one typed surface and never an
+   exception. *)
+
+module P = Xmark_service.Protocol
+module Workload = Xmark_service.Workload
+
+type t = { mutable fd : Unix.file_descr option; addr : Addr.t }
+
+let connect addr =
+  let fd = Addr.connect addr in
+  (match addr with
+  | Addr.Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
+  | Addr.Unix_sock _ -> ());
+  { fd = Some fd; addr }
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      t.fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let unavailable t fmt =
+  Printf.ksprintf
+    (fun m ->
+      close t;
+      Error (P.Unavailable (Printf.sprintf "%s: %s" (Addr.to_string t.addr) m)))
+    fmt
+
+let call t req =
+  match t.fd with
+  | None -> unavailable t "connection already closed"
+  | Some fd -> (
+      match Frame.write fd Frame.Request (Wire_codec.encode_request req) with
+      | exception Unix.Unix_error (e, _, _) ->
+          unavailable t "write failed (%s)" (Unix.error_message e)
+      | () -> (
+          match Frame.read fd with
+          | exception Unix.Unix_error (e, _, _) ->
+              unavailable t "read failed (%s)" (Unix.error_message e)
+          | Error e ->
+              unavailable t "reply frame: %s" (Frame.error_to_string e)
+          | Ok (Frame.Request, _) ->
+              unavailable t "peer sent a request frame in reply"
+          | Ok (Frame.Response, payload) -> (
+              match Wire_codec.decode_response payload with
+              | Error m -> unavailable t "reply payload: %s" m
+              | Ok resp -> resp)))
+
+let transport addr () =
+  match connect addr with
+  | t -> { Workload.call = call t; close = (fun () -> close t) }
+  | exception Unix.Unix_error (e, _, _) ->
+      let msg =
+        Printf.sprintf "%s: connect failed (%s)" (Addr.to_string addr)
+          (Unix.error_message e)
+      in
+      {
+        Workload.call = (fun _ -> Error (P.Unavailable msg));
+        close = ignore;
+      }

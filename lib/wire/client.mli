@@ -1,0 +1,28 @@
+(** Wire client: one connection, synchronous request/response calls.
+
+    A client is single-occupancy — one in-flight request at a time,
+    from one domain.  {!call} is typed-total: transport failures
+    (refused, reset, truncated or corrupt reply, peer gone) come back
+    as [Error (Unavailable _)], a server-side refusal of our framing as
+    whatever status the server sent — never an exception.  That makes a
+    client directly usable as a {!Xmark_service.Workload.transport}. *)
+
+type t
+
+val connect : Addr.t -> t
+(** Dial.  @raise Unix.Unix_error when nothing is listening. *)
+
+val call : t -> Xmark_service.Protocol.request -> Xmark_service.Protocol.response
+(** One exchange: encode, frame, write, read, decode.  After a
+    transport-level failure the connection is closed and every
+    subsequent call returns [Unavailable] — reconnect by making a new
+    client. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val transport : Addr.t -> Xmark_service.Workload.transport
+(** A connection factory for the workload driver: each strand dials its
+    own connection.  A failed dial surfaces as a [conn] whose calls all
+    return [Unavailable] (the driver records failures instead of
+    crashing). *)

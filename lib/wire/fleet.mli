@@ -1,0 +1,53 @@
+(** Multi-process fleet: N forked worker processes behind one front
+    door.
+
+    {!start} forks [workers] children; each builds its own service
+    (typically by restoring the same read-only snapshot through
+    {!Xmark_persist} — page-cache-shared, never written) and runs a
+    blocking {!Wire_server.serve} accept loop on a private address
+    derived from the front door's ({!Addr.worker}).  The parent then
+    opens the front door: client connections are accepted on the public
+    address and assigned to workers round-robin; each request frame is
+    relayed to the connection's worker and the response frame relayed
+    back.
+
+    {b Worker failure is typed, not fatal.}  The benchmark queries are
+    read-only, so a request whose worker dies mid-flight is safely
+    retried on the next worker; only when every worker has refused does
+    the client see [Unavailable] (status 6).  Healthy workers keep
+    serving throughout — kill -9 a worker and the fleet degrades, it
+    does not fail.
+
+    Scaling model: OCaml 5 threads inside one process share a domain,
+    so a single wire server interleaves I/O but executes queries on its
+    own cores only; processes multiply that.  The fleet is the paper's
+    "heavy traffic" on-ramp — same snapshot, same digests, N times the
+    hardware. *)
+
+type t
+
+val start :
+  ?ready_timeout_s:float ->
+  workers:int ->
+  make_server:(int -> Xmark_service.Server.t) ->
+  Addr.t ->
+  t
+(** Fork [workers] children (calling [make_server i] {e in child [i]}),
+    wait until every worker accepts connections (default timeout 30 s),
+    then open the front door on the given address with a background
+    accept thread.  Call before creating any domains or threads in the
+    parent — forking a multi-threaded process is undefined enough to
+    avoid.
+    @raise Failure if a worker dies or is not ready within the timeout
+    (all children are cleaned up first). *)
+
+val front : t -> Addr.t
+
+val pids : t -> int list
+(** Worker process ids, in worker order — test hooks kill these. *)
+
+val worker_addrs : t -> Addr.t list
+
+val stop : t -> unit
+(** Close the front door, terminate and reap every worker, unlink
+    socket files.  Idempotent. *)

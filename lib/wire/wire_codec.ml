@@ -1,0 +1,151 @@
+(* Binary codec for Protocol values: fixed-width big-endian fields,
+   u32-length-prefixed strings.  Encoding is deterministic; decoding is
+   total, with every read bounds-checked so hostile payloads fail as
+   [Error], never as an exception or an over-allocation. *)
+
+module P = Xmark_service.Protocol
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+(* --- writers --------------------------------------------------------------- *)
+
+let add_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let add_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+let add_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+(* --- readers --------------------------------------------------------------- *)
+
+type reader = { src : string; mutable pos : int }
+
+let need r n what =
+  if r.pos + n > String.length r.src then
+    malformed "payload ends inside %s (%d of %d bytes needed)" what
+      (String.length r.src - r.pos) n
+
+let u8 r what =
+  need r 1 what;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let u32 r what =
+  need r 4 what;
+  let v = Int32.to_int (String.get_int32_be r.src r.pos) land 0xffffffff in
+  r.pos <- r.pos + 4;
+  v
+
+let f64 r what =
+  need r 8 what;
+  let v = Int64.float_of_bits (String.get_int64_be r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let str r what =
+  let n = u32 r what in
+  need r n what;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let finish r what =
+  if r.pos <> String.length r.src then
+    malformed "%d trailing byte(s) after %s" (String.length r.src - r.pos) what
+
+let reading what f s =
+  match
+    let r = { src = s; pos = 0 } in
+    let v = f r in
+    finish r what;
+    v
+  with
+  | v -> Ok v
+  | exception Malformed m -> Error m
+
+(* --- requests -------------------------------------------------------------- *)
+
+let encode_request (req : P.request) =
+  let b = Buffer.create 64 in
+  (match req.P.query with
+  | P.Benchmark n ->
+      add_u8 b 0;
+      add_u32 b n
+  | P.Text q ->
+      add_u8 b 1;
+      add_str b q);
+  (match req.P.deadline_ms with
+  | None -> add_u8 b 0
+  | Some ms ->
+      add_u8 b 1;
+      add_f64 b ms);
+  add_str b req.P.client;
+  Buffer.contents b
+
+let decode_request =
+  reading "request" (fun r ->
+      let query =
+        match u8 r "query tag" with
+        | 0 -> P.Benchmark (u32 r "query number")
+        | 1 -> P.Text (str r "query text")
+        | t -> malformed "unknown query tag %d" t
+      in
+      let deadline_ms =
+        match u8 r "deadline flag" with
+        | 0 -> None
+        | 1 -> Some (f64 r "deadline")
+        | t -> malformed "unknown deadline flag %d" t
+      in
+      let client = str r "client tag" in
+      { P.query; deadline_ms; client })
+
+(* --- responses ------------------------------------------------------------- *)
+
+let encode_response (resp : P.response) =
+  let b = Buffer.create 64 in
+  add_u8 b (P.status_of_response resp);
+  (match resp with
+  | Ok { P.items; digest; latency_ms; queue_ms; plan_hit } ->
+      add_u32 b items;
+      add_str b digest;
+      add_f64 b latency_ms;
+      add_f64 b queue_ms;
+      add_u8 b (if plan_hit then 1 else 0)
+  | Error (P.Overloaded { inflight; queued }) ->
+      add_u32 b inflight;
+      add_u32 b queued
+  | Error (P.Timeout { elapsed_ms }) -> add_f64 b elapsed_ms
+  | Error (P.Failed m | P.Bad_request m | P.Unsupported m | P.Unavailable m)
+    ->
+      add_str b m);
+  Buffer.contents b
+
+let decode_response =
+  reading "response" (fun r ->
+      match u8 r "status byte" with
+      | 0 ->
+          let items = u32 r "items" in
+          let digest = str r "digest" in
+          let latency_ms = f64 r "latency" in
+          let queue_ms = f64 r "queue time" in
+          let plan_hit =
+            match u8 r "plan-hit flag" with
+            | 0 -> false
+            | 1 -> true
+            | t -> malformed "unknown plan-hit flag %d" t
+          in
+          Ok { P.items; digest; latency_ms; queue_ms; plan_hit }
+      | 1 -> Error (P.Failed (str r "message"))
+      | 2 -> Error (P.Bad_request (str r "message"))
+      | 3 -> Error (P.Unsupported (str r "message"))
+      | 4 ->
+          let inflight = u32 r "inflight" in
+          let queued = u32 r "queued" in
+          Error (P.Overloaded { inflight; queued })
+      | 5 -> Error (P.Timeout { elapsed_ms = f64 r "elapsed" })
+      | 6 -> Error (P.Unavailable (str r "message"))
+      | s -> malformed "unknown status byte %d" s)

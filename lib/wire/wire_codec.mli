@@ -1,0 +1,27 @@
+(** Binary payload codec for {!Xmark_service.Protocol} values.
+
+    Deterministic, fixed-width, big-endian — the same value always
+    encodes to the same bytes, so frames can be compared, cached and
+    replayed from a corpus.  Decoding is total: malformed payloads
+    yield [Error msg], never an exception, and every length field is
+    bounds-checked against the buffer before reading.
+
+    {b Request payload:}
+    query tag (u8: 0 benchmark, 1 text) · query (u32 number | str) ·
+    deadline flag (u8) · deadline (f64 bits, if flagged) · client (str).
+
+    {b Response payload:} status byte ({!Xmark_service.Protocol.status_code};
+    0 = ok) followed by the per-status body — ok: items (u32), digest
+    (str), latency_ms (f64), queue_ms (f64), plan_hit (u8); overloaded:
+    inflight (u32), queued (u32); timeout: elapsed_ms (f64); all other
+    statuses: message (str).
+
+    [str] is a u32 byte length followed by the bytes. *)
+
+val encode_request : Xmark_service.Protocol.request -> string
+
+val decode_request : string -> (Xmark_service.Protocol.request, string) result
+
+val encode_response : Xmark_service.Protocol.response -> string
+
+val decode_response : string -> (Xmark_service.Protocol.response, string) result

@@ -1,0 +1,140 @@
+(* Accept loop + per-connection threads in front of the in-process
+   query service.  The wire adds framing, not semantics: every decoded
+   request goes through [Server.handle]; every outcome — including
+   refusals of the bytes themselves — returns as a typed response
+   frame. *)
+
+module P = Xmark_service.Protocol
+module Server = Xmark_service.Server
+module Stats = Xmark_stats
+
+type t = {
+  lsock : Unix.file_descr;
+  laddr : Addr.t;
+  service : Server.t;
+  lock : Mutex.t;
+  mutable stopped : bool;
+  mutable conns : (int * Unix.file_descr) list;  (* id, fd *)
+  mutable next_conn : int;
+  mutable accept_thread : Thread.t option;
+}
+
+let addr t = t.laddr
+
+let add_conn t fd =
+  Mutex.protect t.lock (fun () ->
+      let id = t.next_conn in
+      t.next_conn <- id + 1;
+      t.conns <- (id, fd) :: t.conns;
+      id)
+
+let remove_conn t id =
+  Mutex.protect t.lock (fun () ->
+      t.conns <- List.filter (fun (id', _) -> id' <> id) t.conns)
+
+(* One connection: read a frame, answer it, repeat.  Returns (closing
+   the socket) on peer hangup, I/O failure, or an unrecoverable framing
+   error — a length-prefixed stream cannot resync after one. *)
+let conn_loop service fd =
+  let respond resp =
+    Frame.write fd Frame.Response (Wire_codec.encode_response resp)
+  in
+  let rec loop () =
+    match Frame.read fd with
+    | Error Frame.Closed -> ()
+    | Error e ->
+        (* hostile or damaged bytes: one typed refusal, then hang up *)
+        Stats.incr "wire_frames_rejected";
+        (try respond (Error (P.Bad_request ("frame: " ^ Frame.error_to_string e)))
+         with Unix.Unix_error _ -> ())
+    | Ok (Frame.Response, _) ->
+        (* protocol misuse, but the framing held — refuse and continue *)
+        Stats.incr "wire_frames_rejected";
+        respond (Error (P.Bad_request "expected a request frame"));
+        loop ()
+    | Ok (Frame.Request, payload) ->
+        Stats.incr "wire_requests";
+        (match Wire_codec.decode_request payload with
+        | Error m ->
+            Stats.incr "wire_frames_rejected";
+            respond (Error (P.Bad_request ("request payload: " ^ m)))
+        | Ok req -> respond (Server.handle service req));
+        loop ()
+  in
+  try loop () with Unix.Unix_error _ -> ()
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let running () = Mutex.protect t.lock (fun () -> not t.stopped) in
+  while running () do
+    match Unix.accept t.lsock with
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        (* listener shut down by [stop] *)
+        Mutex.protect t.lock (fun () -> t.stopped <- true)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) ->
+        (* transient accept failure (e.g. ECONNABORTED): don't spin hot *)
+        Thread.yield ()
+    | fd, _peer ->
+        Stats.incr "wire_connections";
+        (match t.laddr with
+        | Addr.Tcp _ -> (
+            try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
+        | Addr.Unix_sock _ -> ());
+        let id = add_conn t fd in
+        ignore
+          (Thread.create
+             (fun () ->
+               Fun.protect
+                 ~finally:(fun () ->
+                   remove_conn t id;
+                   close_quiet fd)
+                 (fun () -> conn_loop t.service fd))
+             ())
+  done
+
+let create laddr service =
+  let lsock = Addr.listen laddr in
+  {
+    lsock;
+    laddr;
+    service;
+    lock = Mutex.create ();
+    stopped = false;
+    conns = [];
+    next_conn = 0;
+    accept_thread = None;
+  }
+
+let start laddr service =
+  let t = create laddr service in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let serve laddr service =
+  let t = create laddr service in
+  accept_loop t
+
+let stop t =
+  let was_stopped =
+    Mutex.protect t.lock (fun () ->
+        let was = t.stopped in
+        t.stopped <- true;
+        was)
+  in
+  if not was_stopped then begin
+    (* wake a blocked accept: shutdown works on Linux listeners; the
+       throwaway connect is the portable fallback *)
+    (try Unix.shutdown t.lsock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close (Addr.connect t.laddr) with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    close_quiet t.lsock;
+    Addr.unlink t.laddr;
+    (* force live connection reads to fail so their threads exit *)
+    let conns = Mutex.protect t.lock (fun () -> t.conns) in
+    List.iter
+      (fun (_, fd) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns
+  end

@@ -1,0 +1,35 @@
+(** Socket front end for {!Xmark_service.Server}: a Unix-socket or TCP
+    accept loop that turns request frames into {!Xmark_service.Server.handle}
+    calls and answers with response frames.
+
+    One thread per connection; the service's own admission control is
+    the concurrency limiter (a connection blocked in the admission
+    queue holds only its thread, not the accept loop).  Every outcome
+    travels as a typed status — hostile bytes yield a [Bad_request]
+    response (when the connection can still carry one) followed by a
+    close, never a crash: after a framing error the byte stream cannot
+    be resynchronized, so the connection is dropped; a well-framed but
+    malformed payload only fails that request.
+
+    Preserved across the wire: [Overloaded] and [Timeout] rejections,
+    per-request deadlines, plan-cache behaviour — the wire adds
+    framing, not semantics. *)
+
+type t
+
+val start : Addr.t -> Xmark_service.Server.t -> t
+(** Bind, listen, and accept in a background thread.  The service is
+    borrowed — the caller keeps ownership.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val addr : t -> Addr.t
+
+val stop : t -> unit
+(** Close the listener and all live connections, join the accept
+    thread, and unlink a Unix socket file.  Idempotent. *)
+
+val serve : Addr.t -> Xmark_service.Server.t -> unit
+(** Blocking variant for worker processes: run the accept loop on the
+    calling thread; returns only when the listener fails (e.g. the
+    process is being torn down).
+    @raise Unix.Unix_error if the address cannot be bound. *)

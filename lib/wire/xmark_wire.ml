@@ -1,0 +1,24 @@
+(** The service on the wire.
+
+    {!Frame} is the length-prefixed binary framing (magic + version +
+    CRC-32, decoding total over hostile bytes); {!Wire_codec} maps
+    {!Xmark_service.Protocol} requests and responses onto frame
+    payloads with stable status codes; {!Addr} names Unix-socket and
+    TCP endpoints; {!Client} is the synchronous caller (and
+    {!Xmark_service.Workload} transport); {!Wire_server} puts one
+    in-process {!Xmark_service.Server} behind an accept loop; {!Fleet}
+    forks N worker processes — each restoring the same read-only
+    snapshot — behind a round-robin frame-relay front door.
+
+    Layering: admission control, deadlines, plan caching and the typed
+    error surface all live in [Xmark_service]; this library adds
+    framing and processes, not semantics — the same query gets the same
+    digest whether the call is a function call, a socket round-trip, or
+    a fleet relay. *)
+
+module Frame = Frame
+module Wire_codec = Wire_codec
+module Addr = Addr
+module Client = Client
+module Wire_server = Wire_server
+module Fleet = Fleet

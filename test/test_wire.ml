@@ -1,0 +1,327 @@
+(* The wire: frame and payload codecs round-trip every constructor and
+   reject truncation/corruption typed; a loopback server echoes the
+   Q1-Q20 digests the in-process server produces; the workload driver
+   gets the same answers over sockets as over function calls; and a
+   fleet survives a SIGKILLed worker — healthy workers keep serving,
+   and only a fully dead fleet surfaces (typed) as [Unavailable].
+
+   The fleet scenario forks, and forking a threaded process is
+   undefined — so it runs eagerly at module initialization, before any
+   wire server (or Alcotest itself) has created a thread, and the test
+   cases merely assert its recorded outcome. *)
+
+module Runner = Xmark_core.Runner
+module Server = Xmark_service.Server
+module Workload = Xmark_service.Workload
+module P = Xmark_service.Protocol
+module Wire = Xmark_wire
+module Frame = Wire.Frame
+module Codec = Wire.Wire_codec
+
+let document = lazy (Xmark_xmlgen.Generator.to_string ~factor:0.002 ())
+
+let session () = Runner.load ~source:(`Text (Lazy.force document)) Runner.D
+
+let reference_digest store n =
+  Digest.to_hex (Digest.string (Runner.canonical (Runner.run store n)))
+
+let tmpdir =
+  let d = Filename.temp_file "xmark_wire_test" ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  at_exit (fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+        (try Sys.readdir d with Sys_error _ -> [||]);
+      try Unix.rmdir d with Unix.Unix_error _ -> ());
+  d
+
+let sock name = Wire.Addr.Unix_sock (Filename.concat tmpdir name)
+
+(* --- fleet scenario: runs first, at module init (fork before threads) --- *)
+
+type fleet_outcome = {
+  fo_ref_digest : string;  (** trusted single-shot digest for Q1 *)
+  fo_before : P.response;  (** Q1 through the healthy 2-worker fleet *)
+  fo_after_kill : P.response list;  (** Q1 x4 after SIGKILLing worker 0 *)
+  fo_dead_fleet : P.response;  (** Q1 after killing the last worker *)
+}
+
+let fleet_outcome =
+  let parent = session () in
+  let ref_digest = reference_digest parent.Runner.store 1 in
+  let snap = Filename.concat tmpdir "fleet.xms" in
+  Runner.save_snapshot parent snap;
+  let make_server _i =
+    Server.create (Runner.load ~source:(`Snapshot snap) Runner.D)
+  in
+  let fleet =
+    Wire.Fleet.start ~workers:2 ~make_server (sock "fleet.front")
+  in
+  Fun.protect
+    ~finally:(fun () -> Wire.Fleet.stop fleet)
+    (fun () ->
+      let front = Wire.Fleet.front fleet in
+      let one_call () =
+        let c = Wire.Client.connect front in
+        Fun.protect
+          ~finally:(fun () -> Wire.Client.close c)
+          (fun () -> Wire.Client.call c (P.request (P.Benchmark 1)))
+      in
+      let fo_before = one_call () in
+      let pids = Wire.Fleet.pids fleet in
+      Unix.kill (List.nth pids 0) Sys.sigkill;
+      Unix.sleepf 0.1;
+      (* fresh connections round-robin over both slots, so some are
+         assigned the corpse and must fail over *)
+      let fo_after_kill = List.init 4 (fun _ -> one_call ()) in
+      Unix.kill (List.nth pids 1) Sys.sigkill;
+      Unix.sleepf 0.1;
+      let fo_dead_fleet = one_call () in
+      { fo_ref_digest = ref_digest; fo_before; fo_after_kill; fo_dead_fleet })
+
+let test_fleet_healthy () =
+  match fleet_outcome.fo_before with
+  | Ok r ->
+      Alcotest.(check string)
+        "fleet digest matches single-shot" fleet_outcome.fo_ref_digest
+        r.P.digest
+  | Error e -> Alcotest.failf "healthy fleet refused: %s" (P.error_to_string e)
+
+let test_fleet_worker_killed () =
+  List.iteri
+    (fun i -> function
+      | Ok r ->
+          Alcotest.(check string)
+            (Printf.sprintf "call %d digest after worker kill" i)
+            fleet_outcome.fo_ref_digest r.P.digest
+      | Error e ->
+          Alcotest.failf "call %d after worker kill refused: %s" i
+            (P.error_to_string e))
+    fleet_outcome.fo_after_kill
+
+let test_fleet_all_dead () =
+  match fleet_outcome.fo_dead_fleet with
+  | Ok _ -> Alcotest.fail "a fully killed fleet answered a query"
+  | Error (P.Unavailable _) -> ()
+  | Error e ->
+      Alcotest.failf "dead fleet: expected Unavailable, got %s"
+        (P.error_to_string e)
+
+(* --- codec round-trips ----------------------------------------------------- *)
+
+let requests =
+  [ P.request (P.Benchmark 1);
+    P.request ~deadline_ms:12.5 ~client:"c7" (P.Benchmark 20);
+    P.request (P.Text "count(/site/regions//item)");
+    P.request ~client:(String.make 300 'x') (P.Text "");
+    P.request ~deadline_ms:0.0 (P.Benchmark 0) ]
+
+let replies =
+  [ Ok { P.items = 0; digest = ""; latency_ms = 0.0; queue_ms = 0.0; plan_hit = false };
+    Ok
+      { P.items = 12345; digest = String.make 32 'a'; latency_ms = 3.75;
+        queue_ms = 0.25; plan_hit = true };
+    Error (P.Failed "evaluator exploded");
+    Error (P.Bad_request "no such query");
+    Error (P.Unsupported "system A takes no ad-hoc text");
+    Error (P.Overloaded { inflight = 4; queued = 64 });
+    Error (P.Timeout { elapsed_ms = 1234.5 });
+    Error (P.Unavailable "no healthy fleet worker") ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      let frame = Frame.encode Frame.Request (Codec.encode_request req) in
+      match Frame.decode frame with
+      | Ok (Frame.Request, payload) -> (
+          match Codec.decode_request payload with
+          | Ok req' ->
+              Alcotest.(check bool) "request round-trips" true (req = req')
+          | Error m -> Alcotest.failf "decode_request: %s" m)
+      | Ok (Frame.Response, _) -> Alcotest.fail "kind flipped"
+      | Error e -> Alcotest.failf "decode: %s" (Frame.error_to_string e))
+    requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      let frame = Frame.encode Frame.Response (Codec.encode_response resp) in
+      match Frame.decode frame with
+      | Ok (Frame.Response, payload) -> (
+          match Codec.decode_response payload with
+          | Ok resp' ->
+              Alcotest.(check bool) "response round-trips" true (resp = resp');
+              Alcotest.(check int) "status code stable"
+                (P.status_of_response resp)
+                (P.status_of_response resp')
+          | Error m -> Alcotest.failf "decode_response: %s" m)
+      | Ok (Frame.Request, _) -> Alcotest.fail "kind flipped"
+      | Error e -> Alcotest.failf "decode: %s" (Frame.error_to_string e))
+    replies
+
+let test_frame_rejections () =
+  let base = Frame.encode Frame.Request (Codec.encode_request (List.hd requests)) in
+  let flip i s =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    Bytes.to_string b
+  in
+  let name r = match r with
+    | Ok _ -> "accepted"
+    | Error e -> Frame.error_name e
+  in
+  let check what input expect =
+    Alcotest.(check string) what expect (name (Frame.decode input))
+  in
+  check "empty stream is closed" "" "closed";
+  check "cut header" (String.sub base 0 7) "truncated";
+  check "cut payload" (String.sub base 0 (String.length base - 3)) "truncated";
+  check "flipped magic" (flip 0 base) "bad-magic";
+  check "flipped version" (flip 4 base) "bad-version";
+  check "zeroed kind"
+    (let b = Bytes.of_string base in
+     Bytes.set b 5 '\000';
+     Bytes.to_string b)
+    "bad-kind";
+  check "flipped payload byte" (flip (Frame.header_len + 1) base) "bad-crc";
+  check "flipped crc byte" (flip (String.length base - 1) base) "bad-crc";
+  check "oversized declared length"
+    (let b = Bytes.create Frame.header_len in
+     Bytes.blit_string base 0 b 0 6;
+     Bytes.set_int32_be b 6 0x7fff_ffffl;
+     Bytes.to_string b)
+    "oversized"
+
+(* --- loopback server ------------------------------------------------------- *)
+
+let test_loopback_digests () =
+  let service = Server.create (session ()) in
+  let store = (Server.session service).Runner.store in
+  let ws = Wire.Wire_server.start (sock "loop.sock") service in
+  Fun.protect
+    ~finally:(fun () -> Wire.Wire_server.stop ws)
+    (fun () ->
+      let c = Wire.Client.connect (Wire.Wire_server.addr ws) in
+      Fun.protect
+        ~finally:(fun () -> Wire.Client.close c)
+        (fun () ->
+          for q = 1 to 20 do
+            match Wire.Client.call c (P.request (P.Benchmark q)) with
+            | Ok r ->
+                Alcotest.(check string)
+                  (Printf.sprintf "Q%d digest over the wire" q)
+                  (reference_digest store q) r.P.digest
+            | Error e ->
+                Alcotest.failf "Q%d over the wire: %s" q (P.error_to_string e)
+          done;
+          (match
+             Wire.Client.call c
+               (P.request (P.Text (Xmark_core.Queries.text 5)))
+           with
+          | Ok r ->
+              Alcotest.(check string) "ad-hoc text digest"
+                (reference_digest store 5) r.P.digest
+          | Error e -> Alcotest.failf "text query: %s" (P.error_to_string e));
+          match Wire.Client.call c (P.request (P.Benchmark 0)) with
+          | Ok _ -> Alcotest.fail "Q0 answered"
+          | Error (P.Bad_request _ as e) ->
+              Alcotest.(check int) "bad request is status 2" 2 (P.status_code e)
+          | Error e ->
+              Alcotest.failf "Q0: expected Bad_request, got %s"
+                (P.error_to_string e)))
+
+let test_loopback_hostile_bytes () =
+  (* raw hostile frames against a live server: typed response or clean
+     hangup, and the service stays healthy for the next client *)
+  let service = Server.create (session ()) in
+  let store = (Server.session service).Runner.store in
+  let ws = Wire.Wire_server.start (sock "hostile.sock") service in
+  Fun.protect
+    ~finally:(fun () -> Wire.Wire_server.stop ws)
+    (fun () ->
+      let addr = Wire.Wire_server.addr ws in
+      let poke bytes =
+        let fd = Wire.Addr.connect addr in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let b = Bytes.of_string bytes in
+            let _ = Unix.write fd b 0 (Bytes.length b) in
+            Unix.shutdown fd Unix.SHUTDOWN_SEND;
+            (* the reply, if any, must be a well-formed response frame *)
+            match Frame.read fd with
+            | Ok (Frame.Response, payload) -> (
+                match Codec.decode_response payload with
+                | Ok _ -> ()
+                | Error m -> Alcotest.failf "garbled error reply: %s" m)
+            | Ok (Frame.Request, _) -> Alcotest.fail "server sent a request"
+            | Error Frame.Closed -> ()
+            | Error e ->
+                Alcotest.failf "garbled reply: %s" (Frame.error_to_string e))
+      in
+      poke "GET / HTTP/1.1\r\n\r\n";
+      poke "XMW";
+      poke (String.make 64 '\000');
+      (let good = Frame.encode Frame.Request (Codec.encode_request (List.hd requests)) in
+       let b = Bytes.of_string good in
+       Bytes.set b (String.length good - 1) '\255';
+       poke (Bytes.to_string b));
+      match
+        let c = Wire.Client.connect addr in
+        Fun.protect
+          ~finally:(fun () -> Wire.Client.close c)
+          (fun () -> Wire.Client.call c (P.request (P.Benchmark 1)))
+      with
+      | Ok r ->
+          Alcotest.(check string) "server healthy after hostile bytes"
+            (reference_digest store 1) r.P.digest
+      | Error e -> Alcotest.failf "after hostile bytes: %s" (P.error_to_string e))
+
+(* --- the workload driver over sockets -------------------------------------- *)
+
+let test_workload_over_socket () =
+  let service = Server.create (session ()) in
+  let ws = Wire.Wire_server.start (sock "load.sock") service in
+  Fun.protect
+    ~finally:(fun () -> Wire.Wire_server.stop ws)
+    (fun () ->
+      let report =
+        Workload.run_transport ~seed:11L ~clients:3 ~requests:45
+          ~mix:(Workload.mix_of_string "interactive")
+          (Wire.Client.transport (Wire.Wire_server.addr ws))
+      in
+      Alcotest.(check int) "every request answered ok" 45 report.Workload.r_ok;
+      Alcotest.(check int) "no digest mismatches" 0
+        report.Workload.r_digest_mismatches;
+      Alcotest.(check int) "no failures" 0 report.Workload.r_failed)
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "fleet",
+        [
+          Alcotest.test_case "healthy fleet serves" `Quick test_fleet_healthy;
+          Alcotest.test_case "survives a SIGKILLed worker" `Quick
+            test_fleet_worker_killed;
+          Alcotest.test_case "dead fleet is typed Unavailable" `Quick
+            test_fleet_all_dead;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "request round-trips" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trips" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "hostile frames rejected typed" `Quick
+            test_frame_rejections;
+        ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "Q1-Q20 digests over the wire" `Quick
+            test_loopback_digests;
+          Alcotest.test_case "hostile bytes against a live server" `Quick
+            test_loopback_hostile_bytes;
+          Alcotest.test_case "workload driver over sockets" `Quick
+            test_workload_over_socket;
+        ] );
+    ]
