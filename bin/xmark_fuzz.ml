@@ -1,6 +1,6 @@
 (* xmark_fuzz — deterministic mutation fuzzing of the stack's trust
    boundaries: the Sax parser, the snapshot reader, the query service,
-   and the wire frame decoder.
+   the wire frame decoder, and the write-ahead-log recovery scan.
 
    Every campaign is a pure function of --seed: the same seed, target
    and iteration count replays the same inputs byte-for-byte on any
@@ -19,10 +19,11 @@ module Check = Xmark_check
 module Property = Check.Property
 module Provenance = Xmark_core.Provenance
 
-type target = Sax | Snapshot | Service | Wire
+type target = Sax | Snapshot | Service | Wire | Wal
 
 let target_names =
-  [ ("sax", Sax); ("snapshot", Snapshot); ("service", Service); ("wire", Wire) ]
+  [ ("sax", Sax); ("snapshot", Snapshot); ("service", Service); ("wire", Wire);
+    ("wal", Wal) ]
 
 let name_of_target t =
   fst (List.find (fun (_, t') -> t' = t) target_names)
@@ -32,6 +33,7 @@ let run_target ~corpus_dir ~seed ~iterations ~max_bytes = function
   | Snapshot -> Check.Fuzz_snapshot.run ?corpus_dir ~seed ~iterations ()
   | Service -> Check.Fuzz_service.run ?corpus_dir ~seed ~iterations ()
   | Wire -> Check.Fuzz_wire.run ?corpus_dir ~max_bytes ~seed ~iterations ()
+  | Wal -> Check.Fuzz_wal.run ?corpus_dir ~max_bytes ~seed ~iterations ()
 
 let replay_corpus dir =
   if not (Sys.file_exists dir) then begin
@@ -142,7 +144,7 @@ let targets_arg =
         ~docv:"TARGET"
         ~doc:
           "Comma-separated fuzz targets: $(b,sax), $(b,snapshot), \
-           $(b,service), $(b,wire) or $(b,all) (default all).")
+           $(b,service), $(b,wire), $(b,wal) or $(b,all) (default all).")
 
 let seed_arg =
   Arg.(

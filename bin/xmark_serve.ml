@@ -4,24 +4,32 @@
    Four modes, selected by --listen / --connect / --fleet:
 
    - default: load each selected system once and sweep --clients against
-     it in process (the PR-5 behavior).
+     it in process (the PR-5 behavior).  With --wal DIR the sweep runs
+     against ONE writable server: updates go through the write-ahead log
+     under DIR (durable before acknowledged) and every commit publishes
+     a new store epoch; restarting with the same DIR recovers the
+     committed state by replaying the log over the base snapshot.
    - --listen ADDR: load one system and serve it over the binary wire
-     protocol until killed.
+     protocol until killed (writable when --wal is given).
    - --connect ADDR: load nothing; run the same closed-loop workload
-     sweep as a socket client against a server started elsewhere.
-   - --fleet N: fork N worker processes, each restoring the same
-     read-only snapshot, behind a round-robin front door.  With
-     --listen the fleet serves until killed; without it the workload
-     sweep runs against the front door over real sockets and the
-     process exits with the usual digest-gated status.
+     sweep as a socket client against a server started elsewhere.  A
+     write mix needs explicit --auctions/--persons id bounds, since the
+     client cannot inspect the remote store.
+   - --fleet N: fork N read-only worker processes behind a round-robin
+     front door; incompatible with --wal (workers cannot share a
+     single-writer log).
 
    Sweeping --clients 1,2,4,8 produces the client-scaling curve: total
    work is held constant, so req/s across runs is directly comparable.
    The per-run report (stdout) and the --stats-json dump carry
-   p50/p90/p99/max latency overall and per query class, plus typed
-   failure counts (timeouts, rejections).  Per-query result digests
-   must agree across all runs — the binary exits nonzero if concurrency
-   (or the wire) ever changed an answer.
+   p50/p90/p99/max latency overall and per operation class — reads and
+   writes (commit = fsync + publish) on separate histograms — plus
+   typed failure counts (timeouts, admission rejections, write
+   conflicts).  Result digests are gated per (class, epoch): two
+   answers for the same query against the same published store must
+   agree across all clients, domains and runs — the binary exits
+   nonzero if concurrency (or the wire, or the write path) ever changed
+   an answer within an epoch.
 
    No process-wide default pool is installed here: each local run owns
    a private pool sized by --jobs (default: client count capped at the
@@ -36,6 +44,7 @@ module Runner = Xmark_core.Runner
 module Timing = Xmark_core.Timing
 module Provenance = Xmark_core.Provenance
 module Server = Xmark_service.Server
+module Writer = Xmark_service.Writer
 module Workload = Xmark_service.Workload
 module Wire = Xmark_wire
 module Snapshot = Xmark_persist.Snapshot
@@ -70,7 +79,9 @@ let server_config ~nclients ~max_inflight ~queue_depth ~deadline ~plan_cache =
 let zero_totals =
   {
     Server.served = 0;
+    committed = 0;
     rejected = 0;
+    write_rejected = 0;
     timed_out = 0;
     failed = 0;
     plan_hits = 0;
@@ -78,9 +89,53 @@ let zero_totals =
     plan_evictions = 0;
   }
 
-(* One (system, client-count) cell: private pool, fresh server. *)
-let run_one ~jobs ~requests ~mix ~deadline ~max_inflight ~queue_depth
-    ~plan_cache ~seed session nclients =
+(* --- the write path -------------------------------------------------------- *)
+
+let level_of_system sys =
+  match sys with
+  | Runner.D -> `Full
+  | Runner.E -> `Id_only
+  | Runner.F -> `Plain
+  | _ ->
+      failwith
+        (Printf.sprintf
+           "--wal needs a main-memory system (D, E or F), not %s"
+           (Runner.system_name sys))
+
+let open_writer ~factor ~doc ~sys ~dir =
+  let level = level_of_system sys in
+  let bootstrap () =
+    let text =
+      match doc with
+      | Some f -> In_channel.with_open_bin f In_channel.input_all
+      | None -> Xmark_core.Experiments.document factor
+    in
+    Xmark_xml.Sax.parse_string text
+  in
+  let writer, info = Writer.open_dir ~level ~dir ~bootstrap () in
+  Printf.printf "wal %s: %s\n%!" dir
+    (if info.Writer.fresh then "fresh state (base snapshot written, empty log)"
+     else
+       Printf.sprintf "recovered — %d record(s) replayed%s, resuming at lsn %d"
+         info.Writer.replayed
+         (if info.Writer.truncated_bytes > 0 then
+            Printf.sprintf ", %d torn byte(s) truncated"
+              info.Writer.truncated_bytes
+          else "")
+         (Writer.last_lsn writer));
+  writer
+
+(* The id space workload writes draw from: explicit flags win, else the
+   bounds are counted off the writer's own tree. *)
+let resolve_write_targets ~auctions ~persons writer =
+  let auto_a, auto_p = Writer.write_targets writer in
+  ( (if auctions > 0 then auctions else auto_a),
+    (if persons > 0 then persons else auto_p) )
+
+(* One (system, client-count) cell: private pool, a server fresh from
+   [make_server] (read-only case) or wrapping the shared writer. *)
+let run_one ~jobs ~requests ~mix ~write_targets ~deadline ~max_inflight
+    ~queue_depth ~plan_cache ~seed ~make_server nclients =
   let njobs =
     if jobs > 0 then jobs
     else min nclients (Domain.recommended_domain_count ())
@@ -89,8 +144,10 @@ let run_one ~jobs ~requests ~mix ~deadline ~max_inflight ~queue_depth
     server_config ~nclients ~max_inflight ~queue_depth ~deadline ~plan_cache
   in
   let drive ?pool () =
-    let server = Server.create ?pool ~config session in
-    let report = Workload.run ?seed ~clients:nclients ~requests ~mix server in
+    let server = make_server ?pool ~config () in
+    let report =
+      Workload.run ?seed ?write_targets ~clients:nclients ~requests ~mix server
+    in
     (report, Server.totals server, njobs)
   in
   if njobs > 1 then Xmark_parallel.with_pool ~jobs:njobs (fun pool -> drive ~pool ())
@@ -109,25 +166,30 @@ let quantiles_json h =
 let class_json (c : Workload.class_stats) =
   let p q = Timing.Histogram.percentile c.Workload.cs_hist q in
   Printf.sprintf
-    "{\"query\": %d, \"count\": %d, \"ok\": %d, \"timeouts\": %d, \"rejected\": %d, \
-     \"failed\": %d, \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \"max\": %.3f, \
-     \"digest\": \"%s\"}"
-    c.Workload.cs_query c.Workload.cs_count c.Workload.cs_ok c.Workload.cs_timeouts
-    c.Workload.cs_rejected c.Workload.cs_failed (p 50.0) (p 90.0) (p 99.0)
+    "{\"class\": \"%s\", \"count\": %d, \"ok\": %d, \"timeouts\": %d, \"rejected\": %d, \
+     \"conflicts\": %d, \"failed\": %d, \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \
+     \"max\": %.3f, \"epochs\": %d, \"digest_mismatches\": %d}"
+    (Workload.class_label c.Workload.cs_class)
+    c.Workload.cs_count c.Workload.cs_ok c.Workload.cs_timeouts
+    c.Workload.cs_rejected c.Workload.cs_conflicts c.Workload.cs_failed
+    (p 50.0) (p 90.0) (p 99.0)
     (Timing.Histogram.max_ms c.Workload.cs_hist)
-    (Option.value ~default:"" c.Workload.cs_digest)
+    (Hashtbl.length c.Workload.cs_digests) c.Workload.cs_digest_mismatches
 
 let run_json (r : Workload.report) (totals : Server.totals) njobs =
   Printf.sprintf
-    "{\"clients\": %d, \"jobs\": %d, \"requests\": %d, \"ok\": %d, \"timeouts\": %d, \
-     \"rejected\": %d, \"failed\": %d, \"digest_mismatches\": %d, \"elapsed_s\": %.3f, \
-     \"rps\": %.1f, \"plan_hits\": %d, \"plan_misses\": %d, \"latency_ms\": %s, \
-     \"per_query\": [%s]}"
+    "{\"clients\": %d, \"jobs\": %d, \"requests\": %d, \"ok\": %d, \"committed\": %d, \
+     \"timeouts\": %d, \"rejected\": %d, \"conflicts\": %d, \"failed\": %d, \
+     \"digest_mismatches\": %d, \"elapsed_s\": %.3f, \"rps\": %.1f, \
+     \"plan_hits\": %d, \"plan_misses\": %d, \"latency_ms\": %s, \
+     \"write_latency_ms\": %s, \"per_query\": [%s]}"
     r.Workload.r_clients njobs r.Workload.r_requests r.Workload.r_ok
-    r.Workload.r_timeouts r.Workload.r_rejected r.Workload.r_failed
-    r.Workload.r_digest_mismatches r.Workload.r_elapsed_s r.Workload.r_rps
-    totals.Server.plan_hits totals.Server.plan_misses
+    r.Workload.r_committed r.Workload.r_timeouts r.Workload.r_rejected
+    r.Workload.r_conflicts r.Workload.r_failed r.Workload.r_digest_mismatches
+    r.Workload.r_elapsed_s r.Workload.r_rps totals.Server.plan_hits
+    totals.Server.plan_misses
     (quantiles_json r.Workload.r_hist)
+    (quantiles_json r.Workload.r_whist)
     (String.concat ", " (List.map class_json r.Workload.r_classes))
 
 let write_stats_json ~factor ~mix ~deadline ~requests ~transport sys_objs = function
@@ -147,25 +209,31 @@ let write_stats_json ~factor ~mix ~deadline ~requests ~transport sys_objs = func
 
 (* --- digest agreement across a system's runs ------------------------------- *)
 
-(* Same query, same store => same answer, at any concurrency level and
-   over any transport: the load-independence half of the acceptance
-   contract, checked here so a sweep that corrupts a result cannot
-   exit 0. *)
+(* Same query against the same published epoch => same answer, at any
+   concurrency level and over any transport: the load-independence half
+   of the acceptance contract, checked here so a sweep that corrupts a
+   result cannot exit 0.  Under writes the store legitimately changes —
+   the epoch key is what keeps the gate exact instead of vacuous. *)
 let check_digests label runs =
-  let seen : (int, string) Hashtbl.t = Hashtbl.create 32 in
+  let seen : (string * int, string) Hashtbl.t = Hashtbl.create 64 in
   let bad = ref 0 in
   List.iter
     (fun (r, _, _) ->
-      if r.Workload.r_digest_mismatches > 0 then bad := !bad + r.Workload.r_digest_mismatches;
+      bad := !bad + r.Workload.r_digest_mismatches;
       List.iter
         (fun (c : Workload.class_stats) ->
-          match (c.Workload.cs_digest, Hashtbl.find_opt seen c.Workload.cs_query) with
-          | Some d, Some d' when d <> d' ->
-              incr bad;
-              Printf.eprintf "%s Q%d: digest differs across client counts\n" label
-                c.Workload.cs_query
-          | Some d, None -> Hashtbl.replace seen c.Workload.cs_query d
-          | _ -> ())
+          let cls = Workload.class_label c.Workload.cs_class in
+          Hashtbl.iter
+            (fun epoch d ->
+              match Hashtbl.find_opt seen (cls, epoch) with
+              | Some d' when d' <> d ->
+                  incr bad;
+                  Printf.eprintf
+                    "%s %s at epoch %d: digest differs across runs\n" label cls
+                    epoch
+              | Some _ -> ()
+              | None -> Hashtbl.replace seen (cls, epoch) d)
+            c.Workload.cs_digests)
         r.Workload.r_classes)
     runs;
   !bad
@@ -185,13 +253,14 @@ let parse_addr s =
 
 (* The socket side of the sweep: same mixes, same histograms, same
    digest gate — the transport is the only variable. *)
-let sweep_socket ~label ~clients ~requests ~mix ~seed ~factor ~deadline
-    ~stats_json_file addr =
+let sweep_socket ~label ~clients ~requests ~mix ~write_targets ~seed ~factor
+    ~deadline ~stats_json_file addr =
   let runs =
     List.map
       (fun nclients ->
         let report =
-          Workload.run_transport ?seed ~clients:nclients ~requests ~mix
+          Workload.run_transport ?seed ?write_targets ~clients:nclients
+            ~requests ~mix
             (Wire.Client.transport addr)
         in
         Format.printf "%a%!" Workload.pp_report report;
@@ -208,7 +277,11 @@ let sweep_socket ~label ~clients ~requests ~mix ~seed ~factor ~deadline
     ~transport:(Wire.Addr.to_string addr) [ sys_obj ] stats_json_file;
   (* a sweep where nothing ever succeeded is a failed run, digests or
      not — e.g. --connect against an address nobody serves *)
-  if List.for_all (fun (r, _, _) -> r.Workload.r_ok = 0) runs then begin
+  if
+    List.for_all
+      (fun (r, _, _) -> r.Workload.r_ok + r.Workload.r_committed = 0)
+      runs
+  then begin
     Printf.eprintf "FAIL: no request succeeded against %s\n"
       (Wire.Addr.to_string addr);
     1
@@ -216,16 +289,28 @@ let sweep_socket ~label ~clients ~requests ~mix ~seed ~factor ~deadline
   else digest_gate mismatches
 
 let serve_mode ~factor ~doc ~snapshot ~systems ~max_inflight ~queue_depth
-    ~deadline ~plan_cache addr_s =
+    ~deadline ~plan_cache ~wal addr_s =
   let sys = pick_system systems in
-  let session = load_session factor doc snapshot sys in
   let config =
     server_config ~nclients:4 ~max_inflight ~queue_depth ~deadline ~plan_cache
   in
   let addr = parse_addr addr_s in
-  Printf.printf "serving %s on %s\n%!" (Runner.system_name sys)
+  let server, close_writer =
+    match wal with
+    | None -> (Server.create ~config (load_session factor doc snapshot sys), ignore)
+    | Some dir ->
+        if snapshot <> None then
+          failwith "--wal manages its own base snapshot; drop --snapshot";
+        let writer = open_writer ~factor ~doc ~sys ~dir in
+        (Server.create_writable ~config writer, fun () -> Writer.close writer)
+  in
+  Printf.printf "serving %s%s on %s\n%!" (Runner.system_name sys)
+    (if Server.writable server then
+       Printf.sprintf " (writable, epoch %d)" (Server.epoch server)
+     else "")
     (Wire.Addr.to_string addr);
-  Wire.Wire_server.serve addr (Server.create ~config session);
+  Fun.protect ~finally:close_writer (fun () ->
+      Wire.Wire_server.serve addr server);
   0
 
 let rm_quiet path = try Sys.remove path with Sys_error _ -> ()
@@ -304,10 +389,10 @@ let fleet_mode ~workers ~listen ~factor ~doc ~snapshot ~systems ~max_inflight
       | None ->
           sweep_socket
             ~label:(Printf.sprintf "%s-fleet%d" (letter sys) workers)
-            ~clients ~requests ~mix ~seed ~factor ~deadline ~stats_json_file
-            front)
+            ~clients ~requests ~mix ~write_targets:None ~seed ~factor
+            ~deadline ~stats_json_file front)
 
-(* --- local (in-process) sweep ---------------------------------------------- *)
+(* --- local (in-process) sweeps --------------------------------------------- *)
 
 let local_mode ~factor ~jobs ~clients ~requests ~mix ~deadline ~max_inflight
     ~queue_depth ~plan_cache ~seed ~systems ~doc ~snapshot ~stats_json_file =
@@ -322,8 +407,11 @@ let local_mode ~factor ~jobs ~clients ~requests ~mix ~deadline ~max_inflight
           List.map
             (fun nclients ->
               let ((report, _, _) as cell) =
-                run_one ~jobs ~requests ~mix ~deadline ~max_inflight
-                  ~queue_depth ~plan_cache ~seed session nclients
+                run_one ~jobs ~requests ~mix ~write_targets:None ~deadline
+                  ~max_inflight ~queue_depth ~plan_cache ~seed
+                  ~make_server:(fun ?pool ~config () ->
+                    Server.create ?pool ~config session)
+                  nclients
               in
               Format.printf "%a%!" Workload.pp_report report;
               cell)
@@ -340,28 +428,102 @@ let local_mode ~factor ~jobs ~clients ~requests ~mix ~deadline ~max_inflight
     stats_json_file;
   digest_gate !mismatches
 
+(* The writable sweep: ONE writer (one log, one master tree) shared by
+   every client count — state accumulates across runs exactly like a
+   long-lived service, and epochs keep increasing, so the per-epoch
+   digest gate spans the whole sweep. *)
+let local_wal_mode ~factor ~jobs ~clients ~requests ~mix ~deadline
+    ~max_inflight ~queue_depth ~plan_cache ~seed ~systems ~doc ~snapshot
+    ~auctions ~persons ~dir ~stats_json_file =
+  if snapshot <> None then
+    failwith "--wal manages its own base snapshot; drop --snapshot";
+  let sys = pick_system systems in
+  let writer = open_writer ~factor ~doc ~sys ~dir in
+  Fun.protect
+    ~finally:(fun () -> Writer.close writer)
+    (fun () ->
+      let n_auctions, n_persons =
+        resolve_write_targets ~auctions ~persons writer
+      in
+      Printf.printf
+        "%s (%s), writable: epoch %d, write targets %d auction(s) x %d person(s)\n%!"
+        (Runner.system_name sys)
+        (Runner.system_description sys)
+        (Writer.last_lsn writer) n_auctions n_persons;
+      let runs =
+        List.map
+          (fun nclients ->
+            let ((report, _, _) as cell) =
+              run_one ~jobs ~requests ~mix
+                ~write_targets:(Some (n_auctions, n_persons))
+                ~deadline ~max_inflight ~queue_depth ~plan_cache ~seed
+                ~make_server:(fun ?pool ~config () ->
+                  Server.create_writable ?pool ~config writer)
+                nclients
+            in
+            Format.printf "%a%!" Workload.pp_report report;
+            cell)
+          clients
+      in
+      let mismatches = check_digests ("System " ^ letter sys) runs in
+      Printf.printf "wal %s: %d record(s) durable at exit\n%!" dir
+        (Writer.last_lsn writer);
+      let sys_obj =
+        Printf.sprintf "{\"system\": \"%s-wal\", \"runs\": [%s]}" (letter sys)
+          (String.concat ", "
+             (List.map (fun (r, totals, njobs) -> run_json r totals njobs) runs))
+      in
+      write_stats_json ~factor ~mix ~deadline ~requests ~transport:"local"
+        [ sys_obj ] stats_json_file;
+      digest_gate mismatches)
+
 let run factor jobs clients requests mix_s deadline max_inflight queue_depth
-    plan_cache seed systems doc snapshot stats_json_file listen connect fleet =
+    plan_cache seed systems doc snapshot stats_json_file listen connect fleet
+    wal auctions persons =
   try
     let mix = Workload.mix_of_string mix_s in
     let seed = Option.map Int64.of_int seed in
+    if fleet > 0 && wal <> None then
+      failwith "--fleet workers are read-only; --wal cannot be combined with --fleet";
     match (listen, connect) with
     | Some _, Some _ -> failwith "--connect and --listen are mutually exclusive"
     | None, Some addr_s ->
         if fleet > 0 then failwith "--connect and --fleet are mutually exclusive";
-        sweep_socket ~label:"remote" ~clients ~requests ~mix ~seed ~factor
-          ~deadline ~stats_json_file (parse_addr addr_s)
+        if wal <> None then
+          failwith "--wal opens a local write path; it cannot be combined with --connect";
+        let write_targets =
+          if not (Workload.has_writes mix) then None
+          else if auctions > 0 && persons > 0 then Some (auctions, persons)
+          else
+            failwith
+              "--connect with a write mix needs explicit --auctions and \
+               --persons (the client cannot inspect the remote store)"
+        in
+        sweep_socket ~label:"remote" ~clients ~requests ~mix ~write_targets
+          ~seed ~factor ~deadline ~stats_json_file (parse_addr addr_s)
     | listen, None when fleet > 0 ->
+        if Workload.has_writes mix then
+          failwith "fleet workers are read-only; use a read mix or drop --fleet";
         fleet_mode ~workers:fleet ~listen ~factor ~doc ~snapshot ~systems
           ~max_inflight ~queue_depth ~deadline ~plan_cache ~clients ~requests
           ~mix ~seed ~stats_json_file
     | Some addr_s, None ->
         serve_mode ~factor ~doc ~snapshot ~systems ~max_inflight ~queue_depth
-          ~deadline ~plan_cache addr_s
-    | None, None ->
-        local_mode ~factor ~jobs ~clients ~requests ~mix ~deadline
-          ~max_inflight ~queue_depth ~plan_cache ~seed ~systems ~doc ~snapshot
-          ~stats_json_file
+          ~deadline ~plan_cache ~wal addr_s
+    | None, None -> (
+        match wal with
+        | Some dir ->
+            local_wal_mode ~factor ~jobs ~clients ~requests ~mix ~deadline
+              ~max_inflight ~queue_depth ~plan_cache ~seed ~systems ~doc
+              ~snapshot ~auctions ~persons ~dir ~stats_json_file
+        | None ->
+            if Workload.has_writes mix then
+              failwith
+                "a write mix needs a write path: give --wal DIR (local) or \
+                 --connect to a writable server";
+            local_mode ~factor ~jobs ~clients ~requests ~mix ~deadline
+              ~max_inflight ~queue_depth ~plan_cache ~seed ~systems ~doc
+              ~snapshot ~stats_json_file)
   with
   | Failure m | Sys_error m ->
       Printf.eprintf "%s\n" m;
@@ -386,8 +548,39 @@ let jobs_serve =
            the run's client count capped at the hardware's recommended domain count \
            (a size of 1 executes requests inline on the workload's runner domains).")
 
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:
+          "Open the write path: keep a base snapshot and a write-ahead log \
+           under $(docv) (created if needed; reopened with crash recovery — \
+           torn tail truncated, committed records replayed).  Updates in the \
+           mix are durable before they are acknowledged, and each commit \
+           publishes a new store epoch to readers.  Needs a main-memory \
+           system (D, E or F).")
+
+let auctions_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "auctions" ] ~docv:"N"
+        ~doc:
+          "Id bound for generated writes: bids/closes target \
+           $(b,open_auction)$(i,i) with i < $(docv).  0 (default) counts the \
+           bound off the writable store; required with --connect.")
+
+let persons_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "persons" ] ~docv:"N"
+        ~doc:
+          "Id bound for generated writes: bids reference $(b,person)$(i,i) \
+           with i < $(docv).  0 (default) counts the bound off the writable \
+           store; required with --connect.")
+
 let cmd =
-  let doc = "serve concurrent queries and measure throughput and tail latency" in
+  let doc = "serve concurrent queries and updates; measure throughput and tail latency" in
   Cmd.v (Cmd.info "xmark_serve" ~version:"1.0" ~doc)
     Term.(
       const run
@@ -395,6 +588,7 @@ let cmd =
       $ jobs_serve $ Cli.clients $ Cli.duration_requests $ Cli.mix
       $ Cli.deadline_ms $ Cli.max_inflight $ Cli.queue_depth $ Cli.plan_cache
       $ Cli.seed $ Cli.systems $ Cli.doc_file $ Cli.snapshot $ Cli.stats_json
-      $ Cli.listen $ Cli.connect $ Cli.fleet)
+      $ Cli.listen $ Cli.connect $ Cli.fleet $ wal_arg $ auctions_arg
+      $ persons_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,7 +5,7 @@
    sources — {!seed} writes the
    hand-constructed cases this subsystem ships with, and the property
    runner adds a shrunk reproducer whenever a campaign finds a
-   violation. *)
+   violation.  [.wal] files check the write-ahead-log recovery scan. *)
 
 module Sax = Xmark_xml.Sax
 module Snapshot = Xmark_persist.Snapshot
@@ -52,6 +52,7 @@ let replay path =
   | ".xms" -> replay_snapshot path
   | ".xq" -> replay_xq path
   | ".wfr" -> Fuzz_wire.contract (read_file path)
+  | ".wal" -> Fuzz_wal.contract (read_file path)
   | ext -> Error (Printf.sprintf "unknown corpus extension %S" ext)
 
 (* Replay every corpus file; each must satisfy its contract (typed
@@ -61,7 +62,7 @@ let replay_dir dir =
   Sys.readdir dir |> Array.to_list |> List.sort compare
   |> List.filter (fun f ->
          match Filename.extension f with
-         | ".xml" | ".xms" | ".xq" | ".wfr" -> true
+         | ".xml" | ".xms" | ".xq" | ".wfr" | ".wal" -> true
          | _ -> false)
   |> List.map (fun f ->
          let path = Filename.concat dir f in
@@ -174,6 +175,80 @@ let wire_seed_cases () =
     ("wire-truncated-length", truncated_length);
     ("wire-corrupt-crc", corrupt_crc); ("wire-oversized", oversized) ]
 
+(* WAL seed cases: a pristine two-record log and one corruption per
+   recovery defense.  Torn shapes (cut tail, flipped payload byte,
+   oversized length) must truncate; CRC-valid damage (a forged LSN gap,
+   a broken header) must raise the typed Corrupt.  The crafted frames
+   reuse the log's own little-endian framing so a format change rebuilds
+   them rather than silently invalidating them. *)
+let wal_seed_cases () =
+  let module Log = Xmark_wal.Log in
+  let module Record = Xmark_wal.Record in
+  let module Codec = Xmark_persist.Codec in
+  let module Crc32 = Xmark_persist.Crc32 in
+  let ops =
+    [ Record.Place_bid
+        { auction = "open_auction0"; person = "person1"; increase = 3.0;
+          date = "07/31/2002"; time = "12:00:00" };
+      Record.Register_person
+        { name = "Corpus Seed"; email = "mailto:seed@example.invalid" } ]
+  in
+  let tmp = Filename.temp_file "xmark_corpus_seed_" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let log = Log.create ~path:tmp ~base_len:4096 ~base_crc:0xdeadbeef in
+      List.iter (fun op -> ignore (Log.append log op)) ops;
+      Log.close log;
+      let base = read_file tmp in
+      let frame record =
+        let payload = Buffer.create 64 in
+        Record.encode payload record;
+        let p = Buffer.contents payload in
+        let b = Buffer.create (String.length p + 8) in
+        Codec.add_u32 b (String.length p);
+        Codec.add_u32 b (Crc32.digest p);
+        Buffer.add_string b p;
+        Buffer.contents b
+      in
+      let bad_magic =
+        let b = Bytes.of_string base in
+        Bytes.set b 0 'Y';
+        Bytes.to_string b
+      in
+      (* cut inside the i64 base-length field of the 25-byte header *)
+      let truncated_header = String.sub base 0 12 in
+      let torn_tail = String.sub base 0 (String.length base - 5) in
+      let flipped_record =
+        (* flip one payload byte of the last record: its frame CRC now
+           disagrees, so recovery must stop and truncate there *)
+        let b = Bytes.of_string base in
+        let last = Bytes.length b - 3 in
+        Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x20));
+        Bytes.to_string b
+      in
+      let lsn_gap =
+        (* a perfectly sealed frame whose LSN skips ahead: no crash can
+           write this, so it must be Corrupt, not a torn tail *)
+        base
+        ^ frame
+            { Record.lsn = 7;
+              op = Record.Close_auction
+                     { auction = "open_auction0"; date = "07/31/2002" } }
+      in
+      let oversized =
+        (* a frame header declaring a payload past the 1 MiB record cap:
+           must stop from the length field alone *)
+        let b = Buffer.create 8 in
+        Codec.add_u32 b ((1 lsl 20) + 1);
+        Codec.add_u32 b 0;
+        base ^ Buffer.contents b
+      in
+      [ ("wal-pristine", base); ("wal-bad-magic", bad_magic);
+        ("wal-truncated-header", truncated_header);
+        ("wal-torn-tail", torn_tail); ("wal-flipped-record", flipped_record);
+        ("wal-lsn-gap", lsn_gap); ("wal-oversized-length", oversized) ])
+
 let seed dir =
   Property.mkdir_p dir;
   let put name ext bytes =
@@ -185,3 +260,4 @@ let seed dir =
   @ List.map (fun (n, s) -> put n "xq" s) xq_seed_cases
   @ List.map (fun (n, s) -> put n "xms" s) (snapshot_seed_cases ())
   @ List.map (fun (n, s) -> put n "wfr" s) (wire_seed_cases ())
+  @ List.map (fun (n, s) -> put n "wal" s) (wal_seed_cases ())

@@ -16,13 +16,17 @@
 module Prng = Xmark_prng.Prng
 module Runner = Xmark_core.Runner
 module Server = Xmark_service.Server
+module P = Xmark_service.Protocol
 
 type fault =
-  | Garbage of string  (** mutated query text through [submit_text] *)
+  | Garbage of string  (** mutated query text *)
   | Bad_query of int  (** out-of-range benchmark query number *)
   | Deadline of { query : int; ms : float }  (** a near-impossible budget *)
   | Burst of { clients : int; per_client : int; query : int }
       (** concurrent storm past the admission limit *)
+  | Write of P.update
+      (** an update thrown at a read-only server — must be the typed
+          [Read_only], never a mutation or a crash *)
 
 type world = {
   server : Server.t;
@@ -52,9 +56,28 @@ let make_world () =
   in
   { server; store; reference; probe = 0 }
 
+let gen_write g =
+  match Prng.int_in g 0 2 with
+  | 0 ->
+      P.Register_person
+        { name = "Fuzz Person"; email = "mailto:fuzz@example.invalid" }
+  | 1 ->
+      P.Place_bid
+        {
+          auction = Printf.sprintf "open_auction%d" (Prng.int_in g 0 50);
+          person = Printf.sprintf "person%d" (Prng.int_in g 0 50);
+          increase = Prng.float g 10.0;
+          date = "01/01/2002";
+          time = "00:00:00";
+        }
+  | _ ->
+      P.Close_auction
+        { auction = Printf.sprintf "open_auction%d" (Prng.int_in g 0 50);
+          date = "01/01/2002" }
+
 let gen_fault g =
   let roll = Prng.float g 1.0 in
-  if roll < 0.40 then begin
+  if roll < 0.35 then begin
     let q = Prng.int_in g 1 20 in
     let text = Xmark_core.Queries.text q in
     let rounds = Prng.int_in g 1 3 in
@@ -69,27 +92,37 @@ let gen_fault g =
     in
     Garbage (go rounds text)
   end
-  else if roll < 0.55 then Bad_query (Prng.int_in g (-4) 30)
-  else if roll < 0.80 then
+  else if roll < 0.50 then Bad_query (Prng.int_in g (-4) 30)
+  else if roll < 0.70 then
     Deadline { query = Prng.int_in g 1 20; ms = Prng.float g 0.5 }
+  else if roll < 0.85 then Write (gen_write g)
   else
     Burst
       { clients = Prng.int_in g 2 4; per_client = Prng.int_in g 1 3;
         query = Prng.pick g probe_queries }
 
+let submit ?deadline_ms world query =
+  Server.handle world.server (P.request ?deadline_ms query)
+
 let label_of_result = function
-  | Ok (_ : Server.reply) -> "ok"
-  | Error e ->
-      let module P = Xmark_service.Protocol in
-      P.status_name (P.status_code e)
+  | Ok (P.Reply _) -> "ok"
+  | Ok (P.Committed _) -> "committed"
+  | Error e -> P.status_name (P.status_code e)
 
 (* Inject the fault; any escape from the typed result is a violation
    (Property.eval catches it).  Bursts run real client domains. *)
 let inject world = function
-  | Garbage text -> label_of_result (Server.submit_text world.server text)
-  | Bad_query n -> label_of_result (Server.submit world.server n)
+  | Garbage text -> label_of_result (submit world (P.Text text))
+  | Bad_query n -> label_of_result (submit world (P.Benchmark n))
   | Deadline { query; ms } ->
-      label_of_result (Server.submit ~deadline_ms:ms world.server query)
+      label_of_result (submit ~deadline_ms:ms world (P.Benchmark query))
+  | Write u -> (
+      (* this world's server has no writer: the only legal answer is
+         the typed Read_only, and the store must stay bit-identical
+         (the health probe checks the digest right after) *)
+      match submit world (P.Update u) with
+      | Error (P.Read_only _) -> "read-only"
+      | r -> "write-" ^ label_of_result r)
   | Burst { clients; per_client; query } ->
       let worker i =
         Domain.spawn (fun () ->
@@ -98,8 +131,8 @@ let inject world = function
               else
                 let r =
                   if i mod 2 = 0 then
-                    Server.submit ~deadline_ms:0.05 world.server query
-                  else Server.submit world.server query
+                    submit ~deadline_ms:0.05 world (P.Benchmark query)
+                  else submit world (P.Benchmark query)
                 in
                 go (k - 1) (label_of_result r :: acc)
             in
@@ -113,13 +146,15 @@ let inject world = function
 let health_check world =
   let q, want = world.reference.(world.probe mod Array.length world.reference) in
   world.probe <- world.probe + 1;
-  match Server.submit world.server q with
-  | Ok reply ->
-      if reply.Server.digest = want then Ok ()
+  match submit world (P.Benchmark q) with
+  | Ok (P.Reply reply) ->
+      if reply.P.digest = want then Ok ()
       else
         Error
           (Printf.sprintf
              "healthy client got a wrong digest for query %d after a fault" q)
+  | Ok (P.Committed _) ->
+      Error (Printf.sprintf "health probe for query %d answered as a commit" q)
   | Error e ->
       Error
         (Printf.sprintf "healthy client rejected after a fault: query %d, %s"
@@ -129,6 +164,7 @@ let fault_to_string = function
   | Garbage s -> Printf.sprintf "garbage %S" s
   | Bad_query n -> Printf.sprintf "bad-query %d" n
   | Deadline { query; ms } -> Printf.sprintf "deadline q%d %.3fms" query ms
+  | Write u -> Printf.sprintf "write %s" (P.describe_update u)
   | Burst { clients; per_client; query } ->
       Printf.sprintf "burst %dx%d q%d" clients per_client query
 

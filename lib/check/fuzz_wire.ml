@@ -26,32 +26,71 @@ let gen_string g =
   let n = Prng.int_in g 0 24 in
   String.init n (fun _ -> Char.chr (Prng.int_in g 0 255))
 
+let gen_update g =
+  match Prng.int_in g 0 2 with
+  | 0 -> P.Register_person { name = gen_string g; email = gen_string g }
+  | 1 ->
+      P.Place_bid
+        {
+          auction = gen_string g;
+          person = gen_string g;
+          increase = Prng.float g 100.0;
+          date = gen_string g;
+          time = gen_string g;
+        }
+  | _ -> P.Close_auction { auction = gen_string g; date = gen_string g }
+
 let gen_request g =
   let query =
-    if Prng.bool g then P.Benchmark (Prng.int_in g (-3) 25)
-    else P.Text (gen_string g)
+    match Prng.int_in g 0 2 with
+    | 0 -> P.Benchmark (Prng.int_in g (-3) 25)
+    | 1 -> P.Text (gen_string g)
+    | _ -> P.Update (gen_update g)
   in
   let deadline_ms =
     if Prng.bool g then Some (Prng.float g 1000.0) else None
   in
   P.request ?deadline_ms ~client:(gen_string g) query
 
-let gen_reply g =
-  {
-    P.items = Prng.int_in g 0 10_000;
-    digest = gen_string g;
-    latency_ms = Prng.float g 100.0;
-    queue_ms = Prng.float g 10.0;
-    plan_hit = Prng.bool g;
-  }
+let gen_outcome g =
+  if Prng.bool g then
+    P.Reply
+      {
+        P.items = Prng.int_in g 0 10_000;
+        digest = gen_string g;
+        epoch = Prng.int_in g 0 10_000;
+        latency_ms = Prng.float g 100.0;
+        queue_ms = Prng.float g 10.0;
+        plan_hit = Prng.bool g;
+      }
+  else
+    P.Committed
+      {
+        P.lsn = Prng.int_in g 1 100_000;
+        epoch = Prng.int_in g 1 100_000;
+        assigned = (if Prng.bool g then Some (gen_string g) else None);
+        latency_ms = Prng.float g 100.0;
+        queue_ms = Prng.float g 10.0;
+      }
+
+let gen_write_fault g =
+  match Prng.int_in g 0 5 with
+  | 0 -> P.Unknown_auction (gen_string g)
+  | 1 -> P.Unknown_person (gen_string g)
+  | 2 -> P.Auction_closed (gen_string g)
+  | 3 -> P.No_bids (gen_string g)
+  | 4 -> P.Missing_section (gen_string g)
+  | _ -> P.Invalid_update (gen_string g)
 
 let gen_error g =
-  match Prng.int_in g 0 5 with
+  match Prng.int_in g 0 7 with
   | 0 -> P.Failed (gen_string g)
   | 1 -> P.Bad_request (gen_string g)
   | 2 -> P.Unsupported (gen_string g)
   | 3 -> P.Overloaded { inflight = Prng.int_in g 0 64; queued = Prng.int_in g 0 64 }
   | 4 -> P.Timeout { elapsed_ms = Prng.float g 5000.0 }
+  | 5 -> P.Rejected (gen_write_fault g)
+  | 6 -> P.Read_only (gen_string g)
   | _ -> P.Unavailable (gen_string g)
 
 let gen_base g =
@@ -60,7 +99,7 @@ let gen_base g =
   else
     Frame.encode Frame.Response
       (Wire_codec.encode_response
-         (if Prng.bool g then Ok (gen_reply g) else Error (gen_error g)))
+         (if Prng.bool g then Ok (gen_outcome g) else Error (gen_error g)))
 
 (* The stand-alone contract — also what {!Corpus} replays for [.wfr]
    files. *)

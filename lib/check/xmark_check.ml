@@ -7,9 +7,10 @@
     campaigns with automatic shrinking to a minimal reproducer, and the
     [Fuzz_*] modules apply that machinery to the three trust boundaries
     — the {!Xmark_xml.Sax} parser, the {!Xmark_persist.Snapshot}
-    reader, the {!Xmark_service.Server}, and the {!Xmark_wire.Frame}
-    decoder.  {!Corpus} keeps found and hand-constructed reproducers on
-    disk and replays them as regression tests. *)
+    reader, the {!Xmark_service.Server}, the {!Xmark_wire.Frame}
+    decoder, and the {!Xmark_wal.Log} recovery scan.  {!Corpus} keeps
+    found and hand-constructed reproducers on disk and replays them as
+    regression tests. *)
 
 module Gen = Gen
 module Mutate = Mutate
@@ -19,4 +20,5 @@ module Fuzz_sax = Fuzz_sax
 module Fuzz_snapshot = Fuzz_snapshot
 module Fuzz_service = Fuzz_service
 module Fuzz_wire = Fuzz_wire
+module Fuzz_wal = Fuzz_wal
 module Corpus = Corpus

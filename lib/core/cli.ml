@@ -208,8 +208,10 @@ let mix =
     & opt string "interactive"
     & info [ "mix" ] ~docv:"MIX"
         ~doc:
-          "Query mix: $(b,interactive) (weighted lookups/scans, no quadratic joins), \
-           $(b,uniform) (Q1-Q20 equally), or explicit weights like $(b,1:5,8:2,20).")
+          "Operation mix: $(b,interactive) (weighted lookups/scans, no quadratic \
+           joins), $(b,uniform) (Q1-Q20 equally), $(b,mixed) (interactive reads \
+           plus bid/register/close writes — needs a write path), or explicit \
+           weights like $(b,1:5,8:2,bid:3,close).")
 
 let deadline_ms =
   Arg.(

@@ -220,6 +220,21 @@ let save_snapshot ?pool session path =
   in
   Xmark_persist.Snapshot.write ?pool ~path ~system payload
 
+let adopt_mainmem s =
+  let system =
+    match Store.Backend_mainmem.level s with `Full -> D | `Id_only -> E | `Plain -> F
+  in
+  {
+    system;
+    store = SM s;
+    load_stats =
+      {
+        load = Timing.zero;
+        db_bytes = Store.Backend_mainmem.size_bytes s;
+        nodes = Store.Backend_mainmem.node_count s;
+      };
+  }
+
 type outcome = {
   compile : Timing.span;
   execute : Timing.span;

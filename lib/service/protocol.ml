@@ -3,7 +3,18 @@
    they appear on the wire (status byte), in diagnostics and in exit
    codes, and are append-only. *)
 
-type query = Benchmark of int | Text of string
+type update =
+  | Register_person of { name : string; email : string }
+  | Place_bid of {
+      auction : string;
+      person : string;
+      increase : float;
+      date : string;
+      time : string;
+    }
+  | Close_auction of { auction : string; date : string }
+
+type query = Benchmark of int | Text of string | Update of update
 
 type request = {
   query : query;
@@ -16,10 +27,29 @@ let request ?deadline_ms ?(client = "") query = { query; deadline_ms; client }
 type reply = {
   items : int;
   digest : string;
+  epoch : int;
   latency_ms : float;
   queue_ms : float;
   plan_hit : bool;
 }
+
+type commit = {
+  lsn : int;
+  epoch : int;
+  assigned : string option;
+  latency_ms : float;
+  queue_ms : float;
+}
+
+type outcome = Reply of reply | Committed of commit
+
+type write_fault =
+  | Unknown_auction of string
+  | Unknown_person of string
+  | Auction_closed of string
+  | No_bids of string
+  | Missing_section of string
+  | Invalid_update of string
 
 type error =
   | Failed of string
@@ -28,8 +58,10 @@ type error =
   | Overloaded of { inflight : int; queued : int }
   | Timeout of { elapsed_ms : float }
   | Unavailable of string
+  | Rejected of write_fault
+  | Read_only of string
 
-type response = (reply, error) result
+type response = (outcome, error) result
 
 let status_code = function
   | Failed _ -> 1
@@ -38,6 +70,8 @@ let status_code = function
   | Overloaded _ -> 4
   | Timeout _ -> 5
   | Unavailable _ -> 6
+  | Rejected _ -> 7
+  | Read_only _ -> 8
 
 let status_of_response = function Ok _ -> 0 | Error e -> status_code e
 
@@ -49,15 +83,27 @@ let status_name = function
   | 4 -> "overloaded"
   | 5 -> "timeout"
   | 6 -> "unavailable"
+  | 7 -> "rejected"
+  | 8 -> "read-only"
   | _ -> "unknown"
 
 (* CLI contract: 0 success, 1 data/evaluation errors, 2 usage, 3
-   unsupported.  Load shedding, deadlines and transport failures all
-   mean "the run did not produce its answers" — data errors. *)
+   unsupported.  Load shedding, deadlines, transport failures and
+   integrity rejections all mean "the run did not produce its answers"
+   — data errors.  [Read_only] is the write-path [Unsupported]: this
+   server cannot run that form of request. *)
 let exit_code = function
   | Bad_request _ -> 2
-  | Unsupported _ -> 3
-  | Failed _ | Overloaded _ | Timeout _ | Unavailable _ -> 1
+  | Unsupported _ | Read_only _ -> 3
+  | Failed _ | Overloaded _ | Timeout _ | Unavailable _ | Rejected _ -> 1
+
+let write_fault_to_string = function
+  | Unknown_auction id -> Printf.sprintf "no such open auction %s" id
+  | Unknown_person id -> Printf.sprintf "no such person %s" id
+  | Auction_closed id -> Printf.sprintf "auction %s is already closed" id
+  | No_bids id -> Printf.sprintf "auction %s has no bids; cannot close" id
+  | Missing_section tag -> Printf.sprintf "document has no <%s> section" tag
+  | Invalid_update msg -> msg
 
 let error_to_string e =
   let body =
@@ -69,5 +115,13 @@ let error_to_string e =
         Printf.sprintf "overloaded (%d in flight, %d queued)" inflight queued
     | Timeout { elapsed_ms } -> Printf.sprintf "timeout after %.1f ms" elapsed_ms
     | Unavailable msg -> "unavailable: " ^ msg
+    | Rejected f -> "rejected: " ^ write_fault_to_string f
+    | Read_only msg -> "read-only: " ^ msg
   in
   Printf.sprintf "error %d: %s" (status_code e) body
+
+let describe_update = function
+  | Register_person { name; _ } -> Printf.sprintf "register_person %s" name
+  | Place_bid { auction; person; increase; _ } ->
+      Printf.sprintf "place_bid %s by %s +%.2f" auction person increase
+  | Close_auction { auction; _ } -> Printf.sprintf "close_auction %s" auction

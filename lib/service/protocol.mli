@@ -6,9 +6,9 @@
     a private error variant, the workload driver matched on it
     structurally, and every binary mapped errors to exit codes with its
     own [with] clause.  [Protocol] collapses that into one request type
-    (query by number or by text, optional per-request deadline, a
-    client tag for attribution), one reply, and one error variant with
-    {e stable numeric codes} — the same numbers appear in
+    (query by number, by text, or a typed update), one result per shape
+    (a {!reply} for reads, a {!commit} for writes), and one error
+    variant with {e stable numeric codes} — the same numbers appear in
     {!status_code} (the wire status byte), {!error_to_string}
     diagnostics, and the CLI exit-code contract via {!exit_code}.
 
@@ -18,18 +18,34 @@
     {t
       | code | variant       | meaning                                   |
       |------|---------------|-------------------------------------------|
-      | 0    | (Ok reply)    | query executed                            |
+      | 0    | (Ok outcome)  | query executed / update committed         |
       | 1    | [Failed]      | evaluation/data error; the server survives|
       | 2    | [Bad_request] | malformed request or protocol misuse      |
       | 3    | [Unsupported] | store can't run this form (e.g. C + text) |
       | 4    | [Overloaded]  | admission control shed the request        |
       | 5    | [Timeout]     | deadline exceeded, execution aborted      |
       | 6    | [Unavailable] | transport/worker failure, answer unknown  |
+      | 7    | [Rejected]    | update refused by a typed integrity check |
+      | 8    | [Read_only]   | update sent to a server without a WAL     |
     } *)
+
+type update =
+  | Register_person of { name : string; email : string }
+  | Place_bid of {
+      auction : string;
+      person : string;
+      increase : float;
+      date : string;
+      time : string;
+    }
+  | Close_auction of { auction : string; date : string }
+      (** The auction site's three write operations —
+          {!Xmark_store.Updates} as wire-able values. *)
 
 type query =
   | Benchmark of int  (** benchmark query 1-20 *)
   | Text of string  (** ad-hoc XQuery text *)
+  | Update of update  (** a write, durably committed before the reply *)
 
 type request = {
   query : query;
@@ -45,10 +61,37 @@ val request : ?deadline_ms:float -> ?client:string -> query -> request
 type reply = {
   items : int;  (** result cardinality *)
   digest : string;  (** md5 hex of the canonical result *)
+  epoch : int;
+      (** the store epoch (= WAL LSN of its last commit; 0 before any
+          write) this answer was computed against — answers for the same
+          query at the same epoch are identical *)
   latency_ms : float;  (** server-side admission + queue + execution *)
   queue_ms : float;  (** part of [latency_ms] spent waiting for a slot *)
   plan_hit : bool;  (** plan came from the prepared-plan cache *)
 }
+
+type commit = {
+  lsn : int;  (** the update's log sequence number; fsynced to disk *)
+  epoch : int;  (** the epoch the commit published (= [lsn]) *)
+  assigned : string option;
+      (** identifier minted by the update ([register_person]) *)
+  latency_ms : float;  (** admission + queue + apply + fsync + publish *)
+  queue_ms : float;
+}
+
+type outcome =
+  | Reply of reply  (** a read produced an answer *)
+  | Committed of commit  (** a write is durable and published *)
+
+type write_fault =
+  | Unknown_auction of string
+  | Unknown_person of string
+  | Auction_closed of string
+  | No_bids of string
+  | Missing_section of string
+  | Invalid_update of string
+      (** {!Xmark_store.Updates.fault} as a wire-able value: typed
+          integrity rejections with stable meaning across versions. *)
 
 type error =
   | Failed of string  (** code 1: evaluation error; the server survives *)
@@ -62,11 +105,17 @@ type error =
   | Unavailable of string
       (** code 6: the transport or a fleet worker failed before an
           answer was produced — retrying may succeed *)
+  | Rejected of write_fault
+      (** code 7: the update failed a typed integrity check; nothing was
+          written, the store is unchanged *)
+  | Read_only of string
+      (** code 8: this server has no write path (no [--wal]); fleet
+          workers are always read-only *)
 
-type response = (reply, error) result
+type response = (outcome, error) result
 
 val status_code : error -> int
-(** The stable numeric code (1-6); [0] is reserved for [Ok]. *)
+(** The stable numeric code (1-8); [0] is reserved for [Ok]. *)
 
 val status_of_response : response -> int
 
@@ -76,10 +125,16 @@ val status_name : int -> string
 
 val exit_code : error -> int
 (** Collapse onto the CLI exit-code contract (README "Exit codes"):
-    [1] data/evaluation errors (also timeouts, overload and transport
-    failures — the run did not produce its answers), [2] usage errors
-    ([Bad_request]), [3] [Unsupported]. *)
+    [1] data/evaluation errors (also timeouts, overload, transport
+    failures and rejected updates — the run did not produce its
+    answers), [2] usage errors ([Bad_request]), [3] [Unsupported] and
+    [Read_only] (the store cannot run this form of request). *)
+
+val write_fault_to_string : write_fault -> string
 
 val error_to_string : error -> string
 (** One line, prefixed with the stable code: ["error 5: timeout after
     3.2 ms"]. *)
+
+val describe_update : update -> string
+(** One-line human description, for logs and traces. *)

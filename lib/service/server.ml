@@ -3,8 +3,23 @@ module Parallel = Xmark_parallel
 module Cancel = Xmark_xquery.Cancel
 module Stats = Xmark_stats
 
-(* A server owns one immutable loaded store and turns it into a shared
-   resource: any number of client domains call [submit] concurrently.
+(* A server owns the CURRENT EPOCH — an immutable loaded store plus its
+   prepared-plan cache — and turns it into a shared resource: any
+   number of client domains call [handle] concurrently.
+
+   Reads: the request grabs the current epoch once at dispatch and uses
+   that session and cache throughout.  Epochs are immutable, so a read
+   that overlaps a commit simply answers from the epoch it started in —
+   snapshot isolation by construction, no read locks anywhere.
+
+   Writes (servers created with [create_writable]): serialized through
+   [write_lock]; each commit applies to the writer's private tree,
+   appends + fsyncs the WAL record, then publishes a freshly built
+   immutable session as the next epoch via one atomic store.  The plan
+   cache is per-epoch — prepared plans are bound to the store they were
+   compiled against, so reusing them across epochs would answer from
+   the wrong store.  Retired caches' stats are accumulated so totals
+   stay lifetime-accurate.
 
    Admission: [max_inflight] requests execute at once; up to
    [queue_depth] more wait for a slot; beyond that a request is rejected
@@ -18,13 +33,13 @@ module Stats = Xmark_stats
    with [jobs = 1]) the body runs inline on the client domain — with
    several client domains that is still concurrent execution.
 
-   Deadlines: [deadline_ms] covers queue wait plus execution.  A request
+   Deadlines: [deadline_ms] covers queue wait plus execution.  A read
    that is already late when it reaches the front is timed out before
    executing; one that goes long mid-evaluation is aborted through
-   [Cancel] polls in Eval's iteration loops.  (System C's relational
-   plans execute between polls as compact scan pipelines; their deadline
-   is enforced at dequeue and between Eval-driven stages.)  Timeouts are
-   typed — the client gets [Timeout], never a wrong answer. *)
+   [Cancel] polls in Eval's iteration loops.  A write checks only at
+   dequeue: a commit is not abortable mid-fsync, so it either times out
+   before touching anything or runs to completion.  Timeouts are typed —
+   the client gets [Timeout], never a wrong answer or a half-commit. *)
 
 type config = {
   max_inflight : int;
@@ -46,10 +61,13 @@ type error = Protocol.error =
   | Overloaded of { inflight : int; queued : int }
   | Timeout of { elapsed_ms : float }
   | Unavailable of string
+  | Rejected of Protocol.write_fault
+  | Read_only of string
 
 type reply = Protocol.reply = {
   items : int;
   digest : string;  (* md5 hex of the canonical result *)
+  epoch : int;
   latency_ms : float;  (* admission + queue + execution *)
   queue_ms : float;
   plan_hit : bool;
@@ -57,7 +75,9 @@ type reply = Protocol.reply = {
 
 type totals = {
   served : int;
+  committed : int;
   rejected : int;
+  write_rejected : int;
   timed_out : int;
   failed : int;
   plan_hits : int;
@@ -65,57 +85,94 @@ type totals = {
   plan_evictions : int;
 }
 
+type epoch_state = {
+  ep_epoch : int;
+  ep_session : Runner.session;
+  ep_cache : Plan_cache.t;
+}
+
 type t = {
-  session : Runner.session;
+  current : epoch_state Atomic.t;
+  writer : Writer.t option;
+  write_lock : Mutex.t;  (* serializes commit + publish *)
   pool : Parallel.pool option;
   cfg : config;
-  cache : Plan_cache.t;
   lock : Mutex.t;
   slot_free : Condition.t;
   mutable inflight : int;
   mutable queued : int;
   mutable n_served : int;
+  mutable n_committed : int;
   mutable n_rejected : int;
+  mutable n_write_rejected : int;
   mutable n_timed_out : int;
   mutable n_failed : int;
+  (* stats of plan caches from epochs already replaced *)
+  mutable retired_hits : int;
+  mutable retired_misses : int;
+  mutable retired_evictions : int;
 }
 
-let create ?pool ?(config = default_config) session =
-  let config =
-    { config with
-      max_inflight = max 1 config.max_inflight;
-      queue_depth = max 0 config.queue_depth }
-  in
+let clamp config =
+  { config with
+    max_inflight = max 1 config.max_inflight;
+    queue_depth = max 0 config.queue_depth }
+
+let make ?pool ~config ~writer ~epoch session =
+  let config = clamp config in
   {
-    session;
+    current =
+      Atomic.make
+        {
+          ep_epoch = epoch;
+          ep_session = session;
+          ep_cache = Plan_cache.create ~capacity:config.plan_cache;
+        };
+    writer;
+    write_lock = Mutex.create ();
     pool;
     cfg = config;
-    cache = Plan_cache.create ~capacity:config.plan_cache;
     lock = Mutex.create ();
     slot_free = Condition.create ();
     inflight = 0;
     queued = 0;
     n_served = 0;
+    n_committed = 0;
     n_rejected = 0;
+    n_write_rejected = 0;
     n_timed_out = 0;
     n_failed = 0;
+    retired_hits = 0;
+    retired_misses = 0;
+    retired_evictions = 0;
   }
 
-let session t = t.session
+let create ?pool ?(config = default_config) session =
+  make ?pool ~config ~writer:None ~epoch:0 session
 
+let create_writable ?pool ?(config = default_config) writer =
+  make ?pool ~config ~writer:(Some writer) ~epoch:(Writer.last_lsn writer)
+    (Writer.publish writer)
+
+let session t = (Atomic.get t.current).ep_session
+let epoch t = (Atomic.get t.current).ep_epoch
+let writable t = t.writer <> None
 let config t = t.cfg
 
 let totals t =
-  let hits, misses, evictions = Plan_cache.stats t.cache in
+  let ep = Atomic.get t.current in
+  let hits, misses, evictions = Plan_cache.stats ep.ep_cache in
   Mutex.protect t.lock (fun () ->
       {
         served = t.n_served;
+        committed = t.n_committed;
         rejected = t.n_rejected;
+        write_rejected = t.n_write_rejected;
         timed_out = t.n_timed_out;
         failed = t.n_failed;
-        plan_hits = hits;
-        plan_misses = misses;
-        plan_evictions = evictions;
+        plan_hits = t.retired_hits + hits;
+        plan_misses = t.retired_misses + misses;
+        plan_evictions = t.retired_evictions + evictions;
       })
 
 (* Take an execution slot, waiting in the bounded queue if needed. *)
@@ -149,6 +206,8 @@ let release t disposition =
   t.inflight <- t.inflight - 1;
   (match disposition with
   | `Ok -> t.n_served <- t.n_served + 1
+  | `Committed -> t.n_committed <- t.n_committed + 1
+  | `Write_rejected -> t.n_write_rejected <- t.n_write_rejected + 1
   | `Timeout -> t.n_timed_out <- t.n_timed_out + 1
   | `Failed -> t.n_failed <- t.n_failed + 1);
   Condition.signal t.slot_free;
@@ -175,6 +234,9 @@ let deadline_check ~t0 ~deadline =
 let submit_with ?deadline_ms t ~key ~prepare =
   Stats.incr "service_requests";
   let t0 = Unix.gettimeofday () in
+  (* pin the epoch before admission: session and plan cache travel
+     together for the whole request *)
+  let ep = Atomic.get t.current in
   match acquire t with
   | Error e -> Error e
   | Ok () -> (
@@ -189,10 +251,12 @@ let submit_with ?deadline_ms t ~key ~prepare =
             raise (Cancel.Cancelled "deadline exceeded while queued")
         | _ -> ());
         let body () =
-          let plan, plan_hit = Plan_cache.checkout t.cache key prepare in
+          let plan, plan_hit =
+            Plan_cache.checkout ep.ep_cache key (fun () -> prepare ep.ep_session)
+          in
           let outcome =
             Fun.protect
-              ~finally:(fun () -> Plan_cache.checkin t.cache key plan)
+              ~finally:(fun () -> Plan_cache.checkin ep.ep_cache key plan)
               (fun () -> Runner.execute_prepared plan)
           in
           (* digest on the executing domain: canonicalization is real CPU
@@ -214,7 +278,16 @@ let submit_with ?deadline_ms t ~key ~prepare =
       match dispatch () with
       | items, digest, plan_hit ->
           release t `Ok;
-          Ok { items; digest; latency_ms = elapsed (); queue_ms; plan_hit }
+          Ok
+            (Protocol.Reply
+               {
+                 items;
+                 digest;
+                 epoch = ep.ep_epoch;
+                 latency_ms = elapsed ();
+                 queue_ms;
+                 plan_hit;
+               })
       | exception Cancel.Cancelled _ ->
           release t `Timeout;
           Stats.incr "service_timeouts";
@@ -225,6 +298,68 @@ let submit_with ?deadline_ms t ~key ~prepare =
       | exception e ->
           release t `Failed;
           Error (Failed (Printexc.to_string e)))
+
+(* One committed update = one new epoch.  The write lock serializes
+   apply + append + publish; the epoch swap itself is a single atomic
+   store, so readers always see a complete (session, cache, number)
+   triple. *)
+let commit_update ?deadline_ms t w u =
+  Stats.incr "service_requests";
+  let t0 = Unix.gettimeofday () in
+  match acquire t with
+  | Error e -> Error e
+  | Ok () -> (
+      let queue_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let deadline_ms =
+        match deadline_ms with Some _ as d -> d | None -> t.cfg.deadline_ms
+      in
+      let elapsed () = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let late =
+        match deadline_ms with Some ms -> elapsed () > ms | None -> false
+      in
+      if late then begin
+        release t `Timeout;
+        Stats.incr "service_timeouts";
+        Error (Timeout { elapsed_ms = elapsed () })
+      end
+      else begin
+        Mutex.lock t.write_lock;
+        let result = Writer.commit w u in
+        match result with
+        | Ok (lsn, assigned) ->
+            let session' = Writer.publish w in
+            let old = Atomic.get t.current in
+            let h, m, e = Plan_cache.stats old.ep_cache in
+            Atomic.set t.current
+              {
+                ep_epoch = lsn;
+                ep_session = session';
+                ep_cache = Plan_cache.create ~capacity:t.cfg.plan_cache;
+              };
+            Mutex.unlock t.write_lock;
+            Mutex.protect t.lock (fun () ->
+                t.retired_hits <- t.retired_hits + h;
+                t.retired_misses <- t.retired_misses + m;
+                t.retired_evictions <- t.retired_evictions + e);
+            release t `Committed;
+            Ok
+              (Protocol.Committed
+                 {
+                   Protocol.lsn;
+                   epoch = lsn;
+                   assigned;
+                   latency_ms = elapsed ();
+                   queue_ms;
+                 })
+        | Error (Rejected _ as e) ->
+            Mutex.unlock t.write_lock;
+            release t `Write_rejected;
+            Error e
+        | Error e ->
+            Mutex.unlock t.write_lock;
+            release t `Failed;
+            Error e
+      end)
 
 (* The one entry point: a typed [Protocol.request] in, a typed
    [Protocol.response] out.  Requests that fail validation are refused
@@ -239,16 +374,15 @@ let handle t (req : Protocol.request) =
   | Protocol.Benchmark n ->
       submit_with ?deadline_ms:req.Protocol.deadline_ms t
         ~key:("#" ^ string_of_int n)
-        ~prepare:(fun () -> Runner.prepare t.session.Runner.store n)
+        ~prepare:(fun session -> Runner.prepare session.Runner.store n)
   | Protocol.Text qtext ->
       submit_with ?deadline_ms:req.Protocol.deadline_ms t ~key:qtext
-        ~prepare:(fun () -> Runner.prepare_text t.session.Runner.store qtext)
-
-(* Deprecated spellings of [handle], kept as thin wrappers. *)
-let submit ?deadline_ms t n =
-  handle t (Protocol.request ?deadline_ms (Protocol.Benchmark n))
-
-let submit_text ?deadline_ms t qtext =
-  handle t (Protocol.request ?deadline_ms (Protocol.Text qtext))
+        ~prepare:(fun session -> Runner.prepare_text session.Runner.store qtext)
+  | Protocol.Update u -> (
+      match t.writer with
+      | None ->
+          Mutex.protect t.lock (fun () -> t.n_failed <- t.n_failed + 1);
+          Error (Read_only "this server has no write path (start it with --wal)")
+      | Some w -> commit_update ?deadline_ms:req.Protocol.deadline_ms t w u)
 
 let error_to_string = Protocol.error_to_string

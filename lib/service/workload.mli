@@ -1,11 +1,12 @@
 (** Closed-loop multi-client workload driver, over any transport.
 
     [run_transport] creates [clients] client fibers, each submitting
-    [requests/clients] queries back-to-back through its own connection,
-    drawing from a weighted Q1-Q20 [mix] with a per-client
-    deterministic PRNG stream (split from one base seed, so workloads
-    replay exactly).  A {!transport} is a connection factory: {!local}
-    wraps an in-process {!Server} (a call is a function call);
+    [requests/clients] operations back-to-back through its own
+    connection, drawing from a weighted [mix] of operation classes —
+    benchmark queries Q1-Q20 and the three auction-site writes — with a
+    per-client deterministic PRNG stream (split from one base seed, so
+    workloads replay exactly).  A {!transport} is a connection factory:
+    {!local} wraps an in-process {!Server} (a call is a function call);
     [Xmark_wire.Client.transport] dials a socket, so the same mixes,
     latency histograms and cross-client digest gate measure the path
     end-to-end over real connections — latencies are clocked on the
@@ -15,9 +16,17 @@
     sized to the hardware, concurrency to [clients]; oversubscribing a
     small machine with one domain per client only buys minor-GC
     synchronization stalls.  Every successful reply lands in a
-    per-query-class log-bucketed latency histogram
-    ({!Xmark_core.Timing.Histogram}); the report carries throughput and
-    p50/p90/p99/max per class plus overall.
+    per-class log-bucketed latency histogram
+    ({!Xmark_core.Timing.Histogram}); reads and writes are reported
+    separately, since a commit (fsync + publish) and a cached lookup
+    live on different latency scales.
+
+    {b The digest gate under writes.}  The store changes mid-run, so
+    "same query, same answer" holds {e per epoch}: every reply carries
+    the epoch it was computed against, and the gate demands that two
+    replies for the same query at the same epoch have the same digest —
+    across all clients and domains.  A mismatch means a reader observed
+    a torn store, which is exactly what snapshot isolation forbids.
 
     Closed loop: a client submits its next request only after the
     previous reply, so offered load adapts to service rate and req/s is
@@ -41,30 +50,51 @@ val local : Server.t -> transport
 (** The in-process transport: [call] is {!Server.handle}, [close] a
     no-op. *)
 
-type mix = (int * int) list
-(** (query number 1-20, positive weight). *)
+type op_class =
+  | Query of int  (** benchmark query 1-20 *)
+  | Bid  (** place_bid on a random open auction *)
+  | Register  (** register_person with a generated name *)
+  | Close  (** close_auction on a random auction *)
+
+val class_label : op_class -> string
+(** ["Q7"], ["BID"], ["REG"], ["CLOSE"]. *)
+
+type mix = (op_class * int) list
+(** (operation class, positive weight). *)
 
 val uniform_mix : mix
+(** Q1-Q20, weight 1 each — read-only. *)
 
 val interactive_mix : mix
 (** Lookups, scans and small aggregates — the default service mix;
-    excludes the quadratic join queries Q9-Q12. *)
+    excludes the quadratic join queries Q9-Q12.  Read-only. *)
+
+val mixed_mix : mix
+(** Auction browsing under a bid storm: the interactive read profile
+    plus [Bid] (heavy), [Register] and the occasional [Close] —
+    roughly 1 write in 3 operations. *)
+
+val has_writes : mix -> bool
 
 val mix_of_string : string -> mix
-(** ["uniform"], ["interactive"], or explicit ["1:5,8:2,20"] (weight
-    defaults to 1).  @raise Failure on a malformed spec. *)
+(** ["uniform"], ["interactive"], ["mixed"], or explicit
+    ["1:5,8:2,bid:3,close"] (query number or [bid]/[register]/[close],
+    weight defaults to 1).  @raise Failure on a malformed spec. *)
 
 val mix_to_string : mix -> string
 
 type class_stats = {
-  cs_query : int;
+  cs_class : op_class;
   mutable cs_count : int;
-  mutable cs_ok : int;
+  mutable cs_ok : int;  (** replies (reads) or commits (writes) *)
   mutable cs_timeouts : int;
-  mutable cs_rejected : int;
+  mutable cs_rejected : int;  (** shed at admission (Overloaded) *)
+  mutable cs_conflicts : int;
+      (** typed write rejections (Rejected) — e.g. bidding on an auction
+          another client already closed; expected under a mixed load *)
   mutable cs_failed : int;
-  mutable cs_digest : string option;
-      (** first result digest seen; all replies of a class must match *)
+  cs_digests : (int, string) Hashtbl.t;
+      (** epoch -> first digest seen at that epoch (query classes) *)
   mutable cs_digest_mismatches : int;
   cs_hist : Xmark_core.Timing.Histogram.t;
 }
@@ -72,20 +102,25 @@ type class_stats = {
 type report = {
   r_clients : int;
   r_requests : int;
-  r_ok : int;
+  r_ok : int;  (** successful read replies *)
+  r_committed : int;  (** durable commits *)
   r_timeouts : int;
   r_rejected : int;
+  r_conflicts : int;
   r_failed : int;
   r_elapsed_s : float;
-  r_rps : float;  (** successful replies per wall-clock second *)
-  r_hist : Xmark_core.Timing.Histogram.t;  (** all successful replies *)
-  r_classes : class_stats list;  (** classes the mix exercised, ascending *)
-  r_digest_mismatches : int;  (** must be 0: same query, same answer *)
+  r_rps : float;  (** successful operations (reads + writes) per second *)
+  r_hist : Xmark_core.Timing.Histogram.t;  (** read latencies *)
+  r_whist : Xmark_core.Timing.Histogram.t;  (** write (commit) latencies *)
+  r_classes : class_stats list;  (** classes the mix exercised *)
+  r_digest_mismatches : int;
+      (** must be 0: same query at the same epoch, same answer *)
 }
 
 val run_transport :
   ?seed:int64 ->
   ?domains:int ->
+  ?write_targets:int * int ->
   clients:int ->
   requests:int ->
   mix:mix ->
@@ -94,16 +129,21 @@ val run_transport :
 (** Drive the service behind [transport] and block until all clients
     finish.  [domains] overrides the runner-domain count (clamped to
     [1 .. clients]); 0 or absent sizes it to
-    [min clients (Domain.recommended_domain_count ())].  Each strand's
-    connection is dialed lazily on its runner domain and closed when
-    its budget is spent (or the loop unwinds).  Runner-domain
-    {!Xmark_stats} deltas are absorbed into the caller's registry.
-    @raise Invalid_argument on [clients < 1], negative [requests], or a
-    malformed mix. *)
+    [min clients (Domain.recommended_domain_count ())].
+    [write_targets = (n_auctions, n_persons)] is the id space writes
+    draw from (["open_auction<i>"], ["person<i>"] with [i] below the
+    bound) — required when the mix contains write classes.  Each
+    strand's connection is dialed lazily on its runner domain and
+    closed when its budget is spent (or the loop unwinds).
+    Runner-domain {!Xmark_stats} deltas are absorbed into the caller's
+    registry.
+    @raise Invalid_argument on [clients < 1], negative [requests], a
+    malformed mix, or a write mix without [write_targets]. *)
 
 val run :
   ?seed:int64 ->
   ?domains:int ->
+  ?write_targets:int * int ->
   clients:int ->
   requests:int ->
   mix:mix ->

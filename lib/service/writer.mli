@@ -1,0 +1,75 @@
+(** The single writer: one private mutable tree, a WAL, and epoch
+    publication.
+
+    A writer owns the only mutable copy of the document — an
+    {!Xmark_store.Updates.session} reconstructed from the base snapshot
+    (plus WAL replay on reopen), never shared with readers.  Each
+    {!commit} validates and applies one update to that tree, then
+    appends the record to the log and fsyncs before acknowledging.
+    {!publish} turns the tree into a fresh {e immutable} store (deep
+    copy, reindex, rebuild) for the server to install as the next
+    epoch — in-flight readers keep the store they started with, which
+    is the whole isolation story.
+
+    Commit ordering: apply first, log second.  [Updates] validates
+    completely before its first mutation, so a rejected update touches
+    neither tree nor log; a crash between apply and fsync loses only an
+    {e unacknowledged} commit (the client never saw an LSN).  If the
+    disk write itself fails the in-memory tree is ahead of the log and
+    the writer poisons itself: every later commit is refused, because
+    acknowledging anything after a lost write would break replay. *)
+
+type t
+
+type recovery_info = {
+  fresh : bool;  (** no prior state existed; base snapshot was written *)
+  replayed : int;  (** records re-applied from the log on reopen *)
+  truncated_bytes : int;  (** torn-tail bytes dropped on reopen *)
+}
+
+val open_dir :
+  ?level:Xmark_store.Backend_mainmem.level ->
+  dir:string ->
+  bootstrap:(unit -> Xmark_xml.Dom.node) ->
+  unit ->
+  t * recovery_info
+(** Open (or initialize) the write state under [dir].  Fresh directory:
+    [bootstrap ()] supplies the document, which is written to
+    [dir/base.xms] and {e read back} — the master tree is always the
+    decoded snapshot, so recovery replays onto byte-identical ground —
+    then [dir/wal.log] is created bound to the base file's length and
+    CRC.  Existing directory: the base is restored, the log is opened
+    (header checked against the base file), any torn tail truncated and
+    every intact record replayed.  [level] defaults to [`Full]
+    (System D); it only applies to a fresh bootstrap — reopened state
+    keeps serving the same document.
+    @raise Xmark_persist.Page_io.Corrupt on a damaged base or log. *)
+
+val commit : t -> Protocol.update -> (int * string option, Protocol.error) result
+(** Validate, apply, append, fsync.  [Ok (lsn, assigned)] means the
+    record is on disk; [assigned] is the identifier minted by
+    [Register_person].  [Error (Rejected fault)] means nothing changed.
+    [Error (Failed _)] after a disk failure — the writer is poisoned.
+    Not thread-safe: the server serializes commits. *)
+
+val publish : t -> Xmark_core.Runner.session
+(** Build a fresh immutable session from the current tree.  Expensive
+    (full deep copy + reindex + store build) and called once per
+    commit — the price of giving readers plain immutable stores. *)
+
+val last_lsn : t -> int
+(** LSN of the last durable record; [0] for a fresh log.  Doubles as
+    the epoch number of the store {!publish} would build. *)
+
+val write_targets : t -> int * int
+(** [(n_auctions, n_persons)] id-space bounds for workload writes —
+    one past the highest ["open_auction<i>"] / ["person<i>"] suffix in
+    the current tree.  Auctions closed earlier leave holes below the
+    bound; a generator drawing from it simply collects some typed
+    [Auction_closed] rejections, which a mixed workload expects. *)
+
+val digest_of_session : Xmark_core.Runner.session -> int -> string
+(** md5 hex of benchmark query [n]'s canonical answer on a session —
+    the recovery check: replayed state must answer like the original. *)
+
+val close : t -> unit

@@ -7,5 +7,6 @@
 
 module Protocol = Protocol
 module Plan_cache = Plan_cache
+module Writer = Writer
 module Server = Server
 module Workload = Workload

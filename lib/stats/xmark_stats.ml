@@ -209,6 +209,7 @@ let counter_inventory =
     "pager_hits"; "pager_misses"; "pager_evictions"; "snapshot_bytes";
     "plan_cache_hits"; "plan_cache_misses";
     "service_requests"; "service_rejections"; "service_timeouts";
+    "wal_appends"; "wal_bytes"; "wal_records_replayed";
     "gc_minor_words"; "gc_major_words"; "gc_major_collections";
   ]
 

@@ -1,14 +1,35 @@
 module Dom = Xmark_xml.Dom
 
-exception Update_error of string
+type fault =
+  | Unknown_auction of string
+  | Unknown_person of string
+  | Auction_closed of string
+  | No_bids of string
+  | Missing_section of string
+  | Invalid of string
 
-let err fmt = Printf.ksprintf (fun s -> raise (Update_error s)) fmt
+exception Update_error of fault
+
+let fault_to_string = function
+  | Unknown_auction id -> Printf.sprintf "no such open auction %s" id
+  | Unknown_person id -> Printf.sprintf "no such person %s" id
+  | Auction_closed id -> Printf.sprintf "auction %s is already closed" id
+  | No_bids id -> Printf.sprintf "auction %s has no bids; cannot close" id
+  | Missing_section tag -> Printf.sprintf "document has no <%s> section" tag
+  | Invalid msg -> msg
+
+let fail f = raise (Update_error f)
+let err fmt = Printf.ksprintf (fun s -> fail (Invalid s)) fmt
 
 type session = {
   root : Dom.node;
   level : Backend_mainmem.level;
   mutable cache : Backend_mainmem.t option;  (* None = mutations pending *)
   mutable person_counter : int;
+  closed_ids : (string, unit) Hashtbl.t;
+      (* ids moved to closed_auctions this session; closed_auction elements
+         carry no id attribute, so the distinction between "never existed"
+         and "was closed" needs remembering *)
 }
 
 let child_el n tag = List.find_opt (fun c -> Dom.name c = tag) (Dom.children n)
@@ -16,7 +37,7 @@ let child_el n tag = List.find_opt (fun c -> Dom.name c = tag) (Dom.children n)
 let require_section root tag =
   match child_el root tag with
   | Some s -> s
-  | None -> err "document has no <%s> section" tag
+  | None -> fail (Missing_section tag)
 
 let max_person_suffix root =
   let best = ref (-1) in
@@ -34,10 +55,17 @@ let max_person_suffix root =
 
 let open_session ?(level = `Full) root =
   if Dom.name root <> "site" then err "not a benchmark document (root is <%s>)" (Dom.name root);
-  { root; level; cache = None; person_counter = max_person_suffix root }
+  {
+    root;
+    level;
+    cache = None;
+    person_counter = max_person_suffix root;
+    closed_ids = Hashtbl.create 64;
+  }
 
 let of_string ?level s = open_session ?level (Xmark_xml.Sax.parse_string s)
-
+let root t = t.root
+let level t = t.level
 let invalidate t = t.cache <- None
 
 let store t =
@@ -92,17 +120,24 @@ let set_leaf n tag value =
 let money f = Printf.sprintf "%.2f" f
 
 let find_open_auction t auction =
+  if Hashtbl.mem t.closed_ids auction then fail (Auction_closed auction);
   match find_by_id t auction with
   | Some n when Dom.name n = "open_auction" -> n
-  | Some n -> err "%s is a <%s>, not an open auction" auction (Dom.name n)
-  | None -> err "no such auction %s" auction
+  | Some _ | None -> fail (Unknown_auction auction)
 
 let place_bid t ~auction ~person ~increase ~date ~time =
   if increase <= 0.0 then err "bid increase must be positive";
   let oa = find_open_auction t auction in
   (match find_by_id t person with
   | Some n when Dom.name n = "person" -> ()
-  | Some _ | None -> err "no such person %s" person);
+  | Some _ | None -> fail (Unknown_person person));
+  (* validate everything — including the current price — before the first
+     mutation, so a raised Update_error leaves the tree untouched *)
+  let current =
+    match float_of_string_opt (leaf_value oa "current") with
+    | Some v -> v
+    | None -> err "auction %s has a non-numeric <current>" auction
+  in
   let bidder =
     Dom.element
       ~children:
@@ -125,7 +160,6 @@ let place_bid t ~auction ~person ~increase ~date ~time =
       e.Dom.children <- before @ [ bidder ] @ after;
       bidder.Dom.parent <- Some oa
   | Dom.Text _ -> assert false);
-  let current = float_of_string (leaf_value oa "current") in
   set_leaf oa "current" (money (current +. increase));
   invalidate t
 
@@ -133,15 +167,16 @@ let close_auction t ~auction ~date =
   let oa = find_open_auction t auction in
   let bidders = List.filter (fun c -> Dom.name c = "bidder") (Dom.children oa) in
   let last_bidder =
-    match List.rev bidders with
-    | b :: _ -> b
-    | [] -> err "auction %s has no bids; cannot close" auction
+    match List.rev bidders with b :: _ -> b | [] -> fail (No_bids auction)
   in
   let buyer =
     match child_el last_bidder "personref" with
     | Some p -> ( match Dom.attr p "person" with Some v -> v | None -> err "bidder without person")
     | None -> err "bidder without personref"
   in
+  let price = leaf_value oa "current" in
+  let closeds = require_section t.root "closed_auctions" in
+  let opens = require_section t.root "open_auctions" in
   let ref_attr tag =
     match child_el oa tag with
     | Some n -> Dom.attr n (match tag with "itemref" -> "item" | _ -> "person")
@@ -155,7 +190,7 @@ let close_auction t ~auction ~date =
            Dom.element ~attrs:[ ("person", Option.value ~default:"" (ref_attr "seller")) ] "seller";
            Dom.element ~attrs:[ ("person", buyer) ] "buyer";
            Dom.element ~attrs:[ ("item", Option.value ~default:"" (ref_attr "itemref")) ] "itemref";
-           Dom.element ~children:[ Dom.text (leaf_value oa "current") ] "price";
+           Dom.element ~children:[ Dom.text price ] "price";
            Dom.element ~children:[ Dom.text date ] "date";
            Dom.element
              ~children:[ Dom.text (Option.value ~default:"1" (get_opt "quantity")) ]
@@ -168,10 +203,9 @@ let close_auction t ~auction ~date =
       "closed_auction"
   in
   (* unlink from open_auctions, append to closed_auctions *)
-  let opens = require_section t.root "open_auctions" in
   (match opens.Dom.desc with
   | Dom.Element e -> e.Dom.children <- List.filter (fun c -> c != oa) e.Dom.children
   | Dom.Text _ -> assert false);
-  let closeds = require_section t.root "closed_auctions" in
   Dom.append closeds closed;
+  Hashtbl.replace t.closed_ids auction ();
   invalidate t

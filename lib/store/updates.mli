@@ -12,16 +12,35 @@
     All operations preserve the benchmark's integrity invariants: typed
     references keep resolving, identifiers stay unique, and an open
     auction's [current] price stays equal to [initial] plus the sum of its
-    bid increases. *)
+    bid increases.
+
+    Operations validate their inputs completely before touching the tree:
+    a raised [Update_error] guarantees the document is unchanged, which is
+    what lets the service treat every update as atomic. *)
 
 type session
 
-exception Update_error of string
+type fault =
+  | Unknown_auction of string  (** no open auction carries this id *)
+  | Unknown_person of string  (** no person carries this id *)
+  | Auction_closed of string  (** the auction was already closed in this session *)
+  | No_bids of string  (** close_auction on an auction without bids *)
+  | Missing_section of string  (** the document lacks a required top-level section *)
+  | Invalid of string  (** anything else: bad argument, malformed document *)
+
+exception Update_error of fault
+
+val fault_to_string : fault -> string
 
 val open_session : ?level:Backend_mainmem.level -> Xmark_xml.Dom.node -> session
 (** Take ownership of a document tree.  [level] defaults to [`Full]. *)
 
 val of_string : ?level:Backend_mainmem.level -> string -> session
+
+val root : session -> Xmark_xml.Dom.node
+(** The (mutable) document tree the session owns. *)
+
+val level : session -> Backend_mainmem.level
 
 val store : session -> Backend_mainmem.t
 (** Current queryable store; rebuilt here if mutations are pending. *)

@@ -1,0 +1,16 @@
+module Updates = Xmark_store.Updates
+
+let apply_all session records =
+  List.iter
+    (fun r ->
+      ignore (Record.apply session r.Record.op);
+      Xmark_stats.incr "wal_records_replayed")
+    records
+
+let of_snapshot ?level path records =
+  match Xmark_persist.Snapshot.read path with
+  | _, Xmark_persist.Snapshot.Dom root ->
+      let session = Updates.open_session ?level root in
+      apply_all session records;
+      session
+  | _, _ -> Xmark_persist.Page_io.corrupt "wal base %s: not a DOM snapshot" path

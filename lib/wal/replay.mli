@@ -1,0 +1,22 @@
+(** Reconstruction: base snapshot + log = the committed store.
+
+    Replay is deterministic because every operation's effect — including
+    the identifier [register_person] assigns — derives from the tree
+    state alone, so re-applying the committed prefix in LSN order
+    rebuilds the exact store the writer had published. *)
+
+val apply_all : Xmark_store.Updates.session -> Record.t list -> unit
+(** Apply records in list (= LSN) order.
+    @raise Xmark_store.Updates.Update_error if a record does not apply —
+    impossible for a log this process wrote against the matching base,
+    so callers may treat it as corruption. *)
+
+val of_snapshot :
+  ?level:Xmark_store.Backend_mainmem.level ->
+  string ->
+  Record.t list ->
+  Xmark_store.Updates.session
+(** Restore a DOM base snapshot from a file and replay the records onto
+    it.
+    @raise Xmark_persist.Page_io.Corrupt if the snapshot is damaged or
+    does not hold a DOM payload. *)

@@ -1,0 +1,8 @@
+(** Durability for the write path: typed update records ({!Record}) in
+    an append-only, CRC-framed, fsync-on-commit log file ({!Log}) bound
+    to a base snapshot, and deterministic {!Replay} that rebuilds the
+    committed store from base + log after a crash. *)
+
+module Record = Record
+module Log = Log
+module Replay = Replay

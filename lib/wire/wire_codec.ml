@@ -69,6 +69,43 @@ let reading what f s =
 
 (* --- requests -------------------------------------------------------------- *)
 
+let encode_update b (u : P.update) =
+  match u with
+  | P.Register_person { name; email } ->
+      add_u8 b 0;
+      add_str b name;
+      add_str b email
+  | P.Place_bid { auction; person; increase; date; time } ->
+      add_u8 b 1;
+      add_str b auction;
+      add_str b person;
+      add_f64 b increase;
+      add_str b date;
+      add_str b time
+  | P.Close_auction { auction; date } ->
+      add_u8 b 2;
+      add_str b auction;
+      add_str b date
+
+let decode_update r =
+  match u8 r "update kind" with
+  | 0 ->
+      let name = str r "name" in
+      let email = str r "email" in
+      P.Register_person { name; email }
+  | 1 ->
+      let auction = str r "auction id" in
+      let person = str r "person id" in
+      let increase = f64 r "increase" in
+      let date = str r "date" in
+      let time = str r "time" in
+      P.Place_bid { auction; person; increase; date; time }
+  | 2 ->
+      let auction = str r "auction id" in
+      let date = str r "date" in
+      P.Close_auction { auction; date }
+  | k -> malformed "unknown update kind %d" k
+
 let encode_request (req : P.request) =
   let b = Buffer.create 64 in
   (match req.P.query with
@@ -77,7 +114,10 @@ let encode_request (req : P.request) =
       add_u32 b n
   | P.Text q ->
       add_u8 b 1;
-      add_str b q);
+      add_str b q
+  | P.Update u ->
+      add_u8 b 2;
+      encode_update b u);
   (match req.P.deadline_ms with
   | None -> add_u8 b 0
   | Some ms ->
@@ -92,6 +132,7 @@ let decode_request =
         match u8 r "query tag" with
         | 0 -> P.Benchmark (u32 r "query number")
         | 1 -> P.Text (str r "query text")
+        | 2 -> P.Update (decode_update r)
         | t -> malformed "unknown query tag %d" t
       in
       let deadline_ms =
@@ -105,40 +146,96 @@ let decode_request =
 
 (* --- responses ------------------------------------------------------------- *)
 
+let encode_write_fault b (f : P.write_fault) =
+  let kind, payload =
+    match f with
+    | P.Unknown_auction s -> (0, s)
+    | P.Unknown_person s -> (1, s)
+    | P.Auction_closed s -> (2, s)
+    | P.No_bids s -> (3, s)
+    | P.Missing_section s -> (4, s)
+    | P.Invalid_update s -> (5, s)
+  in
+  add_u8 b kind;
+  add_str b payload
+
+let decode_write_fault r =
+  let kind = u8 r "fault kind" in
+  let payload = str r "fault payload" in
+  match kind with
+  | 0 -> P.Unknown_auction payload
+  | 1 -> P.Unknown_person payload
+  | 2 -> P.Auction_closed payload
+  | 3 -> P.No_bids payload
+  | 4 -> P.Missing_section payload
+  | 5 -> P.Invalid_update payload
+  | k -> malformed "unknown fault kind %d" k
+
 let encode_response (resp : P.response) =
   let b = Buffer.create 64 in
   add_u8 b (P.status_of_response resp);
   (match resp with
-  | Ok { P.items; digest; latency_ms; queue_ms; plan_hit } ->
+  | Ok (P.Reply { P.items; digest; epoch; latency_ms; queue_ms; plan_hit }) ->
+      add_u8 b 0;
       add_u32 b items;
       add_str b digest;
+      add_u32 b epoch;
       add_f64 b latency_ms;
       add_f64 b queue_ms;
       add_u8 b (if plan_hit then 1 else 0)
+  | Ok (P.Committed { P.lsn; epoch; assigned; latency_ms; queue_ms }) ->
+      add_u8 b 1;
+      add_u32 b lsn;
+      add_u32 b epoch;
+      (match assigned with
+      | None -> add_u8 b 0
+      | Some id ->
+          add_u8 b 1;
+          add_str b id);
+      add_f64 b latency_ms;
+      add_f64 b queue_ms
   | Error (P.Overloaded { inflight; queued }) ->
       add_u32 b inflight;
       add_u32 b queued
   | Error (P.Timeout { elapsed_ms }) -> add_f64 b elapsed_ms
-  | Error (P.Failed m | P.Bad_request m | P.Unsupported m | P.Unavailable m)
-    ->
+  | Error (P.Rejected f) -> encode_write_fault b f
+  | Error
+      ( P.Failed m | P.Bad_request m | P.Unsupported m | P.Unavailable m
+      | P.Read_only m ) ->
       add_str b m);
   Buffer.contents b
 
 let decode_response =
   reading "response" (fun r ->
       match u8 r "status byte" with
-      | 0 ->
-          let items = u32 r "items" in
-          let digest = str r "digest" in
-          let latency_ms = f64 r "latency" in
-          let queue_ms = f64 r "queue time" in
-          let plan_hit =
-            match u8 r "plan-hit flag" with
-            | 0 -> false
-            | 1 -> true
-            | t -> malformed "unknown plan-hit flag %d" t
-          in
-          Ok { P.items; digest; latency_ms; queue_ms; plan_hit }
+      | 0 -> (
+          match u8 r "outcome kind" with
+          | 0 ->
+              let items = u32 r "items" in
+              let digest = str r "digest" in
+              let epoch = u32 r "epoch" in
+              let latency_ms = f64 r "latency" in
+              let queue_ms = f64 r "queue time" in
+              let plan_hit =
+                match u8 r "plan-hit flag" with
+                | 0 -> false
+                | 1 -> true
+                | t -> malformed "unknown plan-hit flag %d" t
+              in
+              Ok (P.Reply { P.items; digest; epoch; latency_ms; queue_ms; plan_hit })
+          | 1 ->
+              let lsn = u32 r "lsn" in
+              let epoch = u32 r "epoch" in
+              let assigned =
+                match u8 r "assigned flag" with
+                | 0 -> None
+                | 1 -> Some (str r "assigned id")
+                | t -> malformed "unknown assigned flag %d" t
+              in
+              let latency_ms = f64 r "latency" in
+              let queue_ms = f64 r "queue time" in
+              Ok (P.Committed { P.lsn; epoch; assigned; latency_ms; queue_ms })
+          | k -> malformed "unknown outcome kind %d" k)
       | 1 -> Error (P.Failed (str r "message"))
       | 2 -> Error (P.Bad_request (str r "message"))
       | 3 -> Error (P.Unsupported (str r "message"))
@@ -148,4 +245,6 @@ let decode_response =
           Error (P.Overloaded { inflight; queued })
       | 5 -> Error (P.Timeout { elapsed_ms = f64 r "elapsed" })
       | 6 -> Error (P.Unavailable (str r "message"))
+      | 7 -> Error (P.Rejected (decode_write_fault r))
+      | 8 -> Error (P.Read_only (str r "message"))
       | s -> malformed "unknown status byte %d" s)

@@ -7,8 +7,17 @@
 
 module Runner = Xmark_core.Runner
 module Server = Xmark_service.Server
+module P = Xmark_service.Protocol
 module Plan_cache = Xmark_service.Plan_cache
 module Workload = Xmark_service.Workload
+
+(* The read-only benchmark submission every test here uses: a typed
+   request through the one entry point, unwrapped to the reply record. *)
+let submit server n =
+  match Server.handle server (P.request (P.Benchmark n)) with
+  | Ok (P.Reply r) -> Ok r
+  | Ok (P.Committed _) -> Error (P.Failed "read answered as a commit")
+  | Error e -> Error e
 
 let document = lazy (Xmark_xmlgen.Generator.to_string ~factor:0.002 ())
 
@@ -36,7 +45,7 @@ let test_admission_overload () =
   let client () =
     let ok = ref 0 and rejected = ref 0 and wrong = ref 0 in
     for _ = 1 to per_domain do
-      match Server.submit server 10 with
+      match submit server 10 with
       | Ok r ->
           incr ok;
           if r.Server.digest <> want then incr wrong
@@ -63,7 +72,7 @@ let test_admission_overload () =
   Alcotest.(check int) "totals.served" ok t.Server.served;
   Alcotest.(check int) "totals.rejected" rejected t.Server.rejected;
   (* the gate recovers: a quiet submission is admitted *)
-  match Server.submit server 1 with
+  match submit server 1 with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "post-overload submit failed: %s" (Server.error_to_string e)
 
@@ -77,7 +86,7 @@ let test_queue_admits_beyond_inflight () =
   let client () =
     let bad = ref 0 in
     for _ = 1 to 20 do
-      match Server.submit server 6 with Ok _ -> () | Error _ -> incr bad
+      match submit server 6 with Ok _ -> () | Error _ -> incr bad
     done;
     !bad
   in
@@ -96,7 +105,7 @@ let test_deadline_timeout () =
       (session Runner.D)
   in
   for _ = 1 to 5 do
-    match Server.submit server 8 with
+    match submit server 8 with
     | Error (Server.Timeout { elapsed_ms }) ->
         Alcotest.(check bool) "elapsed time is positive" true (elapsed_ms > 0.0)
     | Ok _ -> Alcotest.fail "impossible deadline was met"
@@ -115,7 +124,7 @@ let test_deadline_generous () =
   let store = (Server.session server).Runner.store in
   List.iter
     (fun n ->
-      match Server.submit server n with
+      match submit server n with
       | Ok r ->
           Alcotest.(check string)
             (Printf.sprintf "Q%d digest under deadline" n)
@@ -127,10 +136,10 @@ let test_deadline_generous () =
 
 let test_plan_reuse () =
   let server = Server.create ~config:no_deadline (session Runner.C) in
-  (match Server.submit server 8 with
+  (match submit server 8 with
   | Ok r -> Alcotest.(check bool) "first submission misses" false r.Server.plan_hit
   | Error e -> Alcotest.failf "%s" (Server.error_to_string e));
-  (match Server.submit server 8 with
+  (match submit server 8 with
   | Ok r -> Alcotest.(check bool) "second submission hits" true r.Server.plan_hit
   | Error e -> Alcotest.failf "%s" (Server.error_to_string e));
   let t = Server.totals server in
@@ -178,10 +187,10 @@ let test_workload_deterministic () =
   Alcotest.(check int) "no digest mismatches" 0 a.Workload.r_digest_mismatches;
   let counts r =
     List.map
-      (fun c -> (c.Workload.cs_query, c.Workload.cs_count))
+      (fun c -> (Workload.class_label c.Workload.cs_class, c.Workload.cs_count))
       r.Workload.r_classes
   in
-  Alcotest.(check (list (pair int int)))
+  Alcotest.(check (list (pair string int)))
     "same seed draws the same per-class mix" (counts a) (counts b)
 
 (* --- differential: 7 systems x 20 queries under 4 clients ------------------ *)
@@ -197,7 +206,7 @@ let differential sys =
     for k = 0 to 19 do
       (* each client walks the matrix in a different rotation *)
       let n = 1 + ((k + (5 * d)) mod 20) in
-      match Server.submit server n with
+      match submit server n with
       | Ok r -> if r.Server.digest <> reference.(n - 1) then bad := n :: !bad
       | Error e ->
           Alcotest.failf "%s Q%d: %s" (Runner.system_name sys) n

@@ -1,0 +1,444 @@
+(* The write path: WAL records round-trip and recover exactly (torn
+   tails truncate, CRC-valid damage raises the typed Corrupt), the
+   writer reopens to the identical post-replay state, published epochs
+   are immutable under later commits (snapshot isolation), the server
+   answers writes with the typed commit/rejection statuses, and a mixed
+   read/write workload over four client domains never observes a torn
+   store (zero per-epoch digest mismatches). *)
+
+module Runner = Xmark_core.Runner
+module Record = Xmark_wal.Record
+module Log = Xmark_wal.Log
+module Replay = Xmark_wal.Replay
+module Updates = Xmark_store.Updates
+module Server = Xmark_service.Server
+module Writer = Xmark_service.Writer
+module Workload = Xmark_service.Workload
+module P = Xmark_service.Protocol
+module Crc32 = Xmark_persist.Crc32
+module Codec = Xmark_persist.Codec
+
+let tmpdir =
+  let d = Filename.temp_file "xmark_wal_test" ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  at_exit (fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          try Unix.rmdir path with Unix.Unix_error _ -> ()
+        end
+        else try Sys.remove path with Sys_error _ -> ()
+      in
+      try rm d with Sys_error _ -> ());
+  d
+
+let fresh =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    Filename.concat tmpdir (Printf.sprintf "%d-%s" !n name)
+
+(* A tiny deterministic site: persons person0..2, auctions
+   open_auction0..2 each with one bidder (so closes can succeed). *)
+let tiny_doc =
+  let auction i =
+    Printf.sprintf
+      "<open_auction id=\"open_auction%d\"><initial>10.00</initial>\
+       <bidder><date>01/01/2002</date><time>09:00:00</time>\
+       <personref person=\"person%d\"/><increase>1.50</increase></bidder>\
+       <current>11.50</current><itemref item=\"item%d\"/>\
+       <seller person=\"person%d\"/><quantity>1</quantity>\
+       <type>Regular</type></open_auction>"
+      i i i ((i + 1) mod 3)
+  in
+  let person i =
+    Printf.sprintf
+      "<person id=\"person%d\"><name>Person %d</name>\
+       <emailaddress>mailto:p%d@example.invalid</emailaddress></person>"
+      i i i
+  in
+  "<site><people>"
+  ^ String.concat "" (List.init 3 person)
+  ^ "</people><open_auctions>"
+  ^ String.concat "" (List.init 3 auction)
+  ^ "</open_auctions><closed_auctions></closed_auctions></site>"
+
+let ops =
+  [ Record.Register_person { name = "Eve"; email = "mailto:eve@x" };
+    Record.Place_bid
+      { auction = "open_auction1"; person = "person0"; increase = 2.5;
+        date = "07/31/2002"; time = "12:00:00" };
+    Record.Close_auction { auction = "open_auction1"; date = "07/31/2002" } ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let make_log ?(base = (100, 42)) path ops =
+  let base_len, base_crc = base in
+  let log = Log.create ~path ~base_len ~base_crc in
+  List.iter (fun op -> ignore (Log.append log op)) ops;
+  Log.close log
+
+let expect_corrupt what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Corrupt" what
+  | exception Xmark_persist.Corrupt _ -> ()
+
+(* --- records --------------------------------------------------------------- *)
+
+let test_record_roundtrip () =
+  List.iteri
+    (fun i op ->
+      let r = { Record.lsn = i + 1; op } in
+      let b = Buffer.create 64 in
+      Record.encode b r;
+      let r' = Record.decode_string (Buffer.contents b) in
+      Alcotest.(check bool)
+        (Printf.sprintf "record %d round-trips" i)
+        true (r = r'))
+    ops;
+  (* hostile payloads are typed, not exceptions *)
+  expect_corrupt "empty payload" (fun () -> Record.decode_string "");
+  expect_corrupt "unknown kind" (fun () ->
+      let b = Buffer.create 16 in
+      Codec.add_i64 b 1;
+      Codec.add_u8 b 9;
+      Record.decode_string (Buffer.contents b));
+  expect_corrupt "lsn zero" (fun () ->
+      let b = Buffer.create 16 in
+      Record.encode b { Record.lsn = 1; op = List.hd ops };
+      let s = Buffer.contents b in
+      Record.decode_string ("\x00\x00\x00\x00\x00\x00\x00\x00" ^ String.sub s 8 (String.length s - 8)))
+
+(* --- the log file ---------------------------------------------------------- *)
+
+let test_log_append_reopen () =
+  let path = fresh "wal.log" in
+  make_log path ops;
+  let log, recovery = Log.open_ ~expect_base:(100, 42) path in
+  Alcotest.(check int) "all records recovered" (List.length ops)
+    (List.length recovery.Log.records);
+  Alcotest.(check int) "nothing truncated" 0 recovery.Log.truncated_bytes;
+  Alcotest.(check int) "last lsn" 3 recovery.Log.last_lsn;
+  Alcotest.(check bool) "ops decode identically" true
+    (List.map (fun r -> r.Record.op) recovery.Log.records = ops);
+  (* appends continue the lsn chain after recovery *)
+  Alcotest.(check int) "next lsn" 4 (Log.append log (List.hd ops));
+  Log.close log
+
+let test_log_torn_tail_truncates () =
+  let path = fresh "wal.log" in
+  make_log path ops;
+  let whole = read_file path in
+  write_file path (String.sub whole 0 (String.length whole - 5));
+  let log, recovery = Log.open_ path in
+  Log.close log;
+  Alcotest.(check int) "last record dropped" 2
+    (List.length recovery.Log.records);
+  Alcotest.(check bool) "torn bytes reported" true
+    (recovery.Log.truncated_bytes > 0);
+  (* the truncation is physical: a second reopen is clean *)
+  let log, recovery' = Log.open_ path in
+  Log.close log;
+  Alcotest.(check int) "clean after truncation" 0
+    recovery'.Log.truncated_bytes;
+  Alcotest.(check int) "still two records" 2
+    (List.length recovery'.Log.records)
+
+let test_log_bitflip_is_torn () =
+  let path = fresh "wal.log" in
+  make_log path ops;
+  let whole = read_file path in
+  let b = Bytes.of_string whole in
+  let i = Bytes.length b - 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+  write_file path (Bytes.to_string b);
+  let log, recovery = Log.open_ path in
+  Log.close log;
+  Alcotest.(check int) "flipped record dropped" 2
+    (List.length recovery.Log.records)
+
+let test_log_corrupt_header () =
+  let path = fresh "wal.log" in
+  make_log path ops;
+  let whole = read_file path in
+  let bad_magic = Bytes.of_string whole in
+  Bytes.set bad_magic 0 'Y';
+  write_file path (Bytes.to_string bad_magic);
+  expect_corrupt "bad magic" (fun () -> Log.open_ path);
+  write_file path (String.sub whole 0 12);
+  expect_corrupt "truncated header" (fun () -> Log.open_ path)
+
+let test_log_lsn_gap_is_corrupt () =
+  let path = fresh "wal.log" in
+  make_log path ops;
+  (* a perfectly sealed frame whose LSN skips ahead: impossible from a
+     crashed writer, so it must be Corrupt — not silently truncated *)
+  let payload = Buffer.create 64 in
+  Record.encode payload { Record.lsn = 9; op = List.hd ops };
+  let p = Buffer.contents payload in
+  let frame = Buffer.create 64 in
+  Codec.add_u32 frame (String.length p);
+  Codec.add_u32 frame (Crc32.digest p);
+  Buffer.add_string frame p;
+  write_file path (read_file path ^ Buffer.contents frame);
+  expect_corrupt "lsn gap" (fun () -> Log.open_ path)
+
+let test_log_base_binding () =
+  let path = fresh "wal.log" in
+  make_log ~base:(100, 42) path ops;
+  (* matching binding passes, any drift is Corrupt *)
+  let log, _ = Log.open_ ~expect_base:(100, 42) path in
+  Log.close log;
+  expect_corrupt "wrong base length" (fun () ->
+      Log.open_ ~expect_base:(101, 42) path);
+  expect_corrupt "wrong base crc" (fun () ->
+      Log.open_ ~expect_base:(100, 43) path)
+
+(* --- the writer: durability and recovery ----------------------------------- *)
+
+let bootstrap () = Xmark_xml.Sax.parse_string tiny_doc
+
+let no_bootstrap () = Alcotest.fail "reopen must not re-bootstrap"
+
+let update_of = function
+  | Record.Register_person { name; email } -> P.Register_person { name; email }
+  | Record.Place_bid { auction; person; increase; date; time } ->
+      P.Place_bid { auction; person; increase; date; time }
+  | Record.Close_auction { auction; date } -> P.Close_auction { auction; date }
+
+let test_writer_recovers_identically () =
+  let dir = fresh "writer.d" in
+  let writer, info = Writer.open_dir ~dir ~bootstrap () in
+  Alcotest.(check bool) "fresh state" true info.Writer.fresh;
+  List.iter
+    (fun op ->
+      match Writer.commit writer (update_of op) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "commit: %s" (Server.error_to_string e))
+    ops;
+  let digest_before = Writer.digest_of_session (Writer.publish writer) 8 in
+  let lsn_before = Writer.last_lsn writer in
+  Writer.close writer;
+  (* reopen: base + log replay must rebuild the exact store *)
+  let writer, info = Writer.open_dir ~dir ~bootstrap:no_bootstrap () in
+  Alcotest.(check bool) "recovered, not fresh" false info.Writer.fresh;
+  Alcotest.(check int) "every commit replayed" (List.length ops)
+    info.Writer.replayed;
+  Alcotest.(check int) "lsn resumes" lsn_before (Writer.last_lsn writer);
+  Alcotest.(check string) "post-replay digest matches"
+    digest_before
+    (Writer.digest_of_session (Writer.publish writer) 8);
+  (* registered ids continue the sequence after recovery *)
+  (match Writer.commit writer (P.Register_person { name = "Post"; email = "mailto:q@x" }) with
+  | Ok (lsn, Some id) ->
+      Alcotest.(check int) "lsn continues" (lsn_before + 1) lsn;
+      Alcotest.(check string) "id sequence continues" "person4" id
+  | Ok (_, None) -> Alcotest.fail "register without an id"
+  | Error e -> Alcotest.failf "post-recovery commit: %s" (Server.error_to_string e));
+  Writer.close writer
+
+let tree_digest_of_writer writer =
+  Digest.to_hex
+    (Digest.string (Runner.canonical (Runner.run_session (Writer.publish writer) 8)))
+
+let test_writer_rejects_leave_no_trace () =
+  let dir = fresh "reject.d" in
+  let writer, _ = Writer.open_dir ~dir ~bootstrap () in
+  let digest0 = tree_digest_of_writer writer in
+  List.iter
+    (fun (what, u, check_fault) ->
+      match Writer.commit writer u with
+      | Ok _ -> Alcotest.failf "%s: committed" what
+      | Error (P.Rejected f) ->
+          Alcotest.(check bool) (what ^ " fault shape") true (check_fault f)
+      | Error e -> Alcotest.failf "%s: %s" what (Server.error_to_string e))
+    [ ( "unknown auction",
+        P.Place_bid
+          { auction = "open_auction9"; person = "person0"; increase = 1.0;
+            date = "d"; time = "t" },
+        function P.Unknown_auction _ -> true | _ -> false );
+      ( "unknown person",
+        P.Place_bid
+          { auction = "open_auction0"; person = "person9"; increase = 1.0;
+            date = "d"; time = "t" },
+        function P.Unknown_person _ -> true | _ -> false );
+      ( "non-positive increase",
+        P.Place_bid
+          { auction = "open_auction0"; person = "person0"; increase = 0.0;
+            date = "d"; time = "t" },
+        function P.Invalid_update _ -> true | _ -> false ) ];
+  Alcotest.(check int) "nothing logged" 0 (Writer.last_lsn writer);
+  Alcotest.(check string) "tree untouched" digest0 (tree_digest_of_writer writer);
+  Writer.close writer
+
+(* --- the server: epochs, statuses, isolation ------------------------------- *)
+
+let writable_server ?config dir =
+  let writer, _ = Writer.open_dir ~dir ~bootstrap () in
+  (Server.create_writable ?config writer, writer)
+
+let test_server_write_statuses () =
+  let server, writer = writable_server (fresh "statuses.d") in
+  let handle u = Server.handle server (P.request (P.Update u)) in
+  (* commit: lsn/epoch advance together, the reply is status 0 *)
+  (match handle (P.Place_bid { auction = "open_auction0"; person = "person1";
+                               increase = 2.0; date = "d"; time = "t" }) with
+  | Ok (P.Committed c) ->
+      Alcotest.(check int) "first lsn" 1 c.P.lsn;
+      Alcotest.(check int) "epoch = lsn" 1 c.P.epoch;
+      Alcotest.(check int) "server epoch advanced" 1 (Server.epoch server)
+  | Ok (P.Reply _) -> Alcotest.fail "write answered as a read"
+  | Error e -> Alcotest.failf "bid: %s" (Server.error_to_string e));
+  (* typed rejection: status 7, nothing durable *)
+  (match handle (P.Close_auction { auction = "open_auction9"; date = "d" }) with
+  | Error (P.Rejected (P.Unknown_auction _) as e) ->
+      Alcotest.(check int) "rejected is status 7" 7 (P.status_code e)
+  | r ->
+      Alcotest.failf "close of unknown auction: %s"
+        (match r with
+        | Ok _ -> "committed"
+        | Error e -> Server.error_to_string e));
+  Alcotest.(check int) "rejection not logged" 1 (Writer.last_lsn writer);
+  (* reads carry the epoch they were answered at *)
+  (match Server.handle server (P.request (P.Benchmark 1)) with
+  | Ok (P.Reply r) -> Alcotest.(check int) "reply epoch" 1 r.P.epoch
+  | Ok (P.Committed _) -> Alcotest.fail "read answered as a commit"
+  | Error e -> Alcotest.failf "read: %s" (Server.error_to_string e));
+  let t = Server.totals server in
+  Alcotest.(check int) "totals.committed" 1 t.Server.committed;
+  Alcotest.(check int) "totals.write_rejected" 1 t.Server.write_rejected;
+  Writer.close writer
+
+let test_server_read_only_refusal () =
+  let session = Runner.load ~source:(`Text tiny_doc) Runner.D in
+  let server = Server.create session in
+  match
+    Server.handle server
+      (P.request (P.Update (P.Register_person { name = "N"; email = "e" })))
+  with
+  | Error (P.Read_only _ as e) ->
+      Alcotest.(check int) "read-only is status 8" 8 (P.status_code e)
+  | Ok _ -> Alcotest.fail "read-only server accepted a write"
+  | Error e ->
+      Alcotest.failf "expected Read_only, got %s" (Server.error_to_string e)
+
+let test_epoch_isolation () =
+  (* a session pinned before a commit keeps answering from its epoch:
+     published stores are deep copies the writer never touches again *)
+  let server, writer = writable_server (fresh "isolation.d") in
+  let pinned = Server.session server in
+  let before = Writer.digest_of_session pinned 8 in
+  (match
+     Server.handle server
+       (P.request
+          (P.Update
+             (P.Close_auction { auction = "open_auction0"; date = "07/31/2002" })))
+   with
+  | Ok (P.Committed _) -> ()
+  | _ -> Alcotest.fail "close did not commit");
+  Alcotest.(check string) "pinned session unchanged by the commit" before
+    (Writer.digest_of_session pinned 8);
+  (* the new epoch sees the write: Q8 joins people with closed auctions *)
+  let after = Writer.digest_of_session (Server.session server) 8 in
+  Alcotest.(check bool) "new epoch answers differently" true (before <> after);
+  Writer.close writer
+
+(* --- mixed workload: the isolation gate under real concurrency ------------- *)
+
+let test_mixed_workload_isolated () =
+  let document = Xmark_xmlgen.Generator.to_string ~factor:0.002 () in
+  let writer, _ =
+    Writer.open_dir ~dir:(fresh "mixed.d")
+      ~bootstrap:(fun () -> Xmark_xml.Sax.parse_string document)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Writer.close writer)
+    (fun () ->
+      let server = Server.create_writable writer in
+      let report =
+        Workload.run ~seed:23L ~domains:4 ~clients:4 ~requests:160
+          ~mix:Workload.mixed_mix
+          ~write_targets:(Writer.write_targets writer)
+          server
+      in
+      Alcotest.(check int) "no digest mismatches across epochs" 0
+        report.Workload.r_digest_mismatches;
+      Alcotest.(check bool) "reads answered" true (report.Workload.r_ok > 0);
+      Alcotest.(check bool) "writes committed" true
+        (report.Workload.r_committed > 0);
+      Alcotest.(check int) "no failures" 0 report.Workload.r_failed;
+      Alcotest.(check int) "every request accounted for"
+        report.Workload.r_requests
+        (report.Workload.r_ok + report.Workload.r_committed
+        + report.Workload.r_timeouts + report.Workload.r_rejected
+        + report.Workload.r_conflicts + report.Workload.r_failed);
+      (* determinism: the same seed replays the same commit count *)
+      let writer2, _ =
+        Writer.open_dir ~dir:(fresh "mixed2.d")
+          ~bootstrap:(fun () -> Xmark_xml.Sax.parse_string document)
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Writer.close writer2)
+        (fun () ->
+          let server2 = Server.create_writable writer2 in
+          let report2 =
+            Workload.run ~seed:23L ~domains:1 ~clients:4 ~requests:160
+              ~mix:Workload.mixed_mix
+              ~write_targets:(Writer.write_targets writer2)
+              server2
+          in
+          Alcotest.(check int) "single-domain replay also isolated" 0
+            report2.Workload.r_digest_mismatches))
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "records",
+        [ Alcotest.test_case "round-trip and typed decode errors" `Quick
+            test_record_roundtrip ] );
+      ( "log",
+        [
+          Alcotest.test_case "append/reopen continuity" `Quick
+            test_log_append_reopen;
+          Alcotest.test_case "torn tail truncates physically" `Quick
+            test_log_torn_tail_truncates;
+          Alcotest.test_case "bit flip drops the frame" `Quick
+            test_log_bitflip_is_torn;
+          Alcotest.test_case "damaged header is Corrupt" `Quick
+            test_log_corrupt_header;
+          Alcotest.test_case "lsn gap is Corrupt" `Quick
+            test_log_lsn_gap_is_corrupt;
+          Alcotest.test_case "base binding enforced" `Quick
+            test_log_base_binding;
+        ] );
+      ( "writer",
+        [
+          Alcotest.test_case "recovery rebuilds the exact store" `Quick
+            test_writer_recovers_identically;
+          Alcotest.test_case "rejections leave no trace" `Quick
+            test_writer_rejects_leave_no_trace;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "write statuses" `Quick test_server_write_statuses;
+          Alcotest.test_case "read-only refusal" `Quick
+            test_server_read_only_refusal;
+          Alcotest.test_case "epoch isolation" `Quick test_epoch_isolation;
+        ] );
+      ( "workload",
+        [ Alcotest.test_case "mixed load, 4 domains, zero mismatches" `Quick
+            test_mixed_workload_isolated ] );
+    ]

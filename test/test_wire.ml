@@ -82,7 +82,8 @@ let fleet_outcome =
 
 let test_fleet_healthy () =
   match fleet_outcome.fo_before with
-  | Ok r ->
+  | Ok (P.Committed _) -> Alcotest.fail "read answered as a commit"
+  | Ok (P.Reply r) ->
       Alcotest.(check string)
         "fleet digest matches single-shot" fleet_outcome.fo_ref_digest
         r.P.digest
@@ -91,7 +92,8 @@ let test_fleet_healthy () =
 let test_fleet_worker_killed () =
   List.iteri
     (fun i -> function
-      | Ok r ->
+      | Ok (P.Committed _) -> Alcotest.failf "call %d answered as a commit" i
+      | Ok (P.Reply r) ->
           Alcotest.(check string)
             (Printf.sprintf "call %d digest after worker kill" i)
             fleet_outcome.fo_ref_digest r.P.digest
@@ -115,19 +117,44 @@ let requests =
     P.request ~deadline_ms:12.5 ~client:"c7" (P.Benchmark 20);
     P.request (P.Text "count(/site/regions//item)");
     P.request ~client:(String.make 300 'x') (P.Text "");
-    P.request ~deadline_ms:0.0 (P.Benchmark 0) ]
+    P.request ~deadline_ms:0.0 (P.Benchmark 0);
+    P.request ~client:"w1"
+      (P.Update (P.Register_person { name = "Wire Test"; email = "mailto:w@x" }));
+    P.request
+      (P.Update
+         (P.Place_bid
+            { auction = "open_auction12"; person = "person3"; increase = 4.5;
+              date = "07/31/2002"; time = "12:00:00" }));
+    P.request ~deadline_ms:250.0
+      (P.Update (P.Close_auction { auction = "open_auction12"; date = "07/31/2002" })) ]
 
 let replies =
-  [ Ok { P.items = 0; digest = ""; latency_ms = 0.0; queue_ms = 0.0; plan_hit = false };
+  [ Ok
+      (P.Reply
+         { P.items = 0; digest = ""; epoch = 0; latency_ms = 0.0;
+           queue_ms = 0.0; plan_hit = false });
     Ok
-      { P.items = 12345; digest = String.make 32 'a'; latency_ms = 3.75;
-        queue_ms = 0.25; plan_hit = true };
+      (P.Reply
+         { P.items = 12345; digest = String.make 32 'a'; epoch = 7031;
+           latency_ms = 3.75; queue_ms = 0.25; plan_hit = true });
+    Ok
+      (P.Committed
+         { P.lsn = 42; epoch = 42; assigned = Some "person261";
+           latency_ms = 2.5; queue_ms = 0.125 });
+    Ok
+      (P.Committed
+         { P.lsn = 1; epoch = 1; assigned = None; latency_ms = 0.5;
+           queue_ms = 0.0 });
     Error (P.Failed "evaluator exploded");
     Error (P.Bad_request "no such query");
     Error (P.Unsupported "system A takes no ad-hoc text");
     Error (P.Overloaded { inflight = 4; queued = 64 });
     Error (P.Timeout { elapsed_ms = 1234.5 });
-    Error (P.Unavailable "no healthy fleet worker") ]
+    Error (P.Unavailable "no healthy fleet worker");
+    Error (P.Rejected (P.Unknown_auction "open_auction999"));
+    Error (P.Rejected (P.Auction_closed "open_auction3"));
+    Error (P.Rejected (P.Invalid_update "bid increase must be positive"));
+    Error (P.Read_only "this server has no write path") ]
 
 let test_request_roundtrip () =
   List.iter
@@ -208,7 +235,8 @@ let test_loopback_digests () =
         (fun () ->
           for q = 1 to 20 do
             match Wire.Client.call c (P.request (P.Benchmark q)) with
-            | Ok r ->
+            | Ok (P.Committed _) -> Alcotest.failf "Q%d answered as a commit" q
+            | Ok (P.Reply r) ->
                 Alcotest.(check string)
                   (Printf.sprintf "Q%d digest over the wire" q)
                   (reference_digest store q) r.P.digest
@@ -219,16 +247,32 @@ let test_loopback_digests () =
              Wire.Client.call c
                (P.request (P.Text (Xmark_core.Queries.text 5)))
            with
-          | Ok r ->
+          | Ok (P.Committed _) -> Alcotest.fail "text query answered as a commit"
+          | Ok (P.Reply r) ->
               Alcotest.(check string) "ad-hoc text digest"
                 (reference_digest store 5) r.P.digest
           | Error e -> Alcotest.failf "text query: %s" (P.error_to_string e));
-          match Wire.Client.call c (P.request (P.Benchmark 0)) with
+          (match Wire.Client.call c (P.request (P.Benchmark 0)) with
           | Ok _ -> Alcotest.fail "Q0 answered"
           | Error (P.Bad_request _ as e) ->
               Alcotest.(check int) "bad request is status 2" 2 (P.status_code e)
           | Error e ->
               Alcotest.failf "Q0: expected Bad_request, got %s"
+                (P.error_to_string e));
+          (* this server has no writer: an update over the wire must come
+             back as the typed read-only refusal, status 8 *)
+          match
+            Wire.Client.call c
+              (P.request
+                 (P.Update
+                    (P.Register_person
+                       { name = "Nobody"; email = "mailto:n@x" })))
+          with
+          | Ok _ -> Alcotest.fail "read-only server accepted a write"
+          | Error (P.Read_only _ as e) ->
+              Alcotest.(check int) "read-only is status 8" 8 (P.status_code e)
+          | Error e ->
+              Alcotest.failf "write: expected Read_only, got %s"
                 (P.error_to_string e)))
 
 let test_loopback_hostile_bytes () =
@@ -273,7 +317,8 @@ let test_loopback_hostile_bytes () =
           ~finally:(fun () -> Wire.Client.close c)
           (fun () -> Wire.Client.call c (P.request (P.Benchmark 1)))
       with
-      | Ok r ->
+      | Ok (P.Committed _) -> Alcotest.fail "health probe answered as a commit"
+      | Ok (P.Reply r) ->
           Alcotest.(check string) "server healthy after hostile bytes"
             (reference_digest store 1) r.P.digest
       | Error e -> Alcotest.failf "after hostile bytes: %s" (P.error_to_string e))
