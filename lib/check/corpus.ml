@@ -176,9 +176,11 @@ let wire_seed_cases () =
     ("wire-corrupt-crc", corrupt_crc); ("wire-oversized", oversized) ]
 
 (* WAL seed cases: a pristine two-record log and one corruption per
-   recovery defense.  Torn shapes (cut tail, flipped payload byte,
-   oversized length) must truncate; CRC-valid damage (a forged LSN gap,
-   a broken header) must raise the typed Corrupt.  The crafted frames
+   recovery defense.  Torn shapes (cut tail, flipped final-record byte,
+   oversized length) must truncate; damage recovery can prove is not a
+   crash artifact (a forged LSN gap, a broken header, a flipped byte
+   mid-log with intact records after it) must raise the typed Corrupt.
+   The crafted frames
    reuse the log's own little-endian framing so a format change rebuilds
    them rather than silently invalidating them. *)
 let wal_seed_cases () =
@@ -227,6 +229,17 @@ let wal_seed_cases () =
         Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x20));
         Bytes.to_string b
       in
+      let midlog_flip =
+        (* flip a payload byte of the FIRST record while the second
+           stays intact: a crashed writer cannot damage a frame it
+           already fsynced past, so recovery must raise the typed
+           Corrupt rather than silently truncate the intact suffix
+           (offset = 25-byte header + 8-byte frame header + 2) *)
+        let b = Bytes.of_string base in
+        let off = 25 + 8 + 2 in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x04));
+        Bytes.to_string b
+      in
       let lsn_gap =
         (* a perfectly sealed frame whose LSN skips ahead: no crash can
            write this, so it must be Corrupt, not a torn tail *)
@@ -247,7 +260,8 @@ let wal_seed_cases () =
       [ ("wal-pristine", base); ("wal-bad-magic", bad_magic);
         ("wal-truncated-header", truncated_header);
         ("wal-torn-tail", torn_tail); ("wal-flipped-record", flipped_record);
-        ("wal-lsn-gap", lsn_gap); ("wal-oversized-length", oversized) ])
+        ("wal-midlog-flip", midlog_flip); ("wal-lsn-gap", lsn_gap);
+        ("wal-oversized-length", oversized) ])
 
 let seed dir =
   Property.mkdir_p dir;

@@ -18,8 +18,11 @@ module Stats = Xmark_stats
    immutable session as the next epoch via one atomic store.  The plan
    cache is per-epoch — prepared plans are bound to the store they were
    compiled against, so reusing them across epochs would answer from
-   the wrong store.  Retired caches' stats are accumulated so totals
-   stay lifetime-accurate.
+   the wrong store.  A retiring epoch's cache stats are folded into
+   retired counters at the swap; readers still pinned to that epoch may
+   increment its cache afterwards, and those late events are dropped —
+   plan-cache totals are a close approximation under concurrent writes,
+   never a double-count (see [totals]), not an exact ledger.
 
    Admission: [max_inflight] requests execute at once; up to
    [queue_depth] more wait for a slot; beyond that a request is rejected
@@ -159,21 +162,35 @@ let epoch t = (Atomic.get t.current).ep_epoch
 let writable t = t.writer <> None
 let config t = t.cfg
 
+(* Request counters are exact.  Plan-cache totals are current-epoch
+   stats plus the folded counters of retired epochs; if an epoch swap
+   lands between reading the two, the just-retired cache would be
+   counted both ways, so retry on a changed epoch (bounded — commits
+   take milliseconds, this read takes nanoseconds).  What remains is a
+   one-sided approximation: events from readers still pinned to a
+   retired epoch after its fold are dropped, never double-counted. *)
 let totals t =
-  let ep = Atomic.get t.current in
-  let hits, misses, evictions = Plan_cache.stats ep.ep_cache in
-  Mutex.protect t.lock (fun () ->
-      {
-        served = t.n_served;
-        committed = t.n_committed;
-        rejected = t.n_rejected;
-        write_rejected = t.n_write_rejected;
-        timed_out = t.n_timed_out;
-        failed = t.n_failed;
-        plan_hits = t.retired_hits + hits;
-        plan_misses = t.retired_misses + misses;
-        plan_evictions = t.retired_evictions + evictions;
-      })
+  let rec go attempts =
+    let ep = Atomic.get t.current in
+    let hits, misses, evictions = Plan_cache.stats ep.ep_cache in
+    let r =
+      Mutex.protect t.lock (fun () ->
+          {
+            served = t.n_served;
+            committed = t.n_committed;
+            rejected = t.n_rejected;
+            write_rejected = t.n_write_rejected;
+            timed_out = t.n_timed_out;
+            failed = t.n_failed;
+            plan_hits = t.retired_hits + hits;
+            plan_misses = t.retired_misses + misses;
+            plan_evictions = t.retired_evictions + evictions;
+          })
+    in
+    if attempts > 0 && Atomic.get t.current != ep then go (attempts - 1)
+    else r
+  in
+  go 3
 
 (* Take an execution slot, waiting in the bounded queue if needed. *)
 let acquire t =
@@ -323,20 +340,33 @@ let commit_update ?deadline_ms t w u =
         Error (Timeout { elapsed_ms = elapsed () })
       end
       else begin
-        Mutex.lock t.write_lock;
-        let result = Writer.commit w u in
-        match result with
-        | Ok (lsn, assigned) ->
-            let session' = Writer.publish w in
-            let old = Atomic.get t.current in
-            let h, m, e = Plan_cache.stats old.ep_cache in
-            Atomic.set t.current
-              {
-                ep_epoch = lsn;
-                ep_session = session';
-                ep_cache = Plan_cache.create ~capacity:t.cfg.plan_cache;
-              };
-            Mutex.unlock t.write_lock;
+        (* [Mutex.protect] so the write lock survives anything the body
+           raises — [Writer.publish] deep-copies and reindexes the whole
+           tree (it can run out of memory), and [Writer.commit] may leak
+           an exception [Updates] does not own.  The exception arm below
+           releases the admission slot for the same reason: a failed
+           commit must never wedge the write path. *)
+        match
+          Mutex.protect t.write_lock (fun () ->
+              match Writer.commit w u with
+              | Error e -> Error e
+              | Ok (lsn, assigned) ->
+                  (* if publish raises here, the record is durable but
+                     unpublished: the client sees [Failed], readers keep
+                     the old epoch, and the next successful commit's
+                     publish (or a restart replay) carries the change *)
+                  let session' = Writer.publish w in
+                  let old = Atomic.get t.current in
+                  let retired = Plan_cache.stats old.ep_cache in
+                  Atomic.set t.current
+                    {
+                      ep_epoch = lsn;
+                      ep_session = session';
+                      ep_cache = Plan_cache.create ~capacity:t.cfg.plan_cache;
+                    };
+                  Ok (lsn, assigned, retired))
+        with
+        | Ok (lsn, assigned, (h, m, e)) ->
             Mutex.protect t.lock (fun () ->
                 t.retired_hits <- t.retired_hits + h;
                 t.retired_misses <- t.retired_misses + m;
@@ -352,13 +382,14 @@ let commit_update ?deadline_ms t w u =
                    queue_ms;
                  })
         | Error (Rejected _ as e) ->
-            Mutex.unlock t.write_lock;
             release t `Write_rejected;
             Error e
         | Error e ->
-            Mutex.unlock t.write_lock;
             release t `Failed;
             Error e
+        | exception e ->
+            release t `Failed;
+            Error (Failed ("commit failed: " ^ Printexc.to_string e))
       end)
 
 (* The one entry point: a typed [Protocol.request] in, a typed

@@ -117,6 +117,11 @@ val handle : t -> Protocol.request -> Protocol.response
     identical semantics. *)
 
 val totals : t -> totals
-(** Lifetime counters, consistent snapshot. *)
+(** Lifetime counters.  Request counters are exact; the plan-cache
+    counters sum the current epoch's cache with those of retired
+    epochs, folded at each epoch swap — events from readers still
+    pinned to an epoch after it retires are dropped, so under
+    concurrent writes the plan totals are a close one-sided
+    approximation (never a double-count). *)
 
 val error_to_string : error -> string

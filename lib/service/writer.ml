@@ -76,23 +76,41 @@ let open_dir ?(level = `Full) ~dir ~bootstrap () =
     ({ master; log; poisoned = None }, { fresh = true; replayed = 0; truncated_bytes = 0 })
   end
 
+(* The WAL drops any frame larger than [Log.max_record] as a torn tail
+   on recovery, so committing one would acknowledge a write the next
+   restart silently deletes.  Checked against the real encoding (the
+   LSN field is fixed-width, so the size is the same one [Log.append]
+   will frame) before [Record.apply], leaving tree and log untouched. *)
+let oversized op =
+  let b = Buffer.create 64 in
+  Record.encode b { Record.lsn = 1; op };
+  if Buffer.length b > Log.max_record then
+    Some
+      (Printf.sprintf "update encodes to %d bytes, over the %d-byte WAL record cap"
+         (Buffer.length b) Log.max_record)
+  else None
+
 let commit t u =
   match t.poisoned with
   | Some msg -> Error (Protocol.Failed ("writer poisoned by an earlier disk failure: " ^ msg))
   | None -> (
       let op = op_of_update u in
-      (* apply first (validates completely before mutating), log second:
-         a rejection touches nothing, a crash before fsync loses only an
-         unacknowledged commit *)
-      match Record.apply t.master op with
-      | exception Updates.Update_error f -> Error (Protocol.Rejected (fault_of_update_fault f))
-      | assigned -> (
-          match Log.append t.log op with
-          | lsn -> Ok (lsn, assigned)
-          | exception e ->
-              let msg = Printexc.to_string e in
-              t.poisoned <- Some msg;
-              Error (Protocol.Failed ("wal append failed: " ^ msg))))
+      match oversized op with
+      | Some msg -> Error (Protocol.Rejected (Protocol.Invalid_update msg))
+      | None -> (
+          (* apply first (validates completely before mutating), log
+             second: a rejection touches nothing, a crash before fsync
+             loses only an unacknowledged commit *)
+          match Record.apply t.master op with
+          | exception Updates.Update_error f ->
+              Error (Protocol.Rejected (fault_of_update_fault f))
+          | assigned -> (
+              match Log.append t.log op with
+              | lsn -> Ok (lsn, assigned)
+              | exception e ->
+                  let msg = Printexc.to_string e in
+                  t.poisoned <- Some msg;
+                  Error (Protocol.Failed ("wal append failed: " ^ msg)))))
 
 let publish t =
   let root = Dom.deep_copy (Updates.root t.master) in

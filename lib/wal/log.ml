@@ -45,6 +45,35 @@ let parse_header s =
   if base_len < 0 then Page_io.corrupt "wal: negative base length";
   (base_len, base_crc)
 
+(* A frame at [from - 1] failed its length or CRC check.  A crashed
+   writer can only tear the {e final} append — every earlier frame was
+   fsynced before the next one was written — so if any intact,
+   decodable frame with an LSN past the last good one starts anywhere
+   after the failure, the failed frame was once valid and was damaged
+   in place: that is corruption, not a torn tail.  Candidate offsets
+   whose length field is implausible are skipped without CRC work, so
+   this probe only pays for byte positions that could hold a frame. *)
+let probe_intact_frame_after s ~from ~after_lsn =
+  let size = String.length s in
+  let found = ref false in
+  let p = ref from in
+  while (not !found) && !p <= size - 8 do
+    let d = Codec.decoder (String.sub s !p 8) in
+    let len = Codec.u32 d in
+    let crc = Codec.u32 d in
+    if
+      len <= max_record
+      && len <= size - !p - 8
+      && Crc32.digest_sub s (!p + 8) len = crc
+    then begin
+      match Record.decode_string (String.sub s (!p + 8) len) with
+      | r -> if r.Record.lsn > after_lsn then found := true
+      | exception _ -> ()
+    end;
+    incr p
+  done;
+  !found
+
 (* Scan the frames after the header.  Returns (records rev'd, clean end
    offset, last lsn); raises Corrupt on mid-log corruption. *)
 let scan_frames s =
@@ -61,8 +90,17 @@ let scan_frames s =
       let d = Codec.decoder (String.sub s !off 8) in
       let len = Codec.u32 d in
       let crc = Codec.u32 d in
-      if len > max_record || len > remaining - 8 then stop := true (* torn length/body *)
-      else if Crc32.digest_sub s (!off + 8) len <> crc then stop := true (* torn payload *)
+      if
+        len > max_record
+        || len > remaining - 8 (* torn length/body *)
+        || Crc32.digest_sub s (!off + 8) len <> crc (* torn payload *)
+      then begin
+        if probe_intact_frame_after s ~from:(!off + 1) ~after_lsn:!lsn then
+          Page_io.corrupt
+            "wal: damaged record at offset %d with intact records after it"
+            !off;
+        stop := true
+      end
       else begin
         (* the CRC vouches for these bytes: from here on, failure to
            decode is corruption, not a torn write *)
@@ -133,6 +171,15 @@ let append t op =
   let payload = Buffer.create 64 in
   Record.encode payload { Record.lsn; op };
   let p = Buffer.contents payload in
+  (* the writer's invariant must match what recovery will accept: a
+     frame past [max_record] would be applied and acknowledged now, then
+     dropped as a torn tail by the next [open_] — acknowledged
+     durability silently lost.  Refused before any byte is written, so
+     the on-disk log is untouched. *)
+  if String.length p > max_record then
+    invalid_arg
+      (Printf.sprintf "Log.append: %d-byte record exceeds the %d-byte cap"
+         (String.length p) max_record);
   let frame = Buffer.create (String.length p + 8) in
   Codec.add_u32 frame (String.length p);
   Codec.add_u32 frame (Crc32.digest p);

@@ -16,10 +16,18 @@
     CRC verifies but whose payload does not decode, or whose LSN breaks
     the [prev+1] chain, cannot be produced by a crashed writer — that
     is {e corruption} and raises the typed
-    {!Xmark_persist.Page_io.Corrupt}.  Decoding is total: no other
-    exception escapes a scan. *)
+    {!Xmark_persist.Page_io.Corrupt}.  A crashed writer can only tear
+    the {e final} append, so a failed frame is accepted as torn only if
+    no intact frame with a later LSN follows it; a damaged frame with
+    committed records after it (a mid-log bit flip) also raises
+    [Corrupt] instead of silently truncating the intact suffix.
+    Decoding is total: no other exception escapes a scan. *)
 
 type t
+
+val max_record : int
+(** Largest encoded record payload the log accepts — and the largest a
+    recovery scan will treat as a possible frame (1 MiB). *)
 
 type recovery = {
   records : Record.t list;  (** every intact record, LSN order *)
@@ -48,9 +56,12 @@ val base_binding : t -> int * int
 
 val append : t -> Record.op -> int
 (** Frame, write and fsync one record; returns its assigned LSN
-    ([last_lsn + 1]).  Raises [Unix.Unix_error] if the disk write
-    fails — the caller must treat the log as poisoned, since the
-    on-disk tail is then unknown. *)
+    ([last_lsn + 1]).  Raises [Invalid_argument] — before touching the
+    file — if the encoded record exceeds {!max_record}, since recovery
+    would drop a larger frame as a torn tail; callers wanting a typed
+    rejection must bound records first (see [Writer.commit]).  Raises
+    [Unix.Unix_error] if the disk write fails — the caller must treat
+    the log as poisoned, since the on-disk tail is then unknown. *)
 
 val last_lsn : t -> int
 

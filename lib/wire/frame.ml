@@ -38,7 +38,12 @@ let error_to_string = function
         stored computed
 
 let magic = "XMW\x01"
-let version = 1
+
+(* Bumped 1 → 2 when the payload vocabulary grew writes: requests
+   gained the Update tag and Ok responses an outcome-kind byte and an
+   epoch field.  A version-1 peer now gets a clean [Bad_version]
+   instead of a confusing payload decode error mid-exchange. *)
+let version = 2
 let max_payload = 16 * 1024 * 1024
 let header_len = 10
 

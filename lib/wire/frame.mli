@@ -6,7 +6,7 @@
     {v
       offset  size  field
       0       4     magic "XMW\x01"
-      4       1     format version (this build: 1)
+      4       1     format version (this build: 2)
       5       1     frame kind (1 = request, 2 = response)
       6       4     payload length N (<= max_payload)
       10      N     payload (see Wire_codec)
@@ -42,6 +42,9 @@ val magic : string
 (** 4 bytes. *)
 
 val version : int
+(** Wire format version (2 since the payload vocabulary grew update
+    requests and the outcome-kind/epoch reply fields; 1 was the
+    read-only protocol).  Mixed-version peers get {!Bad_version}. *)
 
 val max_payload : int
 (** 16 MiB — far above any legitimate request or response, far below a

@@ -168,6 +168,42 @@ let test_log_bitflip_is_torn () =
   Alcotest.(check int) "flipped record dropped" 2
     (List.length recovery.Log.records)
 
+let test_log_midlog_flip_is_corrupt () =
+  let path = fresh "wal.log" in
+  make_log path ops;
+  let whole = read_file path in
+  (* flip a payload byte of the FIRST record: intact committed frames
+     follow, so this cannot be a torn tail — recovery must refuse with
+     the typed Corrupt, not silently truncate the intact suffix
+     (offset = 25-byte header + 8-byte frame header + 2) *)
+  let b = Bytes.of_string whole in
+  let i = 25 + 8 + 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+  write_file path (Bytes.to_string b);
+  expect_corrupt "mid-log flip" (fun () -> Log.open_ path);
+  (* and the refusal is non-destructive: the file is left as found *)
+  Alcotest.(check string) "log bytes untouched" (Bytes.to_string b)
+    (read_file path)
+
+let test_log_append_cap () =
+  let path = fresh "cap.log" in
+  let log = Log.create ~path ~base_len:100 ~base_crc:42 in
+  (match
+     Log.append log
+       (Record.Register_person
+          { name = String.make Log.max_record 'x'; email = "mailto:big@x" })
+   with
+  | _ -> Alcotest.fail "oversized append accepted"
+  | exception Invalid_argument _ -> ());
+  (* the refusal happened before any byte hit the file: the log still
+     accepts normal appends and reopens clean with just those *)
+  Alcotest.(check int) "lsn 1 after refusal" 1 (Log.append log (List.hd ops));
+  Log.close log;
+  let log, recovery = Log.open_ path in
+  Log.close log;
+  Alcotest.(check int) "nothing truncated" 0 recovery.Log.truncated_bytes;
+  Alcotest.(check int) "one record" 1 (List.length recovery.Log.records)
+
 let test_log_corrupt_header () =
   let path = fresh "wal.log" in
   make_log path ops;
@@ -281,6 +317,38 @@ let test_writer_rejects_leave_no_trace () =
   Alcotest.(check int) "nothing logged" 0 (Writer.last_lsn writer);
   Alcotest.(check string) "tree untouched" digest0 (tree_digest_of_writer writer);
   Writer.close writer
+
+let test_writer_oversized_update_rejected () =
+  (* an update whose record would exceed the 1 MiB WAL frame cap must be
+     a typed rejection BEFORE apply: recovery drops oversized frames as
+     torn tails, so committing one would acknowledge durability the next
+     restart silently deletes *)
+  let dir = fresh "oversized.d" in
+  let writer, _ = Writer.open_dir ~dir ~bootstrap () in
+  Fun.protect
+    ~finally:(fun () -> Writer.close writer)
+    (fun () ->
+      let digest0 = tree_digest_of_writer writer in
+      let huge = String.make (1 lsl 20) 'x' in
+      (match
+         Writer.commit writer
+           (P.Register_person { name = huge; email = "mailto:big@x" })
+       with
+      | Ok _ -> Alcotest.fail "oversized update committed"
+      | Error (P.Rejected (P.Invalid_update _)) -> ()
+      | Error e -> Alcotest.failf "oversized: %s" (Server.error_to_string e));
+      Alcotest.(check int) "nothing logged" 0 (Writer.last_lsn writer);
+      Alcotest.(check string) "tree untouched" digest0
+        (tree_digest_of_writer writer);
+      (* the writer is not poisoned: a normal commit still lands *)
+      match
+        Writer.commit writer
+          (P.Register_person { name = "Small"; email = "mailto:s@x" })
+      with
+      | Ok (1, Some _) -> ()
+      | Ok _ -> Alcotest.fail "unexpected commit shape"
+      | Error e ->
+          Alcotest.failf "post-reject commit: %s" (Server.error_to_string e))
 
 (* --- the server: epochs, statuses, isolation ------------------------------- *)
 
@@ -417,6 +485,10 @@ let () =
             test_log_torn_tail_truncates;
           Alcotest.test_case "bit flip drops the frame" `Quick
             test_log_bitflip_is_torn;
+          Alcotest.test_case "mid-log flip is Corrupt" `Quick
+            test_log_midlog_flip_is_corrupt;
+          Alcotest.test_case "append enforces the record cap" `Quick
+            test_log_append_cap;
           Alcotest.test_case "damaged header is Corrupt" `Quick
             test_log_corrupt_header;
           Alcotest.test_case "lsn gap is Corrupt" `Quick
@@ -430,6 +502,8 @@ let () =
             test_writer_recovers_identically;
           Alcotest.test_case "rejections leave no trace" `Quick
             test_writer_rejects_leave_no_trace;
+          Alcotest.test_case "oversized update is a typed rejection" `Quick
+            test_writer_oversized_update_rejected;
         ] );
       ( "server",
         [
