@@ -85,9 +85,10 @@ let run_save system doc snapshot factor pool out =
     (load_span.Timing.wall_ms /. Float.max 0.001 restore_span.Timing.wall_ms);
   0
 
-let run exhibit factor jobs stats_json bench_out bench_runs systems queries system doc
+let run exhibit factor jobs no_vec stats_json bench_out bench_runs systems queries system doc
     snapshot save =
   let module E = Xmark_core.Experiments in
+  Cli.install_no_vec no_vec;
   let pool = Cli.install_jobs jobs in
   let source = Option.map (fun p -> `Snapshot p) snapshot in
   try
@@ -163,7 +164,7 @@ let cmd =
     Term.(
       const run $ exhibit_arg
       $ Cli.factor ~default:Xmark_core.Experiments.default_factor ()
-      $ Cli.jobs $ Cli.stats_json $ Cli.bench_out $ Cli.bench_runs $ Cli.systems
+      $ Cli.jobs $ Cli.no_vec $ Cli.stats_json $ Cli.bench_out $ Cli.bench_runs $ Cli.systems
       $ Cli.queries
       $ Cli.system ~default:Xmark_core.Runner.B ()
       $ Cli.doc_file $ Cli.snapshot $ Cli.save_snapshot)

@@ -32,8 +32,9 @@ let print_summary doc =
     (Xmark_store.Summary.build (MM.dom_root store))
 
 let run doc_file snapshot save_snapshot factor system query query_file query_number show_timing
-    canonical_out warn summary explain jobs =
+    canonical_out warn summary explain no_vec jobs =
   if explain then Xmark_core.Stats.enable ();
+  Cli.install_no_vec no_vec;
   let pool = Cli.install_jobs jobs in
   let source, doc =
     match snapshot with
@@ -83,16 +84,26 @@ let run doc_file snapshot save_snapshot factor system query query_file query_num
         if qtext_for_warning = None then exit 0
     | None -> prerr_endline "--summary needs a document source; skipped under --snapshot"
   end;
-  let outcome =
+  let prepared =
     match (query_number, query, query_file) with
-    | Some n, _, _ -> Xmark_core.Runner.run store n
-    | None, Some q, _ -> Xmark_core.Runner.run_text store q
-    | None, None, Some f -> Xmark_core.Runner.run_text store (read_file f)
+    | Some n, _, _ -> Xmark_core.Runner.prepare store n
+    | None, Some q, _ -> Xmark_core.Runner.prepare_text store q
+    | None, None, Some f -> Xmark_core.Runner.prepare_text store (read_file f)
     | None, None, None ->
         if save_snapshot <> None then exit 0;
         prerr_endline "no query given (use -q, --query-file or --benchmark N, or --summary alone)";
         exit 2
   in
+  (* physical plan on stderr, before execution, like EXPLAIN would be *)
+  if explain then begin
+    Printf.eprintf "physical plan (%s):\n"
+      (Xmark_core.Runner.system_name system);
+    List.iter
+      (fun line -> Printf.eprintf "  %s\n" line)
+      (Xmark_core.Runner.plan_description prepared);
+    flush stderr
+  end;
+  let outcome = Xmark_core.Runner.execute_prepared prepared in
   if show_timing then
     Printf.eprintf "compile: %.2f ms  execute: %.2f ms  items: %d\n%!"
       outcome.Xmark_core.Runner.compile.Xmark_core.Timing.wall_ms
@@ -109,8 +120,8 @@ let run doc_file snapshot save_snapshot factor system query query_file query_num
    2 = bad invocation (cmdliner's own), 3 = valid query the selected
    system cannot run — distinct so scripts can tell "broken" from
    "unsupported on this backend". *)
-let run_safe a b c d e f g h i j k l m n =
-  try run a b c d e f g h i j k l m n with
+let run_safe a b c d e f g h i j k l m n o =
+  try run a b c d e f g h i j k l m n o with
   | Xmark_xquery.Parser.Error _ as ex ->
       Printf.eprintf "%s\n" (Xmark_xquery.Parser.describe_error "" ex);
       1
@@ -162,6 +173,6 @@ let cmd =
       $ Cli.factor ~default:0.005 ()
       $ Cli.system ~default:Xmark_core.Runner.D ()
       $ query_arg $ query_file_arg $ number_arg $ timing_arg $ canonical_arg $ warn_arg
-      $ summary_arg $ Cli.explain $ Cli.jobs)
+      $ summary_arg $ Cli.explain $ Cli.no_vec $ Cli.jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,94 @@
+(* Fuzz target: vectorized versus scalar path execution.
+
+   Contract under test — for ANY absolute path query over the benchmark
+   vocabulary, the batch-at-a-time executor ({!Xmark_relational.Vec_ops},
+   whatever physical plan its cost model picks) must return exactly the
+   canonical result of the scalar tuple-at-a-time evaluator, on both
+   relational backends with an id algebra (Systems A and B).
+
+   The generator favours paths through the real document (starting at
+   /site) so plans actually carry tuples, but also emits wildcards, deep
+   descendant steps and attribute predicates to exercise every physical
+   operator and the fallback edges of the cost model.  A digest mismatch
+   — or an exception escaping either executor — is the violation. *)
+
+module Prng = Xmark_prng.Prng
+module Runner = Xmark_core.Runner
+module Vec = Xmark_relational.Vec_ops
+
+let vocab = Array.of_list Xmark_xmlgen.Dtd.element_names
+
+(* attribute predicates that both hit and miss at factor 0.001 *)
+let attr_preds =
+  [|
+    {|[@id = "person0"]|};
+    {|[@id = "item0"]|};
+    {|[@id = "open_auction0"]|};
+    {|[@category = "category0"]|};
+    {|[@id = "nosuch"]|};
+  |]
+
+let gen_query g =
+  let buf = Buffer.create 64 in
+  let step () =
+    Buffer.add_string buf (if Prng.chance g 0.4 then "//" else "/");
+    Buffer.add_string buf
+      (if Prng.chance g 0.1 then "*" else Prng.pick g vocab);
+    if Prng.chance g 0.15 then Buffer.add_string buf (Prng.pick g attr_preds)
+  in
+  if Prng.chance g 0.7 then Buffer.add_string buf "/site"
+  else step ();
+  let extra = Prng.int_in g 0 3 in
+  for _ = 1 to extra do
+    step ()
+  done;
+  Buffer.contents buf
+
+type world = { stores : (string * Runner.store) list }
+
+let make_world () =
+  let text = Xmark_xmlgen.Generator.to_string ~factor:0.001 () in
+  let session sys = (Runner.load ~source:(`Text text) sys).Runner.store in
+  { stores = [ ("A", session Runner.A); ("B", session Runner.B) ] }
+
+(* Parse and evaluation rejections are typed outcomes here: both
+   executors must reject the same way, which the digest compare
+   asserts.  Anything else escaping IS the violation. *)
+let digest store qtext =
+  match Runner.run_text store qtext with
+  | outcome -> "ok:" ^ Digest.to_hex (Digest.string (Runner.canonical outcome))
+  | exception Runner.Unsupported _ -> "unsupported"
+  | exception Xmark_xquery.Parser.Error _ -> "parse-error"
+
+let with_vec flag f =
+  let prev = Vec.is_enabled () in
+  Vec.set_enabled flag;
+  Fun.protect ~finally:(fun () -> Vec.set_enabled prev) f
+
+let property world =
+  {
+    Property.name = "vec";
+    gen = gen_query;
+    shrink = Shrink.string;
+    prop =
+      (fun qtext ->
+        let rec check = function
+          | [] -> Ok "agree"
+          | (name, store) :: rest ->
+              let scalar = with_vec false (fun () -> digest store qtext) in
+              let vec = with_vec true (fun () -> digest store qtext) in
+              if String.equal scalar vec then check rest
+              else
+                Error
+                  (Printf.sprintf
+                     "system %s diverges on %s: scalar %s, vectorized %s" name
+                     qtext scalar vec)
+        in
+        check world.stores);
+    to_bytes = (fun q -> q);
+    ext = "xq";
+  }
+
+let run ?corpus_dir ~seed ~iterations () =
+  let world = make_world () in
+  Property.run ?corpus_dir ~count:iterations ~seed (property world)

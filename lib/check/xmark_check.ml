@@ -8,7 +8,8 @@
     [Fuzz_*] modules apply that machinery to the three trust boundaries
     — the {!Xmark_xml.Sax} parser, the {!Xmark_persist.Snapshot}
     reader, the {!Xmark_service.Server}, the {!Xmark_wire.Frame}
-    decoder, and the {!Xmark_wal.Log} recovery scan.  {!Corpus} keeps
+    decoder, the {!Xmark_wal.Log} recovery scan, and the
+    vectorized-versus-scalar execution equivalence.  {!Corpus} keeps
     found and hand-constructed reproducers on disk and replays them as
     regression tests. *)
 
@@ -21,4 +22,5 @@ module Fuzz_snapshot = Fuzz_snapshot
 module Fuzz_service = Fuzz_service
 module Fuzz_wire = Fuzz_wire
 module Fuzz_wal = Fuzz_wal
+module Fuzz_vec = Fuzz_vec
 module Corpus = Corpus

@@ -125,6 +125,20 @@ let explain =
           "EXPLAIN ANALYZE: enable execution-statistics collection and print a per-scope \
            counter table (nodes scanned, index probes, join builds, ...) to stderr.")
 
+let no_vec =
+  Arg.(
+    value
+    & flag
+    & info [ "no-vec" ]
+        ~doc:
+          "Disable vectorized batch-at-a-time execution: path plans and the \
+           System C batch scans fall back to the scalar tuple-at-a-time \
+           operators.  Results are identical either way; this flag exists for \
+           A/B comparisons and differential testing.")
+
+let install_no_vec disabled =
+  if disabled then Xmark_relational.Vec_ops.set_enabled false
+
 let doc_file =
   Arg.(
     value

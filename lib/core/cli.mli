@@ -45,6 +45,9 @@ val bench_runs : int Cmdliner.Term.t
 val explain : bool Cmdliner.Term.t
 (** [--explain]. *)
 
+val no_vec : bool Cmdliner.Term.t
+(** [--no-vec]; disable vectorized batch-at-a-time execution. *)
+
 val doc_file : string option Cmdliner.Term.t
 (** [--doc FILE]. *)
 
@@ -105,3 +108,7 @@ val install_jobs : int -> Xmark_parallel.pool option
 (** Install the process-wide default pool for [--jobs n] (see
     {!Xmark_parallel.set_default_jobs}) and return it; [None] when [n <=
     1], meaning sequential execution everywhere. *)
+
+val install_no_vec : bool -> unit
+(** Apply [--no-vec]: when true, switch
+    {!Xmark_relational.Vec_ops.set_enabled} off for the whole process. *)

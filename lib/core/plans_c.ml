@@ -402,7 +402,7 @@ let compile store number =
         let name_col = R.Table.col_index item "name" in
         let desc_col = R.Table.col_index item "desc_xml" in
         fun () ->
-          R.Table.fold
+          Schema.scan_blocks item
             (fun acc _ row ->
               if vstr row.(region_col) <> Some "australia" then acc
               else
@@ -413,14 +413,14 @@ let compile store number =
                   ~attrs:[ ("name", Option.value ~default:"" (vstr row.(name_col))) ]
                   "item" desc
                 :: acc)
-            [] item
+            []
           |> List.rev
     | 14 ->
         let item = table "item" in
         let text_col = R.Table.col_index item "desc_text" in
         let name_col = R.Table.col_index item "name" in
         fun () ->
-          R.Table.fold
+          Schema.scan_blocks item
             (fun acc _ row ->
               match vstr row.(text_col) with
               | Some s when contains_word s "gold" -> (
@@ -428,25 +428,25 @@ let compile store number =
                   | Some n -> txt n :: acc
                   | None -> acc)
               | _ -> acc)
-            [] item
+            []
           |> List.rev
     | 15 ->
         let ca = table "closed_auction" in
         let ann_col = R.Table.col_index ca "ann_xml" in
         fun () ->
-          R.Table.fold
+          Schema.scan_blocks ca
             (fun acc _ row ->
               List.fold_left
                 (fun acc kw -> elem "text" [ txt kw ] :: acc)
                 acc (q15_keywords row.(ann_col)))
-            [] ca
+            []
           |> List.rev
     | 16 ->
         let ca = table "closed_auction" in
         let ann_col = R.Table.col_index ca "ann_xml" in
         let seller_col = R.Table.col_index ca "seller" in
         fun () ->
-          R.Table.fold
+          Schema.scan_blocks ca
             (fun acc _ row ->
               if q15_keywords row.(ann_col) <> [] then
                 elem
@@ -454,14 +454,14 @@ let compile store number =
                   "person" []
                 :: acc
               else acc)
-            [] ca
+            []
           |> List.rev
     | 17 ->
         let person = table "person" in
         let hp_col = R.Table.col_index person "homepage" in
         let name_col = R.Table.col_index person "name" in
         fun () ->
-          R.Table.fold
+          Schema.scan_blocks person
             (fun acc _ row ->
               match vstr row.(hp_col) with
               | Some _ -> acc
@@ -470,18 +470,18 @@ let compile store number =
                     ~attrs:[ ("name", Option.value ~default:"" (vstr row.(name_col))) ]
                     "person" []
                   :: acc)
-            [] person
+            []
           |> List.rev
     | 18 ->
         let oa = table "open_auction" in
         let reserve_col = R.Table.col_index oa "reserve" in
         fun () ->
-          R.Table.fold
+          Schema.scan_blocks oa
             (fun acc _ row ->
               match vstr row.(reserve_col) with
               | None -> acc
               | Some _ -> txt (format_number (2.20371 *. vfloat row.(reserve_col))) :: acc)
-            [] oa
+            []
           |> List.rev
     | 19 ->
         let item = table "item" in
@@ -504,7 +504,7 @@ let compile store number =
         let income_col = R.Table.col_index person "income" in
         fun () ->
           let pref, std, chal, na =
-            R.Table.fold
+            Schema.scan_blocks person
               (fun (p, s, c, n) _ row ->
                 match vstr row.(income_col) with
                 | None -> (p, s, c, n + 1)
@@ -513,7 +513,7 @@ let compile store number =
                     if income >= 100000.0 then (p + 1, s, c, n)
                     else if income >= 30000.0 then (p, s + 1, c, n)
                     else (p, s, c + 1, n))
-              (0, 0, 0, 0) person
+              (0, 0, 0, 0)
           in
           [
             elem "result"
@@ -529,5 +529,44 @@ let compile store number =
   { number; exec }
 
 let execute p = p.exec ()
+
+let describe p =
+  let batch_scan rel =
+    [
+      Printf.sprintf "batch scan %s (vectorized, block %d)" rel
+        R.Batch.block_size;
+    ]
+  in
+  let scalar what = [ Printf.sprintf "hand plan (scalar): %s" what ] in
+  let lines =
+    match p.number with
+    | 1 -> scalar "unique index lookup person.id"
+    | 2 | 3 -> scalar "open_auction scan + bidder position index"
+    | 4 -> scalar "open_auction scan + bidder position index"
+    | 5 -> scalar "range scan on ordered closed_auction.price index"
+    | 6 -> scalar "item row count (catalog only)"
+    | 7 -> scalar "row counts + annotation column scans"
+    | 8 -> scalar "person scan + closed_auction.buyer index"
+    | 9 -> scalar "person scan + quadratic item scan join (paper's bad plan)"
+    | 10 -> scalar "interest scan + in-memory grouping"
+    | 11 | 12 -> scalar "nested-loop theta join person x open_auction"
+    | 13 -> batch_scan "item"
+    | 14 -> batch_scan "item"
+    | 15 -> batch_scan "closed_auction"
+    | 16 -> batch_scan "closed_auction"
+    | 17 -> batch_scan "person"
+    | 18 -> batch_scan "open_auction"
+    | 19 -> scalar "item scan + sort on location"
+    | 20 -> batch_scan "person"
+    | _ -> scalar "unknown"
+  in
+  if R.Vec_ops.is_enabled () then lines
+  else
+    List.map
+      (fun l ->
+        if String.length l >= 10 && String.sub l 0 10 = "batch scan" then
+          l ^ " [disabled: --no-vec, plain fold]"
+        else l)
+      lines
 
 let supported = List.init 20 (fun i -> i + 1)

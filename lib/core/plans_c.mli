@@ -22,7 +22,16 @@ val compile : Xmark_store.Backend_schema.t -> int -> plan
     @raise Invalid_argument for an unknown query number. *)
 
 val execute : plan -> Xmark_xml.Dom.node list
-(** Run the plan; the result is materialized in the comparable DOM form. *)
+(** Run the plan; the result is materialized in the comparable DOM form.
+    Full-table scans (Q13-Q18, Q20) go through
+    {!Xmark_store.Backend_schema.scan_blocks}, so they run block-at-a-time
+    with batch counters and per-block cancellation polls when vectorized
+    execution is enabled. *)
+
+val describe : plan -> string list
+(** Physical description of the plan, one line per operator group:
+    which queries run the blocked batch scan (and at what block size)
+    versus the scalar hand plan. *)
 
 val supported : int list
 (** Query numbers with prepared plans (all twenty). *)

@@ -364,6 +364,25 @@ let execute_from snap p =
 
 let execute_prepared p = execute_from (Stats.snapshot ()) p
 
+(* Physical plan rendering for --explain: which parts of the prepared
+   plan run vectorized (with the cost-model inputs behind each pick) and
+   which fall back to scalar navigation. *)
+let plan_description p =
+  let eval_lines explain =
+    match explain with
+    | [] -> [ "scalar navigation (no vectorizable absolute path)" ]
+    | plans ->
+        List.concat_map
+          (fun (path, lines) -> (path ^ ":") :: List.map (fun l -> "  " ^ l) lines)
+          plans
+  in
+  match p.p_repr with
+  | PlA (_, compiled) -> eval_lines (EvA.explain_vec compiled)
+  | PlB (_, compiled) -> eval_lines (EvB.explain_vec compiled)
+  | PlM (_, compiled) -> eval_lines (EvM.explain_vec compiled)
+  | PlC plan -> Plans_c.describe plan
+  | PlG _ -> [ "embedded processor: document re-parse + scalar navigation" ]
+
 let run_text store qtext =
   let snap = Stats.snapshot () in
   execute_from snap (prepare_text store qtext)

@@ -130,6 +130,13 @@ val try_prepare_text :
   store -> string -> (prepared, [ `Unsupported of string ]) result
 (** Like {!prepare_text} with the unsupported case as a value. *)
 
+val plan_description : prepared -> string list
+(** Physical plan for [--explain]: per vectorized path, one line per
+    step with the cost-model pick and its inputs (estimated input/output
+    cardinalities, probe vs semijoin vs interval-join thresholds); any
+    scalar tail or full scalar fallback is labelled as such.  System C
+    reports which hand plans run the blocked batch scan. *)
+
 val execute_prepared : prepared -> outcome
 (** Execute a prepared plan.  The outcome's [compile] span and
     [metadata_accesses] are the (one-time) preparation costs; [execute]

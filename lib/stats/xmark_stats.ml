@@ -204,7 +204,8 @@ let absorb dump =
 let counter_inventory =
   [
     "nodes_scanned"; "elements_materialized"; "index_lookups"; "index_hits";
-    "join_tables_built"; "join_probes"; "tag_array_cache_hits";
+    "join_tables_built"; "join_probes"; "batches_produced"; "batch_tuples";
+    "hash_join_probes"; "vec_fallbacks"; "tag_array_cache_hits";
     "tag_array_cache_misses"; "sax_events"; "tuples_emitted";
     "pager_hits"; "pager_misses"; "pager_evictions"; "snapshot_bytes";
     "plan_cache_hits"; "plan_cache_misses";

@@ -12,6 +12,9 @@ type t = {
   attr_owner_idx : R.Index.t;
   id_idx : R.Index.t;  (* value of attributes named "id" -> attr rows *)
   stats : (Symbol.t, int) Hashtbl.t;  (* optimizer statistics: tag -> count *)
+  mutable vcache : R.Vec_ops.adapter option;
+      (* id-algebra view, built on first use; safe to cache because the
+         heap store is immutable after bulkload *)
 }
 
 let col_parent = 0
@@ -75,6 +78,12 @@ let load_events next =
         loop ()
   in
   loop ();
+  (* a document with no root element loads zero nodes; reject it the
+     same typed way the DOM builder does instead of letting later root
+     accesses fail with an index error (or, vectorized, silently
+     return empty) *)
+  if !counter = 0 then
+    raise (Sax.Parse_error { line = 1; col = 1; message = "no root element" });
   let cat = R.Catalog.create () in
   R.Catalog.register cat nodes;
   R.Catalog.register cat attrs;
@@ -89,7 +98,7 @@ let load_events next =
   R.Catalog.register_index cat ~table:"nodes" ~column:"parent" children_idx;
   R.Catalog.register_index cat ~table:"attributes" ~column:"owner" attr_owner_idx;
   R.Catalog.register_index cat ~table:"attributes" ~column:"id" id_idx;
-  { cat; nodes; attrs; children_idx; attr_owner_idx; id_idx; stats }
+  { cat; nodes; attrs; children_idx; attr_owner_idx; id_idx; stats; vcache = None }
 
 let load_string s =
   let p = Sax.of_string s in
@@ -179,6 +188,79 @@ let tag_count t tag =
 let subtree_interval _ _ = None
 
 let keyword_search _ ~tag:_ ~word:_ = None
+
+(* Id-algebra view for the vectorized executor: node ids are already
+   pre-order rows, so the adapter is two decoded columns (parent, tag)
+   plus per-tag extents and subtree intervals derived from them.  All of
+   it is built eagerly, in adapter construction (compile time): extents
+   come out of one counting pass over the tag column, so no execution
+   ever pays a whole-table scan to materialize one. *)
+let build_adapter t =
+  let n = R.Table.row_count t.nodes in
+  let parents = Array.make (max n 1) (-1) in
+  let tags = Array.make (max n 1) (-1) in
+  let max_tag = ref (-1) in
+  for i = 0 to n - 1 do
+    let row = R.Table.get t.nodes i in
+    (match row.(col_parent) with R.Value.Int p -> parents.(i) <- p | _ -> ());
+    match row.(col_tag) with
+    | R.Value.Int s ->
+        tags.(i) <- s;
+        if s > !max_tag then max_tag := s
+    | _ -> ()
+  done;
+  let ntags = !max_tag + 1 in
+  let counts = Array.make (max ntags 1) 0 in
+  for i = 0 to n - 1 do
+    if tags.(i) >= 0 then counts.(tags.(i)) <- counts.(tags.(i)) + 1
+  done;
+  let exts = Array.init (max ntags 1) (fun s -> Array.make counts.(s) 0) in
+  let fill = Array.make (max ntags 1) 0 in
+  for i = 0 to n - 1 do
+    let s = tags.(i) in
+    if s >= 0 then begin
+      exts.(s).(fill.(s)) <- i;
+      fill.(s) <- fill.(s) + 1
+    end
+  done;
+  let extent s = if s >= 0 && s < ntags then exts.(s) else [||] in
+  let elements =
+    lazy
+      (let b = R.Batch.create ~capacity:(max n 1) () in
+       for i = 0 to n - 1 do
+         if tags.(i) >= 0 then R.Batch.push b i
+       done;
+       R.Batch.to_array b)
+  in
+  let ends = R.Vec_ops.subtree_ends (Array.sub parents 0 n) in
+  {
+    R.Vec_ops.node_count = n;
+    root = 0;
+    parent = (fun i -> parents.(i));
+    tag_of = (fun i -> tags.(i));
+    card = (fun s -> Option.value ~default:0 (Hashtbl.find_opt t.stats (Symbol.of_int s)));
+    extent;
+    element_ids = (fun () -> Lazy.force elements);
+    subtree_end = (fun () -> fun i -> ends.(i));
+    probe_children =
+      (fun ~tag ~parent b ->
+        List.iter
+          (fun c ->
+            if (if tag < 0 then tags.(c) >= 0 else tags.(c) = tag) then R.Batch.push b c)
+          (R.Index.lookup t.children_idx (R.Value.Int parent)));
+    relation_count = 1;
+  }
+
+let vec t =
+  let adapter =
+    match t.vcache with
+    | Some a -> a
+    | None ->
+        let a = build_adapter t in
+        t.vcache <- Some a;
+        a
+  in
+  Some (adapter, fun i -> i)
 
 let size_bytes t = R.Catalog.byte_size t.cat
 

@@ -194,6 +194,10 @@ let keyword_search t ~tag ~word =
       if hits <> [] then Stats.incr "index_hits";
       Some hits
 
+(* Node handles are pointers into a mutable DOM (the write path updates
+   them in place), so there is no stable id algebra to vectorize over. *)
+let vec _ = None
+
 let size_bytes t = t.bytes
 
 let node_count t = t.nodes

@@ -387,6 +387,14 @@ let index t ~table ~column =
   | Some idx -> idx
   | None -> raise Not_found
 
+let scan_blocks tbl f init =
+  if R.Vec_ops.is_enabled () then
+    R.Vec_ops.fold_rows_blocked ~poll:Xmark_xquery.Cancel.poll
+      ~row_count:(R.Table.row_count tbl)
+      (fun acc i -> f acc i (R.Table.get tbl i))
+      init
+  else R.Table.fold (fun acc i row -> f acc i row) init tbl
+
 let size_bytes t = R.Catalog.byte_size t.cat
 
 let row_total t =

@@ -37,6 +37,17 @@ val table : t -> string -> Xmark_relational.Table.t
 val index : t -> table:string -> column:string -> Xmark_relational.Index.t
 (** @raise Not_found when no such index exists. *)
 
+val scan_blocks :
+  Xmark_relational.Table.t ->
+  ('a -> int -> Xmark_relational.Table.row -> 'a) ->
+  'a ->
+  'a
+(** Full-table scan in {!Xmark_relational.Batch.block_size}-row blocks:
+    batch counters per block and a {!Xmark_xquery.Cancel.poll} per block
+    boundary, so service deadlines fire mid-scan in the hand plans too.
+    Falls back to a plain [Table.fold] when vectorized execution is
+    disabled ([--no-vec]). *)
+
 val ordered_index :
   t -> table:string -> column:string -> Xmark_relational.Btree.t option
 (** Numeric B+-tree indexes for range predicates (closed_auction.price,

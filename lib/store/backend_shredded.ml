@@ -20,6 +20,9 @@ type t = {
   attr_order : string list;  (* "tag@attr" names, first-encounter order *)
   dir_tag : Symbol.t array;  (* node id -> tag, Symbol.empty for text *)
   dir_row : int array;  (* node id -> row in its relation *)
+  mutable vcache : R.Vec_ops.adapter option;
+      (* id-algebra view, built on first use; safe to cache because the
+         shredded store is immutable after finalize *)
 }
 
 (* The shredder is a fold over SAX events; [builder] is its mutable
@@ -298,6 +301,7 @@ let finalize ?pool b =
     attr_order = List.rev b.b_attrs_rev;
     dir_tag = Array.map fst dir;
     dir_row = Array.map snd dir;
+    vcache = None;
   }
 
 let load_sequential s =
@@ -399,9 +403,16 @@ let load_parallel pool s =
       finalize ~pool (merge_builders (root_b :: parts))
 
 let load_string ?pool s =
-  match pool with
-  | Some p when Xmark_parallel.jobs p > 1 -> load_parallel p s
-  | _ -> load_sequential s
+  let t =
+    match pool with
+    | Some p when Xmark_parallel.jobs p > 1 -> load_parallel p s
+    | _ -> load_sequential s
+  in
+  (* same typed rejection as the DOM builder: a rootless document must
+     not produce an empty store that later navigation trips over *)
+  if Array.length t.dir_tag = 0 then
+    raise (Sax.Parse_error { line = 1; col = 1; message = "no root element" });
+  t
 
 let load_dom ?pool root = load_string ?pool (Xmark_xml.Serialize.to_string root)
 
@@ -611,6 +622,100 @@ let tag_count t tag =
 let subtree_interval _ _ = None
 
 let keyword_search _ ~tag:_ ~word:_ = None
+
+(* Id-algebra view for the vectorized executor.  The per-tag relations
+   already ARE sorted extents (rows in document order, ids ascending),
+   so a named descendant step can skip the every-relation child probes
+   that make [children] expensive here; [relation_count] tells the cost
+   model exactly how expensive those probes are. *)
+let build_adapter t =
+  let n = Array.length t.dir_tag in
+  let parents = Array.make (max n 1) (-1) in
+  (* One pass per relation fills the parent column AND materializes the
+     relation's extent (its id column, already in document order).  Both
+     are built eagerly at adapter-construction (compile) time, so no
+     execution pays for them, and the extent arrays double as the
+     row-id -> node-id map the child probes need. *)
+  let fill tbl =
+    let ext = Array.make (R.Table.row_count tbl) (-1) in
+    R.Table.iter
+      (fun row_id row ->
+        match (row.(0), row.(1)) with
+        | R.Value.Int id, R.Value.Int p ->
+            parents.(id) <- p;
+            ext.(row_id) <- id
+        | _ -> ())
+      tbl;
+    ext
+  in
+  let extents = Array.make (Array.length t.tag_tables) [||] in
+  List.iter
+    (fun tag ->
+      let s = (tag : Symbol.t :> int) in
+      match t.tag_tables.(s) with
+      | Some tbl -> extents.(s) <- fill tbl
+      | None -> ())
+    t.element_tag_syms;
+  ignore (fill t.text_table);
+  let tag_of i =
+    let tag = t.dir_tag.(i) in
+    if Symbol.equal tag Symbol.empty then -1 else (tag : Symbol.t :> int)
+  in
+  let table_of s =
+    if s >= 0 && s < Array.length t.tag_tables then t.tag_tables.(s) else None
+  in
+  let extent s = if s >= 0 && s < Array.length extents then extents.(s) else [||] in
+  let elements =
+    lazy
+      (let b = R.Batch.create ~capacity:(max n 1) () in
+       for i = 0 to n - 1 do
+         if not (Symbol.equal t.dir_tag.(i) Symbol.empty) then R.Batch.push b i
+       done;
+       R.Batch.to_array b)
+  in
+  let ends = R.Vec_ops.subtree_ends (Array.sub parents 0 n) in
+  let probe_one s ~parent b =
+    match
+      if s >= 0 && s < Array.length t.child_indexes then t.child_indexes.(s) else None
+    with
+    | Some idx ->
+        let ext = extents.(s) in
+        if Array.length ext > 0 then
+          List.iter
+            (fun row_id -> R.Batch.push b ext.(row_id))
+            (R.Index.lookup idx (R.Value.Int parent))
+    | None -> ()
+  in
+  {
+    R.Vec_ops.node_count = n;
+    root = 0;
+    parent = (fun i -> parents.(i));
+    tag_of;
+    card = (fun s -> match table_of s with Some tbl -> R.Table.row_count tbl | None -> 0);
+    extent;
+    element_ids = (fun () -> Lazy.force elements);
+    subtree_end = (fun () -> fun i -> ends.(i));
+    probe_children =
+      (fun ~tag ~parent b ->
+        if tag >= 0 then probe_one tag ~parent b
+        else
+          (* untyped probe pays the fragmentation price: every relation *)
+          List.iter
+            (fun sym -> probe_one (sym : Symbol.t :> int) ~parent b)
+            t.element_tag_syms);
+    relation_count = List.length t.element_tag_syms;
+  }
+
+let vec t =
+  let adapter =
+    match t.vcache with
+    | Some a -> a
+    | None ->
+        let a = build_adapter t in
+        t.vcache <- Some a;
+        a
+  in
+  Some (adapter, fun i -> i)
 
 let size_bytes t = R.Catalog.byte_size t.cat + (16 * Array.length t.dir_tag)
 

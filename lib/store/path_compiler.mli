@@ -31,7 +31,12 @@ val compile_expr : Backend_heap.t -> Xmark_xquery.Ast.expr -> plan option
     fragment; [None] (rather than an exception) otherwise. *)
 
 val execute : plan -> int list
-(** Matching node identifiers in document order. *)
+(** Matching node identifiers in document order.  When
+    {!Xmark_relational.Vec_ops} execution is enabled (the default), the
+    plan runs batch-at-a-time on the store's id-algebra adapter —
+    descendant closures become one-pass extent scans instead of
+    level-by-level index joins; with [--no-vec] it falls back to the
+    scalar operators. *)
 
 val join_count : plan -> int
 (** Number of join operators in the plan — the paper's "complexity of the
@@ -39,3 +44,7 @@ val join_count : plan -> int
 
 val explain : plan -> string
 (** Algebra rendering, innermost scan first. *)
+
+val explain_vec : plan -> string list
+(** The vectorized physical plan with its cost-model inputs, one line
+    per step; [[]] when the plan cannot vectorize. *)

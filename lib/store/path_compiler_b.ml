@@ -118,7 +118,42 @@ let rec run store = function
       | ids -> closure store test ids [])
   | Attr_join (op, name, value) -> List.filter (attr_matches store name value) (run store op)
 
-let execute plan = run plan.store plan.op
+(* --- vectorized execution ------------------------------------------------- *)
+
+let vtest = function
+  | Tag t -> R.Vec_ops.Tag (t : Symbol.t :> int)
+  | Any_element -> R.Vec_ops.Star
+
+(* The op tree is a linear chain, so it flattens into the id-algebra
+   step list of {!Xmark_relational.Vec_ops}. *)
+let rec to_lsteps store = function
+  | Document -> []
+  | Child_join (op, test) -> to_lsteps store op @ [ R.Vec_ops.Child (vtest test) ]
+  | Descendant_closure (op, test) -> to_lsteps store op @ [ R.Vec_ops.Descendant (vtest test) ]
+  | Attr_join (op, name, value) ->
+      to_lsteps store op
+      @ [
+          R.Vec_ops.Select
+            {
+              R.Vec_ops.sel_label = Printf.sprintf "@%s = %S" name value;
+              sel_est = 0.1;
+              sel_fn = (fun id -> Backend_shredded.attribute store id name = Some value);
+            };
+        ]
+
+let vec_plan plan =
+  match Backend_shredded.vec plan.store with
+  | None -> None
+  | Some (adapter, _) -> (
+      match to_lsteps plan.store plan.op with
+      | [] -> None
+      | lsteps -> Some (adapter, R.Vec_ops.compile adapter lsteps))
+
+let execute plan =
+  match (if R.Vec_ops.is_enabled () then vec_plan plan else None) with
+  | Some (adapter, vp) ->
+      Array.to_list (R.Vec_ops.execute adapter ~poll:Xmark_xquery.Cancel.poll vp)
+  | None -> run plan.store plan.op
 
 let rec relations_touched store = function
   | Document -> 0
@@ -148,3 +183,8 @@ let rec render = function
       Printf.sprintf "(%s ⨝[id=owner] σ[value='%s'] @%s)" (render op) value name
 
 let explain plan = render plan.op
+
+let explain_vec plan =
+  match vec_plan plan with
+  | None -> []
+  | Some (_, vp) -> R.Vec_ops.explain vp

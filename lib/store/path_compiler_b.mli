@@ -23,7 +23,13 @@ val compile : Backend_shredded.t -> Xmark_xquery.Ast.step list -> plan
 val compile_expr : Backend_shredded.t -> Xmark_xquery.Ast.expr -> plan option
 
 val execute : plan -> int list
-(** Matching node identifiers in document order. *)
+(** Matching node identifiers in document order.  When
+    {!Xmark_relational.Vec_ops} execution is enabled (the default), the
+    plan runs batch-at-a-time on the store's id-algebra adapter — named
+    child steps join only their own tag's parent index instead of
+    probing every relation, and descendant steps become interval joins
+    against the per-tag extents; with [--no-vec] it falls back to the
+    scalar per-level joins. *)
 
 val relations_touched : plan -> int
 (** Number of relations the compiled plan reads — the fragmentation-cost
@@ -31,3 +37,7 @@ val relations_touched : plan -> int
     step). *)
 
 val explain : plan -> string
+
+val explain_vec : plan -> string list
+(** The vectorized physical plan with its cost-model inputs, one line
+    per step; [[]] when the plan cannot vectorize. *)

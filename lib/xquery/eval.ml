@@ -1,6 +1,7 @@
 module Dom = Xmark_xml.Dom
 module Symbol = Xmark_xml.Symbol
 module Stats = Xmark_stats
+module Vec = Xmark_relational.Vec_ops
 
 module Make (S : Store_sig.S) = struct
   type attr = { aowner_order : int; aname : string; avalue : string }
@@ -39,6 +40,12 @@ module Make (S : Store_sig.S) = struct
     ineq_tables : (join_side, (float array * float array) option) Hashtbl.t;
         (* per-item (min,max) key values, each sorted ascending; None when
            the keys are not usable numerically *)
+    vec : (Vec.adapter * (int -> S.node)) option;
+        (* id-algebra view of the store, when the backend offers one *)
+    vec_plans : (Ast.step list, Vec.plan * Ast.step list) Hashtbl.t;
+        (* per absolute path: physical plan for its longest vectorizable
+           prefix plus the scalar suffix steps, compiled once per query;
+           missing key = scalar fallback *)
   }
 
   type ctx = {
@@ -283,6 +290,128 @@ module Make (S : Store_sig.S) = struct
                 | Ast.C_text t -> Ast.C_text t)
               content )
 
+  (* --- vectorized path plans -------------------------------------------- *)
+
+  (* An absolute child/descendant path over name/star tests, with at most
+     an attribute-equality predicate per step, maps onto the id algebra of
+     {!Xmark_relational.Vec_ops}.  Anything else — positional predicates,
+     text tests, nested paths, non-Root origins — stays on the scalar
+     interpreter.  Attribute-equality predicates are position-independent,
+     so filtering the merged id set is equivalent to the scalar per-node
+     predicate application. *)
+  let vec_pred store decode preds =
+    match preds with
+    | [] -> Some []
+    | [
+     Ast.Compare
+       ( Ast.Eq,
+         Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]),
+         Ast.Literal s );
+    ]
+    | [
+     Ast.Compare
+       ( Ast.Eq,
+         Ast.Literal s,
+         Ast.Path (Ast.Context, [ { Ast.axis = Ast.Attribute; test = Ast.Name a; preds = [] } ]) );
+    ] ->
+        let attr = Symbol.to_string a in
+        (* An id-keyed equality belongs to the scalar engine's id-index
+           shortcut (a single lookup); enumerating an extent to filter
+           it here is strictly worse.  Decline, so the step and its
+           suffix stay scalar, whenever the backend has an id index. *)
+        if String.equal attr "id" && S.id_lookup store s <> None then None
+        else
+          Some
+            [
+              Vec.Select
+                {
+                  Vec.sel_label = Printf.sprintf "@%s = %S" attr s;
+                  sel_est = 0.1;
+                  sel_fn = (fun id -> S.attribute store (decode id) attr = Some s);
+                };
+            ]
+    | _ -> None
+
+  let vec_test = function
+    | Ast.Name n -> Some (Vec.Tag (n : Symbol.t :> int))
+    | Ast.Star -> Some Vec.Star
+    | Ast.Text_test | Ast.Any_kind -> None
+
+  (* Longest vectorizable prefix: logical steps for it, plus the suffix
+     that must stay scalar (e.g. a trailing [text()] step). *)
+  let vec_translate store decode steps =
+    let rec go acc = function
+      | [] -> (List.rev acc, [])
+      | ({ Ast.axis; test; preds } :: rest) as remaining -> (
+          match (axis, vec_test test, vec_pred store decode preds) with
+          | (Ast.Child | Ast.Descendant), Some t, Some sel ->
+              let step =
+                match axis with Ast.Child -> Vec.Child t | _ -> Vec.Descendant t
+              in
+              go (List.rev_append (step :: sel) acc) rest
+          | _ -> (List.rev acc, remaining))
+    in
+    match go [] steps with
+    | [], _ -> None
+    | lsteps, suffix -> Some (lsteps, suffix)
+
+  (* Compile a physical plan for every vectorizable absolute path in the
+     query (including inside function bodies and predicates), so execution
+     is a pure table lookup. *)
+  let collect_vec_plans c =
+    match c.vec with
+    | None -> ()
+    | Some (adapter, decode) ->
+        let consider steps =
+          if not (Hashtbl.mem c.vec_plans steps) then
+            match vec_translate c.store decode steps with
+            | Some (lsteps, suffix) ->
+                Hashtbl.replace c.vec_plans steps (Vec.compile adapter lsteps, suffix)
+            | None -> ()
+        in
+        let rec walk (e : Ast.expr) =
+          match e with
+          | Ast.Number _ | Ast.Literal _ | Ast.Var _ | Ast.Root | Ast.Context -> ()
+          | Ast.Sequence es -> List.iter walk es
+          | Ast.Path (o, steps) ->
+              (match o with Ast.Root -> consider steps | _ -> ());
+              walk o;
+              List.iter (fun { Ast.preds; _ } -> List.iter walk preds) steps
+          | Ast.Filter (e', preds) ->
+              walk e';
+              List.iter walk preds
+          | Ast.Flwor f ->
+              List.iter (function Ast.For (_, e') | Ast.Let (_, e') -> walk e') f.clauses;
+              Option.iter walk f.where;
+              List.iter (fun { Ast.key; _ } -> walk key) f.order;
+              walk f.ret
+          | Ast.Quantified (_, binds, sat) ->
+              List.iter (fun (_, e') -> walk e') binds;
+              walk sat
+          | Ast.If (a, b, c') ->
+              walk a;
+              walk b;
+              walk c'
+          | Ast.Or (a, b)
+          | Ast.And (a, b)
+          | Ast.Compare (_, a, b)
+          | Ast.Arith (_, a, b)
+          | Ast.Node_before (a, b)
+          | Ast.Node_after (a, b) ->
+              walk a;
+              walk b
+          | Ast.Neg a -> walk a
+          | Ast.Call (_, args) -> List.iter walk args
+          | Ast.Elem_ctor (_, attrs, content) ->
+              List.iter
+                (fun (_, pieces) ->
+                  List.iter (function Ast.A_expr e' -> walk e' | Ast.A_text _ -> ()) pieces)
+                attrs;
+              List.iter (function Ast.C_expr e' -> walk e' | Ast.C_text _ -> ()) content
+        in
+        List.iter (fun { Ast.body; _ } -> walk body) c.query.Ast.functions;
+        walk c.query.Ast.main
+
   let compile ?(optimize = false) store query =
     let query =
       if optimize then
@@ -301,10 +430,38 @@ module Make (S : Store_sig.S) = struct
       query.Ast.functions;
     let c =
       { store; query; funcs; tag_arrays = Hashtbl.create 16; optimize;
-        join_tables = Hashtbl.create 8; ineq_tables = Hashtbl.create 8 }
+        join_tables = Hashtbl.create 8; ineq_tables = Hashtbl.create 8;
+        (* the adapter build decodes columns and materializes extents;
+           skip all of it when vectorized execution is switched off *)
+        vec = (if Vec.is_enabled () then S.vec store else None);
+        vec_plans = Hashtbl.create 8 }
     in
     static_check c;
+    collect_vec_plans c;
     c
+
+  let explain_vec c =
+    let render_step { Ast.axis; test; preds } =
+      let sep = match axis with Ast.Descendant -> "//" | _ -> "/" in
+      let t =
+        match test with
+        | Ast.Name n -> Symbol.to_string n
+        | Ast.Star -> "*"
+        | Ast.Text_test -> "text()"
+        | Ast.Any_kind -> "node()"
+      in
+      let p = String.concat "" (List.map (fun _ -> "[...]") preds) in
+      sep ^ t ^ p
+    in
+    Hashtbl.fold
+      (fun steps (plan, suffix) acc ->
+        let lines =
+          Vec.explain plan
+          @ List.map (fun s -> "scalar tail: " ^ render_step s) suffix
+        in
+        (String.concat "" (List.map render_step steps), lines) :: acc)
+      c.vec_plans []
+    |> List.sort compare
 
   let tag_array c tag =
     match Hashtbl.find_opt c.tag_arrays tag with
@@ -617,7 +774,20 @@ module Make (S : Store_sig.S) = struct
         match ctx.citem with
         | Some it -> [ it ]
         | None -> err "no context item")
+    | Ast.Path (Ast.Root, steps)
+      when ctx.c.vec <> None && Vec.is_enabled () && Hashtbl.mem ctx.c.vec_plans steps ->
+        let adapter, decode = Option.get ctx.c.vec in
+        let plan, suffix = Hashtbl.find ctx.c.vec_plans steps in
+        Stats.incr ~by:(List.length steps - List.length suffix) "path_steps";
+        let ids = Vec.execute adapter ~poll:Cancel.poll plan in
+        (* ids are sorted ascending = document order for these backends,
+           so this is already the doc_order_dedup form *)
+        let start = Array.fold_right (fun id acc -> N (decode id) :: acc) ids [] in
+        List.fold_left (eval_step ctx) start suffix
     | Ast.Path (origin, steps) ->
+        (match origin with
+        | Ast.Root when ctx.c.vec <> None && Vec.is_enabled () -> Stats.incr "vec_fallbacks"
+        | _ -> ());
         let start = eval ctx origin in
         List.fold_left (eval_step ctx) start steps
     | Ast.Filter (e, preds) ->
@@ -645,9 +815,48 @@ module Make (S : Store_sig.S) = struct
     | [], _ | _, [] -> false
     | _ -> err "node comparison requires single nodes"
 
-  (* One path step applied to a whole node sequence. *)
-  and eval_step ctx input { Ast.axis; test; preds } =
+  (* One path step applied to a whole node sequence.  The dispatch is
+     shaped to cost nothing on the scalar path: no tuples, no options,
+     no record rebuilds per step. *)
+  and eval_step ctx input ({ Ast.axis; _ } as step) =
     Stats.incr "path_steps";
+    match axis with
+    | Ast.Descendant -> (
+        match ctx.c.vec with
+        | Some va when Vec.is_enabled () && input <> [] -> (
+            match vec_descendant_step ctx va input step.Ast.test step.Ast.preds with
+            | Some result -> result
+            | None -> eval_step_scalar ctx input step)
+        | _ -> eval_step_scalar ctx input step)
+    | _ -> eval_step_scalar ctx input step
+
+  (* Step-level vectorization: a descendant step over a sequence of
+     stored nodes becomes an interval join (or closure walk) on the id
+     algebra — the case the scalar evaluator can only serve with a
+     per-node tree walk when the backend lacks [subtree_interval].
+     Covers the [$x//tag] steps of Q6/Q7 whose origin is a variable,
+     which the whole-path planner cannot see. *)
+  and vec_descendant_step ctx (adapter, decode) input test preds =
+    match (vec_test test, vec_pred ctx.c.store decode preds) with
+    | Some t, Some sel ->
+        if List.for_all (function N _ -> true | _ -> false) input then begin
+          let b = Xmark_relational.Batch.create ~capacity:(List.length input) () in
+          List.iter
+            (function N n -> Xmark_relational.Batch.push b (S.order ctx.c.store n) | _ -> ())
+            input;
+          let ids = Xmark_relational.Batch.sorted_unique b in
+          let plan =
+            Vec.compile_from adapter
+              ~est_in:(float_of_int (Array.length ids))
+              (Vec.Descendant t :: sel)
+          in
+          let out = Vec.execute_from adapter ~poll:Cancel.poll plan ids in
+          Some (Array.fold_right (fun id acc -> N (decode id) :: acc) out [])
+        end
+        else None
+    | _ -> None
+
+  and eval_step_scalar ctx input { Ast.axis; test; preds } =
     let per_node it =
       Cancel.poll ();
       match axis with
@@ -1412,7 +1621,7 @@ module Make (S : Store_sig.S) = struct
     let c =
       { store; query = { Ast.functions = []; main = Ast.Root }; funcs = Hashtbl.create 1;
         tag_arrays = Hashtbl.create 1; optimize = false; join_tables = Hashtbl.create 1;
-        ineq_tables = Hashtbl.create 1 }
+        ineq_tables = Hashtbl.create 1; vec = None; vec_plans = Hashtbl.create 1 }
     in
     string_value_of { c; vars = []; citem = None; cpos = 0; csize = 0 } it
 
@@ -1420,7 +1629,7 @@ module Make (S : Store_sig.S) = struct
     let c =
       { store; query = { Ast.functions = []; main = Ast.Root }; funcs = Hashtbl.create 1;
         tag_arrays = Hashtbl.create 1; optimize = false; join_tables = Hashtbl.create 1;
-        ineq_tables = Hashtbl.create 1 }
+        ineq_tables = Hashtbl.create 1; vec = None; vec_plans = Hashtbl.create 1 }
     in
     let ctx = { c; vars = []; citem = None; cpos = 0; csize = 0 } in
     List.map (item_to_dom ctx) v

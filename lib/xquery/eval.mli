@@ -46,6 +46,12 @@ module Make (S : Store_sig.S) : sig
       preserving: it only fires when every join key atomizes to an untyped
       string, where the general [=] means string equality. *)
 
+  val explain_vec : compiled -> (string * string list) list
+  (** The vectorized physical plans chosen for this query's absolute
+      paths: [(rendered path, one line per step with operator, cost-model
+      inputs and cardinality estimates)].  Empty when the backend has no
+      id-algebra view ({!Store_sig.S.vec} = [None]) or no path qualified. *)
+
   val run : compiled -> value
   (** Execute.  @raise Runtime_error on dynamic errors (e.g. a path step
       applied to an atomic). *)

@@ -78,6 +78,13 @@ module type S = sig
   (** Elements with the given tag whose string value contains [word] as a
       token — an inverted-index access path for the full-text query Q14. *)
 
+  val vec : t -> (Xmark_relational.Vec_ops.adapter * (int -> node)) option
+  (** Vectorized-execution capability: an id-algebra view of the store
+      plus the decoder from adapter ids back to nodes.  Only meaningful
+      for backends whose node handles are pre-order integers with
+      document order equal to id order; others return [None] and the
+      evaluator stays on the scalar path. *)
+
   (* --- statistics ------------------------------------------------------ *)
 
   val size_bytes : t -> int
