@@ -392,6 +392,143 @@ let fleet_mode ~workers ~listen ~factor ~doc ~snapshot ~systems ~max_inflight
             ~clients ~requests ~mix ~write_targets:None ~seed ~factor
             ~deadline ~stats_json_file front)
 
+(* --- sharded scatter-gather ------------------------------------------------ *)
+
+(* --shards K: partition, persist one snapshot per shard plus the
+   manifest, serve each shard from its own forked worker, and execute
+   Q1-Q20 scatter-gather — gating every answer against the single-store
+   digest.  The manifest round-trips through disk and is validated
+   against the shard files before any worker loads one, so the mode
+   exercises the whole deployment path, not just the merge logic. *)
+let shards_mode ~k ~factor ~doc ~systems ~max_inflight ~queue_depth ~deadline
+    ~plan_cache =
+  let sys = pick_system systems in
+  let root =
+    match doc with
+    | Some f ->
+        Xmark_xml.Sax.parse_string
+          (In_channel.with_open_bin f In_channel.input_all)
+    | None -> Xmark_xmlgen.Generator.to_dom ~factor ()
+  in
+  let partition, part_span =
+    Timing.measure (fun () -> Xmark_shard.Partitioner.partition ~k root)
+  in
+  let dir = Filename.temp_file "xmark_shards" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let cleanup_dir () =
+    Array.iter
+      (fun f -> rm_quiet (Filename.concat dir f))
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup_dir (fun () ->
+      let files =
+        List.init k (fun i ->
+            let file = Printf.sprintf "shard-%d.xms" i in
+            let session =
+              Runner.load
+                ~source:
+                  (`Dom partition.Xmark_shard.Partitioner.shards.(i)
+                          .Xmark_shard.Partitioner.root)
+                sys
+            in
+            Runner.save_snapshot session (Filename.concat dir file);
+            file)
+      in
+      let manifest =
+        Xmark_shard.Manifest.of_partition ~files ~dir partition
+      in
+      Xmark_shard.Manifest.write ~dir manifest;
+      let manifest = Xmark_shard.Manifest.read ~dir in
+      Xmark_shard.Manifest.validate ~dir manifest;
+      Printf.printf
+        "shards: %d slice(s) of System %s under %s (partitioned in %.1f ms)\n%!"
+        k (letter sys) dir part_span.Timing.wall_ms;
+      Array.iteri
+        (fun i e ->
+          Printf.printf "  shard %d: %s, %d bytes, entities %s\n%!" i
+            e.Xmark_shard.Manifest.file e.Xmark_shard.Manifest.bytes
+            (String.concat " "
+               (List.filter_map
+                  (fun (tag, (start, count)) ->
+                    if count = 0 then None
+                    else Some (Printf.sprintf "%s[%d,%d)" tag start (start + count)))
+                  e.Xmark_shard.Manifest.ranges)))
+        manifest.Xmark_shard.Manifest.shards;
+      (* the single-store reference this mode gates against; loaded
+         before the fork so the comparison cannot drift *)
+      let reference = Runner.load ~source:(`Dom root) sys in
+      let config =
+        server_config ~nclients:4 ~max_inflight ~queue_depth ~deadline
+          ~plan_cache
+      in
+      let make_server i =
+        Server.create ~shard:i ~config
+          (Runner.load
+             ~source:
+               (`Snapshot
+                 (Filename.concat dir
+                    manifest.Xmark_shard.Manifest.shards.(i)
+                      .Xmark_shard.Manifest.file))
+             sys)
+      in
+      let front =
+        Wire.Addr.Unix_sock (Filename.concat dir "front.sock")
+      in
+      let fleet = Wire.Fleet.start ~workers:k ~make_server front in
+      Fun.protect
+        ~finally:(fun () -> Wire.Fleet.stop fleet)
+        (fun () ->
+          let scatter =
+            Xmark_shard.Scatter.create
+              (List.map
+                 (fun a -> Xmark_shard.Scatter.Remote a)
+                 (Wire.Fleet.worker_addrs fleet))
+          in
+          Fun.protect
+            ~finally:(fun () -> Xmark_shard.Scatter.close scatter)
+            (fun () ->
+              Printf.printf
+                "shards: %d worker(s) (pids %s), scatter-gather over Q1-Q20\n%!"
+                k
+                (String.concat ","
+                   (List.map string_of_int (Wire.Fleet.pids fleet)));
+              let bad = ref 0 in
+              List.iter
+                (fun q ->
+                  let want =
+                    Digest.to_hex
+                      (Digest.string (Runner.canonical (Runner.run_session reference q)))
+                  in
+                  match
+                    Timing.measure (fun () ->
+                        Xmark_shard.Scatter.run scatter q)
+                  with
+                  | Ok a, span ->
+                      let same = a.Xmark_shard.Scatter.digest = want in
+                      if not same then incr bad;
+                      Printf.printf "  Q%-2d %4d item(s)  %8.2f ms  %s  %s\n%!"
+                        q a.Xmark_shard.Scatter.items span.Timing.wall_ms
+                        (Xmark_core.Merge.class_name q)
+                        (if same then "digest ok" else "DIGEST MISMATCH")
+                  | Error e, _ ->
+                      incr bad;
+                      Printf.printf "  Q%-2d FAILED: %s\n%!" q
+                        (Server.error_to_string e))
+                (List.init 20 (fun i -> i + 1));
+              if !bad > 0 then begin
+                Printf.eprintf
+                  "FAIL: %d of 20 sharded answers diverged from the single store\n"
+                  !bad;
+                1
+              end
+              else begin
+                Printf.printf
+                  "all 20 sharded answers byte-identical to the single store\n%!";
+                0
+              end)))
+
 (* --- local (in-process) sweeps --------------------------------------------- *)
 
 let local_mode ~factor ~jobs ~clients ~requests ~mix ~deadline ~max_inflight
@@ -477,14 +614,56 @@ let local_wal_mode ~factor ~jobs ~clients ~requests ~mix ~deadline
         [ sys_obj ] stats_json_file;
       digest_gate mismatches)
 
+(* --wal DIR --checkpoint: one-shot maintenance.  Open (recovering),
+   fold the log into a fresh base, report, exit — the next open replays
+   nothing and answers identically (test_wal proves the digests). *)
+let checkpoint_mode ~factor ~doc ~systems ~dir =
+  let sys = pick_system systems in
+  let writer = open_writer ~factor ~doc ~sys ~dir in
+  Fun.protect
+    ~finally:(fun () -> Writer.close writer)
+    (fun () ->
+      let before = Writer.last_lsn writer in
+      match Writer.checkpoint writer with
+      | Ok folded ->
+          Printf.printf
+            "checkpoint %s: %d record(s) folded into a fresh base snapshot \
+             (lsn %d -> 0, log truncated)\n%!"
+            dir folded before;
+          0
+      | Error e ->
+          Printf.eprintf "checkpoint failed: %s\n" (Server.error_to_string e);
+          1)
+
 let run factor jobs clients requests mix_s deadline max_inflight queue_depth
     plan_cache seed systems doc snapshot stats_json_file listen connect fleet
-    wal auctions persons =
+    wal auctions persons shards checkpoint =
   try
     let mix = Workload.mix_of_string mix_s in
     let seed = Option.map Int64.of_int seed in
     if fleet > 0 && wal <> None then
       failwith "--fleet workers are read-only; --wal cannot be combined with --fleet";
+    if checkpoint && shards > 0 then
+      failwith "--checkpoint compacts a write-ahead log; it cannot be combined with --shards";
+    if checkpoint then
+      match wal with
+      | Some dir -> checkpoint_mode ~factor ~doc ~systems ~dir
+      | None -> failwith "--checkpoint needs --wal DIR"
+    else if shards > 0 then begin
+      if wal <> None then
+        failwith "shard workers are read-only; --wal cannot be combined with --shards";
+      if fleet > 0 then
+        failwith "--shards runs its own per-shard fleet; drop --fleet";
+      if listen <> None || connect <> None then
+        failwith "--shards runs its own workers and sweep; drop --listen/--connect";
+      if snapshot <> None then
+        failwith "--shards partitions the document itself; drop --snapshot";
+      if Workload.has_writes mix then
+        failwith "shard workers are read-only; use a read mix";
+      shards_mode ~k:shards ~factor ~doc ~systems ~max_inflight ~queue_depth
+        ~deadline ~plan_cache
+    end
+    else
     match (listen, connect) with
     | Some _, Some _ -> failwith "--connect and --listen are mutually exclusive"
     | None, Some addr_s ->
@@ -579,6 +758,15 @@ let persons_arg =
            with i < $(docv).  0 (default) counts the bound off the writable \
            store; required with --connect.")
 
+let checkpoint_arg =
+  Arg.(
+    value & flag
+    & info [ "checkpoint" ]
+        ~doc:
+          "With $(b,--wal DIR): recover the write state, fold the log into a \
+           fresh base snapshot, truncate the log, and exit.  The next open \
+           replays nothing and answers every query with the same digests.")
+
 let cmd =
   let doc = "serve concurrent queries and updates; measure throughput and tail latency" in
   Cmd.v (Cmd.info "xmark_serve" ~version:"1.0" ~doc)
@@ -589,6 +777,6 @@ let cmd =
       $ Cli.deadline_ms $ Cli.max_inflight $ Cli.queue_depth $ Cli.plan_cache
       $ Cli.seed $ Cli.systems $ Cli.doc_file $ Cli.snapshot $ Cli.stats_json
       $ Cli.listen $ Cli.connect $ Cli.fleet $ wal_arg $ auctions_arg
-      $ persons_arg)
+      $ persons_arg $ Cli.shards $ checkpoint_arg)
 
 let () = exit (Cmd.eval' cmd)

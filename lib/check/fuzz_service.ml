@@ -107,6 +107,7 @@ let submit ?deadline_ms world query =
 let label_of_result = function
   | Ok (P.Reply _) -> "ok"
   | Ok (P.Committed _) -> "committed"
+  | Ok (P.Partial_reply _) -> "partial"
   | Error e -> P.status_name (P.status_code e)
 
 (* Inject the fault; any escape from the typed result is a violation
@@ -153,8 +154,10 @@ let health_check world =
         Error
           (Printf.sprintf
              "healthy client got a wrong digest for query %d after a fault" q)
-  | Ok (P.Committed _) ->
-      Error (Printf.sprintf "health probe for query %d answered as a commit" q)
+  | Ok (P.Committed _ | P.Partial_reply _) ->
+      Error
+        (Printf.sprintf "health probe for query %d answered with the wrong shape"
+           q)
   | Error e ->
       Error
         (Printf.sprintf "healthy client rejected after a fault: query %d, %s"

@@ -1,0 +1,88 @@
+(* Fuzz target: the shard manifest decoder on randomly corrupted maps.
+
+   Contract under test — for ANY byte sequence:
+   - [Manifest.decode] returns a manifest or raises the typed
+     {!Xmark_persist.Corrupt}.  Any other exception is a violation —
+     count fields are attacker-controlled, so a crafted manifest must
+     never provoke an allocation blow-up or an [Invalid_argument] from
+     a string primitive.
+   - Whatever decodes must re-encode byte-identically: the format is
+     write-deterministic, so encode ∘ decode is an identity oracle.
+     A decoder that "repairs" damage (or tolerates a non-canonical
+     form) would let two coordinators disagree about the same file.
+
+   Bases are pristine manifests of randomized valid partitions built
+   through the real encoder, so zero-round mutations also exercise the
+   clean decode path. *)
+
+module Prng = Xmark_prng.Prng
+module Manifest = Xmark_shard.Manifest
+
+let tag_pool =
+  [| "item"; "person"; "open_auction"; "closed_auction"; "category" |]
+
+(* A random valid partition: K shards, a few tags, each tag's total
+   split into K contiguous counts (cut points sorted, so ranges tile). *)
+let gen_manifest g =
+  let k = Prng.int_in g 1 4 in
+  let n_tags = Prng.int_in g 1 (Array.length tag_pool) in
+  let splits =
+    List.init n_tags (fun t ->
+        let total = Prng.int_in g 0 40 in
+        let cuts = Array.init (k - 1) (fun _ -> Prng.int_in g 0 total) in
+        Array.sort compare cuts;
+        let bounds = Array.concat [ [| 0 |]; cuts; [| total |] ] in
+        ( tag_pool.(t),
+          total,
+          Array.init k (fun i -> (bounds.(i), bounds.(i + 1) - bounds.(i))) ))
+  in
+  { Manifest.shards =
+      Array.init k (fun i ->
+          { Manifest.file = Printf.sprintf "shard-%d.xms" i;
+            bytes = Prng.int_in g 0 100_000;
+            crc = Prng.int_in g 0 0xFFFFFF;
+            ranges = List.map (fun (tag, _, per) -> (tag, per.(i))) splits });
+    totals = List.map (fun (tag, total, _) -> (tag, total)) splits }
+
+(* The stand-alone contract — also what {!Corpus} replays for [.xmm]
+   files. *)
+let contract bytes =
+  match Manifest.decode bytes with
+  | exception Xmark_persist.Corrupt _ -> Ok "corrupt"
+  | exception e -> Error ("Manifest.decode raised " ^ Printexc.to_string e)
+  | m -> (
+      match Manifest.encode m with
+      | exception e -> Error ("re-encode raised " ^ Printexc.to_string e)
+      | bytes' ->
+          if String.equal bytes bytes' then Ok "roundtrip"
+          else Error "manifest decoded to a value that re-encodes differently")
+
+type case = { bytes : string }
+
+let gen ~max_bytes g =
+  let base = Manifest.encode (gen_manifest g) in
+  let clamp s =
+    if String.length s <= max_bytes then s else String.sub s 0 max_bytes
+  in
+  let rounds = Prng.int_in g 0 3 in
+  let rec go k s =
+    if k = 0 then s
+    else
+      let _, s' = Mutate.mutate g s in
+      go (k - 1) (clamp s')
+  in
+  { bytes = go rounds (clamp base) }
+
+let property ~max_bytes =
+  {
+    Property.name = "shard";
+    gen = gen ~max_bytes;
+    shrink =
+      (fun case -> Seq.map (fun s -> { bytes = s }) (Shrink.string case.bytes));
+    prop = (fun case -> contract case.bytes);
+    to_bytes = (fun case -> case.bytes);
+    ext = "xmm";
+  }
+
+let run ?corpus_dir ?(max_bytes = 1 lsl 16) ~seed ~iterations () =
+  Property.run ?corpus_dir ~count:iterations ~seed (property ~max_bytes)

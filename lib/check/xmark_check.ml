@@ -8,8 +8,9 @@
     [Fuzz_*] modules apply that machinery to the three trust boundaries
     — the {!Xmark_xml.Sax} parser, the {!Xmark_persist.Snapshot}
     reader, the {!Xmark_service.Server}, the {!Xmark_wire.Frame}
-    decoder, the {!Xmark_wal.Log} recovery scan, and the
-    vectorized-versus-scalar execution equivalence.  {!Corpus} keeps
+    decoder, the {!Xmark_wal.Log} recovery scan, the
+    vectorized-versus-scalar execution equivalence, and the
+    {!Xmark_shard.Manifest} decoder.  {!Corpus} keeps
     found and hand-constructed reproducers on disk and replays them as
     regression tests. *)
 
@@ -23,4 +24,5 @@ module Fuzz_service = Fuzz_service
 module Fuzz_wire = Fuzz_wire
 module Fuzz_wal = Fuzz_wal
 module Fuzz_vec = Fuzz_vec
+module Fuzz_shard = Fuzz_shard
 module Corpus = Corpus

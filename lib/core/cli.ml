@@ -292,6 +292,18 @@ let fleet =
            fleet serves until killed, otherwise the workload sweep runs against \
            it over real sockets.")
 
+let shards =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Partition the document into $(docv) shards along entity boundaries \
+           and execute the benchmark queries scatter-gather — one worker \
+           process per shard behind per-shard wire endpoints — gating every \
+           answer against the single-store digest.  0 (default) disables \
+           sharding.")
+
 let install_jobs n =
   Xmark_parallel.set_default_jobs n;
   Xmark_parallel.default ()

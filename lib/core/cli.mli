@@ -102,6 +102,11 @@ val fleet : int Cmdliner.Term.t
 (** [--fleet N]; fork N snapshot-restoring workers behind a front door,
     0 (default) disables fleet mode. *)
 
+val shards : int Cmdliner.Term.t
+(** [--shards K]; partition into K shards and run the queries
+    scatter-gather over a per-shard worker fleet, 0 (default) disables
+    sharding. *)
+
 (* --- wiring --------------------------------------------------------------- *)
 
 val install_jobs : int -> Xmark_parallel.pool option

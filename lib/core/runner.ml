@@ -401,3 +401,32 @@ let run_session session n = run session.store n
 let run_text_session session qtext = run_text session.store qtext
 
 let canonical outcome = Xml.Canonical.of_nodes outcome.result
+
+(* --- sharded sessions ---------------------------------------------------- *)
+
+type sharded = session array
+
+let shard_sessions sessions =
+  if Array.length sessions = 0 then
+    invalid_arg "Runner.shard_sessions: empty shard list";
+  let sys = sessions.(0).system in
+  Array.iter
+    (fun s ->
+      if s.system <> sys then
+        invalid_arg "Runner.shard_sessions: shards must share one system")
+    sessions;
+  sessions
+
+let shard_count (s : sharded) = Array.length s
+
+let run_sharded (shards : sharded) q =
+  Merge.scatter_gather ~shards:(Array.length shards)
+    ~run:(fun i op ->
+      let store = shards.(i).store in
+      let outcome =
+        match op with
+        | Merge.Run n -> run store n
+        | Merge.Collect text -> run_text store text
+      in
+      List.map Xml.Canonical.of_node outcome.result)
+    q

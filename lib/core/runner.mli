@@ -153,3 +153,27 @@ val run_text_session : session -> string -> outcome
 
 val canonical : outcome -> string
 (** Canonical result form for cross-system comparison. *)
+
+(** {2 Sharded sessions}
+
+    K sessions over contiguous entity slices of one document (see
+    {!Xmark_shard.Partitioner}) answered scatter-gather through the
+    per-query merge plans of {!Merge}.  This is the in-process shape of
+    sharded execution; the wire path ({!Xmark_shard.Scatter}) fans the
+    same ops out to a fleet of shard workers instead. *)
+
+type sharded
+
+val shard_sessions : session array -> sharded
+(** Wrap per-shard sessions, in shard order.
+    @raise Invalid_argument on an empty array or mixed systems. *)
+
+val shard_count : sharded -> int
+
+val run_sharded : sharded -> int -> int * string
+(** [run_sharded s q] executes benchmark query [q] scatter-gather over
+    the shards and returns (item count, canonical form); the canonical
+    form is byte-identical to {!canonical} of the single-store outcome.
+    @raise Unsupported on System C for the join queries Q8-Q12, whose
+    gather needs ad-hoc side-queries C cannot execute.
+    @raise Invalid_argument for an unknown query number. *)

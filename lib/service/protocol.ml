@@ -14,7 +14,11 @@ type update =
     }
   | Close_auction of { auction : string; date : string }
 
-type query = Benchmark of int | Text of string | Update of update
+type query =
+  | Benchmark of int
+  | Text of string
+  | Update of update
+  | Partial of { shard : int; op : Xmark_core.Merge.op }
 
 type request = {
   query : query;
@@ -41,7 +45,16 @@ type commit = {
   queue_ms : float;
 }
 
-type outcome = Reply of reply | Committed of commit
+type partial = {
+  shard : int;
+  payload : string list;
+  epoch : int;
+  latency_ms : float;
+  queue_ms : float;
+  plan_hit : bool;
+}
+
+type outcome = Reply of reply | Committed of commit | Partial_reply of partial
 
 type write_fault =
   | Unknown_auction of string
@@ -60,6 +73,8 @@ type error =
   | Unavailable of string
   | Rejected of write_fault
   | Read_only of string
+  | Wrong_shard of { served : int; requested : int }
+  | Not_sharded of string
 
 type response = (outcome, error) result
 
@@ -72,6 +87,8 @@ let status_code = function
   | Unavailable _ -> 6
   | Rejected _ -> 7
   | Read_only _ -> 8
+  | Wrong_shard _ -> 9
+  | Not_sharded _ -> 10
 
 let status_of_response = function Ok _ -> 0 | Error e -> status_code e
 
@@ -85,6 +102,8 @@ let status_name = function
   | 6 -> "unavailable"
   | 7 -> "rejected"
   | 8 -> "read-only"
+  | 9 -> "wrong-shard"
+  | 10 -> "not-sharded"
   | _ -> "unknown"
 
 (* CLI contract: 0 success, 1 data/evaluation errors, 2 usage, 3
@@ -94,8 +113,10 @@ let status_name = function
    server cannot run that form of request. *)
 let exit_code = function
   | Bad_request _ -> 2
-  | Unsupported _ | Read_only _ -> 3
-  | Failed _ | Overloaded _ | Timeout _ | Unavailable _ | Rejected _ -> 1
+  | Unsupported _ | Read_only _ | Not_sharded _ -> 3
+  | Failed _ | Overloaded _ | Timeout _ | Unavailable _ | Rejected _
+  | Wrong_shard _ ->
+      1
 
 let write_fault_to_string = function
   | Unknown_auction id -> Printf.sprintf "no such open auction %s" id
@@ -117,6 +138,10 @@ let error_to_string e =
     | Unavailable msg -> "unavailable: " ^ msg
     | Rejected f -> "rejected: " ^ write_fault_to_string f
     | Read_only msg -> "read-only: " ^ msg
+    | Wrong_shard { served; requested } ->
+        Printf.sprintf "wrong shard: this worker serves shard %d, not %d"
+          served requested
+    | Not_sharded msg -> "not sharded: " ^ msg
   in
   Printf.sprintf "error %d: %s" (status_code e) body
 

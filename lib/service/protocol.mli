@@ -27,6 +27,8 @@
       | 6    | [Unavailable] | transport/worker failure, answer unknown  |
       | 7    | [Rejected]    | update refused by a typed integrity check |
       | 8    | [Read_only]   | update sent to a server without a WAL     |
+      | 9    | [Wrong_shard] | shard-scoped request routed to the wrong worker |
+      | 10   | [Not_sharded] | shard-scoped request sent to an unsharded server |
     } *)
 
 type update =
@@ -46,6 +48,11 @@ type query =
   | Benchmark of int  (** benchmark query 1-20 *)
   | Text of string  (** ad-hoc XQuery text *)
   | Update of update  (** a write, durably committed before the reply *)
+  | Partial of { shard : int; op : Xmark_core.Merge.op }
+      (** one scatter-gather fan-out leg: run this merge-plan op on the
+          worker serving shard [shard] and return the per-item canonical
+          payload (a {!partial}) instead of just a digest — the
+          coordinator needs the items themselves to gather *)
 
 type request = {
   query : query;
@@ -79,9 +86,21 @@ type commit = {
   queue_ms : float;
 }
 
+type partial = {
+  shard : int;  (** the shard this partial answer covers *)
+  payload : string list;
+      (** per-item canonical strings ({!Xmark_xml.Canonical.of_node} of
+          each result item, in document order) — the gather step's input *)
+  epoch : int;
+  latency_ms : float;
+  queue_ms : float;
+  plan_hit : bool;
+}
+
 type outcome =
   | Reply of reply  (** a read produced an answer *)
   | Committed of commit  (** a write is durable and published *)
+  | Partial_reply of partial  (** one shard's slice of a scattered query *)
 
 type write_fault =
   | Unknown_auction of string
@@ -111,11 +130,17 @@ type error =
   | Read_only of string
       (** code 8: this server has no write path (no [--wal]); fleet
           workers are always read-only *)
+  | Wrong_shard of { served : int; requested : int }
+      (** code 9: a shard-scoped request reached a worker serving a
+          different shard — a routing bug; no partial answer is returned *)
+  | Not_sharded of string
+      (** code 10: a shard-scoped request reached a server with no shard
+          scope (started without [--shards]) *)
 
 type response = (outcome, error) result
 
 val status_code : error -> int
-(** The stable numeric code (1-8); [0] is reserved for [Ok]. *)
+(** The stable numeric code (1-10); [0] is reserved for [Ok]. *)
 
 val status_of_response : response -> int
 
@@ -126,9 +151,10 @@ val status_name : int -> string
 val exit_code : error -> int
 (** Collapse onto the CLI exit-code contract (README "Exit codes"):
     [1] data/evaluation errors (also timeouts, overload, transport
-    failures and rejected updates — the run did not produce its
-    answers), [2] usage errors ([Bad_request]), [3] [Unsupported] and
-    [Read_only] (the store cannot run this form of request). *)
+    failures, rejected updates and [Wrong_shard] misroutes — the run
+    did not produce its answers), [2] usage errors ([Bad_request]),
+    [3] [Unsupported], [Read_only] and [Not_sharded] (the store cannot
+    run this form of request). *)
 
 val write_fault_to_string : write_fault -> string
 

@@ -66,6 +66,8 @@ type error = Protocol.error =
   | Unavailable of string
   | Rejected of Protocol.write_fault
   | Read_only of string
+  | Wrong_shard of { served : int; requested : int }
+  | Not_sharded of string
 
 type reply = Protocol.reply = {
   items : int;
@@ -96,6 +98,7 @@ type epoch_state = {
 
 type t = {
   current : epoch_state Atomic.t;
+  scope : int option;  (* the shard this server serves, if any *)
   writer : Writer.t option;
   write_lock : Mutex.t;  (* serializes commit + publish *)
   pool : Parallel.pool option;
@@ -121,9 +124,10 @@ let clamp config =
     max_inflight = max 1 config.max_inflight;
     queue_depth = max 0 config.queue_depth }
 
-let make ?pool ~config ~writer ~epoch session =
+let make ?pool ?shard ~config ~writer ~epoch session =
   let config = clamp config in
   {
+    scope = shard;
     current =
       Atomic.make
         {
@@ -150,8 +154,8 @@ let make ?pool ~config ~writer ~epoch session =
     retired_evictions = 0;
   }
 
-let create ?pool ?(config = default_config) session =
-  make ?pool ~config ~writer:None ~epoch:0 session
+let create ?pool ?shard ?(config = default_config) session =
+  make ?pool ?shard ~config ~writer:None ~epoch:0 session
 
 let create_writable ?pool ?(config = default_config) writer =
   make ?pool ~config ~writer:(Some writer) ~epoch:(Writer.last_lsn writer)
@@ -159,6 +163,7 @@ let create_writable ?pool ?(config = default_config) writer =
 
 let session t = (Atomic.get t.current).ep_session
 let epoch t = (Atomic.get t.current).ep_epoch
+let shard t = t.scope
 let writable t = t.writer <> None
 let config t = t.cfg
 
@@ -248,7 +253,7 @@ let deadline_check ~t0 ~deadline =
 (* [?deadline_ms] overrides the server-wide deadline for this one
    request — the fuzz harness uses it to inject deadline storms into a
    server whose healthy clients keep their generous budget. *)
-let submit_with ?deadline_ms t ~key ~prepare =
+let submit_with ?deadline_ms ?partial_shard t ~key ~prepare =
   Stats.incr "service_requests";
   let t0 = Unix.gettimeofday () in
   (* pin the epoch before admission: session and plan cache travel
@@ -277,10 +282,19 @@ let submit_with ?deadline_ms t ~key ~prepare =
               (fun () -> Runner.execute_prepared plan)
           in
           (* digest on the executing domain: canonicalization is real CPU
-             work, so it belongs on the pool, not the submitting client *)
+             work, so it belongs on the pool, not the submitting client.
+             A scatter-gather leg also carries the per-item canonical
+             strings — the coordinator merges items, not digests. *)
+          let payload =
+            match partial_shard with
+            | None -> []
+            | Some _ ->
+                List.map Xmark_xml.Canonical.of_node outcome.Runner.result
+          in
           ( outcome.Runner.items,
             Digest.to_hex (Digest.string (Runner.canonical outcome)),
-            plan_hit )
+            plan_hit,
+            payload )
         in
         match deadline with
         | None -> body ()
@@ -293,18 +307,30 @@ let submit_with ?deadline_ms t ~key ~prepare =
       in
       let elapsed () = (Unix.gettimeofday () -. t0) *. 1000.0 in
       match dispatch () with
-      | items, digest, plan_hit ->
+      | items, digest, plan_hit, payload ->
           release t `Ok;
           Ok
-            (Protocol.Reply
-               {
-                 items;
-                 digest;
-                 epoch = ep.ep_epoch;
-                 latency_ms = elapsed ();
-                 queue_ms;
-                 plan_hit;
-               })
+            (match partial_shard with
+            | Some shard ->
+                Protocol.Partial_reply
+                  {
+                    Protocol.shard;
+                    payload;
+                    epoch = ep.ep_epoch;
+                    latency_ms = elapsed ();
+                    queue_ms;
+                    plan_hit;
+                  }
+            | None ->
+                Protocol.Reply
+                  {
+                    items;
+                    digest;
+                    epoch = ep.ep_epoch;
+                    latency_ms = elapsed ();
+                    queue_ms;
+                    plan_hit;
+                  })
       | exception Cancel.Cancelled _ ->
           release t `Timeout;
           Stats.incr "service_timeouts";
@@ -415,5 +441,32 @@ let handle t (req : Protocol.request) =
           Mutex.protect t.lock (fun () -> t.n_failed <- t.n_failed + 1);
           Error (Read_only "this server has no write path (start it with --wal)")
       | Some w -> commit_update ?deadline_ms:req.Protocol.deadline_ms t w u)
+  | Protocol.Partial { shard; op } -> (
+      match t.scope with
+      | None ->
+          Mutex.protect t.lock (fun () -> t.n_failed <- t.n_failed + 1);
+          Error
+            (Not_sharded
+               "this server serves a whole store, not a shard (no shard scope)")
+      | Some served when served <> shard ->
+          Mutex.protect t.lock (fun () -> t.n_failed <- t.n_failed + 1);
+          Error (Wrong_shard { served; requested = shard })
+      | Some served -> (
+          match op with
+          | Xmark_core.Merge.Run n when n < 1 || n > 20 ->
+              Mutex.protect t.lock (fun () -> t.n_failed <- t.n_failed + 1);
+              Error
+                (Bad_request
+                   (Printf.sprintf "benchmark query %d out of range 1-20" n))
+          | Xmark_core.Merge.Run n ->
+              submit_with ?deadline_ms:req.Protocol.deadline_ms
+                ~partial_shard:served t
+                ~key:("#" ^ string_of_int n)
+                ~prepare:(fun session -> Runner.prepare session.Runner.store n)
+          | Xmark_core.Merge.Collect qtext ->
+              submit_with ?deadline_ms:req.Protocol.deadline_ms
+                ~partial_shard:served t ~key:qtext
+                ~prepare:(fun session ->
+                  Runner.prepare_text session.Runner.store qtext)))
 
 let error_to_string = Protocol.error_to_string

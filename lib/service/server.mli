@@ -54,6 +54,8 @@ type error = Protocol.error =
   | Unavailable of string
   | Rejected of Protocol.write_fault
   | Read_only of string
+  | Wrong_shard of { served : int; requested : int }
+  | Not_sharded of string
 (** Re-exported {!Protocol.error} — see there for the stable numeric
     codes.  [Unavailable] is produced by transports (a fleet front door
     whose worker died), never by this in-process server. *)
@@ -82,11 +84,24 @@ type totals = {
 type t
 
 val create :
-  ?pool:Xmark_parallel.pool -> ?config:config -> Xmark_core.Runner.session -> t
+  ?pool:Xmark_parallel.pool ->
+  ?shard:int ->
+  ?config:config ->
+  Xmark_core.Runner.session ->
+  t
 (** A read-only server (epoch 0, no writer): updates get [Read_only].
     The server borrows [pool] (caller shuts it down) and shares the
     session's store across domains — stores are immutable on the query
-    path, which is what makes this safe. *)
+    path, which is what makes this safe.
+
+    [?shard] gives the server a {e shard scope}: its session holds
+    shard [n] of a partitioned store, and it accepts
+    {!Protocol.query.Partial} requests for exactly that shard, answered
+    with a {!Protocol.outcome.Partial_reply} carrying the per-item
+    canonical payload.  Partial requests for another shard get the
+    typed [Wrong_shard]; without a scope they get [Not_sharded].
+    Benchmark/text requests still work and answer over the shard's
+    slice alone. *)
 
 val create_writable :
   ?pool:Xmark_parallel.pool -> ?config:config -> Writer.t -> t
@@ -100,6 +115,9 @@ val session : t -> Xmark_core.Runner.session
 
 val epoch : t -> int
 (** The current epoch number (= WAL LSN of the last published commit). *)
+
+val shard : t -> int option
+(** The server's shard scope, when created with [?shard]. *)
 
 val writable : t -> bool
 

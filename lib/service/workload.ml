@@ -288,9 +288,13 @@ let strand_step transport mix total_weight write_targets s =
   | Error (Protocol.Timeout _) -> c.cs_timeouts <- c.cs_timeouts + 1
   | Error (Protocol.Overloaded _) -> c.cs_rejected <- c.cs_rejected + 1
   | Error (Protocol.Rejected _) -> c.cs_conflicts <- c.cs_conflicts + 1
+  | Ok (Protocol.Partial_reply _) ->
+      (* the workload driver never sends Partial requests *)
+      c.cs_failed <- c.cs_failed + 1
   | Error
       ( Protocol.Unsupported _ | Protocol.Failed _ | Protocol.Bad_request _
-      | Protocol.Unavailable _ | Protocol.Read_only _ ) ->
+      | Protocol.Unavailable _ | Protocol.Read_only _
+      | Protocol.Wrong_shard _ | Protocol.Not_sharded _ ) ->
       c.cs_failed <- c.cs_failed + 1);
   s.st_budget <- s.st_budget - 1;
   if s.st_budget <= 0 then strand_close s

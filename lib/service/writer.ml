@@ -10,7 +10,9 @@ module Replay = Xmark_wal.Replay
 
 type t = {
   master : Updates.session;  (* the only mutable tree; never escapes *)
-  log : Log.t;
+  base : string;  (* path of the base snapshot under the wal dir *)
+  log_path : string;
+  mutable log : Log.t;  (* replaced wholesale by [checkpoint] *)
   mutable poisoned : string option;
 }
 
@@ -57,7 +59,7 @@ let open_dir ?(level = `Full) ~dir ~bootstrap () =
     let base_len, base_crc = file_len_crc base in
     let log, recovery = Log.open_ ~expect_base:(base_len, base_crc) log_path in
     let master = Replay.of_snapshot ~level base recovery.Log.records in
-    ( { master; log; poisoned = None },
+    ( { master; base; log_path; log; poisoned = None },
       {
         fresh = false;
         replayed = List.length recovery.Log.records;
@@ -73,7 +75,8 @@ let open_dir ?(level = `Full) ~dir ~bootstrap () =
        have applied every commit to identical ground *)
     let master = Replay.of_snapshot ~level base [] in
     let log = Log.create ~path:log_path ~base_len ~base_crc in
-    ({ master; log; poisoned = None }, { fresh = true; replayed = 0; truncated_bytes = 0 })
+    ( { master; base; log_path; log; poisoned = None },
+      { fresh = true; replayed = 0; truncated_bytes = 0 } )
   end
 
 (* The WAL drops any frame larger than [Log.max_record] as a torn tail
@@ -119,6 +122,37 @@ let publish t =
   Runner.adopt_mainmem store
 
 let last_lsn t = Log.last_lsn t.log
+
+(* Fold the log into a fresh base: the master tree (base + every
+   committed record) becomes the new snapshot, and the log restarts
+   empty, bound to it.  Step order — tmp snapshot, rename over base,
+   recreate log — makes every step atomic; a crash between the last
+   two leaves a new base beside a log bound to the old one, which the
+   next [open_dir] refuses as the typed [Corrupt] (detection, never a
+   silent wrong replay). *)
+let checkpoint t =
+  match t.poisoned with
+  | Some msg ->
+      Error
+        (Protocol.Failed ("writer poisoned by an earlier disk failure: " ^ msg))
+  | None -> (
+      match
+        let folded = Log.last_lsn t.log in
+        let tmp = t.base ^ ".tmp" in
+        Snapshot.write ~path:tmp
+          ~system:(char_of_level (Updates.level t.master))
+          (Snapshot.Dom (Updates.root t.master));
+        Sys.rename tmp t.base;
+        Log.close t.log;
+        let base_len, base_crc = file_len_crc t.base in
+        t.log <- Log.create ~path:t.log_path ~base_len ~base_crc;
+        folded
+      with
+      | folded -> Ok folded
+      | exception e ->
+          let msg = Printexc.to_string e in
+          t.poisoned <- Some msg;
+          Error (Protocol.Failed ("checkpoint failed: " ^ msg)))
 
 let max_id_suffix root prefix =
   let plen = String.length prefix in

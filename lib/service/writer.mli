@@ -61,6 +61,20 @@ val last_lsn : t -> int
 (** LSN of the last durable record; [0] for a fresh log.  Doubles as
     the epoch number of the store {!publish} would build. *)
 
+val checkpoint : t -> (int, Protocol.error) result
+(** Compact the write state: write the master tree (base plus every
+    committed record) as a fresh base snapshot — temp file, then an
+    atomic rename over [base.xms] — and restart the log empty, bound
+    to the new base.  [Ok n] is the number of records folded away;
+    {!last_lsn} is 0 afterwards and recovery replays nothing, yet the
+    reopened state answers every query with the digests the
+    pre-checkpoint state had.  A crash between the rename and the log
+    restart leaves a base/log binding mismatch the next {!open_dir}
+    refuses as the typed [Corrupt] — detection, never a wrong replay.
+    On any I/O failure the writer poisons itself ([Error (Failed _)],
+    like {!commit} after a lost write).  Not thread-safe: serialize
+    with commits. *)
+
 val write_targets : t -> int * int
 (** [(n_auctions, n_persons)] id-space bounds for workload writes —
     one past the highest ["open_auction<i>"] / ["person<i>"] suffix in

@@ -1,0 +1,232 @@
+(* The shard map file: magic + version + K + catalog union + per-shard
+   entries + trailing CRC-32.  Decoding is total — typed
+   [Xmark_persist.Corrupt], never an exception leak — and every count
+   field is bounds-vetted before allocation so a hostile manifest
+   cannot balloon memory. *)
+
+module Crc32 = Xmark_persist.Crc32
+
+exception Corrupt = Xmark_persist.Corrupt
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+type entry = {
+  file : string;
+  bytes : int;
+  crc : int;
+  ranges : (string * (int * int)) list;
+}
+
+type t = {
+  shards : entry array;
+  totals : (string * int) list;
+}
+
+let magic = "XMF\x01"
+let version = 1
+let filename = "MANIFEST.xmm"
+
+(* The invariant both ends enforce: every shard lists every catalog tag
+   in catalog order, and per tag the shard ranges tile [0, total) in
+   shard order — no gap, no overlap.  [fail] lets the writer raise
+   Invalid_argument where the reader raises Corrupt. *)
+let check_partition ~fail { shards; totals } =
+  Array.iter
+    (fun e ->
+      if List.map fst e.ranges <> List.map fst totals then
+        fail
+          (Printf.sprintf "shard %s: range tags do not match the catalog"
+             e.file))
+    shards;
+  List.iter
+    (fun (tag, total) ->
+      let next =
+        Array.fold_left
+          (fun next e ->
+            let start, count = List.assoc tag e.ranges in
+            if count < 0 then
+              fail (Printf.sprintf "shard %s: negative %s count" e.file tag);
+            if start <> next then
+              fail
+                (Printf.sprintf
+                   "tag %s: shard %s starts at %d where %d was expected \
+                    (ranges must tile without gap or overlap)"
+                   tag e.file start next);
+            next + count)
+          0 shards
+      in
+      if next <> total then
+        fail
+          (Printf.sprintf "tag %s: shard ranges cover %d of %d entities" tag
+             next total))
+    totals
+
+(* --- encoding ------------------------------------------------------------- *)
+
+let add_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let encode t =
+  check_partition ~fail:(fun m -> invalid_arg ("Manifest.encode: " ^ m)) t;
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_uint8 b version;
+  add_u32 b (Array.length t.shards);
+  add_u32 b (List.length t.totals);
+  List.iter
+    (fun (tag, total) ->
+      add_str b tag;
+      add_u32 b total)
+    t.totals;
+  Array.iter
+    (fun e ->
+      add_str b e.file;
+      add_u32 b e.bytes;
+      add_u32 b e.crc;
+      List.iter
+        (fun (_, (start, count)) ->
+          add_u32 b start;
+          add_u32 b count)
+        e.ranges)
+    t.shards;
+  let body = Buffer.contents b in
+  add_u32 b (Crc32.digest_sub body 4 (String.length body - 4));
+  Buffer.contents b
+
+(* --- decoding ------------------------------------------------------------- *)
+
+type reader = { src : string; mutable pos : int; limit : int }
+
+let need r n what =
+  if n < 0 || r.pos + n > r.limit then
+    corrupt "manifest ends inside %s (%d of %d bytes available)" what
+      (r.limit - r.pos) n
+
+let u32 r what =
+  need r 4 what;
+  let v = Int32.to_int (String.get_int32_be r.src r.pos) land 0xffffffff in
+  r.pos <- r.pos + 4;
+  v
+
+let str r what =
+  let n = u32 r what in
+  need r n what;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let decode s =
+  let len = String.length s in
+  if len < 4 then corrupt "truncated manifest (%d bytes)" len;
+  let m = String.sub s 0 4 in
+  if m <> magic then
+    corrupt "bad manifest magic %S — not a shard map" (String.escaped m);
+  if len < 9 + 4 then corrupt "truncated manifest header";
+  let v = Char.code s.[4] in
+  if v <> version then corrupt "unsupported manifest version %d" v;
+  let stored =
+    Int32.to_int (String.get_int32_be s (len - 4)) land 0xffffffff
+  in
+  let computed = Crc32.digest_sub s 4 (len - 8) in
+  if stored <> computed then
+    corrupt "manifest checksum mismatch (stored %08x, computed %08x)" stored
+      computed;
+  let r = { src = s; pos = 5; limit = len - 4 } in
+  let k = u32 r "shard count" in
+  if k < 1 then corrupt "shard count must be >= 1 (got %d)" k;
+  let n_tags = u32 r "tag count" in
+  (* every tag costs at least 8 bytes (length prefix + total); every
+     shard at least 12 + 8*n_tags: vet the declared counts against the
+     remaining bytes before building anything *)
+  need r ((8 * n_tags) + (k * (12 + (8 * n_tags)))) "shard map";
+  let rec read_n acc i f =
+    if i = 0 then List.rev acc else read_n (f r :: acc) (i - 1) f
+  in
+  let totals =
+    read_n [] n_tags (fun r ->
+        let tag = str r "tag name" in
+        let total = u32 r "tag total" in
+        (tag, total))
+  in
+  let tags = List.map fst totals in
+  let shards =
+    Array.init k (fun _ ->
+        let file = str r "shard file" in
+        let bytes = u32 r "shard byte length" in
+        let crc = u32 r "shard crc" in
+        let ranges =
+          List.map
+            (fun tag ->
+              let start = u32 r "range start" in
+              let count = u32 r "range count" in
+              (tag, (start, count)))
+            tags
+        in
+        { file; bytes; crc; ranges })
+  in
+  if r.pos <> r.limit then
+    corrupt "%d trailing byte(s) after the shard map" (r.limit - r.pos);
+  let t = { shards; totals } in
+  check_partition ~fail:(fun m -> raise (Corrupt m)) t;
+  t
+
+(* --- files ---------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write ~dir t =
+  let bytes = encode t in
+  let path = Filename.concat dir filename in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc bytes;
+  close_out oc;
+  Sys.rename tmp path
+
+let read ~dir =
+  let path = Filename.concat dir filename in
+  match read_file path with
+  | exception Sys_error m -> corrupt "cannot read manifest: %s" m
+  | s -> decode s
+
+let validate ~dir t =
+  Array.iter
+    (fun e ->
+      let path = Filename.concat dir e.file in
+      match read_file path with
+      | exception Sys_error _ -> corrupt "missing shard snapshot %s" e.file
+      | s ->
+          if String.length s <> e.bytes then
+            corrupt "shard snapshot %s is %d bytes where the manifest says %d"
+              e.file (String.length s) e.bytes;
+          let crc = Crc32.digest s in
+          if crc <> e.crc then
+            corrupt
+              "shard snapshot %s checksum mismatch (stored %08x, computed \
+               %08x)"
+              e.file e.crc crc)
+    t.shards
+
+let of_partition ~files ~dir (p : Partitioner.t) =
+  let k = Array.length p.Partitioner.shards in
+  if List.length files <> k then
+    invalid_arg
+      (Printf.sprintf "Manifest.of_partition: %d file(s) for %d shard(s)"
+         (List.length files) k);
+  let shards =
+    Array.of_list
+      (List.mapi
+         (fun i file ->
+           let s = read_file (Filename.concat dir file) in
+           { file; bytes = String.length s; crc = Crc32.digest s;
+             ranges = p.Partitioner.shards.(i).Partitioner.ranges })
+         files)
+  in
+  { shards; totals = p.Partitioner.totals }

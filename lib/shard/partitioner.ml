@@ -1,0 +1,171 @@
+module Dom = Xmark_xml.Dom
+
+type shard = { root : Dom.node; ranges : (string * (int * int)) list }
+
+type t = { shards : shard array; totals : (string * int) list }
+
+let entity_tags = Xmark_xmlgen.Sink.entity_tags
+
+let is_entity n = Dom.is_element n && List.mem (Dom.name n) entity_tags
+
+let element_attrs n =
+  match n.Dom.desc with Dom.Element e -> e.Dom.attrs | Dom.Text _ -> []
+
+let partition_general ~k root =
+  (* Slot = one entity container (a continent or a section element);
+     entities are enumerated slot by slot in document order. *)
+  let sections = Dom.children root in
+  let total =
+    List.fold_left
+      (fun acc section ->
+        match Dom.name section with
+        | "regions" ->
+            List.fold_left
+              (fun acc continent ->
+                acc
+                + List.length (List.filter is_entity (Dom.children continent)))
+              acc (Dom.children section)
+        | "catgraph" -> acc
+        | _ -> acc + List.length (List.filter is_entity (Dom.children section)))
+      0 sections
+  in
+  (* Balanced contiguous slices: the first [total mod k] shards hold one
+     extra entity. *)
+  let q = total / k and r = total mod k in
+  let size s = q + if s < r then 1 else 0 in
+  let bounds = Array.make (k + 1) 0 in
+  for s = 0 to k - 1 do
+    bounds.(s + 1) <- bounds.(s) + size s
+  done;
+  let cur_shard = ref 0 in
+  let shard_of i =
+    while i >= bounds.(!cur_shard + 1) do
+      incr cur_shard
+    done;
+    !cur_shard
+  in
+  let roots =
+    Array.init k (fun _ -> Dom.element ~attrs:(element_attrs root) "site")
+  in
+  let counts = Array.make_matrix k (List.length entity_tags) 0 in
+  let tag_index tag =
+    let rec go i = function
+      | [] -> invalid_arg "Partitioner.partition: unknown entity tag"
+      | t :: _ when String.equal t tag -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 entity_tags
+  in
+  let next = ref 0 in
+  (* [targets section_builder] mirrors one original container into every
+     shard and returns the per-shard nodes to append entities to. *)
+  let mirror original =
+    Array.map
+      (fun _ -> Dom.element ~attrs:(element_attrs original) (Dom.name original))
+      roots
+  in
+  let place targets entity =
+    let s = shard_of !next in
+    incr next;
+    counts.(s).(tag_index (Dom.name entity)) <-
+      counts.(s).(tag_index (Dom.name entity)) + 1;
+    Dom.append targets.(s) (Dom.deep_copy entity)
+  in
+  List.iter
+    (fun section ->
+      let section_targets = mirror section in
+      Array.iteri (fun s t -> Dom.append roots.(s) t) section_targets;
+      match Dom.name section with
+      | "regions" ->
+          List.iter
+            (fun continent ->
+              let continent_targets = mirror continent in
+              Array.iteri
+                (fun s t -> Dom.append section_targets.(s) t)
+                continent_targets;
+              List.iter
+                (fun child ->
+                  if is_entity child then place continent_targets child)
+                (Dom.children continent))
+            (Dom.children section)
+      | "catgraph" ->
+          (* no query touches the category graph; keep the union exact by
+             giving every edge to shard 0 *)
+          List.iter
+            (fun edge -> Dom.append section_targets.(0) (Dom.deep_copy edge))
+            (Dom.children section)
+      | _ ->
+          List.iter
+            (fun child -> if is_entity child then place section_targets child)
+            (Dom.children section))
+    sections;
+  assert (!next = total);
+  let totals =
+    List.mapi
+      (fun ti tag ->
+        let t = ref 0 in
+        for s = 0 to k - 1 do
+          t := !t + counts.(s).(ti)
+        done;
+        (tag, !t))
+      entity_tags
+  in
+  let starts = Array.make (List.length entity_tags) 0 in
+  let shards =
+    Array.mapi
+      (fun s root ->
+        let ranges =
+          List.mapi
+            (fun ti tag ->
+              let start = starts.(ti) in
+              starts.(ti) <- start + counts.(s).(ti);
+              (tag, (start, counts.(s).(ti))))
+            entity_tags
+        in
+        ignore (Dom.index root : int);
+        { root; ranges })
+      roots
+  in
+  { shards; totals }
+
+(* The identity partition shares the original document instead of
+   deep-copying it: a single "shard" must *be* the unsharded store, not
+   a relocated copy whose allocation locality differs from the input. *)
+let partition_identity root =
+  let count_in children tag =
+    List.length
+      (List.filter
+         (fun n -> Dom.is_element n && String.equal (Dom.name n) tag)
+         children)
+  in
+  let totals =
+    List.map
+      (fun tag ->
+        let n =
+          List.fold_left
+            (fun acc section ->
+              match Dom.name section with
+              | "regions" ->
+                  List.fold_left
+                    (fun acc continent ->
+                      acc + count_in (Dom.children continent) tag)
+                    acc (Dom.children section)
+              | "catgraph" -> acc
+              | _ -> acc + count_in (Dom.children section) tag)
+            0 (Dom.children root)
+        in
+        (tag, n))
+      entity_tags
+  in
+  ignore (Dom.index root : int);
+  {
+    shards =
+      [| { root; ranges = List.map (fun (tag, n) -> (tag, (0, n))) totals } |];
+    totals;
+  }
+
+let partition ~k root =
+  if k < 1 then invalid_arg "Partitioner.partition: k must be >= 1";
+  if not (Dom.is_element root && Dom.name root = "site") then
+    invalid_arg "Partitioner.partition: root must be a <site> element";
+  if k = 1 then partition_identity root else partition_general ~k root

@@ -1,0 +1,46 @@
+(** Partition an auction document into K shards along the paper's
+    entity boundaries.
+
+    Section 5's split mode counts second-level entities
+    ({!Xmark_xmlgen.Sink.entity_tags}) linearly across the document;
+    the partitioner assigns each shard one {e contiguous} slice of that
+    global entity sequence (balanced: the first [total mod k] shards
+    hold one extra entity) and rebuilds the full site skeleton — all six
+    continents, every section container — around each slice.  Because
+    the slices are contiguous and the skeleton is order-preserving,
+    concatenating per-shard answers in shard order reproduces global
+    document order for every section-scoped path, which is what
+    {!Xmark_core.Merge}'s concat class relies on.
+
+    Entity subtrees are deep-copied verbatim (ids, contents and
+    cross-references untouched); catgraph edges, which no benchmark
+    query touches, all go to shard 0 so the shard union is exactly the
+    original document's content.  Every shard root is freshly
+    {!Xmark_xml.Dom.index}ed.  The partition is a pure function of the
+    input document — the same document yields byte-identical shards.
+
+    [k = 1] is the identity partition: the single shard {e shares} the
+    original root rather than copying it, so a one-shard deployment is
+    the unsharded store — same nodes, same allocation locality, same
+    timings. *)
+
+type shard = {
+  root : Xmark_xml.Dom.node;  (** indexed site tree for this slice *)
+  ranges : (string * (int * int)) list;
+      (** per entity tag, [(start, count)]: this shard holds the
+          [count] entities of that tag beginning at global ordinal
+          [start] (position in the tag's document-order sequence).
+          Always lists every entity tag, in {!Xmark_xmlgen.Sink.entity_tags}
+          order; shard ranges tile [\[0, total)] per tag. *)
+}
+
+type t = {
+  shards : shard array;  (** in slice order *)
+  totals : (string * int) list;
+      (** catalog union: global entity count per tag, same order *)
+}
+
+val partition : k:int -> Xmark_xml.Dom.node -> t
+(** [partition ~k root] slices the document under [root] (a [site]
+    element) into [k] shards.
+    @raise Invalid_argument if [k < 1] or [root] is not a site tree. *)

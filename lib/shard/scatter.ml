@@ -1,0 +1,178 @@
+(* Thread-per-shard fan-out with an all-or-nothing join: every leg's
+   outcome lands in a slot array, and only when all K slots are Ok does
+   the gather run — a dead worker yields its typed error, never an
+   answer merged from a subset of shards. *)
+
+module Stats = Xmark_stats
+module Merge = Xmark_core.Merge
+module Server = Xmark_service.Server
+module P = Xmark_service.Protocol
+module Addr = Xmark_wire.Addr
+module Client = Xmark_wire.Client
+
+type conn = {
+  addr : Addr.t;
+  lock : Mutex.t;  (* guards [client] against close() racing a call *)
+  mutable client : Client.t option;
+}
+
+type live_leg = L_local of Server.t | L_remote of conn
+
+type leg = Local of Server.t | Remote of Addr.t
+
+type t = { legs : live_leg array }
+
+let create legs =
+  if legs = [] then invalid_arg "Scatter.create: no legs";
+  let live =
+    List.mapi
+      (fun i leg ->
+        match leg with
+        | Local server -> (
+            match Server.shard server with
+            | Some s when s = i -> L_local server
+            | Some s ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Scatter.create: leg %d is a server scoped to shard %d" i
+                     s)
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Scatter.create: leg %d has no shard scope" i))
+        | Remote addr ->
+            L_remote { addr; lock = Mutex.create (); client = None })
+      legs
+  in
+  { legs = Array.of_list live }
+
+let shards t = Array.length t.legs
+
+type answer = { items : int; canonical : string; digest : string }
+
+(* One exchange on a remote leg.  Dial lazily; after a transport
+   failure drop the connection so the next query redials (the worker
+   may have been restarted). *)
+let call_remote c req =
+  Mutex.protect c.lock (fun () ->
+      let dialed =
+        match c.client with
+        | Some cl -> Ok cl
+        | None -> (
+            match Client.connect c.addr with
+            | cl ->
+                c.client <- Some cl;
+                Ok cl
+            | exception Unix.Unix_error (err, _, _) ->
+                Error
+                  (P.Unavailable
+                     (Printf.sprintf "shard worker %s: %s"
+                        (Addr.to_string c.addr) (Unix.error_message err))))
+      in
+      match dialed with
+      | Error e -> Error e
+      | Ok cl ->
+          let resp = Client.call cl req in
+          (match resp with
+          | Error (P.Unavailable _) ->
+              Client.close cl;
+              c.client <- None
+          | _ -> ());
+          resp)
+
+let call_leg leg req =
+  match leg with
+  | L_local server -> Server.handle server req
+  | L_remote c -> call_remote c req
+
+(* A leg failure mid-fan-out: carry the typed error to the join. *)
+exception Leg of P.error
+
+let run_leg t ops shard =
+  List.map
+    (fun op ->
+      let req = P.request ~client:"scatter" (P.Partial { shard; op }) in
+      match call_leg t.legs.(shard) req with
+      | Ok (P.Partial_reply p) ->
+          if p.P.shard <> shard then
+            raise
+              (Leg
+                 (P.Failed
+                    (Printf.sprintf "shard %d answered as shard %d" shard
+                       p.P.shard)));
+          Stats.incr "partials_merged";
+          (match op with
+          | Merge.Collect _ ->
+              Stats.incr
+                ~by:
+                  (List.fold_left
+                     (fun a i -> a + String.length i)
+                     0 p.P.payload)
+                "broadcast_bytes"
+          | Merge.Run _ -> ());
+          p.P.payload
+      | Ok _ ->
+          raise
+            (Leg
+               (P.Failed
+                  (Printf.sprintf
+                     "shard %d answered a partial request with the wrong \
+                      reply shape"
+                     shard)))
+      | Error e -> raise (Leg e))
+    ops
+
+let run t q =
+  if q < 1 || q > 20 then
+    Error (P.Bad_request (Printf.sprintf "no benchmark query %d" q))
+  else begin
+    let k = Array.length t.legs in
+    let ops = Merge.ops q in
+    let slots = Array.make k (Error (P.Failed "leg never ran")) in
+    let worker i =
+      Thread.create
+        (fun () ->
+          slots.(i) <-
+            (try Ok (run_leg t ops i) with
+            | Leg e -> Error e
+            | e -> Error (P.Failed (Printexc.to_string e))))
+        ()
+    in
+    let threads = Array.init k worker in
+    Array.iter Thread.join threads;
+    (* all-or-nothing: the first failed leg (in shard order) speaks for
+       the whole query *)
+    match
+      Array.fold_left
+        (fun acc slot ->
+          match (acc, slot) with Some _, _ -> acc | None, Error e -> Some e
+          | None, Ok _ -> None)
+        None slots
+    with
+    | Some e -> Error e
+    | None ->
+        let per_shard =
+          Array.map (function Ok l -> l | Error _ -> assert false) slots
+        in
+        let parts =
+          List.mapi
+            (fun oi _ ->
+              Array.to_list (Array.map (fun l -> List.nth l oi) per_shard))
+            ops
+        in
+        Stats.incr ~by:k "shards_queried";
+        let items, canonical = Merge.gather q parts in
+        Ok { items; canonical; digest = Digest.to_hex (Digest.string canonical) }
+  end
+
+let close t =
+  Array.iter
+    (function
+      | L_local _ -> ()
+      | L_remote c ->
+          Mutex.protect c.lock (fun () ->
+              match c.client with
+              | Some cl ->
+                  Client.close cl;
+                  c.client <- None
+              | None -> ()))
+    t.legs

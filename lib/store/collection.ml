@@ -7,11 +7,20 @@ let regions = [ "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" 
 let child_el n tag = List.find_opt (fun c -> Dom.name c = tag) (Dom.children n)
 
 let merge roots =
+  if roots = [] then
+    invalid_arg "Collection.merge: empty collection (no roots to merge)";
   List.iter
     (fun r ->
       if Dom.name r <> "site" then
         invalid_arg (Printf.sprintf "Collection.merge: root is <%s>, expected <site>" (Dom.name r)))
     roots;
+  match roots with
+  | [ root ] ->
+      (* a one-file collection IS the document: no copy, no skeleton
+         rebuild — just make sure it is indexed like a merged tree *)
+      ignore (Dom.index root);
+      root
+  | roots ->
   let section_content tag =
     (* contents of a section across all files, in file order *)
     List.concat_map

@@ -16,8 +16,10 @@
 
 val merge : Xmark_xml.Dom.node list -> Xmark_xml.Dom.node
 (** Merge the roots of split files (in file order) into one [site]
-    document.
-    @raise Invalid_argument if a root is not a [site] element. *)
+    document.  A one-root collection is returned as-is (indexed, no
+    copy): merging is the identity on an unsplit document.
+    @raise Invalid_argument on an empty collection or a root that is
+    not a [site] element. *)
 
 val load_files : string list -> Xmark_xml.Dom.node
 (** Parse and merge split files. *)

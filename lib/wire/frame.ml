@@ -41,9 +41,11 @@ let magic = "XMW\x01"
 
 (* Bumped 1 → 2 when the payload vocabulary grew writes: requests
    gained the Update tag and Ok responses an outcome-kind byte and an
-   epoch field.  A version-1 peer now gets a clean [Bad_version]
-   instead of a confusing payload decode error mid-exchange. *)
-let version = 2
+   epoch field.  Bumped 2 → 3 when it grew sharding: the Partial
+   request tag, the Partial_reply outcome kind and status codes 9/10.
+   An old-version peer gets a clean [Bad_version] instead of a
+   confusing payload decode error mid-exchange. *)
+let version = 3
 let max_payload = 16 * 1024 * 1024
 let header_len = 10
 

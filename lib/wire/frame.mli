@@ -6,7 +6,7 @@
     {v
       offset  size  field
       0       4     magic "XMW\x01"
-      4       1     format version (this build: 2)
+      4       1     format version (this build: 3)
       5       1     frame kind (1 = request, 2 = response)
       6       4     payload length N (<= max_payload)
       10      N     payload (see Wire_codec)
@@ -42,7 +42,8 @@ val magic : string
 (** 4 bytes. *)
 
 val version : int
-(** Wire format version (2 since the payload vocabulary grew update
+(** Wire format version (3 since the payload vocabulary grew
+    scatter-gather sharding; 2 since it grew update
     requests and the outcome-kind/epoch reply fields; 1 was the
     read-only protocol).  Mixed-version peers get {!Bad_version}. *)
 

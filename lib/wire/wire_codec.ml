@@ -4,6 +4,7 @@
    [Error], never as an exception or an over-allocation. *)
 
 module P = Xmark_service.Protocol
+module Merge = Xmark_core.Merge
 
 exception Malformed of string
 
@@ -117,7 +118,17 @@ let encode_request (req : P.request) =
       add_str b q
   | P.Update u ->
       add_u8 b 2;
-      encode_update b u);
+      encode_update b u
+  | P.Partial { shard; op } -> (
+      add_u8 b 3;
+      add_u32 b shard;
+      match op with
+      | Merge.Run n ->
+          add_u8 b 0;
+          add_u32 b n
+      | Merge.Collect q ->
+          add_u8 b 1;
+          add_str b q));
   (match req.P.deadline_ms with
   | None -> add_u8 b 0
   | Some ms ->
@@ -133,6 +144,15 @@ let decode_request =
         | 0 -> P.Benchmark (u32 r "query number")
         | 1 -> P.Text (str r "query text")
         | 2 -> P.Update (decode_update r)
+        | 3 ->
+            let shard = u32 r "shard id" in
+            let op =
+              match u8 r "partial op kind" with
+              | 0 -> Merge.Run (u32 r "query number")
+              | 1 -> Merge.Collect (str r "side-query text")
+              | k -> malformed "unknown partial op kind %d" k
+            in
+            P.Partial { shard; op }
         | t -> malformed "unknown query tag %d" t
       in
       let deadline_ms =
@@ -194,14 +214,27 @@ let encode_response (resp : P.response) =
           add_str b id);
       add_f64 b latency_ms;
       add_f64 b queue_ms
+  | Ok (P.Partial_reply { P.shard; payload; epoch; latency_ms; queue_ms; plan_hit })
+    ->
+      add_u8 b 2;
+      add_u32 b shard;
+      add_u32 b (List.length payload);
+      List.iter (add_str b) payload;
+      add_u32 b epoch;
+      add_f64 b latency_ms;
+      add_f64 b queue_ms;
+      add_u8 b (if plan_hit then 1 else 0)
   | Error (P.Overloaded { inflight; queued }) ->
       add_u32 b inflight;
       add_u32 b queued
   | Error (P.Timeout { elapsed_ms }) -> add_f64 b elapsed_ms
   | Error (P.Rejected f) -> encode_write_fault b f
+  | Error (P.Wrong_shard { served; requested }) ->
+      add_u32 b served;
+      add_u32 b requested
   | Error
       ( P.Failed m | P.Bad_request m | P.Unsupported m | P.Unavailable m
-      | P.Read_only m ) ->
+      | P.Read_only m | P.Not_sharded m ) ->
       add_str b m);
   Buffer.contents b
 
@@ -235,6 +268,31 @@ let decode_response =
               let latency_ms = f64 r "latency" in
               let queue_ms = f64 r "queue time" in
               Ok (P.Committed { P.lsn; epoch; assigned; latency_ms; queue_ms })
+          | 2 ->
+              let shard = u32 r "shard id" in
+              let count = u32 r "payload count" in
+              (* every item carries at least a 4-byte length prefix: vet
+                 the declared count against the remaining bytes before
+                 building anything, so a hostile count fails as
+                 [Malformed] instead of allocating *)
+              need r (4 * count) "payload items";
+              let rec read_items acc i =
+                if i = 0 then List.rev acc
+                else read_items (str r "payload item" :: acc) (i - 1)
+              in
+              let payload = read_items [] count in
+              let epoch = u32 r "epoch" in
+              let latency_ms = f64 r "latency" in
+              let queue_ms = f64 r "queue time" in
+              let plan_hit =
+                match u8 r "plan-hit flag" with
+                | 0 -> false
+                | 1 -> true
+                | t -> malformed "unknown plan-hit flag %d" t
+              in
+              Ok
+                (P.Partial_reply
+                   { P.shard; payload; epoch; latency_ms; queue_ms; plan_hit })
           | k -> malformed "unknown outcome kind %d" k)
       | 1 -> Error (P.Failed (str r "message"))
       | 2 -> Error (P.Bad_request (str r "message"))
@@ -247,4 +305,9 @@ let decode_response =
       | 6 -> Error (P.Unavailable (str r "message"))
       | 7 -> Error (P.Rejected (decode_write_fault r))
       | 8 -> Error (P.Read_only (str r "message"))
+      | 9 ->
+          let served = u32 r "served shard" in
+          let requested = u32 r "requested shard" in
+          Error (P.Wrong_shard { served; requested })
+      | 10 -> Error (P.Not_sharded (str r "message"))
       | s -> malformed "unknown status byte %d" s)

@@ -7,14 +7,24 @@
     bounds-checked against the buffer before reading.
 
     {b Request payload:}
-    query tag (u8: 0 benchmark, 1 text) · query (u32 number | str) ·
-    deadline flag (u8) · deadline (f64 bits, if flagged) · client (str).
+    query tag (u8: 0 benchmark, 1 text, 2 update, 3 partial) · query
+    body (u32 number | str | update | partial) · deadline flag (u8) ·
+    deadline (f64 bits, if flagged) · client (str).  An update body is
+    kind (u8: 0 register, 1 bid, 2 close) followed by that update's
+    fields; a partial body is shard (u32) · op kind (u8: 0 run, 1
+    collect) · op (u32 number | str side-query).
 
     {b Response payload:} status byte ({!Xmark_service.Protocol.status_code};
-    0 = ok) followed by the per-status body — ok: items (u32), digest
-    (str), latency_ms (f64), queue_ms (f64), plan_hit (u8); overloaded:
-    inflight (u32), queued (u32); timeout: elapsed_ms (f64); all other
-    statuses: message (str).
+    0 = ok) followed by the per-status body — ok: outcome kind (u8: 0
+    reply, 1 committed, 2 partial-reply), then reply: items (u32),
+    digest (str), epoch (u32), latency_ms (f64), queue_ms (f64),
+    plan_hit (u8); committed: lsn (u32), epoch (u32), assigned flag +
+    str, latency_ms (f64), queue_ms (f64); partial-reply: shard (u32),
+    item count (u32), that many [str] items in document order, epoch
+    (u32), latency_ms (f64), queue_ms (f64), plan_hit (u8).  Errors —
+    overloaded: inflight (u32), queued (u32); timeout: elapsed_ms
+    (f64); rejected: fault kind (u8) + str; wrong-shard: served (u32),
+    requested (u32); all other statuses: message (str).
 
     [str] is a u32 byte length followed by the bytes. *)
 

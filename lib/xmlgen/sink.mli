@@ -29,6 +29,12 @@ val dom : unit -> t * (unit -> Xmark_xml.Dom.node)
 (** DOM builder; the reader returns the root once the document is done.
     @raise Invalid_argument if the document is unfinished or empty. *)
 
+val entity_tags : string list
+(** The second-level entity vocabulary Section 5's split mode counts —
+    [item], [person], [open_auction], [closed_auction], [category].
+    {!Xmark_shard.Partitioner} slices the document along the same
+    boundaries. *)
+
 type split_info = { files : string list; entities : int }
 
 val split :

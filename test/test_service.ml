@@ -16,7 +16,8 @@ module Workload = Xmark_service.Workload
 let submit server n =
   match Server.handle server (P.request (P.Benchmark n)) with
   | Ok (P.Reply r) -> Ok r
-  | Ok (P.Committed _) -> Error (P.Failed "read answered as a commit")
+  | Ok (P.Committed _ | P.Partial_reply _) ->
+      Error (P.Failed "read answered with the wrong shape")
   | Error e -> Error e
 
 let document = lazy (Xmark_xmlgen.Generator.to_string ~factor:0.002 ())

@@ -284,6 +284,52 @@ let test_writer_recovers_identically () =
   | Error e -> Alcotest.failf "post-recovery commit: %s" (Server.error_to_string e));
   Writer.close writer
 
+let test_checkpoint_recovery_digest () =
+  let dir = fresh "checkpoint.d" in
+  let writer, _ = Writer.open_dir ~dir ~bootstrap () in
+  List.iter
+    (fun op ->
+      match Writer.commit writer (update_of op) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "commit: %s" (Server.error_to_string e))
+    ops;
+  let digests_before =
+    List.map
+      (fun q -> Writer.digest_of_session (Writer.publish writer) q)
+      [ 2; 8; 13 ]
+  in
+  let lsn_before = Writer.last_lsn writer in
+  (match Writer.checkpoint writer with
+  | Ok folded -> Alcotest.(check int) "every record folded" lsn_before folded
+  | Error e -> Alcotest.failf "checkpoint: %s" (Server.error_to_string e));
+  Alcotest.(check int) "log restarts empty" 0 (Writer.last_lsn writer);
+  (* the compacted writer keeps answering identically before close *)
+  Alcotest.(check (list string)) "post-checkpoint digests"
+    digests_before
+    (List.map
+       (fun q -> Writer.digest_of_session (Writer.publish writer) q)
+       [ 2; 8; 13 ]);
+  Writer.close writer;
+  (* reopen: nothing to replay, same answers — the log is truly folded
+     into the base, not lost *)
+  let writer, info = Writer.open_dir ~dir ~bootstrap:no_bootstrap () in
+  Alcotest.(check bool) "recovered, not fresh" false info.Writer.fresh;
+  Alcotest.(check int) "nothing replayed" 0 info.Writer.replayed;
+  Alcotest.(check (list string)) "recovery digests match"
+    digests_before
+    (List.map
+       (fun q -> Writer.digest_of_session (Writer.publish writer) q)
+       [ 2; 8; 13 ]);
+  (* the write path stays open: lsn restarts after the fold *)
+  (match
+     Writer.commit writer
+       (P.Register_person { name = "Post Fold"; email = "mailto:f@x" })
+   with
+  | Ok (lsn, _) -> Alcotest.(check int) "lsn restarts at 1" 1 lsn
+  | Error e ->
+      Alcotest.failf "post-checkpoint commit: %s" (Server.error_to_string e));
+  Writer.close writer
+
 let tree_digest_of_writer writer =
   Digest.to_hex
     (Digest.string (Runner.canonical (Runner.run_session (Writer.publish writer) 8)))
@@ -366,7 +412,8 @@ let test_server_write_statuses () =
       Alcotest.(check int) "first lsn" 1 c.P.lsn;
       Alcotest.(check int) "epoch = lsn" 1 c.P.epoch;
       Alcotest.(check int) "server epoch advanced" 1 (Server.epoch server)
-  | Ok (P.Reply _) -> Alcotest.fail "write answered as a read"
+  | Ok (P.Reply _ | P.Partial_reply _) ->
+      Alcotest.fail "write answered as a read"
   | Error e -> Alcotest.failf "bid: %s" (Server.error_to_string e));
   (* typed rejection: status 7, nothing durable *)
   (match handle (P.Close_auction { auction = "open_auction9"; date = "d" }) with
@@ -381,7 +428,8 @@ let test_server_write_statuses () =
   (* reads carry the epoch they were answered at *)
   (match Server.handle server (P.request (P.Benchmark 1)) with
   | Ok (P.Reply r) -> Alcotest.(check int) "reply epoch" 1 r.P.epoch
-  | Ok (P.Committed _) -> Alcotest.fail "read answered as a commit"
+  | Ok (P.Committed _ | P.Partial_reply _) ->
+      Alcotest.fail "read answered as a commit"
   | Error e -> Alcotest.failf "read: %s" (Server.error_to_string e));
   let t = Server.totals server in
   Alcotest.(check int) "totals.committed" 1 t.Server.committed;
@@ -500,6 +548,8 @@ let () =
         [
           Alcotest.test_case "recovery rebuilds the exact store" `Quick
             test_writer_recovers_identically;
+          Alcotest.test_case "checkpoint folds the log into the base" `Quick
+            test_checkpoint_recovery_digest;
           Alcotest.test_case "rejections leave no trace" `Quick
             test_writer_rejects_leave_no_trace;
           Alcotest.test_case "oversized update is a typed rejection" `Quick

@@ -82,7 +82,7 @@ let fleet_outcome =
 
 let test_fleet_healthy () =
   match fleet_outcome.fo_before with
-  | Ok (P.Committed _) -> Alcotest.fail "read answered as a commit"
+  | Ok (P.Committed _ | P.Partial_reply _) -> Alcotest.fail "read answered as a commit"
   | Ok (P.Reply r) ->
       Alcotest.(check string)
         "fleet digest matches single-shot" fleet_outcome.fo_ref_digest
@@ -92,7 +92,7 @@ let test_fleet_healthy () =
 let test_fleet_worker_killed () =
   List.iteri
     (fun i -> function
-      | Ok (P.Committed _) -> Alcotest.failf "call %d answered as a commit" i
+      | Ok (P.Committed _ | P.Partial_reply _) -> Alcotest.failf "call %d answered as a commit" i
       | Ok (P.Reply r) ->
           Alcotest.(check string)
             (Printf.sprintf "call %d digest after worker kill" i)
@@ -235,7 +235,7 @@ let test_loopback_digests () =
         (fun () ->
           for q = 1 to 20 do
             match Wire.Client.call c (P.request (P.Benchmark q)) with
-            | Ok (P.Committed _) -> Alcotest.failf "Q%d answered as a commit" q
+            | Ok (P.Committed _ | P.Partial_reply _) -> Alcotest.failf "Q%d answered as a commit" q
             | Ok (P.Reply r) ->
                 Alcotest.(check string)
                   (Printf.sprintf "Q%d digest over the wire" q)
@@ -247,7 +247,7 @@ let test_loopback_digests () =
              Wire.Client.call c
                (P.request (P.Text (Xmark_core.Queries.text 5)))
            with
-          | Ok (P.Committed _) -> Alcotest.fail "text query answered as a commit"
+          | Ok (P.Committed _ | P.Partial_reply _) -> Alcotest.fail "text query answered as a commit"
           | Ok (P.Reply r) ->
               Alcotest.(check string) "ad-hoc text digest"
                 (reference_digest store 5) r.P.digest
@@ -317,7 +317,7 @@ let test_loopback_hostile_bytes () =
           ~finally:(fun () -> Wire.Client.close c)
           (fun () -> Wire.Client.call c (P.request (P.Benchmark 1)))
       with
-      | Ok (P.Committed _) -> Alcotest.fail "health probe answered as a commit"
+      | Ok (P.Committed _ | P.Partial_reply _) -> Alcotest.fail "health probe answered as a commit"
       | Ok (P.Reply r) ->
           Alcotest.(check string) "server healthy after hostile bytes"
             (reference_digest store 1) r.P.digest

@@ -380,6 +380,21 @@ let test_collection_queries_agree () =
   List.iter Sys.remove info.Sink.files;
   Unix.rmdir dir
 
+let test_collection_merge_edges () =
+  (* an empty collection is a caller bug: typed error, never a
+     plausible-looking empty <site> *)
+  (match Xmark_store.Collection.merge [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "merge [] must raise Invalid_argument");
+  (match Xmark_store.Collection.merge [ Dom.element "people" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "merge of a non-site root must raise Invalid_argument");
+  (* a one-root collection is already the document: identity, no copy *)
+  let root = Gen.to_dom ~factor:0.001 () in
+  let merged = Xmark_store.Collection.merge [ root ] in
+  Alcotest.(check bool) "single-root merge is the identity" true
+    (merged == root)
+
 let test_dtd_well_formed_with_document () =
   let s = Dtd.text ^ Gen.to_string ~factor:0.001 () in
   let d = Sax.parse_string s in
@@ -685,6 +700,7 @@ let () =
           Alcotest.test_case "split mode" `Quick test_split_mode;
           Alcotest.test_case "collection roundtrip" `Quick test_collection_roundtrip;
           Alcotest.test_case "collection queries agree" `Quick test_collection_queries_agree;
+          Alcotest.test_case "collection merge edge cases" `Quick test_collection_merge_edges;
         ] );
       ( "dtd",
         [
